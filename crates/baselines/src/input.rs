@@ -1,0 +1,197 @@
+//! Shared input plumbing: the dense baselines see users as rows of the
+//! *concatenated* multi-hot space (fields laid out back to back), because —
+//! unlike FVAE — they have no notion of fields.
+
+use fvae_data::MultiFieldDataset;
+use fvae_tensor::Matrix;
+
+/// Per-field column offsets in the concatenated space, plus the total width.
+#[derive(Clone, Debug)]
+pub struct ConcatLayout {
+    /// `offsets[k]` is where field `k`'s columns start.
+    pub offsets: Vec<usize>,
+    /// Total concatenated width `J`.
+    pub total: usize,
+}
+
+impl ConcatLayout {
+    /// Builds the layout for a dataset.
+    pub fn of(ds: &MultiFieldDataset) -> Self {
+        let mut offsets = Vec::with_capacity(ds.n_fields());
+        let mut acc = 0usize;
+        for k in 0..ds.n_fields() {
+            offsets.push(acc);
+            acc += ds.field_vocab(k);
+        }
+        Self { offsets, total: acc }
+    }
+
+    /// Concatenated column of `(field, index)`.
+    #[inline]
+    pub fn column(&self, field: usize, index: u32) -> usize {
+        self.offsets[field] + index as usize
+    }
+}
+
+/// One user's sparse row in the concatenated space, L2-normalized, restricted
+/// to `input_fields` (`None` = all).
+pub fn concat_row(
+    ds: &MultiFieldDataset,
+    layout: &ConcatLayout,
+    user: usize,
+    input_fields: Option<&[usize]>,
+) -> (Vec<u32>, Vec<f32>) {
+    let all: Vec<usize> = (0..ds.n_fields()).collect();
+    let picks = input_fields.unwrap_or(&all);
+    let mut ids = Vec::new();
+    let mut vals = Vec::new();
+    let mut sq = 0.0f32;
+    for &k in picks {
+        let (ix, vs) = ds.user_field(user, k);
+        for (&i, &v) in ix.iter().zip(vs.iter()) {
+            ids.push(layout.column(k, i) as u32);
+            vals.push(v);
+            sq += v * v;
+        }
+    }
+    if sq > 0.0 {
+        let inv = 1.0 / sq.sqrt();
+        vals.iter_mut().for_each(|v| *v *= inv);
+    }
+    (ids, vals)
+}
+
+/// Densifies a batch of users into `users × J` (dense baselines only; keep
+/// batches modest).
+pub fn densify(
+    ds: &MultiFieldDataset,
+    layout: &ConcatLayout,
+    users: &[usize],
+    input_fields: Option<&[usize]>,
+) -> Matrix {
+    let mut out = Matrix::zeros(users.len(), layout.total);
+    for (r, &u) in users.iter().enumerate() {
+        let (ids, vals) = concat_row(ds, layout, u, input_fields);
+        let row = out.row_mut(r);
+        for (&i, &v) in ids.iter().zip(vals.iter()) {
+            row[i as usize] += v;
+        }
+    }
+    out
+}
+
+/// Sparse `Aᵀ·Y` for the randomized SVD: `A` is the user matrix given by
+/// rows, `Y: users × l`, output `J × l`.
+pub fn at_y(
+    ds: &MultiFieldDataset,
+    layout: &ConcatLayout,
+    users: &[usize],
+    y: &Matrix,
+) -> Matrix {
+    let l = y.cols();
+    let mut out = Matrix::zeros(layout.total, l);
+    for (r, &u) in users.iter().enumerate() {
+        let (ids, vals) = concat_row(ds, layout, u, None);
+        let y_row = y.row(r);
+        for (&i, &v) in ids.iter().zip(vals.iter()) {
+            let out_row = out.row_mut(i as usize);
+            fvae_tensor::ops::axpy(v, y_row, out_row);
+        }
+    }
+    out
+}
+
+/// Sparse `A·M` where `M: J × l`, output `users × l`.
+pub fn a_m(
+    ds: &MultiFieldDataset,
+    layout: &ConcatLayout,
+    users: &[usize],
+    input_fields: Option<&[usize]>,
+    m: &Matrix,
+) -> Matrix {
+    let l = m.cols();
+    let mut out = Matrix::zeros(users.len(), l);
+    for (r, &u) in users.iter().enumerate() {
+        let (ids, vals) = concat_row(ds, layout, u, input_fields);
+        let out_row = out.row_mut(r);
+        for (&i, &v) in ids.iter().zip(vals.iter()) {
+            fvae_tensor::ops::axpy(v, m.row(i as usize), out_row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 40,
+            n_topics: 2,
+            alpha: 0.3,
+            fields: vec![
+                FieldSpec::new("a", 8, 2, 1.0),
+                FieldSpec::new("b", 16, 3, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 21,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn layout_offsets_are_cumulative() {
+        let ds = tiny();
+        let layout = ConcatLayout::of(&ds);
+        assert_eq!(layout.offsets, vec![0, 8]);
+        assert_eq!(layout.total, 24);
+        assert_eq!(layout.column(1, 3), 11);
+    }
+
+    #[test]
+    fn concat_row_is_normalized() {
+        let ds = tiny();
+        let layout = ConcatLayout::of(&ds);
+        let (_, vals) = concat_row(&ds, &layout, 0, None);
+        let norm: f32 = vals.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn densify_matches_concat_row() {
+        let ds = tiny();
+        let layout = ConcatLayout::of(&ds);
+        let dense = densify(&ds, &layout, &[5], None);
+        let (ids, vals) = concat_row(&ds, &layout, 5, None);
+        for (&i, &v) in ids.iter().zip(vals.iter()) {
+            assert!((dense.get(0, i as usize) - v).abs() < 1e-6);
+        }
+        let nnz = dense.row(0).iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nnz, ids.len());
+    }
+
+    #[test]
+    fn sparse_products_match_dense_reference() {
+        let ds = tiny();
+        let layout = ConcatLayout::of(&ds);
+        let users: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a_dense = densify(&ds, &layout, &users, None);
+        let m = Matrix::glorot_uniform(layout.total, 3, &mut rng);
+        let fast = a_m(&ds, &layout, &users, None, &m);
+        let slow = a_dense.matmul(&m);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        let y = Matrix::glorot_uniform(10, 3, &mut rng);
+        let fast_t = at_y(&ds, &layout, &users, &y);
+        let slow_t = a_dense.matmul_transa(&y);
+        for (x, yv) in fast_t.as_slice().iter().zip(slow_t.as_slice()) {
+            assert!((x - yv).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Item2Vec: skip-gram with negative sampling (SGNS) over co-observed
+//! features (Barkan & Koenigstein), the embedding baseline the paper's
+//! look-alike system previously used.
+//!
+//! Every feature is an "item"; the features of one user form a set whose
+//! members are mutual context. A user's representation is the average of its
+//! features' input vectors ("a user representation can be aggregated by its
+//! context historical items"). Negatives are drawn from the unigram
+//! distribution raised to the classic ¾ power.
+
+use fvae_data::MultiFieldDataset;
+use fvae_tensor::dist::AliasTable;
+use fvae_tensor::ops::{dot, sigmoid};
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::input::{concat_row, ConcatLayout};
+use crate::RepresentationModel;
+
+/// SGNS Item2Vec.
+pub struct Item2Vec {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Training epochs over all users.
+    pub epochs: usize,
+    /// Positive context pairs sampled per centre item.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    seed: u64,
+    layout: Option<ConcatLayout>,
+    in_vecs: Option<Matrix>,
+    out_vecs: Option<Matrix>,
+}
+
+impl Item2Vec {
+    /// Creates an Item2Vec model.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self {
+            dim,
+            epochs: 3,
+            window: 4,
+            negatives: 5,
+            lr: 0.05,
+            seed,
+            layout: None,
+            in_vecs: None,
+            out_vecs: None,
+        }
+    }
+
+    fn user_vector(
+        &self,
+        ds: &MultiFieldDataset,
+        user: usize,
+        input_fields: Option<&[usize]>,
+    ) -> Vec<f32> {
+        let layout = self.layout.as_ref().expect("fitted");
+        let vecs = self.in_vecs.as_ref().expect("fitted");
+        let (ids, _) = concat_row(ds, layout, user, input_fields);
+        let mut out = vec![0.0f32; self.dim];
+        if ids.is_empty() {
+            return out;
+        }
+        for &i in &ids {
+            fvae_tensor::ops::axpy(1.0, vecs.row(i as usize), &mut out);
+        }
+        fvae_tensor::ops::scale(1.0 / ids.len() as f32, &mut out);
+        out
+    }
+}
+
+impl RepresentationModel for Item2Vec {
+    fn name(&self) -> &'static str {
+        "Item2Vec"
+    }
+
+    fn fit(&mut self, ds: &MultiFieldDataset, users: &[usize]) {
+        let layout = ConcatLayout::of(ds);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut in_vecs =
+            Matrix::from_fn(layout.total, self.dim, |_, _| rng.random_range(-0.5..0.5) / self.dim as f32);
+        let mut out_vecs = Matrix::zeros(layout.total, self.dim);
+
+        // Unigram^0.75 negative-sampling table over feature frequencies.
+        let mut freq = vec![0.0f32; layout.total];
+        for &u in users {
+            for k in 0..ds.n_fields() {
+                let (ix, vs) = ds.user_field(u, k);
+                for (&i, &v) in ix.iter().zip(vs.iter()) {
+                    freq[layout.column(k, i)] += v;
+                }
+            }
+        }
+        for f in freq.iter_mut() {
+            *f = f.powf(0.75);
+        }
+        let neg_table = AliasTable::new(&freq);
+
+        let mut grad_c = vec![0.0f32; self.dim];
+        for _ in 0..self.epochs {
+            for &u in users {
+                let (ids, _) = concat_row(ds, &layout, u, None);
+                if ids.len() < 2 {
+                    continue;
+                }
+                for &center in &ids {
+                    let c = center as usize;
+                    grad_c.iter_mut().for_each(|g| *g = 0.0);
+                    for _ in 0..self.window {
+                        let other = ids[rng.random_range(0..ids.len())] as usize;
+                        if other == c {
+                            continue;
+                        }
+                        // Positive pair (c → other).
+                        {
+                            let score = dot(in_vecs.row(c), out_vecs.row(other));
+                            let g = (sigmoid(score) - 1.0) * self.lr;
+                            for d in 0..self.dim {
+                                grad_c[d] += g * out_vecs.get(other, d);
+                            }
+                            for d in 0..self.dim {
+                                let upd = g * in_vecs.get(c, d);
+                                out_vecs.add_at(other, d, -upd);
+                            }
+                        }
+                        // Negatives.
+                        for _ in 0..self.negatives {
+                            let neg = neg_table.sample(&mut rng);
+                            if neg == c || neg == other {
+                                continue;
+                            }
+                            let score = dot(in_vecs.row(c), out_vecs.row(neg));
+                            let g = sigmoid(score) * self.lr;
+                            for d in 0..self.dim {
+                                grad_c[d] += g * out_vecs.get(neg, d);
+                            }
+                            for d in 0..self.dim {
+                                let upd = g * in_vecs.get(c, d);
+                                out_vecs.add_at(neg, d, -upd);
+                            }
+                        }
+                    }
+                    for d in 0..self.dim {
+                        in_vecs.add_at(c, d, -grad_c[d]);
+                    }
+                }
+            }
+        }
+        self.layout = Some(layout);
+        self.in_vecs = Some(in_vecs);
+        self.out_vecs = Some(out_vecs);
+    }
+
+    fn embed(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+    ) -> Matrix {
+        let mut out = Matrix::zeros(users.len(), self.dim);
+        for (r, &u) in users.iter().enumerate() {
+            let v = self.user_vector(ds, u, input_fields);
+            out.row_mut(r).copy_from_slice(&v);
+        }
+        out
+    }
+
+    fn score_field(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+        field: usize,
+        candidates: &[u32],
+    ) -> Matrix {
+        // SGNS trains the in·out direction (`dot(in_ctx, out_item)` estimates
+        // the co-occurrence logit), so candidates are scored against their
+        // *output* vectors; the input-vector average remains the user
+        // representation served downstream.
+        let layout = self.layout.as_ref().expect("fitted");
+        let out_vecs = self.out_vecs.as_ref().expect("fitted");
+        let mut out = Matrix::zeros(users.len(), candidates.len());
+        for (r, &u) in users.iter().enumerate() {
+            let uvec = self.user_vector(ds, u, input_fields);
+            let row = out.row_mut(r);
+            for (o, &cand) in row.iter_mut().zip(candidates.iter()) {
+                let col = layout.column(field, cand);
+                *o = dot(&uvec, out_vecs.row(col));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn tiny() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 150,
+            n_topics: 3,
+            alpha: 0.08,
+            fields: vec![
+                FieldSpec::new("ch1", 10, 3, 1.0),
+                FieldSpec::new("tag", 40, 6, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 50,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn embeddings_average_feature_vectors() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = Item2Vec::new(8, 1);
+        model.epochs = 1;
+        model.fit(&ds, &users);
+        let emb = model.embed(&ds, &[0], None);
+        let layout = ConcatLayout::of(&ds);
+        let (ids, _) = concat_row(&ds, &layout, 0, None);
+        let vecs = model.in_vecs.as_ref().expect("fitted");
+        let mut expect = vec![0.0f32; 8];
+        for &i in &ids {
+            fvae_tensor::ops::axpy(1.0 / ids.len() as f32, vecs.row(i as usize), &mut expect);
+        }
+        for (a, b) in emb.row(0).iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn co_occurring_features_become_similar() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = Item2Vec::new(12, 1);
+        model.epochs = 4;
+        model.fit(&ds, &users);
+        // Tag-prediction-style check: observed tags should outrank random
+        // ones given the channel fold-in.
+        let candidates: Vec<u32> = (0..40).collect();
+        let scores = model.score_field(&ds, &users[..50], Some(&[0]), 1, &candidates);
+        let mut mean = fvae_metrics::Mean::new();
+        for (r, &u) in users[..50].iter().enumerate() {
+            let observed: std::collections::HashSet<u32> =
+                ds.user_field(u, 1).0.iter().copied().collect();
+            let labels: Vec<bool> = candidates.iter().map(|c| observed.contains(c)).collect();
+            mean.push(fvae_metrics::auc(scores.row(r), &labels));
+        }
+        assert!(mean.mean() > 0.55, "Item2Vec fold-in AUC {}", mean.mean());
+    }
+
+    #[test]
+    fn empty_fold_in_yields_zero_vector() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = Item2Vec::new(8, 1);
+        model.epochs = 1;
+        model.fit(&ds, &users);
+        let emb = model.embed(&ds, &[0], Some(&[]));
+        assert!(emb.row(0).iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,568 @@
+//! Mult-DAE and Mult-VAE (Liang et al. [8]): autoencoders with a *single*
+//! multinomial likelihood over the concatenated feature space — the direct
+//! ancestors FVAE extends with field awareness.
+//!
+//! Both models materialize the dense `J`-wide input/output layers, which is
+//! exactly why they cannot scale (Table V): every batch costs `O(J·D)`. For
+//! the large presets the paper's footnote applies — "all features are mapped
+//! to a 20-bit space by feature hashing since the original billion-scale
+//! size is too large for Mult-VAE" — reproduced here via the optional
+//! `hash_bits` (collisions and all).
+
+use std::hash::BuildHasher;
+
+use fvae_data::MultiFieldDataset;
+use fvae_nn::{Activation, Adam, AdamState, Dropout, Mlp};
+use fvae_sparse::hasher::FastBuildHasher;
+use fvae_tensor::dist::Gaussian;
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::input::{concat_row, ConcatLayout};
+use crate::RepresentationModel;
+
+/// Adam states for every layer of an MLP.
+pub(crate) struct MlpAdam {
+    states: Vec<(AdamState, AdamState)>,
+}
+
+impl MlpAdam {
+    pub(crate) fn new(mlp: &Mlp) -> Self {
+        Self { states: mlp.layers().iter().map(|_| Default::default()).collect() }
+    }
+
+    pub(crate) fn step(&mut self, adam: &Adam, mlp: &mut Mlp, grads: &[fvae_nn::DenseGrads]) {
+        for ((layer, g), (sw, sb)) in
+            mlp.layers_mut().iter_mut().zip(grads).zip(self.states.iter_mut())
+        {
+            let (w, b) = layer.params_mut();
+            adam.step_matrix(sw, w, &g.dw);
+            adam.step_slice(sb, b, &g.db);
+        }
+    }
+}
+
+/// Dense input plumbing shared by the Mult-* family and RecVAE.
+pub(crate) struct DenseInput {
+    pub layout: ConcatLayout,
+    pub hash_bits: Option<u32>,
+    pub input_dim: usize,
+    hasher: FastBuildHasher,
+}
+
+impl DenseInput {
+    pub(crate) fn new(ds: &MultiFieldDataset, hash_bits: Option<u32>) -> Self {
+        let layout = ConcatLayout::of(ds);
+        let input_dim = match hash_bits {
+            Some(bits) => 1usize << bits,
+            None => layout.total,
+        };
+        Self { layout, hash_bits, input_dim, hasher: FastBuildHasher::default() }
+    }
+
+    /// Maps a concatenated column to the (possibly hashed) model column.
+    #[inline]
+    pub(crate) fn col(&self, concat_col: usize) -> usize {
+        match self.hash_bits {
+            Some(bits) => {
+                let mut h = self.hasher.hash_one(concat_col);
+                h ^= h >> 33;
+                (h as usize) & ((1usize << bits) - 1)
+            }
+            None => concat_col,
+        }
+    }
+
+    /// Dense normalized input and raw-count target matrices for a batch.
+    pub(crate) fn batch(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+    ) -> (Matrix, Matrix) {
+        let mut x = Matrix::zeros(users.len(), self.input_dim);
+        let mut t = Matrix::zeros(users.len(), self.input_dim);
+        for (r, &u) in users.iter().enumerate() {
+            let (ids, vals) = concat_row(ds, &self.layout, u, input_fields);
+            let x_row = x.row_mut(r);
+            for (&i, &v) in ids.iter().zip(vals.iter()) {
+                x_row[self.col(i as usize)] += v;
+            }
+        }
+        for (r, &u) in users.iter().enumerate() {
+            let t_row = t.row_mut(r);
+            for k in 0..ds.n_fields() {
+                let (ix, vs) = ds.user_field(u, k);
+                for (&i, &v) in ix.iter().zip(vs.iter()) {
+                    t_row[self.col(self.layout.column(k, i))] += v;
+                }
+            }
+        }
+        (x, t)
+    }
+}
+
+/// Multinomial log-likelihood over full logits; returns the summed loss and
+/// `∂L/∂logits` (already divided by the batch size).
+pub(crate) fn multinomial_dense_loss(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(logits.shape(), targets.shape());
+    let b = logits.rows();
+    let inv_b = 1.0 / b as f32;
+    let mut loss = 0.0f64;
+    let mut dlogits = Matrix::zeros(b, logits.cols());
+    let mut probs_row = vec![0.0f32; logits.cols()];
+    for r in 0..b {
+        probs_row.copy_from_slice(logits.row(r));
+        fvae_tensor::ops::softmax_in_place(&mut probs_row);
+        let t_row = targets.row(r);
+        let n_i: f32 = t_row.iter().sum();
+        let d_row = dlogits.row_mut(r);
+        for ((d, &p), &t) in d_row.iter_mut().zip(probs_row.iter()).zip(t_row.iter()) {
+            if t > 0.0 {
+                loss -= (t as f64) * (p.max(1e-12) as f64).ln();
+            }
+            *d = (n_i * p - t) * inv_b;
+        }
+    }
+    (loss as f32, dlogits)
+}
+
+pub(crate) fn clamp_split(stats: &Matrix, d: usize) -> (Matrix, Matrix) {
+    let b = stats.rows();
+    let mut mu = Matrix::zeros(b, d);
+    let mut logvar = Matrix::zeros(b, d);
+    for r in 0..b {
+        let row = stats.row(r);
+        mu.row_mut(r).copy_from_slice(&row[..d]);
+        for (lv, &s) in logvar.row_mut(r).iter_mut().zip(row[d..].iter()) {
+            *lv = s.clamp(-8.0, 8.0);
+        }
+    }
+    (mu, logvar)
+}
+
+/// Mult-VAE: variational autoencoder with a multinomial likelihood.
+pub struct MultVae {
+    /// Latent dimensionality.
+    pub latent_dim: usize,
+    /// Hidden width of encoder and decoder.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Input dropout.
+    pub dropout: f32,
+    /// KL annealing cap.
+    pub beta_cap: f32,
+    /// KL annealing steps.
+    pub anneal_steps: u64,
+    /// Optional feature hashing (the paper's 20-bit footnote).
+    pub hash_bits: Option<u32>,
+    seed: u64,
+    pub(crate) input: Option<DenseInput>,
+    pub(crate) enc: Option<Mlp>,
+    pub(crate) dec: Option<Mlp>,
+    step: u64,
+}
+
+impl MultVae {
+    /// Creates a Mult-VAE.
+    pub fn new(latent_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            latent_dim,
+            hidden,
+            epochs: 8,
+            batch_size: 256,
+            lr: 1e-3,
+            dropout: 0.2,
+            beta_cap: 0.2,
+            anneal_steps: 2_000,
+            hash_bits: None,
+            seed,
+            input: None,
+            enc: None,
+            dec: None,
+            step: 0,
+        }
+    }
+
+    fn beta_at(&self, step: u64) -> f32 {
+        if self.anneal_steps == 0 {
+            self.beta_cap
+        } else {
+            self.beta_cap * ((step as f32 / self.anneal_steps as f32).min(1.0))
+        }
+    }
+
+    /// One training step on a user batch; exposed for the Table V throughput
+    /// benchmark. Returns the mean multinomial loss.
+    pub fn train_batch_timed(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        adam: &Adam,
+        enc_opt: &mut MlpAdamHandle,
+        dec_opt: &mut MlpAdamHandle,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let input = self.input.as_ref().expect("fitted or initialized");
+        let (mut x, t) = input.batch(ds, users, None);
+        let dropout = Dropout::new(self.dropout);
+        let _mask = dropout.forward_train(&mut x, rng);
+        let beta = self.beta_at(self.step);
+        self.step += 1;
+        let b = users.len();
+        let inv_b = 1.0 / b as f32;
+
+        let enc = self.enc.as_ref().expect("init");
+        let dec = self.dec.as_ref().expect("init");
+        let enc_acts = enc.forward_cached(&x);
+        let (mu, logvar) = clamp_split(enc_acts.last().expect("non-empty"), self.latent_dim);
+        let mut gauss = Gaussian::standard();
+        let mut eps = Matrix::zeros(b, self.latent_dim);
+        gauss.fill(rng, eps.as_mut_slice());
+        let mut z = mu.clone();
+        for ((zi, &e), &lv) in z
+            .as_mut_slice()
+            .iter_mut()
+            .zip(eps.as_slice())
+            .zip(logvar.as_slice())
+        {
+            *zi += e * (0.5 * lv).exp();
+        }
+        let dec_acts = dec.forward_cached(&z);
+        let (loss, dlogits) =
+            multinomial_dense_loss(dec_acts.last().expect("non-empty"), &t);
+        let (dec_grads, dz) = dec.backward(&z, &dec_acts, &dlogits);
+
+        // KL gradients.
+        let mut dmu = dz.clone();
+        dmu.axpy_assign(beta * inv_b, &mu);
+        let mut dlogvar = Matrix::zeros(b, self.latent_dim);
+        for i in 0..dlogvar.as_slice().len() {
+            let sigma = (0.5 * logvar.as_slice()[i]).exp();
+            dlogvar.as_mut_slice()[i] = dz.as_slice()[i] * 0.5 * eps.as_slice()[i] * sigma
+                + beta * inv_b * 0.5 * (logvar.as_slice()[i].exp() - 1.0);
+        }
+        let mut dstats = Matrix::zeros(b, 2 * self.latent_dim);
+        for r in 0..b {
+            let row = dstats.row_mut(r);
+            row[..self.latent_dim].copy_from_slice(dmu.row(r));
+            row[self.latent_dim..].copy_from_slice(dlogvar.row(r));
+        }
+        let (enc_grads, _) = enc.backward(&x, &enc_acts, &dstats);
+
+        let enc_mlp = self.enc.as_mut().expect("init");
+        enc_opt.0.step(adam, enc_mlp, &enc_grads);
+        let dec_mlp = self.dec.as_mut().expect("init");
+        dec_opt.0.step(adam, dec_mlp, &dec_grads);
+        loss * inv_b
+    }
+
+    /// Initializes the network for a dataset (used by [`Self::fit`] and by
+    /// the throughput benchmark, which times steps without a full fit).
+    pub fn init_for(&mut self, ds: &MultiFieldDataset) {
+        let input = DenseInput::new(ds, self.hash_bits);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.enc = Some(Mlp::new(
+            &[input.input_dim, self.hidden, 2 * self.latent_dim],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        ));
+        self.dec = Some(Mlp::new(
+            &[self.latent_dim, self.hidden, input.input_dim],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        ));
+        self.input = Some(input);
+        self.step = 0;
+    }
+
+    /// Creates optimizer handles for [`Self::train_batch_timed`].
+    pub fn make_opts(&self) -> (MlpAdamHandle, MlpAdamHandle) {
+        (
+            MlpAdamHandle(MlpAdam::new(self.enc.as_ref().expect("init"))),
+            MlpAdamHandle(MlpAdam::new(self.dec.as_ref().expect("init"))),
+        )
+    }
+}
+
+/// Opaque optimizer-state handle for external loops.
+pub struct MlpAdamHandle(pub(crate) MlpAdam);
+
+impl RepresentationModel for MultVae {
+    fn name(&self) -> &'static str {
+        "Mult-VAE"
+    }
+
+    fn fit(&mut self, ds: &MultiFieldDataset, users: &[usize]) {
+        self.init_for(ds);
+        let adam = Adam::new(self.lr);
+        let (mut enc_opt, mut dec_opt) = self.make_opts();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        for _ in 0..self.epochs {
+            let batches =
+                fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
+            for batch in &batches {
+                self.train_batch_timed(ds, batch, &adam, &mut enc_opt, &mut dec_opt, &mut rng);
+            }
+        }
+    }
+
+    fn embed(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+    ) -> Matrix {
+        let input = self.input.as_ref().expect("fitted");
+        let (x, _) = input.batch(ds, users, input_fields);
+        let stats = self.enc.as_ref().expect("fitted").forward(&x);
+        clamp_split(&stats, self.latent_dim).0
+    }
+
+    fn score_field(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+        field: usize,
+        candidates: &[u32],
+    ) -> Matrix {
+        let input = self.input.as_ref().expect("fitted");
+        let z = self.embed(ds, users, input_fields);
+        let logits = self.dec.as_ref().expect("fitted").forward(&z);
+        let mut out = Matrix::zeros(users.len(), candidates.len());
+        for r in 0..users.len() {
+            let row = out.row_mut(r);
+            for (o, &cand) in row.iter_mut().zip(candidates.iter()) {
+                let col = input.col(input.layout.column(field, cand));
+                *o = logits.get(r, col);
+            }
+        }
+        out
+    }
+}
+
+/// Mult-DAE: the denoising (non-variational) sibling.
+pub struct MultDae {
+    /// Latent dimensionality.
+    pub latent_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Input dropout (the denoising corruption).
+    pub dropout: f32,
+    /// Optional feature hashing.
+    pub hash_bits: Option<u32>,
+    seed: u64,
+    input: Option<DenseInput>,
+    enc: Option<Mlp>,
+    dec: Option<Mlp>,
+}
+
+impl MultDae {
+    /// Creates a Mult-DAE.
+    pub fn new(latent_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            latent_dim,
+            hidden,
+            epochs: 8,
+            batch_size: 256,
+            lr: 1e-3,
+            dropout: 0.5,
+            hash_bits: None,
+            seed,
+            input: None,
+            enc: None,
+            dec: None,
+        }
+    }
+}
+
+impl RepresentationModel for MultDae {
+    fn name(&self) -> &'static str {
+        "Mult-DAE"
+    }
+
+    fn fit(&mut self, ds: &MultiFieldDataset, users: &[usize]) {
+        let input = DenseInput::new(ds, self.hash_bits);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut enc = Mlp::new(
+            &[input.input_dim, self.hidden, self.latent_dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            &mut rng,
+        );
+        let mut dec = Mlp::new(
+            &[self.latent_dim, self.hidden, input.input_dim],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let adam = Adam::new(self.lr);
+        let mut enc_opt = MlpAdam::new(&enc);
+        let mut dec_opt = MlpAdam::new(&dec);
+        let dropout = Dropout::new(self.dropout);
+        for _ in 0..self.epochs {
+            let batches =
+                fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
+            for batch in &batches {
+                let (mut x, t) = input.batch(ds, batch, None);
+                let _mask = dropout.forward_train(&mut x, &mut rng);
+                let enc_acts = enc.forward_cached(&x);
+                let z = enc_acts.last().expect("non-empty").clone();
+                let dec_acts = dec.forward_cached(&z);
+                let (_, dlogits) =
+                    multinomial_dense_loss(dec_acts.last().expect("non-empty"), &t);
+                let (dec_grads, dz) = dec.backward(&z, &dec_acts, &dlogits);
+                let (enc_grads, _) = enc.backward(&x, &enc_acts, &dz);
+                enc_opt.step(&adam, &mut enc, &enc_grads);
+                dec_opt.step(&adam, &mut dec, &dec_grads);
+            }
+        }
+        self.input = Some(input);
+        self.enc = Some(enc);
+        self.dec = Some(dec);
+    }
+
+    fn embed(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+    ) -> Matrix {
+        let input = self.input.as_ref().expect("fitted");
+        let (x, _) = input.batch(ds, users, input_fields);
+        self.enc.as_ref().expect("fitted").forward(&x)
+    }
+
+    fn score_field(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+        field: usize,
+        candidates: &[u32],
+    ) -> Matrix {
+        let input = self.input.as_ref().expect("fitted");
+        let z = self.embed(ds, users, input_fields);
+        let logits = self.dec.as_ref().expect("fitted").forward(&z);
+        let mut out = Matrix::zeros(users.len(), candidates.len());
+        for r in 0..users.len() {
+            let row = out.row_mut(r);
+            for (o, &cand) in row.iter_mut().zip(candidates.iter()) {
+                let col = input.col(input.layout.column(field, cand));
+                *o = logits.get(r, col);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn tiny() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 150,
+            n_topics: 3,
+            alpha: 0.08,
+            fields: vec![
+                FieldSpec::new("ch1", 10, 3, 1.0),
+                FieldSpec::new("tag", 48, 6, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 60,
+        }
+        .generate()
+    }
+
+    fn recon_auc(model: &dyn RepresentationModel, ds: &MultiFieldDataset, n: usize) -> f64 {
+        let users: Vec<usize> = (0..n).collect();
+        let candidates: Vec<u32> = (0..48).collect();
+        let scores = model.score_field(ds, &users, None, 1, &candidates);
+        let mut mean = fvae_metrics::Mean::new();
+        for (r, &u) in users.iter().enumerate() {
+            let observed: std::collections::HashSet<u32> =
+                ds.user_field(u, 1).0.iter().copied().collect();
+            let labels: Vec<bool> = candidates.iter().map(|c| observed.contains(c)).collect();
+            mean.push(fvae_metrics::auc(scores.row(r), &labels));
+        }
+        mean.mean()
+    }
+
+    #[test]
+    fn multvae_learns_to_reconstruct() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = MultVae::new(8, 32, 3);
+        model.epochs = 25;
+        model.lr = 5e-3;
+        model.batch_size = 50;
+        model.fit(&ds, &users);
+        let auc = recon_auc(&model, &ds, 60);
+        assert!(auc > 0.7, "Mult-VAE reconstruction AUC {auc}");
+    }
+
+    #[test]
+    fn multdae_learns_to_reconstruct() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = MultDae::new(8, 32, 3);
+        model.epochs = 25;
+        model.lr = 5e-3;
+        model.batch_size = 50;
+        model.fit(&ds, &users);
+        let auc = recon_auc(&model, &ds, 60);
+        assert!(auc > 0.7, "Mult-DAE reconstruction AUC {auc}");
+    }
+
+    #[test]
+    fn hashing_reduces_input_dim_and_still_works() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = MultVae::new(8, 32, 3);
+        model.hash_bits = Some(5); // 32 columns < 58 features → collisions
+        model.epochs = 10;
+        model.fit(&ds, &users);
+        let input = model.input.as_ref().expect("fitted");
+        assert_eq!(input.input_dim, 32);
+        let emb = model.embed(&ds, &users[..5], None);
+        assert!(emb.is_finite());
+    }
+
+    #[test]
+    fn multinomial_dense_loss_gradient_is_softmax_minus_target() {
+        let logits = Matrix::from_vec(1, 3, vec![0.0, 0.0, 0.0]);
+        let targets = Matrix::from_vec(1, 3, vec![2.0, 0.0, 0.0]);
+        let (loss, d) = multinomial_dense_loss(&logits, &targets);
+        // Uniform probs = 1/3, N = 2 → d = (2/3 − 2, 2/3, 2/3).
+        assert!((loss - 2.0 * (3.0f32).ln()).abs() < 1e-5);
+        assert!((d.get(0, 0) - (2.0 / 3.0 - 2.0)).abs() < 1e-5);
+        assert!((d.get(0, 1) - 2.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn embeddings_have_latent_dim() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..40).collect();
+        let mut model = MultVae::new(6, 16, 3);
+        model.epochs = 1;
+        model.fit(&ds, &users);
+        assert_eq!(model.embed(&ds, &users[..4], None).shape(), (4, 6));
+    }
+}

@@ -1,0 +1,205 @@
+//! Truncated PCA via randomized SVD (Halko et al.) on the sparse user
+//! matrix.
+//!
+//! As is standard for sparse implicit-feedback matrices, rows are
+//! L2-normalized and *not* mean-centered (centering would densify the data);
+//! this matches scikit-learn's `TruncatedSVD`, the usual "PCA" applied at
+//! this scale. Embedding: `z = x·V`; reconstruction score of feature `j`:
+//! `(z·Vᵀ)_j`.
+
+use fvae_data::MultiFieldDataset;
+use fvae_tensor::linalg::{gram_schmidt_columns, jacobi_eigen};
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::input::{a_m, at_y, ConcatLayout};
+use crate::RepresentationModel;
+
+/// Randomized truncated PCA.
+pub struct Pca {
+    dim: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+    layout: Option<ConcatLayout>,
+    /// Right singular vectors, `J × dim`.
+    components: Option<Matrix>,
+}
+
+impl Pca {
+    /// Creates a PCA model with `dim` components.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self { dim, oversample: 8, power_iters: 2, seed, layout: None, components: None }
+    }
+
+    fn components(&self) -> &Matrix {
+        self.components.as_ref().expect("call fit before embedding")
+    }
+}
+
+impl RepresentationModel for Pca {
+    fn name(&self) -> &'static str {
+        "PCA"
+    }
+
+    fn fit(&mut self, ds: &MultiFieldDataset, users: &[usize]) {
+        let layout = ConcatLayout::of(ds);
+        let l = (self.dim + self.oversample).min(layout.total).min(users.len());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Range finder: Y = A·Ω, then power iterations Y ← A·(Aᵀ·Y).
+        let omega = Matrix::gaussian(layout.total, l, 1.0, &mut rng);
+        let mut y = a_m(ds, &layout, users, None, &omega);
+        for _ in 0..self.power_iters {
+            gram_schmidt_columns(&mut y);
+            let aty = at_y(ds, &layout, users, &y);
+            y = a_m(ds, &layout, users, None, &aty);
+        }
+        gram_schmidt_columns(&mut y);
+
+        // B = Qᵀ·A (l × J), small Gram eigendecomposition gives the right
+        // singular vectors: A ≈ Q·B, B = U·Σ·Vᵀ, V = Bᵀ·U·Σ⁻¹.
+        let b = at_y(ds, &layout, users, &y).transpose();
+        let gram = b.matmul_transb(&b);
+        let (vals, vecs) = jacobi_eigen(&gram);
+        let mut v = Matrix::zeros(layout.total, self.dim.min(l));
+        for c in 0..v.cols() {
+            let sigma = vals[c].max(1e-12).sqrt();
+            // V[:, c] = Bᵀ · U[:, c] / σ_c
+            for r in 0..l {
+                let u_rc = vecs.get(r, c);
+                if u_rc == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(r);
+                for (j, &bv) in b_row.iter().enumerate() {
+                    v.add_at(j, c, bv * u_rc / sigma);
+                }
+            }
+        }
+        self.layout = Some(layout);
+        self.components = Some(v);
+    }
+
+    fn embed(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+    ) -> Matrix {
+        let layout = self.layout.as_ref().expect("fitted");
+        a_m(ds, layout, users, input_fields, self.components())
+    }
+
+    fn score_field(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+        field: usize,
+        candidates: &[u32],
+    ) -> Matrix {
+        let layout = self.layout.as_ref().expect("fitted");
+        let z = self.embed(ds, users, input_fields);
+        let v = self.components();
+        let mut out = Matrix::zeros(users.len(), candidates.len());
+        for r in 0..users.len() {
+            let z_row = z.row(r);
+            let out_row = out.row_mut(r);
+            for (o, &cand) in out_row.iter_mut().zip(candidates.iter()) {
+                let col = layout.column(field, cand);
+                *o = fvae_tensor::ops::dot(z_row, v.row(col));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::densify;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn tiny() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 150,
+            n_topics: 3,
+            alpha: 0.1,
+            fields: vec![
+                FieldSpec::new("ch1", 12, 3, 1.0),
+                FieldSpec::new("tag", 48, 6, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 31,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut pca = Pca::new(8, 1);
+        pca.fit(&ds, &users);
+        let v = pca.components();
+        for i in 0..v.cols() {
+            for j in 0..v.cols() {
+                let mut dot = 0.0f32;
+                for r in 0..v.rows() {
+                    dot += v.get(r, i) * v.get(r, j);
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 0.05, "({i},{j}) = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_beats_random_projection() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut pca = Pca::new(8, 1);
+        pca.fit(&ds, &users);
+        let layout = ConcatLayout::of(&ds);
+        let x = densify(&ds, &layout, &users[..50], None);
+        let z = pca.embed(&ds, &users[..50], None);
+        // Reconstruction X̂ = Z·Vᵀ.
+        let xhat = z.matmul(&pca.components().transpose());
+        let mut err = x.clone();
+        err.sub_assign(&xhat);
+        let pca_err = err.frobenius_norm();
+        // Random orthonormal projection of the same rank.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut r = Matrix::gaussian(layout.total, 8, 1.0, &mut rng);
+        gram_schmidt_columns(&mut r);
+        let zr = x.matmul(&r);
+        let xr = zr.matmul(&r.transpose());
+        let mut err_r = x.clone();
+        err_r.sub_assign(&xr);
+        let rand_err = err_r.frobenius_norm();
+        assert!(
+            pca_err < rand_err * 0.95,
+            "PCA error {pca_err} should beat random projection {rand_err}"
+        );
+    }
+
+    #[test]
+    fn scores_rank_observed_features_above_chance() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut pca = Pca::new(8, 1);
+        pca.fit(&ds, &users);
+        let candidates: Vec<u32> = (0..48).collect();
+        let scores = pca.score_field(&ds, &users[..40], None, 1, &candidates);
+        let mut mean = fvae_metrics::Mean::new();
+        for (r, &u) in users[..40].iter().enumerate() {
+            let observed: std::collections::HashSet<u32> =
+                ds.user_field(u, 1).0.iter().copied().collect();
+            let labels: Vec<bool> = candidates.iter().map(|c| observed.contains(c)).collect();
+            mean.push(fvae_metrics::auc(scores.row(r), &labels));
+        }
+        assert!(mean.mean() > 0.6, "PCA reconstruction AUC {}", mean.mean());
+    }
+}

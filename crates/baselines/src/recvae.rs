@@ -1,0 +1,362 @@
+//! RecVAE (Shenbin et al. [23]): Mult-VAE plus a *composite prior* and a
+//! *user-specific β*.
+//!
+//! The composite prior mixes a standard normal, the previous epoch's
+//! posterior (an encoder snapshot), and a wide normal:
+//! `p(z|x) = ω₁·N(0,I) + ω₂·N(μ_old(x), σ²_old(x)) + ω₃·N(0, 10·I)`.
+//! Its KL term has no closed form, so the Monte-Carlo estimate
+//! `log q(z|x) − log p(z)` at the sampled `z` is used; the gradient
+//! identities are derived in the code comments. β is rescaled per user as
+//! `β_i = γ·N_i` (the paper's "user-specific β" with `γ` a global knob).
+//!
+//! Simplification vs. the original: encoder and decoder are updated jointly
+//! each step instead of RecVAE's alternating schedule — at this data scale
+//! the alternation changes nothing measurable and the composite
+//! prior/user-β are the ingredients the FVAE paper compares against.
+
+use fvae_data::MultiFieldDataset;
+use fvae_nn::{Activation, Adam, Dropout, Mlp};
+use fvae_tensor::dist::Gaussian;
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::multvae::{clamp_split, multinomial_dense_loss, DenseInput, MlpAdam};
+use crate::RepresentationModel;
+
+/// RecVAE.
+pub struct RecVae {
+    /// Latent dimensionality.
+    pub latent_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Input dropout.
+    pub dropout: f32,
+    /// User-specific KL scale: `β_i = gamma · N_i`.
+    pub gamma: f32,
+    /// Mixture weights `(standard, old posterior, wide)`.
+    pub prior_weights: [f32; 3],
+    /// Optional feature hashing.
+    pub hash_bits: Option<u32>,
+    seed: u64,
+    input: Option<DenseInput>,
+    enc: Option<Mlp>,
+    dec: Option<Mlp>,
+    enc_old: Option<Mlp>,
+}
+
+impl RecVae {
+    /// Creates a RecVAE.
+    pub fn new(latent_dim: usize, hidden: usize, seed: u64) -> Self {
+        Self {
+            latent_dim,
+            hidden,
+            epochs: 8,
+            batch_size: 256,
+            lr: 1e-3,
+            dropout: 0.2,
+            gamma: 0.005,
+            prior_weights: [0.15, 0.75, 0.1],
+            hash_bits: None,
+            seed,
+            input: None,
+            enc: None,
+            dec: None,
+            enc_old: None,
+        }
+    }
+
+    /// `−∇_z log p(z)` for the composite prior, evaluated row-wise.
+    /// `mu_old`/`logvar_old` come from the snapshot encoder on the same
+    /// input. Responsibilities use log-sum-exp for stability.
+    fn neg_dlogp_dz(
+        &self,
+        z: &Matrix,
+        mu_old: &Matrix,
+        logvar_old: &Matrix,
+    ) -> Matrix {
+        let d = z.cols();
+        let wide_logvar = 10.0f32.ln();
+        let mut out = Matrix::zeros(z.rows(), d);
+        for r in 0..z.rows() {
+            let zr = z.row(r);
+            let mo = mu_old.row(r);
+            let lo = logvar_old.row(r);
+            // Joint log-densities of the three components.
+            let mut logd = [0.0f64; 3];
+            for i in 0..d {
+                let zi = zr[i] as f64;
+                logd[0] += -0.5 * (zi * zi);
+                let var_old = (lo[i] as f64).exp();
+                let diff = zi - mo[i] as f64;
+                logd[1] += -0.5 * (lo[i] as f64 + diff * diff / var_old);
+                logd[2] += -0.5 * (wide_logvar as f64 + zi * zi / 10.0);
+            }
+            let logw: Vec<f64> = self
+                .prior_weights
+                .iter()
+                .zip(logd.iter())
+                .map(|(&w, &ld)| (w.max(1e-12) as f64).ln() + ld)
+                .collect();
+            let max = logw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let resp: Vec<f64> = logw.iter().map(|&lw| (lw - max).exp()).collect();
+            let total: f64 = resp.iter().sum();
+            let row = out.row_mut(r);
+            for i in 0..d {
+                let g0 = zr[i] as f64; // (z−0)/1
+                let var_old = (lo[i] as f64).exp();
+                let g1 = (zr[i] as f64 - mo[i] as f64) / var_old;
+                let g2 = zr[i] as f64 / 10.0;
+                row[i] =
+                    ((resp[0] * g0 + resp[1] * g1 + resp[2] * g2) / total) as f32;
+            }
+        }
+        out
+    }
+}
+
+impl RepresentationModel for RecVae {
+    fn name(&self) -> &'static str {
+        "RecVAE"
+    }
+
+    fn fit(&mut self, ds: &MultiFieldDataset, users: &[usize]) {
+        let input = DenseInput::new(ds, self.hash_bits);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut enc = Mlp::new(
+            &[input.input_dim, self.hidden, 2 * self.latent_dim],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let mut dec = Mlp::new(
+            &[self.latent_dim, self.hidden, input.input_dim],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let adam = Adam::new(self.lr);
+        let mut enc_opt = MlpAdam::new(&enc);
+        let mut dec_opt = MlpAdam::new(&dec);
+        let dropout = Dropout::new(self.dropout);
+        let mut gauss = Gaussian::standard();
+
+        for _ in 0..self.epochs {
+            // Snapshot the encoder: the composite prior's second component.
+            let enc_snapshot = enc.clone();
+            let batches =
+                fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
+            for batch in &batches {
+                let b = batch.len();
+                let inv_b = 1.0 / b as f32;
+                let (mut x, t) = input.batch(ds, batch, None);
+                let x_clean = x.clone();
+                let _mask = dropout.forward_train(&mut x, &mut rng);
+
+                let enc_acts = enc.forward_cached(&x);
+                let (mu, logvar) =
+                    clamp_split(enc_acts.last().expect("non-empty"), self.latent_dim);
+                let mut eps = Matrix::zeros(b, self.latent_dim);
+                gauss.fill(&mut rng, eps.as_mut_slice());
+                let mut z = mu.clone();
+                for ((zi, &e), &lv) in z
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(eps.as_slice())
+                    .zip(logvar.as_slice())
+                {
+                    *zi += e * (0.5 * lv).exp();
+                }
+
+                let dec_acts = dec.forward_cached(&z);
+                let (_, dlogits) =
+                    multinomial_dense_loss(dec_acts.last().expect("non-empty"), &t);
+                let (dec_grads, dz) = dec.backward(&z, &dec_acts, &dlogits);
+
+                // Composite-prior KL gradients (Monte-Carlo):
+                //   dμ  += β_i/B · (−∇_z log p)          (entropy dμ cancels)
+                //   dlv += β_i/B · ((−∇_z log p)·½εσ − ½) (entropy gives −½)
+                let old_stats = enc_snapshot.forward(&x_clean);
+                let (mu_old, logvar_old) = clamp_split(&old_stats, self.latent_dim);
+                let glogp = self.neg_dlogp_dz(&z, &mu_old, &logvar_old);
+                let betas: Vec<f32> = batch
+                    .iter()
+                    .map(|&u| {
+                        let n_i: f32 = (0..ds.n_fields())
+                            .map(|k| ds.user_field(u, k).1.iter().sum::<f32>())
+                            .sum();
+                        self.gamma * n_i
+                    })
+                    .collect();
+
+                let mut dmu = dz.clone();
+                let mut dlogvar = Matrix::zeros(b, self.latent_dim);
+                for r in 0..b {
+                    let beta_scale = betas[r] * inv_b;
+                    let g_row = glogp.row(r);
+                    let dz_row = dz.row(r);
+                    let eps_row = eps.row(r);
+                    let lv_row = logvar.row(r);
+                    let dmu_row = dmu.row_mut(r);
+                    let dlv_row = dlogvar.row_mut(r);
+                    for i in 0..self.latent_dim {
+                        let sigma = (0.5 * lv_row[i]).exp();
+                        dmu_row[i] += beta_scale * g_row[i];
+                        dlv_row[i] = dz_row[i] * 0.5 * eps_row[i] * sigma
+                            + beta_scale * (g_row[i] * 0.5 * eps_row[i] * sigma - 0.5);
+                    }
+                }
+                let mut dstats = Matrix::zeros(b, 2 * self.latent_dim);
+                for r in 0..b {
+                    let row = dstats.row_mut(r);
+                    row[..self.latent_dim].copy_from_slice(dmu.row(r));
+                    row[self.latent_dim..].copy_from_slice(dlogvar.row(r));
+                }
+                let (enc_grads, _) = enc.backward(&x, &enc_acts, &dstats);
+                enc_opt.step(&adam, &mut enc, &enc_grads);
+                dec_opt.step(&adam, &mut dec, &dec_grads);
+            }
+            self.enc_old = Some(enc_snapshot);
+        }
+        self.input = Some(input);
+        self.enc = Some(enc);
+        self.dec = Some(dec);
+    }
+
+    fn embed(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+    ) -> Matrix {
+        let input = self.input.as_ref().expect("fitted");
+        let (x, _) = input.batch(ds, users, input_fields);
+        let stats = self.enc.as_ref().expect("fitted").forward(&x);
+        clamp_split(&stats, self.latent_dim).0
+    }
+
+    fn score_field(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+        field: usize,
+        candidates: &[u32],
+    ) -> Matrix {
+        let input = self.input.as_ref().expect("fitted");
+        let z = self.embed(ds, users, input_fields);
+        let logits = self.dec.as_ref().expect("fitted").forward(&z);
+        let mut out = Matrix::zeros(users.len(), candidates.len());
+        for r in 0..users.len() {
+            let row = out.row_mut(r);
+            for (o, &cand) in row.iter_mut().zip(candidates.iter()) {
+                let col = input.col(input.layout.column(field, cand));
+                *o = logits.get(r, col);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn tiny() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 150,
+            n_topics: 3,
+            alpha: 0.08,
+            fields: vec![
+                FieldSpec::new("ch1", 10, 3, 1.0),
+                FieldSpec::new("tag", 48, 6, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 61,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn recvae_learns_to_reconstruct() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut model = RecVae::new(8, 32, 4);
+        model.epochs = 20;
+        model.lr = 5e-3;
+        model.batch_size = 50;
+        model.fit(&ds, &users);
+        let candidates: Vec<u32> = (0..48).collect();
+        let scores = model.score_field(&ds, &users[..60], None, 1, &candidates);
+        let mut mean = fvae_metrics::Mean::new();
+        for (r, &u) in users[..60].iter().enumerate() {
+            let observed: std::collections::HashSet<u32> =
+                ds.user_field(u, 1).0.iter().copied().collect();
+            let labels: Vec<bool> = candidates.iter().map(|c| observed.contains(c)).collect();
+            mean.push(fvae_metrics::auc(scores.row(r), &labels));
+        }
+        assert!(mean.mean() > 0.7, "RecVAE reconstruction AUC {}", mean.mean());
+    }
+
+    #[test]
+    fn prior_gradient_matches_finite_differences() {
+        // Check −∇_z log p numerically for a 2-D case.
+        let model = RecVae::new(2, 4, 0);
+        let z = Matrix::from_vec(1, 2, vec![0.3, -0.8]);
+        let mu_old = Matrix::from_vec(1, 2, vec![0.5, 0.1]);
+        let logvar_old = Matrix::from_vec(1, 2, vec![-0.3, 0.2]);
+        let neg_logp = |z: &Matrix| -> f64 {
+            let wide_logvar = 10.0f64.ln();
+            let d = 2;
+            let mut logd = [0.0f64; 3];
+            for i in 0..d {
+                let zi = z.get(0, i) as f64;
+                logd[0] += -0.5 * zi * zi;
+                let vo = (logvar_old.get(0, i) as f64).exp();
+                let diff = zi - mu_old.get(0, i) as f64;
+                logd[1] += -0.5 * (logvar_old.get(0, i) as f64 + diff * diff / vo);
+                logd[2] += -0.5 * (wide_logvar + zi * zi / 10.0);
+            }
+            let terms: Vec<f64> = model
+                .prior_weights
+                .iter()
+                .zip(logd.iter())
+                .map(|(&w, &ld)| (w as f64).ln() + ld)
+                .collect();
+            let max = terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            -(max + terms.iter().map(|&t| (t - max).exp()).sum::<f64>().ln())
+        };
+        let grad = model.neg_dlogp_dz(&z, &mu_old, &logvar_old);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += eps;
+            let hi = neg_logp(&zp);
+            zp.as_mut_slice()[i] -= 2.0 * eps;
+            let lo = neg_logp(&zp);
+            let numeric = ((hi - lo) / (2.0 * eps as f64)) as f32;
+            assert!(
+                (numeric - grad.get(0, i)).abs() < 1e-2,
+                "dim {i}: {} vs {numeric}",
+                grad.get(0, i)
+            );
+        }
+    }
+
+    #[test]
+    fn embeddings_have_latent_dim() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..50).collect();
+        let mut model = RecVae::new(6, 16, 4);
+        model.epochs = 1;
+        model.fit(&ds, &users);
+        assert_eq!(model.embed(&ds, &users[..3], None).shape(), (3, 6));
+    }
+}

@@ -1,0 +1,118 @@
+//! One criterion benchmark per *figure* of the paper — again the kernel of
+//! each experiment; the full sweeps live in `src/bin/figN`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvae_core::{Fvae, FvaeConfig, SamplingStrategy};
+use fvae_data::ba::{generate_ba, BaConfig};
+use fvae_data::TopicModelConfig;
+use fvae_distributed::CommModel;
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Fig. 4 kernel: one t-SNE gradient pass worth of work (exact, 300 points).
+fn fig4_tsne(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = Matrix::gaussian(300, 32, 1.0, &mut rng);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("tsne_300pts_50iters", |b| {
+        b.iter(|| {
+            let cfg = fvae_tsne::TsneConfig { iterations: 50, perplexity: 20.0, ..Default::default() };
+            black_box(fvae_tsne::tsne(&data, &cfg))
+        })
+    });
+    group.finish();
+}
+
+/// Figs. 5–8 kernel: one FVAE training step per sampling strategy (the
+/// sweeps retrain this step thousands of times).
+fn fig5_to_8_steps(c: &mut Criterion) {
+    let mut ds_cfg = TopicModelConfig::sc_small();
+    ds_cfg.n_users = 1_000;
+    let ds = ds_cfg.generate();
+    let batch: Vec<usize> = (0..256).collect();
+    let mut group = c.benchmark_group("fig5_8");
+    group.sample_size(10);
+    for strategy in SamplingStrategy::all() {
+        let mut cfg = FvaeConfig::for_dataset(&ds);
+        cfg.latent_dim = 32;
+        cfg.enc_hidden = 64;
+        cfg.dec_hidden = vec![64];
+        cfg.sampling.strategy = strategy;
+        cfg.sampling.rate = 0.2;
+        cfg.sampling.sampled_fields = vec![true; ds.n_fields()];
+        let mut model = Fvae::new(cfg);
+        let mut opt = model.make_opt_states();
+        model.train_single_batch(&ds, &batch, &mut opt);
+        group.bench_with_input(
+            BenchmarkId::new("train_step", strategy.name()),
+            &strategy,
+            |b, _| b.iter(|| black_box(model.train_single_batch(&ds, &batch, &mut opt).loss())),
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 9 kernel: FVAE step cost at two average feature sizes (the linear
+/// scaling the figure demonstrates).
+fn fig9_scaling_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for avg in [50usize, 200] {
+        let cfg = BaConfig { n_users: 600, avg_features: avg, max_features: 100_000, ..Default::default() };
+        let ds = generate_ba(&cfg);
+        let mut model_cfg = FvaeConfig::for_dataset(&ds);
+        model_cfg.latent_dim = 32;
+        model_cfg.enc_hidden = 64;
+        model_cfg.dec_hidden = vec![64];
+        let mut model = Fvae::new(model_cfg);
+        let mut opt = model.make_opt_states();
+        let batch: Vec<usize> = (0..128).collect();
+        model.train_single_batch(&ds, &batch, &mut opt);
+        group.bench_with_input(BenchmarkId::new("step_avg_features", avg), &avg, |b, _| {
+            b.iter(|| black_box(model.train_single_batch(&ds, &batch, &mut opt).loss()))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 10 kernel: the parameter-averaging synchronization step and the
+/// all-reduce cost model.
+fn fig10_sync(c: &mut Criterion) {
+    let mut ds_cfg = TopicModelConfig::sc_small();
+    ds_cfg.n_users = 800;
+    let ds = ds_cfg.generate();
+    let mut cfg = FvaeConfig::for_dataset(&ds);
+    cfg.latent_dim = 32;
+    cfg.enc_hidden = 64;
+    cfg.dec_hidden = vec![64];
+    let mut base = Fvae::new(cfg);
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    base.train_epochs(&ds, &users, 1, |_, _| {});
+    let replicas: Vec<Fvae> = (0..3).map(|_| base.clone()).collect();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("average_4_replicas", |b| {
+        b.iter(|| {
+            let mut merged = base.clone();
+            merged.average_with(black_box(&replicas));
+            black_box(merged.input_vocab_len())
+        })
+    });
+    group.bench_function("allreduce_cost_model", |b| {
+        let comm = CommModel::default();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in 2..=12 {
+                acc += comm.allreduce_seconds(black_box(w), 4_000_000);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig4_tsne, fig5_to_8_steps, fig9_scaling_steps, fig10_sync);
+criterion_main!(benches);

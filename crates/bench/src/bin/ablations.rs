@@ -1,0 +1,5 @@
+//! Regenerates the mechanism-ablation table (DESIGN.md §6).
+fn main() {
+    let ctx = fvae_eval::EvalContext::new();
+    println!("{}", fvae_eval::ablation::ablations(&ctx));
+}

@@ -1,0 +1,26 @@
+//! Regenerates every table and figure in sequence (the EXPERIMENTS.md
+//! refresh). Scale via FVAE_SCALE=quick|full.
+fn main() {
+    let ctx = fvae_eval::EvalContext::new();
+    let experiments: Vec<(&str, fn(&fvae_eval::EvalContext) -> String)> = vec![
+        ("Table I", fvae_eval::stats::table1),
+        ("Table II", fvae_eval::recon::table2),
+        ("Table III", fvae_eval::tagpred::table3),
+        ("Table IV", fvae_eval::tagpred::table4),
+        ("Table V", fvae_eval::speed::table5),
+        ("Table VI", fvae_eval::abtest::table6),
+        ("Fig. 4", fvae_eval::viz::fig4),
+        ("Fig. 5", fvae_eval::sweeps::fig5),
+        ("Fig. 6", fvae_eval::sweeps::fig6),
+        ("Fig. 7", fvae_eval::sweeps::fig7),
+        ("Fig. 8", fvae_eval::sweeps::fig8),
+        ("Fig. 9", fvae_eval::scaling::fig9),
+        ("Fig. 10", fvae_eval::scaling::fig10),
+    ];
+    for (name, driver) in experiments {
+        eprintln!("=== {name} ===");
+        let t0 = std::time::Instant::now();
+        println!("{}", driver(&ctx));
+        eprintln!("=== {name} done in {:.1}s ===\n", t0.elapsed().as_secs_f64());
+    }
+}

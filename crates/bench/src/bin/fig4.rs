@@ -1,0 +1,5 @@
+//! Regenerates fig4 of the paper. Scale via FVAE_SCALE=quick|full.
+fn main() {
+    let ctx = fvae_eval::EvalContext::new();
+    println!("{}", fvae_eval::viz::fig4(&ctx));
+}

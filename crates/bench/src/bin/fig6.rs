@@ -1,0 +1,5 @@
+//! Regenerates fig6 of the paper. Scale via FVAE_SCALE=quick|full.
+fn main() {
+    let ctx = fvae_eval::EvalContext::new();
+    println!("{}", fvae_eval::sweeps::fig6(&ctx));
+}

@@ -1,0 +1,1 @@
+//! Bench crate: criterion benches in benches/, per-table/figure regenerators in src/bin/.

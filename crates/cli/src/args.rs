@@ -1,0 +1,134 @@
+//! A minimal `--flag value` argument parser (the approved dependency list
+//! has no CLI crate, and the surface here is small enough not to need one).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses tokens (excluding the program name). Flags must be
+    /// `--key value` pairs; a flag without a value is an error.
+    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut it = tokens.iter();
+        match it.next() {
+            Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
+            Some(cmd) => return Err(format!("expected a subcommand, got flag {cmd}")),
+            None => return Err("no subcommand given".into()),
+        }
+        while let Some(token) = it.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{token}'"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{key} is missing its value"));
+            };
+            if args.flags.insert(key.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse '{raw}'")),
+        }
+    }
+
+    /// A comma-separated list of `usize` (e.g. `--fields 0,1,2`).
+    pub fn get_usize_list(&self, key: &str) -> Result<Option<Vec<usize>>, String> {
+        let Some(raw) = self.flags.get(key) else {
+            return Ok(None);
+        };
+        raw.split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("flag --{key}: bad entry '{tok}'"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some)
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} for '{}' (allowed: {})",
+                    self.command,
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(&toks("train --data ds.bin --epochs 8")).expect("parse");
+        assert_eq!(a.command, "train");
+        assert_eq!(a.required("data").expect("present"), "ds.bin");
+        assert_eq!(a.get_or("epochs", 0usize).expect("parse"), 8);
+        assert_eq!(a.get_or("missing", 3usize).expect("default"), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Args::parse(&toks("")).is_err());
+        assert!(Args::parse(&toks("--data x")).is_err());
+        assert!(Args::parse(&toks("train --data")).is_err());
+        assert!(Args::parse(&toks("train stray")).is_err());
+        assert!(Args::parse(&toks("train --a 1 --a 2")).is_err());
+    }
+
+    #[test]
+    fn parses_lists_and_validates_flags() {
+        let a = Args::parse(&toks("embed --fields 0,1,2")).expect("parse");
+        assert_eq!(a.get_usize_list("fields").expect("parse"), Some(vec![0, 1, 2]));
+        assert!(a.expect_only(&["fields"]).is_ok());
+        assert!(a.expect_only(&["other"]).is_err());
+        let bad = Args::parse(&toks("embed --fields 0,x")).expect("parse");
+        assert!(bad.get_usize_list("fields").is_err());
+    }
+
+    #[test]
+    fn required_flag_errors_are_descriptive() {
+        let a = Args::parse(&toks("stats")).expect("parse");
+        let err = a.required("data").expect_err("missing");
+        assert!(err.contains("--data"));
+    }
+}

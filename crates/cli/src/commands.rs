@@ -1,0 +1,293 @@
+//! The `fvae` subcommands: the full offline → online pipeline of Fig. 2 as
+//! file-to-file steps.
+
+use bytes::Bytes;
+use fvae_core::{Fvae, FvaeConfig, TrainOptions};
+use fvae_data::{tag_prediction_cases, MultiFieldDataset, SplitIndices, TopicModelConfig};
+use fvae_lookalike::EmbeddingStore;
+use fvae_metrics::{auc, average_precision, ndcg_at_k, Mean};
+
+use crate::args::Args;
+
+/// Runs a parsed command, returning its stdout text.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "stats" => stats(args),
+        "train" => train(args),
+        "embed" => embed(args),
+        "evaluate" => evaluate(args),
+        "similar" => similar(args),
+        "help" | "" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "fvae — Field-aware Variational Autoencoder toolkit\n\
+     \n\
+     USAGE: fvae <command> [--flag value ...]\n\
+     \n\
+     commands:\n\
+     \x20 generate  --preset sc|sc-small|kd|qb --out DS [--users N] [--seed S]\n\
+     \x20 stats     --data DS\n\
+     \x20 train     --data DS --out MODEL [--epochs N] [--rate R] [--latent D]\n\
+     \x20           [--batch B] [--lr LR] [--early-stop true]\n\
+     \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
+     \x20 evaluate  --data DS --model MODEL [--seed S]\n\
+     \x20 similar   --store STORE --user ID [--k K]\n"
+        .to_string()
+}
+
+fn load_dataset(path: &str) -> Result<MultiFieldDataset, String> {
+    MultiFieldDataset::load(path).map_err(|e| format!("cannot load dataset {path}: {e}"))
+}
+
+fn load_model(path: &str) -> Result<Fvae, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read model {path}: {e}"))?;
+    Fvae::from_bytes(Bytes::from(bytes)).map_err(|e| format!("cannot decode model {path}: {e}"))
+}
+
+fn generate(args: &Args) -> Result<String, String> {
+    args.expect_only(&["preset", "out", "users", "seed"])?;
+    let preset = args.optional("preset").unwrap_or("sc-small");
+    let mut cfg = match preset {
+        "sc" => TopicModelConfig::sc(),
+        "sc-small" => TopicModelConfig::sc_small(),
+        "kd" => TopicModelConfig::kd(),
+        "qb" => TopicModelConfig::qb(),
+        other => return Err(format!("unknown preset '{other}' (sc|sc-small|kd|qb)")),
+    };
+    cfg.n_users = args.get_or("users", cfg.n_users)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    let out = args.required("out")?;
+    let ds = cfg.generate();
+    ds.save(out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    let s = ds.stats();
+    Ok(format!(
+        "wrote {out}: {} users, {} fields, {:.1} features/user, J = {}\n",
+        s.n_users, s.n_fields, s.mean_features_per_user, s.total_features
+    ))
+}
+
+fn stats(args: &Args) -> Result<String, String> {
+    args.expect_only(&["data"])?;
+    let ds = load_dataset(args.required("data")?)?;
+    let s = ds.stats();
+    let mut out = format!(
+        "users: {}\nfields: {}\nmean features/user: {:.2}\ntotal features J: {}\n",
+        s.n_users, s.n_fields, s.mean_features_per_user, s.total_features
+    );
+    for k in 0..ds.n_fields() {
+        out.push_str(&format!(
+            "  field {k} ({}): vocab {}, {:.1} items/user\n",
+            ds.field_names()[k],
+            ds.field_vocab(k),
+            ds.field(k).mean_row_nnz()
+        ));
+    }
+    Ok(out)
+}
+
+fn train(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "data", "out", "epochs", "rate", "latent", "batch", "lr", "early-stop", "seed",
+    ])?;
+    let ds = load_dataset(args.required("data")?)?;
+    let out = args.required("out")?;
+    let mut cfg = FvaeConfig::for_dataset(&ds);
+    cfg.epochs = args.get_or("epochs", 8usize)?;
+    cfg.sampling.rate = args.get_or("rate", cfg.sampling.rate)?;
+    cfg.latent_dim = args.get_or("latent", cfg.latent_dim)?;
+    cfg.batch_size = args.get_or("batch", cfg.batch_size)?;
+    cfg.lr = args.get_or("lr", cfg.lr)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    let early_stop: bool = args.get_or("early-stop", false)?;
+    let mut model = Fvae::new(cfg);
+    let mut log = String::new();
+    if early_stop {
+        let split = SplitIndices::random(ds.n_users(), 0.1, 0.0, 13);
+        let history = model.train_until(
+            &ds,
+            &split.train,
+            &split.val,
+            TrainOptions { max_epochs: model.config().epochs, ..Default::default() },
+        );
+        log.push_str(&format!(
+            "trained {} epochs (early stop: {}), best epoch {}\n",
+            history.epochs.len(),
+            history.stopped_early,
+            history.best_epoch
+        ));
+    } else {
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        model.train(&ds, &users, |epoch, s| {
+            log.push_str(&format!(
+                "epoch {epoch}: recon {:.4} kl {:.4} beta {:.2}\n",
+                s.recon, s.kl, s.beta
+            ));
+        });
+    }
+    std::fs::write(out, model.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    log.push_str(&format!(
+        "wrote {out} ({} input features tracked)\n",
+        model.input_vocab_len()
+    ));
+    Ok(log)
+}
+
+fn embed(args: &Args) -> Result<String, String> {
+    args.expect_only(&["data", "model", "out", "fields"])?;
+    let ds = load_dataset(args.required("data")?)?;
+    let model = load_model(args.required("model")?)?;
+    let out = args.required("out")?;
+    let fields = args.get_usize_list("fields")?;
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    let embeddings = model.embed_users(&ds, &users, fields.as_deref());
+    let store = EmbeddingStore::new(embeddings.cols());
+    for u in 0..embeddings.rows() {
+        store.put(u as u64, embeddings.row(u).to_vec());
+    }
+    std::fs::write(out, store.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!("wrote {out}: {} embeddings of dim {}\n", store.len(), store.dim()))
+}
+
+fn evaluate(args: &Args) -> Result<String, String> {
+    args.expect_only(&["data", "model", "seed"])?;
+    let ds = load_dataset(args.required("data")?)?;
+    let model = load_model(args.required("model")?)?;
+    let seed: u64 = args.get_or("seed", 99u64)?;
+    let tag_field = ds
+        .field_index("tag")
+        .ok_or_else(|| "dataset has no 'tag' field to evaluate".to_string())?;
+    let channels: Vec<usize> = (0..ds.n_fields()).filter(|&k| k != tag_field).collect();
+    let split = SplitIndices::random(ds.n_users(), 0.0, 0.1, seed);
+    let cases = tag_prediction_cases(&ds, &split.test, tag_field, seed);
+    let mut auc_mean = Mean::new();
+    let mut map_mean = Mean::new();
+    let mut ndcg_mean = Mean::new();
+    for case in &cases {
+        let z = model.embed_users(&ds, &[case.user], Some(&channels));
+        let scores = model.field_logits_one(z.row(0), tag_field, &case.candidates);
+        auc_mean.push(auc(&scores, &case.labels));
+        map_mean.push(average_precision(&scores, &case.labels));
+        ndcg_mean.push(ndcg_at_k(&scores, &case.labels, 10));
+    }
+    Ok(format!(
+        "tag prediction over {} held-out users:\n  AUC     {:.4}\n  mAP     {:.4}\n  NDCG@10 {:.4}\n",
+        cases.len(),
+        auc_mean.mean(),
+        map_mean.mean(),
+        ndcg_mean.mean()
+    ))
+}
+
+fn similar(args: &Args) -> Result<String, String> {
+    args.expect_only(&["store", "user", "k"])?;
+    let path = args.required("store")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read store {path}: {e}"))?;
+    let store = EmbeddingStore::from_bytes(Bytes::from(bytes))
+        .map_err(|e| format!("cannot decode store {path}: {e}"))?;
+    let user: u64 = args.get_or("user", 0u64)?;
+    let k: usize = args.get_or("k", 10usize)?;
+    let query = store
+        .get(user)
+        .ok_or_else(|| format!("user {user} not in the store"))?;
+    // Brute-force nearest users by L2 (the recall primitive of §V-F applied
+    // user-to-user).
+    let mut scored: Vec<(f32, u64)> = Vec::with_capacity(store.len());
+    for candidate in 0..store.len() as u64 {
+        if candidate == user {
+            continue;
+        }
+        if let Some(e) = store.get(candidate) {
+            scored.push((-fvae_tensor::ops::squared_distance(&query, &e), candidate));
+        }
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = format!("top-{k} look-alike users for user {user}:\n");
+    for (score, candidate) in scored.into_iter().take(k) {
+        out.push_str(&format!("  user {candidate:<8} distance² {:.4}\n", -score));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        let toks: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        Args::parse(&toks).expect("parse")
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("fvae_cli_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_pipeline_through_files() {
+        let ds_path = tmp("pipeline_ds.bin");
+        let model_path = tmp("pipeline_model.bin");
+        let store_path = tmp("pipeline_store.bin");
+
+        let out = run(&args(&format!(
+            "generate --preset sc-small --users 300 --seed 4 --out {ds_path}"
+        )))
+        .expect("generate");
+        assert!(out.contains("300 users"));
+
+        let out = run(&args(&format!("stats --data {ds_path}"))).expect("stats");
+        assert!(out.contains("fields: 4"));
+
+        let out = run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 2 --latent 16 --batch 64"
+        )))
+        .expect("train");
+        assert!(out.contains("wrote"));
+
+        let out = run(&args(&format!(
+            "embed --data {ds_path} --model {model_path} --out {store_path}"
+        )))
+        .expect("embed");
+        assert!(out.contains("300 embeddings"));
+
+        let out = run(&args(&format!(
+            "evaluate --data {ds_path} --model {model_path}"
+        )))
+        .expect("evaluate");
+        assert!(out.contains("AUC"));
+
+        let out = run(&args(&format!("similar --store {store_path} --user 5 --k 3")))
+            .expect("similar");
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn early_stop_training_works() {
+        let ds_path = tmp("es_ds.bin");
+        let model_path = tmp("es_model.bin");
+        run(&args(&format!(
+            "generate --preset sc-small --users 250 --seed 5 --out {ds_path}"
+        )))
+        .expect("generate");
+        let out = run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 4 --early-stop true --latent 8"
+        )))
+        .expect("train");
+        assert!(out.contains("early stop"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&args("nonsense")).is_err());
+        assert!(run(&args("generate --preset bogus --out x")).is_err());
+        assert!(run(&args("stats --data /definitely/missing")).is_err());
+        let err = run(&args("train --data x")).expect_err("missing out");
+        assert!(err.contains("--out") || err.contains("cannot load"));
+        assert!(run(&args("help")).expect("help").contains("USAGE"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `fvae` — command-line toolkit for the FVAE reproduction.
+//!
+//! ```sh
+//! fvae generate --preset sc-small --out ds.bin
+//! fvae train    --data ds.bin --out model.bin --epochs 8
+//! fvae embed    --data ds.bin --model model.bin --out store.bin
+//! fvae evaluate --data ds.bin --model model.bin
+//! fvae similar  --store store.bin --user 42 --k 10
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::Args::parse(&tokens) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! True end-to-end test of the `fvae` binary: the full Fig. 2 pipeline
+//! through actual process invocations (argv → exit codes → files).
+
+use std::process::Command;
+
+fn fvae(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fvae"))
+        .args(args)
+        .output()
+        .expect("spawn fvae binary")
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("fvae_binary_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn pipeline_through_the_real_binary() {
+    let ds = tmp("ds.bin");
+    let model = tmp("model.bin");
+    let store = tmp("store.bin");
+
+    let out = fvae(&[
+        "generate", "--preset", "sc-small", "--users", "250", "--seed", "1", "--out", &ds,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("250 users"));
+
+    let out = fvae(&["stats", "--data", &ds]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fields: 4"));
+
+    let out = fvae(&[
+        "train", "--data", &ds, "--out", &model, "--epochs", "2", "--latent", "8", "--batch",
+        "64",
+    ]);
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = fvae(&["embed", "--data", &ds, "--model", &model, "--out", &store]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("250 embeddings"));
+
+    let out = fvae(&["evaluate", "--data", &ds, "--model", &model]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("AUC"));
+
+    let out = fvae(&["similar", "--store", &store, "--user", "3", "--k", "2"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 3);
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_help() {
+    let out = fvae(&["bogus-command"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = fvae(&[]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = fvae(&["train", "--data", "/nonexistent", "--out", "/tmp/x"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

@@ -1,0 +1,47 @@
+//! # Field-aware Variational Autoencoder (FVAE)
+//!
+//! Reproduction of *"Field-aware Variational Autoencoders for Billion-scale
+//! User Representation Learning"* (ICDE 2022).
+//!
+//! The FVAE extends Mult-VAE by modelling **each feature field with an
+//! independent multinomial distribution** (Eqs. 1–4): the decoder shares a
+//! trunk MLP across fields but ends in one softmax head per field, and the
+//! ELBO (Eq. 7) weights per-field reconstruction terms with `α_k` and the KL
+//! term with an annealed `β`:
+//!
+//! ```text
+//! L(u_i) = (1/|α|) Σ_k α_k E_q[log p(F_i^k | z_i)] − β · KL(q(z|u) ‖ N(0, I))
+//! ```
+//!
+//! Training (Algorithm 1) applies the paper's three large-scale mechanisms:
+//! dynamic hash tables on the input ([`fvae_nn::EmbeddingBag`]), the batched
+//! softmax on the output ([`fvae_nn::SampledSoftmaxOutput`]), and
+//! [`sampling`] of batch candidate features for sparse fields.
+//!
+//! ```no_run
+//! use fvae_core::{Fvae, FvaeConfig};
+//! use fvae_data::TopicModelConfig;
+//!
+//! let dataset = TopicModelConfig::sc_small().generate();
+//! let config = FvaeConfig::for_dataset(&dataset);
+//! let mut model = Fvae::new(config);
+//! let users: Vec<usize> = (0..dataset.n_users()).collect();
+//! model.train(&dataset, &users, |epoch, stats| {
+//!     println!("epoch {epoch}: elbo {:.3}", stats.elbo());
+//! });
+//! let embeddings = model.embed_users(&dataset, &users, None);
+//! assert_eq!(embeddings.rows(), dataset.n_users());
+//! ```
+
+pub mod config;
+pub mod model;
+pub mod sampling;
+pub mod serialize;
+pub mod train;
+pub mod validate;
+
+pub use config::{FvaeConfig, SamplingConfig};
+pub use model::Fvae;
+pub use sampling::SamplingStrategy;
+pub use train::{EpochStats, StepStats};
+pub use validate::{TrainHistory, TrainOptions};

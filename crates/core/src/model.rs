@@ -1,0 +1,625 @@
+//! The FVAE model: structure, forward passes, and inference APIs.
+//!
+//! Architecture (Fig. 1 of the paper):
+//!
+//! ```text
+//! fields F¹..Fᴷ ──(per-field dynamic-hash EmbeddingBag, summed)──► tanh ─► [extra MLP]
+//!     ─► Dense ─► [μ, log σ²] ─► z = μ + ε·σ
+//! z ─► shared trunk MLP (tanh) ─► per-field batched-softmax heads π¹..πᴷ
+//! ```
+//!
+//! The encoder consumes the user's L2-normalized multi-hot counts; the
+//! decoder trunk is shared across fields ("parameters of the MLP in the
+//! decoder are shared across all fields, excluding the output layer") while
+//! every field owns its softmax head — the field-aware extension of Eq. 1–3.
+
+use fvae_data::MultiFieldDataset;
+use fvae_nn::{Activation, Dense, EmbeddingBag, Mlp, SampledSoftmaxOutput};
+use fvae_tensor::dist::Gaussian;
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::config::FvaeConfig;
+
+/// Bound on the predicted log-variance, keeping `exp` finite.
+pub(crate) const LOGVAR_CLAMP: f32 = 8.0;
+
+/// Field-aware Variational Autoencoder.
+pub struct Fvae {
+    pub(crate) cfg: FvaeConfig,
+    /// One embedding bag per field — summed, they form the first encoder
+    /// layer over the concatenated multi-hot input.
+    pub(crate) bags: Vec<EmbeddingBag>,
+    /// Bias of the first encoder layer.
+    pub(crate) enc_bias: Vec<f32>,
+    /// Optional extra encoder hidden layers.
+    pub(crate) enc_extra: Option<Mlp>,
+    /// μ / log σ² head.
+    pub(crate) enc_head: Dense,
+    /// Shared decoder trunk.
+    pub(crate) trunk: Mlp,
+    /// One batched-softmax head per field.
+    pub(crate) heads: Vec<SampledSoftmaxOutput>,
+    /// Model-owned RNG (reparametrization noise, dropout, sampling, init).
+    pub(crate) rng: StdRng,
+    /// Global training step (drives KL annealing).
+    pub(crate) step: u64,
+}
+
+/// Sparse batch input: `ids[field][row]` / `vals[field][row]`, already
+/// normalized (and dropout-masked during training).
+pub(crate) struct BatchInput {
+    pub ids: Vec<Vec<Vec<u64>>>,
+    pub vals: Vec<Vec<Vec<f32>>>,
+}
+
+impl Clone for Fvae {
+    /// Clones all parameters. `StdRng` is not `Clone` in this `rand`
+    /// version, so the replica gets a fresh RNG seeded from the config seed
+    /// and the current step — deterministic, and identical across replicas
+    /// cloned from the same model state (which the distributed trainer's
+    /// identity test relies on).
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            bags: self.bags.clone(),
+            enc_bias: self.enc_bias.clone(),
+            enc_extra: self.enc_extra.clone(),
+            enc_head: self.enc_head.clone(),
+            trunk: self.trunk.clone(),
+            heads: self.heads.clone(),
+            rng: StdRng::seed_from_u64(self.cfg.seed ^ self.step.wrapping_mul(0x9e3779b9)),
+            step: self.step,
+        }
+    }
+}
+
+impl Fvae {
+    /// Builds a model from a validated configuration.
+    pub fn new(cfg: FvaeConfig) -> Self {
+        cfg.validate().expect("invalid FVAE configuration");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let bags = (0..cfg.n_fields)
+            .map(|_| EmbeddingBag::new(cfg.enc_hidden, cfg.init_std))
+            .collect();
+        let enc_bias = vec![0.0; cfg.enc_hidden];
+        let enc_extra = if cfg.enc_extra_hidden.is_empty() {
+            None
+        } else {
+            let mut dims = vec![cfg.enc_hidden];
+            dims.extend_from_slice(&cfg.enc_extra_hidden);
+            Some(Mlp::new(&dims, Activation::Tanh, Activation::Tanh, &mut rng))
+        };
+        let enc_in = *cfg.enc_extra_hidden.last().unwrap_or(&cfg.enc_hidden);
+        let enc_head = Dense::new(enc_in, 2 * cfg.latent_dim, Activation::Identity, &mut rng);
+        let mut trunk_dims = vec![cfg.latent_dim];
+        trunk_dims.extend_from_slice(&cfg.dec_hidden);
+        let trunk = Mlp::new(&trunk_dims, Activation::Tanh, Activation::Tanh, &mut rng);
+        let head_dim = *cfg.dec_hidden.last().expect("validated non-empty");
+        let heads = (0..cfg.n_fields)
+            .map(|_| SampledSoftmaxOutput::new(head_dim, cfg.init_std))
+            .collect();
+        Self { cfg, bags, enc_bias, enc_extra, enc_head, trunk, heads, rng, step: 0 }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> &FvaeConfig {
+        &self.cfg
+    }
+
+    /// Latent dimensionality `D`.
+    pub fn latent_dim(&self) -> usize {
+        self.cfg.latent_dim
+    }
+
+    /// Total features currently tracked by the input hash tables.
+    pub fn input_vocab_len(&self) -> usize {
+        self.bags.iter().map(EmbeddingBag::vocab_len).sum()
+    }
+
+    /// Assembles normalized sparse inputs for `users`, optionally restricted
+    /// to `fields` (fold-in) and with input dropout (training only).
+    pub(crate) fn build_input(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        fields: Option<&[usize]>,
+        dropout: bool,
+    ) -> BatchInput {
+        let all: Vec<usize> = (0..self.cfg.n_fields).collect();
+        let picks: Vec<usize> = fields.unwrap_or(&all).to_vec();
+        let p = self.cfg.dropout;
+        let keep_scale = if p > 0.0 { 1.0 / (1.0 - p) } else { 1.0 };
+        let mut ids = vec![Vec::with_capacity(users.len()); self.cfg.n_fields];
+        let mut vals = vec![Vec::with_capacity(users.len()); self.cfg.n_fields];
+        for &u in users {
+            // Structured field dropout: with probability `field_dropout`,
+            // hide one random field of this user entirely (training only).
+            let masked_field: Option<usize> = if dropout
+                && self.cfg.field_dropout > 0.0
+                && picks.len() > 1
+                && self.rng.random::<f32>() < self.cfg.field_dropout
+            {
+                Some(picks[self.rng.random_range(0..picks.len())])
+            } else {
+                None
+            };
+            // L2 norm over the *used* fields of this user.
+            let mut sq = 0.0f32;
+            for &k in &picks {
+                if masked_field == Some(k) {
+                    continue;
+                }
+                let (_, vs) = ds.user_field(u, k);
+                sq += vs.iter().map(|v| v * v).sum::<f32>();
+            }
+            let inv_norm = if sq > 0.0 { 1.0 / sq.sqrt() } else { 0.0 };
+            for k in 0..self.cfg.n_fields {
+                if !picks.contains(&k) || masked_field == Some(k) {
+                    ids[k].push(Vec::new());
+                    vals[k].push(Vec::new());
+                    continue;
+                }
+                let (ix, vs) = ds.user_field(u, k);
+                let mut row_ids = Vec::with_capacity(ix.len());
+                let mut row_vals = Vec::with_capacity(ix.len());
+                for (&i, &v) in ix.iter().zip(vs.iter()) {
+                    if dropout && p > 0.0 && self.rng.random::<f32>() < p {
+                        continue;
+                    }
+                    row_ids.push(i as u64);
+                    row_vals.push(v * inv_norm * if dropout { keep_scale } else { 1.0 });
+                }
+                ids[k].push(row_ids);
+                vals[k].push(row_vals);
+            }
+        }
+        BatchInput { ids, vals }
+    }
+
+    /// First encoder layer during training (inserts unseen IDs). Returns the
+    /// post-tanh activation and the per-field slot lists for backprop.
+    pub(crate) fn encode_layer0_train(
+        &mut self,
+        input: &BatchInput,
+    ) -> (Matrix, Vec<Vec<Vec<u32>>>) {
+        let batch = input.ids[0].len();
+        let mut x0 = Matrix::zeros(batch, self.cfg.enc_hidden);
+        let mut slots = Vec::with_capacity(self.cfg.n_fields);
+        let rng = &mut self.rng;
+        for (k, bag) in self.bags.iter_mut().enumerate() {
+            let rows: Vec<(&[u64], &[f32])> = input.ids[k]
+                .iter()
+                .zip(input.vals[k].iter())
+                .map(|(i, v)| (i.as_slice(), v.as_slice()))
+                .collect();
+            let (out, field_slots) = bag.forward_batch(&rows, rng);
+            x0.add_assign(&out);
+            slots.push(field_slots);
+        }
+        for r in 0..batch {
+            let row = x0.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.enc_bias.iter()) {
+                *v += b;
+            }
+        }
+        x0.map_inplace(f32::tanh);
+        (x0, slots)
+    }
+
+    /// First encoder layer at inference (never inserts; unknown IDs skipped).
+    fn encode_layer0_frozen(&self, input: &BatchInput) -> Matrix {
+        let batch = input.ids[0].len();
+        let mut x0 = Matrix::zeros(batch, self.cfg.enc_hidden);
+        for k in 0..self.cfg.n_fields {
+            let rows: Vec<(&[u64], &[f32])> = input.ids[k]
+                .iter()
+                .zip(input.vals[k].iter())
+                .map(|(i, v)| (i.as_slice(), v.as_slice()))
+                .collect();
+            let out = self.bags[k].forward_batch_frozen(&rows);
+            x0.add_assign(&out);
+        }
+        for r in 0..batch {
+            let row = x0.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.enc_bias.iter()) {
+                *v += b;
+            }
+        }
+        x0.map_inplace(f32::tanh);
+        x0
+    }
+
+    /// Splits the head output into `(μ, clamped log σ²)`.
+    pub(crate) fn split_stats(&self, stats: &Matrix) -> (Matrix, Matrix) {
+        let d = self.cfg.latent_dim;
+        let batch = stats.rows();
+        let mut mu = Matrix::zeros(batch, d);
+        let mut logvar = Matrix::zeros(batch, d);
+        for r in 0..batch {
+            let row = stats.row(r);
+            mu.row_mut(r).copy_from_slice(&row[..d]);
+            for (lv, &s) in logvar.row_mut(r).iter_mut().zip(row[d..].iter()) {
+                *lv = s.clamp(-LOGVAR_CLAMP, LOGVAR_CLAMP);
+            }
+        }
+        (mu, logvar)
+    }
+
+    /// Reparametrization trick: `z = μ + ε ⊙ exp(½ log σ²)`, returning both
+    /// `z` and the noise `ε` (needed by backprop).
+    pub(crate) fn reparametrize(&mut self, mu: &Matrix, logvar: &Matrix) -> (Matrix, Matrix) {
+        let mut gauss = Gaussian::standard();
+        let mut eps = Matrix::zeros(mu.rows(), mu.cols());
+        gauss.fill(&mut self.rng, eps.as_mut_slice());
+        let mut z = mu.clone();
+        for ((zi, &e), &lv) in z
+            .as_mut_slice()
+            .iter_mut()
+            .zip(eps.as_slice())
+            .zip(logvar.as_slice())
+        {
+            *zi += e * (0.5 * lv).exp();
+        }
+        (z, eps)
+    }
+
+    /// Encodes users to their latent Gaussians `(μ, log σ²)` without
+    /// mutating the model. `fields` restricts the fold-in input.
+    pub fn encode(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        fields: Option<&[usize]>,
+    ) -> (Matrix, Matrix) {
+        // `build_input` needs &mut only for dropout RNG; inference takes the
+        // dropout-free path, so reconstruct the input here without RNG.
+        let input = self.build_input_frozen(ds, users, fields);
+        let x0 = self.encode_layer0_frozen(&input);
+        let h = match &self.enc_extra {
+            Some(mlp) => mlp.forward(&x0),
+            None => x0,
+        };
+        let stats = self.enc_head.forward(&h);
+        self.split_stats(&stats)
+    }
+
+    fn build_input_frozen(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        fields: Option<&[usize]>,
+    ) -> BatchInput {
+        let all: Vec<usize> = (0..self.cfg.n_fields).collect();
+        let picks: Vec<usize> = fields.unwrap_or(&all).to_vec();
+        let mut ids = vec![Vec::with_capacity(users.len()); self.cfg.n_fields];
+        let mut vals = vec![Vec::with_capacity(users.len()); self.cfg.n_fields];
+        for &u in users {
+            let mut sq = 0.0f32;
+            for &k in &picks {
+                let (_, vs) = ds.user_field(u, k);
+                sq += vs.iter().map(|v| v * v).sum::<f32>();
+            }
+            let inv_norm = if sq > 0.0 { 1.0 / sq.sqrt() } else { 0.0 };
+            for k in 0..self.cfg.n_fields {
+                if !picks.contains(&k) {
+                    ids[k].push(Vec::new());
+                    vals[k].push(Vec::new());
+                    continue;
+                }
+                let (ix, vs) = ds.user_field(u, k);
+                ids[k].push(ix.iter().map(|&i| i as u64).collect());
+                vals[k].push(vs.iter().map(|&v| v * inv_norm).collect());
+            }
+        }
+        BatchInput { ids, vals }
+    }
+
+    /// User embeddings: the posterior mean `μ` (the paper serves μ as the
+    /// user representation). `fields = None` uses every field.
+    pub fn embed_users(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        fields: Option<&[usize]>,
+    ) -> Matrix {
+        self.encode(ds, users, fields).0
+    }
+
+    /// Decoder hidden state for given latents.
+    pub fn decode_hidden(&self, z: &Matrix) -> Matrix {
+        self.trunk.forward(z)
+    }
+
+    /// Log-softmax scores of field `k` over an explicit feature-index list,
+    /// for the given latents (reconstruction evaluation, Table II).
+    pub fn field_log_probs(&self, z: &Matrix, field: usize, features: &[u32]) -> Matrix {
+        let h = self.decode_hidden(z);
+        let ids: Vec<u64> = features.iter().map(|&f| f as u64).collect();
+        self.heads[field].log_probs_over_ids(&h, &ids)
+    }
+
+    /// Raw logits of field `k` for one latent row over candidate features
+    /// (tag prediction, Tables III/IV; candidates need not be the full
+    /// vocabulary, and ranking only needs logits).
+    pub fn field_logits_one(&self, z_row: &[f32], field: usize, features: &[u32]) -> Vec<f32> {
+        let z = Matrix::from_vec(1, z_row.len(), z_row.to_vec());
+        let h = self.decode_hidden(&z);
+        let ids: Vec<u64> = features.iter().map(|&f| f as u64).collect();
+        self.heads[field].logits_for_ids(h.row(0), &ids)
+    }
+
+    /// Averages this model's parameters with `others` in place — the
+    /// synchronization step of the local-SGD data-parallel trainer
+    /// (`fvae-distributed`). Dense tensors average element-wise; the
+    /// dynamically grown embedding / output tables average **by feature
+    /// ID**: an ID present in `m` of the replicas gets the mean of those `m`
+    /// rows (replicas that never saw a feature carry no information about
+    /// it).
+    pub fn average_with(&mut self, others: &[Fvae]) {
+        if others.is_empty() {
+            return;
+        }
+        let n = (others.len() + 1) as f32;
+        let inv_n = 1.0 / n;
+
+        // Dense groups.
+        for (i, b) in self.enc_bias.iter_mut().enumerate() {
+            let mut acc = *b;
+            for o in others {
+                acc += o.enc_bias[i];
+            }
+            *b = acc * inv_n;
+        }
+        let avg_dense = |mine: &mut Dense, theirs: Vec<&Dense>| {
+            let (w, b) = mine.params_mut();
+            for (idx, v) in w.as_mut_slice().iter_mut().enumerate() {
+                let mut acc = *v;
+                for t in &theirs {
+                    acc += t.params().0.as_slice()[idx];
+                }
+                *v = acc * inv_n;
+            }
+            for (idx, v) in b.iter_mut().enumerate() {
+                let mut acc = *v;
+                for t in &theirs {
+                    acc += t.params().1[idx];
+                }
+                *v = acc * inv_n;
+            }
+        };
+        avg_dense(&mut self.enc_head, others.iter().map(|o| &o.enc_head).collect());
+        for layer_idx in 0..self.trunk.layers().len() {
+            let theirs: Vec<&Dense> =
+                others.iter().map(|o| &o.trunk.layers()[layer_idx]).collect();
+            avg_dense(&mut self.trunk.layers_mut()[layer_idx], theirs);
+        }
+        if self.enc_extra.is_some() {
+            let depth = self.enc_extra.as_ref().expect("checked").layers().len();
+            for layer_idx in 0..depth {
+                let theirs: Vec<&Dense> = others
+                    .iter()
+                    .map(|o| &o.enc_extra.as_ref().expect("same architecture").layers()[layer_idx])
+                    .collect();
+                avg_dense(
+                    &mut self.enc_extra.as_mut().expect("checked").layers_mut()[layer_idx],
+                    theirs,
+                );
+            }
+        }
+
+        // ID-aligned sparse tables.
+        use fvae_sparse::FastHashMap;
+        for k in 0..self.cfg.n_fields {
+            let dim = self.bags[k].dim();
+            let mut acc: FastHashMap<u64, (Vec<f32>, u32)> = FastHashMap::default();
+            let mut absorb = |bag: &EmbeddingBag| {
+                for (id, slot) in bag.table().iter() {
+                    let e = acc.entry(id).or_insert_with(|| (vec![0.0; dim], 0));
+                    for (a, &w) in e.0.iter_mut().zip(bag.row(slot)) {
+                        *a += w;
+                    }
+                    e.1 += 1;
+                }
+            };
+            absorb(&self.bags[k]);
+            for o in others {
+                absorb(&o.bags[k]);
+            }
+            let mut ids: Vec<u64> = acc.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let (mut row, count) = acc.remove(&id).expect("present");
+                let inv = 1.0 / count as f32;
+                row.iter_mut().for_each(|v| *v *= inv);
+                self.bags[k].set_row(id, &row, &mut self.rng);
+            }
+
+            let hdim = self.heads[k].dim();
+            let mut hacc: FastHashMap<u64, (Vec<f32>, f32, u32)> = FastHashMap::default();
+            let mut absorb_head = |head: &SampledSoftmaxOutput| {
+                for (id, slot) in head.table().iter() {
+                    let e = hacc.entry(id).or_insert_with(|| (vec![0.0; hdim], 0.0, 0));
+                    for (a, &w) in e.0.iter_mut().zip(head.weight_row(slot)) {
+                        *a += w;
+                    }
+                    e.1 += head.bias_of(slot);
+                    e.2 += 1;
+                }
+            };
+            absorb_head(&self.heads[k]);
+            for o in others {
+                absorb_head(&o.heads[k]);
+            }
+            let mut ids: Vec<u64> = hacc.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let (mut row, bias, count) = hacc.remove(&id).expect("present");
+                let inv = 1.0 / count as f32;
+                row.iter_mut().for_each(|v| *v *= inv);
+                self.heads[k].set_row(id, &row, bias * inv, &mut self.rng);
+            }
+        }
+    }
+
+    /// Total dense parameter count (gradient/weight bytes exchanged by a
+    /// synchronous all-reduce each step) — the communication volume of the
+    /// Fig. 10 cost model.
+    pub fn dense_param_count(&self) -> usize {
+        let mut n = self.enc_bias.len() + self.enc_head.param_count() + self.trunk.param_count();
+        if let Some(mlp) = &self.enc_extra {
+            n += mlp.param_count();
+        }
+        n
+    }
+
+    /// Analytic KL divergence `KL(N(μ, σ²) ‖ N(0, I))` summed over the batch,
+    /// plus its gradients w.r.t. μ and log σ².
+    pub(crate) fn kl_and_grads(mu: &Matrix, logvar: &Matrix) -> (f32, Matrix, Matrix) {
+        let mut kl = 0.0f64;
+        let mut dmu = mu.clone();
+        let mut dlogvar = Matrix::zeros(logvar.rows(), logvar.cols());
+        for ((&m, &lv), dl) in mu
+            .as_slice()
+            .iter()
+            .zip(logvar.as_slice())
+            .zip(dlogvar.as_mut_slice().iter_mut())
+        {
+            let var = lv.exp();
+            kl += 0.5 * ((m * m + var - 1.0 - lv) as f64);
+            *dl = 0.5 * (var - 1.0);
+        }
+        // dKL/dμ = μ — `dmu` already holds a copy of μ.
+        let _ = &mut dmu;
+        (kl as f32, dmu, dlogvar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::TopicModelConfig;
+
+    fn tiny_ds() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 60,
+            n_topics: 3,
+            alpha: 0.2,
+            fields: vec![
+                fvae_data::FieldSpec::new("ch1", 12, 3, 1.0),
+                fvae_data::FieldSpec::new("tag", 40, 5, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 5,
+        }
+        .generate()
+    }
+
+    fn tiny_model(ds: &MultiFieldDataset) -> Fvae {
+        let mut cfg = FvaeConfig::for_dataset(ds);
+        cfg.latent_dim = 8;
+        cfg.enc_hidden = 16;
+        cfg.dec_hidden = vec![16];
+        cfg.batch_size = 16;
+        Fvae::new(cfg)
+    }
+
+    #[test]
+    fn encode_shapes_are_batch_by_latent() {
+        let ds = tiny_ds();
+        let model = tiny_model(&ds);
+        let users: Vec<usize> = (0..10).collect();
+        let (mu, logvar) = model.encode(&ds, &users, None);
+        assert_eq!(mu.shape(), (10, 8));
+        assert_eq!(logvar.shape(), (10, 8));
+        assert!(mu.is_finite() && logvar.is_finite());
+    }
+
+    #[test]
+    fn logvar_is_clamped() {
+        let ds = tiny_ds();
+        let model = tiny_model(&ds);
+        let stats = Matrix::full(2, 16, 100.0);
+        let (_, logvar) = model.split_stats(&stats);
+        assert!(logvar.as_slice().iter().all(|&v| v <= LOGVAR_CLAMP));
+    }
+
+    #[test]
+    fn reparametrization_centers_on_mu() {
+        let ds = tiny_ds();
+        let mut model = tiny_model(&ds);
+        let mu = Matrix::full(200, 8, 2.0);
+        let logvar = Matrix::full(200, 8, -2.0);
+        let (z, eps) = model.reparametrize(&mu, &logvar);
+        assert_eq!(z.shape(), (200, 8));
+        assert_eq!(eps.shape(), (200, 8));
+        let mean = fvae_tensor::ops::mean(z.as_slice());
+        assert!((mean - 2.0).abs() < 0.05, "z should center on μ, got {mean}");
+        // z − μ should have std exp(−1) ≈ 0.368.
+        let dev: Vec<f32> = z.as_slice().iter().map(|&v| v - 2.0).collect();
+        let std = fvae_tensor::ops::variance(&dev).sqrt();
+        assert!((std - (-1.0f32).exp()).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn kl_is_zero_at_standard_normal() {
+        let mu = Matrix::zeros(3, 4);
+        let logvar = Matrix::zeros(3, 4);
+        let (kl, dmu, dlogvar) = Fvae::kl_and_grads(&mu, &logvar);
+        assert!(kl.abs() < 1e-6);
+        assert!(dmu.as_slice().iter().all(|&v| v == 0.0));
+        assert!(dlogvar.as_slice().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn kl_gradients_match_finite_differences() {
+        let mu = Matrix::from_vec(1, 2, vec![0.7, -0.3]);
+        let logvar = Matrix::from_vec(1, 2, vec![0.4, -0.9]);
+        let (_, dmu, dlogvar) = Fvae::kl_and_grads(&mu, &logvar);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut m2 = mu.clone();
+            m2.as_mut_slice()[i] += eps;
+            let hi = Fvae::kl_and_grads(&m2, &logvar).0;
+            m2.as_mut_slice()[i] -= 2.0 * eps;
+            let lo = Fvae::kl_and_grads(&m2, &logvar).0;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!((numeric - dmu.as_slice()[i]).abs() < 1e-2, "dmu[{i}]");
+
+            let mut l2 = logvar.clone();
+            l2.as_mut_slice()[i] += eps;
+            let hi = Fvae::kl_and_grads(&mu, &l2).0;
+            l2.as_mut_slice()[i] -= 2.0 * eps;
+            let lo = Fvae::kl_and_grads(&mu, &l2).0;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!((numeric - dlogvar.as_slice()[i]).abs() < 1e-2, "dlogvar[{i}]");
+        }
+    }
+
+    #[test]
+    fn fold_in_fields_restrict_input() {
+        let ds = tiny_ds();
+        let mut model = tiny_model(&ds);
+        // Train a couple of steps so embeddings exist.
+        let users: Vec<usize> = (0..30).collect();
+        model.train_epochs(&ds, &users, 1, |_, _| {});
+        let full = model.embed_users(&ds, &[0, 1], None);
+        let fold = model.embed_users(&ds, &[0, 1], Some(&[0]));
+        assert_eq!(full.shape(), fold.shape());
+        assert_ne!(full.as_slice(), fold.as_slice(), "fold-in must change the embedding");
+    }
+
+    #[test]
+    fn field_log_probs_are_normalized() {
+        let ds = tiny_ds();
+        let mut model = tiny_model(&ds);
+        let users: Vec<usize> = (0..30).collect();
+        model.train_epochs(&ds, &users, 1, |_, _| {});
+        let z = model.embed_users(&ds, &[3], None);
+        let feats: Vec<u32> = (0..40).collect();
+        let lp = model.field_log_probs(&z, 1, &feats);
+        let sum: f32 = lp.row(0).iter().map(|&v| v.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-3, "softmax over ids should normalize, got {sum}");
+    }
+}

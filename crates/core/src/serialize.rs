@@ -1,0 +1,263 @@
+//! Model save/load: the hand-off between the offline training module and
+//! the online serving module in the paper's deployment diagram (Fig. 2).
+//!
+//! Format: the workspace-wide header (`fvae-sparse::serial`), the full
+//! configuration, then every parameter group. Loading restores a model that
+//! produces bit-identical embeddings and can resume training (dynamic
+//! tables keep growing; optimizer moments restart).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fvae_nn::serialize::{
+    get_dense, get_embedding_bag, get_mlp, get_softmax_head, put_dense, put_embedding_bag,
+    put_mlp, put_softmax_head,
+};
+use fvae_sparse::serial::{
+    get_f32_vec, get_header, put_f32_slice, put_header, DecodeError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{FvaeConfig, SamplingConfig};
+use crate::model::Fvae;
+use crate::sampling::SamplingStrategy;
+
+fn strategy_tag(s: SamplingStrategy) -> u8 {
+    match s {
+        SamplingStrategy::Uniform => 0,
+        SamplingStrategy::Frequency => 1,
+        SamplingStrategy::Zipfian => 2,
+    }
+}
+
+fn strategy_from_tag(tag: u8) -> Result<SamplingStrategy, DecodeError> {
+    Ok(match tag {
+        0 => SamplingStrategy::Uniform,
+        1 => SamplingStrategy::Frequency,
+        2 => SamplingStrategy::Zipfian,
+        other => {
+            return Err(DecodeError::Invalid(format!("unknown sampling strategy {other}")))
+        }
+    })
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_config(buf: &mut BytesMut, cfg: &FvaeConfig) {
+    buf.put_u64_le(cfg.n_fields as u64);
+    buf.put_u64_le(cfg.latent_dim as u64);
+    buf.put_u64_le(cfg.enc_hidden as u64);
+    buf.put_u64_le(cfg.enc_extra_hidden.len() as u64);
+    for &d in &cfg.enc_extra_hidden {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_u64_le(cfg.dec_hidden.len() as u64);
+    for &d in &cfg.dec_hidden {
+        buf.put_u64_le(d as u64);
+    }
+    put_f32_slice(buf, &cfg.alpha);
+    buf.put_f32_le(cfg.beta_cap);
+    buf.put_f32_le(cfg.user_beta_gamma);
+    buf.put_u64_le(cfg.anneal_steps);
+    buf.put_f32_le(cfg.dropout);
+    buf.put_f32_le(cfg.field_dropout);
+    buf.put_f32_le(cfg.lr);
+    buf.put_u64_le(cfg.batch_size as u64);
+    buf.put_u64_le(cfg.epochs as u64);
+    buf.put_u8(strategy_tag(cfg.sampling.strategy));
+    buf.put_f64_le(cfg.sampling.rate);
+    buf.put_f64_le(cfg.sampling.negative_pad);
+    buf.put_u64_le(cfg.sampling.sampled_fields.len() as u64);
+    for &flag in &cfg.sampling.sampled_fields {
+        buf.put_u8(flag as u8);
+    }
+    buf.put_f32_le(cfg.init_std);
+    buf.put_f32_le(cfg.clip_norm);
+    buf.put_u64_le(cfg.seed);
+}
+
+fn get_config(buf: &mut impl Buf) -> Result<FvaeConfig, DecodeError> {
+    need(buf, 32)?;
+    let n_fields = buf.get_u64_le() as usize;
+    let latent_dim = buf.get_u64_le() as usize;
+    let enc_hidden = buf.get_u64_le() as usize;
+    let n_extra = buf.get_u64_le() as usize;
+    need(buf, n_extra * 8)?;
+    let enc_extra_hidden: Vec<usize> = (0..n_extra).map(|_| buf.get_u64_le() as usize).collect();
+    need(buf, 8)?;
+    let n_dec = buf.get_u64_le() as usize;
+    need(buf, n_dec * 8)?;
+    let dec_hidden: Vec<usize> = (0..n_dec).map(|_| buf.get_u64_le() as usize).collect();
+    let alpha = get_f32_vec(buf)?;
+    need(buf, 4 + 8 + 4 + 4 + 4 + 8 + 8 + 1 + 8 + 8 + 8)?;
+    let beta_cap = buf.get_f32_le();
+    let user_beta_gamma = buf.get_f32_le();
+    let anneal_steps = buf.get_u64_le();
+    let dropout = buf.get_f32_le();
+    let field_dropout = buf.get_f32_le();
+    let lr = buf.get_f32_le();
+    let batch_size = buf.get_u64_le() as usize;
+    let epochs = buf.get_u64_le() as usize;
+    let strategy = strategy_from_tag(buf.get_u8())?;
+    let rate = buf.get_f64_le();
+    let negative_pad = buf.get_f64_le();
+    let n_flags = buf.get_u64_le() as usize;
+    need(buf, n_flags + 16)?;
+    let sampled_fields: Vec<bool> = (0..n_flags).map(|_| buf.get_u8() != 0).collect();
+    let init_std = buf.get_f32_le();
+    let clip_norm = buf.get_f32_le();
+    let seed = buf.get_u64_le();
+    let cfg = FvaeConfig {
+        n_fields,
+        latent_dim,
+        enc_hidden,
+        enc_extra_hidden,
+        dec_hidden,
+        alpha,
+        beta_cap,
+        user_beta_gamma,
+        anneal_steps,
+        dropout,
+        field_dropout,
+        lr,
+        batch_size,
+        epochs,
+        sampling: SamplingConfig { strategy, rate, sampled_fields, negative_pad },
+        init_std,
+        clip_norm,
+        seed,
+    };
+    cfg.validate().map_err(DecodeError::Invalid)?;
+    Ok(cfg)
+}
+
+impl Fvae {
+    /// Serializes the model (configuration + all parameters + step count).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1 << 20);
+        put_header(&mut buf);
+        put_config(&mut buf, &self.cfg);
+        buf.put_u64_le(self.step);
+        for bag in &self.bags {
+            put_embedding_bag(&mut buf, bag);
+        }
+        put_f32_slice(&mut buf, &self.enc_bias);
+        buf.put_u8(self.enc_extra.is_some() as u8);
+        if let Some(mlp) = &self.enc_extra {
+            put_mlp(&mut buf, mlp);
+        }
+        put_dense(&mut buf, &self.enc_head);
+        put_mlp(&mut buf, &self.trunk);
+        for head in &self.heads {
+            put_softmax_head(&mut buf, head);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a model written by [`Fvae::to_bytes`].
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Self, DecodeError> {
+        get_header(&mut buf)?;
+        let cfg = get_config(&mut buf)?;
+        need(&buf, 8)?;
+        let step = buf.get_u64_le();
+        let mut bags = Vec::with_capacity(cfg.n_fields);
+        for _ in 0..cfg.n_fields {
+            bags.push(get_embedding_bag(&mut buf, cfg.init_std)?);
+        }
+        let enc_bias = get_f32_vec(&mut buf)?;
+        if enc_bias.len() != cfg.enc_hidden {
+            return Err(DecodeError::Invalid("encoder bias width mismatch".into()));
+        }
+        need(&buf, 1)?;
+        let has_extra = buf.get_u8() != 0;
+        let enc_extra = if has_extra { Some(get_mlp(&mut buf)?) } else { None };
+        let enc_head = get_dense(&mut buf)?;
+        let trunk = get_mlp(&mut buf)?;
+        let mut heads = Vec::with_capacity(cfg.n_fields);
+        for _ in 0..cfg.n_fields {
+            heads.push(get_softmax_head(&mut buf, cfg.init_std)?);
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed ^ step.wrapping_mul(0x9e37_79b9));
+        Ok(Self { cfg, bags, enc_bias, enc_extra, enc_head, trunk, heads, rng, step })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn trained_model() -> (fvae_data::MultiFieldDataset, Fvae) {
+        let ds = TopicModelConfig {
+            n_users: 120,
+            n_topics: 3,
+            alpha: 0.15,
+            fields: vec![
+                FieldSpec::new("ch1", 12, 3, 1.0),
+                FieldSpec::new("tag", 48, 5, 1.0),
+            ],
+            pair_prob: 0.2,
+            seed: 9,
+        }
+        .generate();
+        let mut cfg = FvaeConfig::for_dataset(&ds);
+        cfg.latent_dim = 8;
+        cfg.enc_hidden = 16;
+        cfg.dec_hidden = vec![16];
+        cfg.batch_size = 32;
+        let mut model = Fvae::new(cfg);
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        model.train_epochs(&ds, &users, 2, |_, _| {});
+        (ds, model)
+    }
+
+    #[test]
+    fn roundtrip_preserves_embeddings_exactly() {
+        let (ds, model) = trained_model();
+        let bytes = model.to_bytes();
+        let restored = Fvae::from_bytes(bytes).expect("decode");
+        let users: Vec<usize> = (0..20).collect();
+        let before = model.embed_users(&ds, &users, None);
+        let after = restored.embed_users(&ds, &users, None);
+        assert_eq!(before, after, "embeddings must be bit-identical after reload");
+    }
+
+    #[test]
+    fn roundtrip_preserves_field_scores() {
+        let (ds, model) = trained_model();
+        let restored = Fvae::from_bytes(model.to_bytes()).expect("decode");
+        let z = model.embed_users(&ds, &[3], None);
+        let cands: Vec<u32> = (0..48).collect();
+        assert_eq!(
+            model.field_logits_one(z.row(0), 1, &cands),
+            restored.field_logits_one(z.row(0), 1, &cands)
+        );
+    }
+
+    #[test]
+    fn restored_model_can_resume_training() {
+        let (ds, model) = trained_model();
+        let mut restored = Fvae::from_bytes(model.to_bytes()).expect("decode");
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        restored.train_epochs(&ds, &users, 1, |_, s| {
+            assert!(s.recon.is_finite());
+        });
+        let emb = restored.embed_users(&ds, &users[..5], None);
+        assert!(emb.is_finite());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_rejected() {
+        let (_, model) = trained_model();
+        let bytes = model.to_bytes();
+        let cut = bytes.slice(0..bytes.len() - 7);
+        assert!(Fvae::from_bytes(cut).is_err());
+        let cut_early = bytes.slice(0..10);
+        assert!(Fvae::from_bytes(cut_early).is_err());
+    }
+}

@@ -1,0 +1,596 @@
+//! Algorithm 1: mini-batch training of the FVAE with batched softmax and
+//! feature sampling.
+
+use fvae_data::{split::shuffled_batches, MultiFieldDataset};
+use fvae_nn::{Adam, AdamState, GradClip, SampledSoftmaxOutput};
+use fvae_sparse::FastHashMap;
+use fvae_tensor::Matrix;
+
+use crate::model::Fvae;
+use crate::sampling::sample_candidates;
+
+/// Loss breakdown of one training step (all values are per-user means).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// Weighted multinomial reconstruction loss `(1/|α|)Σ α_k L_k / B`.
+    pub recon: f32,
+    /// Unweighted KL divergence per user.
+    pub kl: f32,
+    /// The β used at this step.
+    pub beta: f32,
+    /// Total candidate features across fields after batching + sampling.
+    pub candidates: usize,
+    /// Users in the batch.
+    pub batch_size: usize,
+}
+
+impl StepStats {
+    /// Negative ELBO of the step (what training minimizes).
+    pub fn loss(&self) -> f32 {
+        self.recon + self.beta * self.kl
+    }
+}
+
+/// Aggregated epoch statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// Mean per-user reconstruction loss.
+    pub recon: f32,
+    /// Mean per-user KL.
+    pub kl: f32,
+    /// β at the end of the epoch.
+    pub beta: f32,
+    /// Users processed.
+    pub users: usize,
+    /// Mean candidate-set size per step.
+    pub mean_candidates: f64,
+}
+
+impl EpochStats {
+    /// The (negative) ELBO estimate for the epoch.
+    pub fn elbo(&self) -> f32 {
+        -(self.recon + self.beta * self.kl)
+    }
+}
+
+/// Adam moment state for every parameter group of the model.
+pub(crate) struct OptStates {
+    adam: Adam,
+    clip: Option<GradClip>,
+    bags: Vec<AdamState>,
+    enc_bias: AdamState,
+    enc_extra: Vec<(AdamState, AdamState)>,
+    enc_head: (AdamState, AdamState),
+    trunk: Vec<(AdamState, AdamState)>,
+    heads_w: Vec<AdamState>,
+    heads_b: Vec<AdamState>,
+}
+
+impl OptStates {
+    fn new(model: &Fvae) -> Self {
+        let cfg = &model.cfg;
+        Self {
+            adam: Adam::new(cfg.lr),
+            clip: if cfg.clip_norm > 0.0 { Some(GradClip::new(cfg.clip_norm)) } else { None },
+            bags: (0..cfg.n_fields).map(|_| AdamState::default()).collect(),
+            enc_bias: AdamState::default(),
+            enc_extra: model
+                .enc_extra
+                .as_ref()
+                .map(|m| m.layers().iter().map(|_| Default::default()).collect())
+                .unwrap_or_default(),
+            enc_head: Default::default(),
+            trunk: model.trunk.layers().iter().map(|_| Default::default()).collect(),
+            heads_w: (0..cfg.n_fields).map(|_| AdamState::default()).collect(),
+            heads_b: (0..cfg.n_fields).map(|_| AdamState::default()).collect(),
+        }
+    }
+}
+
+impl Fvae {
+    /// Trains for `config.epochs` epochs over `users`, invoking `callback`
+    /// after each epoch.
+    pub fn train(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        callback: impl FnMut(usize, &EpochStats),
+    ) {
+        let epochs = self.cfg.epochs;
+        self.train_epochs(ds, users, epochs, callback);
+    }
+
+    /// Trains for an explicit number of epochs.
+    pub fn train_epochs(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        epochs: usize,
+        mut callback: impl FnMut(usize, &EpochStats),
+    ) {
+        let mut opt = OptStates::new(self);
+        for epoch in 0..epochs {
+            let stats = self.train_one_epoch(ds, users, &mut opt);
+            callback(epoch, &stats);
+        }
+    }
+
+    fn train_one_epoch(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        opt: &mut OptStates,
+    ) -> EpochStats {
+        let batch_size = self.cfg.batch_size;
+        let batches = shuffled_batches(users, batch_size, &mut self.rng);
+        let mut recon = 0.0f64;
+        let mut kl = 0.0f64;
+        let mut beta = 0.0;
+        let mut cand = 0.0f64;
+        let mut n_steps = 0usize;
+        for batch in &batches {
+            let s = self.train_batch(ds, batch, opt);
+            recon += s.recon as f64 * s.batch_size as f64;
+            kl += s.kl as f64 * s.batch_size as f64;
+            beta = s.beta;
+            cand += s.candidates as f64;
+            n_steps += 1;
+        }
+        let n = users.len().max(1) as f64;
+        EpochStats {
+            recon: (recon / n) as f32,
+            kl: (kl / n) as f32,
+            beta,
+            users: users.len(),
+            mean_candidates: if n_steps == 0 { 0.0 } else { cand / n_steps as f64 },
+        }
+    }
+
+    /// One optimizer step on one mini-batch (the body of Algorithm 1).
+    pub(crate) fn train_batch(
+        &mut self,
+        ds: &MultiFieldDataset,
+        batch_users: &[usize],
+        opt: &mut OptStates,
+    ) -> StepStats {
+        let b = batch_users.len();
+        assert!(b > 0, "empty batch");
+        let inv_b = 1.0 / b as f32;
+        let alpha_norm = self.cfg.alpha_norm();
+        let beta = self.cfg.beta_at(self.step);
+        self.step += 1;
+
+        // ---- Forward: encoder -------------------------------------------
+        let input = self.build_input(ds, batch_users, None, true);
+        let (x0, slots) = self.encode_layer0_train(&input);
+        let (h_enc, extra_acts) = match &self.enc_extra {
+            Some(mlp) => {
+                let acts = mlp.forward_cached(&x0);
+                (acts.last().expect("non-empty").clone(), Some(acts))
+            }
+            None => (x0.clone(), None),
+        };
+        let stats = self.enc_head.forward(&h_enc);
+        let (mu, logvar) = self.split_stats(&stats);
+        let (z, eps) = self.reparametrize(&mu, &logvar);
+
+        // ---- Forward: decoder trunk --------------------------------------
+        let trunk_acts = self.trunk.forward_cached(&z);
+        let h_dec = trunk_acts.last().expect("non-empty").clone();
+
+        // ---- Per-field batched softmax + multinomial loss ----------------
+        let mut dh_dec = Matrix::zeros(b, h_dec.cols());
+        let mut recon = 0.0f32;
+        let mut total_candidates = 0usize;
+        let mut head_grads = Vec::with_capacity(self.cfg.n_fields);
+        for k in 0..self.cfg.n_fields {
+            // Batch-unique features with in-batch frequencies (the batched
+            // softmax of §IV-C2); built from the *target* rows so the loss
+            // always has support.
+            let mut freq: FastHashMap<u32, f32> = FastHashMap::default();
+            for &u in batch_users {
+                let (ix, vs) = ds.user_field(u, k);
+                for (&i, &v) in ix.iter().zip(vs.iter()) {
+                    *freq.entry(i).or_insert(0.0) += v;
+                }
+            }
+            if freq.is_empty() {
+                head_grads.push(None);
+                continue;
+            }
+            let mut features: Vec<u32> = freq.keys().copied().collect();
+            features.sort_unstable();
+            let freqs: Vec<f32> = features.iter().map(|f| freq[f]).collect();
+
+            // Feature sampling (§IV-C3) on the configured sparse fields.
+            let mut candidates = if self.cfg.sampling.sampled_fields[k]
+                && self.cfg.sampling.rate < 1.0
+            {
+                sample_candidates(
+                    &features,
+                    &freqs,
+                    self.cfg.sampling.rate,
+                    self.cfg.sampling.strategy,
+                    &mut self.rng,
+                )
+            } else {
+                features
+            };
+            // Sampled-softmax uniform-negative pad: a few random vocabulary
+            // features join the candidates so that rarely-batch-active
+            // features still receive calibrating (downward) gradient.
+            if self.cfg.sampling.negative_pad > 0.0 {
+                use rand::RngExt as _;
+                let vocab = ds.field_vocab(k) as u32;
+                let pad =
+                    (candidates.len() as f64 * self.cfg.sampling.negative_pad).ceil() as usize;
+                let present: fvae_sparse::FastHashSet<u32> =
+                    candidates.iter().copied().collect();
+                let mut added = fvae_sparse::FastHashSet::default();
+                let mut guard = 0;
+                while added.len() < pad && guard < pad * 20 {
+                    guard += 1;
+                    let f = self.rng.random_range(0..vocab);
+                    if !present.contains(&f) && added.insert(f) {
+                        candidates.push(f);
+                    }
+                }
+            }
+            total_candidates += candidates.len();
+            let col_of: FastHashMap<u32, u32> = candidates
+                .iter()
+                .enumerate()
+                .map(|(c, &f)| (f, c as u32))
+                .collect();
+
+            let cand_ids: Vec<u64> = candidates.iter().map(|&f| f as u64).collect();
+            let batch_sm = {
+                // Split borrow: the head and the RNG are distinct fields.
+                let (heads, rng) = (&mut self.heads, &mut self.rng);
+                heads[k].forward(&h_dec, &cand_ids, rng)
+            };
+
+            // Targets: the user's observed features that survived into the
+            // candidate set, with their original multi-hot counts.
+            let targets: Vec<Vec<(u32, f32)>> = batch_users
+                .iter()
+                .map(|&u| {
+                    let (ix, vs) = ds.user_field(u, k);
+                    ix.iter()
+                        .zip(vs.iter())
+                        .filter_map(|(&i, &v)| col_of.get(&i).map(|&c| (c, v)))
+                        .collect()
+                })
+                .collect();
+
+            let (loss_k, mut dlogits) =
+                SampledSoftmaxOutput::multinomial_loss(&batch_sm, &targets);
+            let scale = self.cfg.alpha[k] / alpha_norm;
+            recon += scale * loss_k * inv_b;
+            dlogits.scale(scale * inv_b);
+            let (dh_k, dw_k, db_k) = self.heads[k].backward(&h_dec, &batch_sm, &dlogits);
+            dh_dec.add_assign(&dh_k);
+            head_grads.push(Some((dw_k, db_k)));
+        }
+
+        // ---- KL term ------------------------------------------------------
+        let (kl_sum, mu_grad_unit, lv_grad_unit) = Fvae::kl_and_grads(&mu, &logvar);
+        let kl_mean = kl_sum * inv_b;
+        // Per-user KL weight: plain annealed β, or RecVAE-style β_i = β·γ·N_i.
+        let row_beta: Vec<f32> = if self.cfg.user_beta_gamma > 0.0 {
+            batch_users
+                .iter()
+                .map(|&u| {
+                    let n_i: f32 = (0..self.cfg.n_fields)
+                        .map(|k| ds.user_field(u, k).1.iter().sum::<f32>())
+                        .sum();
+                    beta * self.cfg.user_beta_gamma * n_i
+                })
+                .collect()
+        } else {
+            vec![beta; b]
+        };
+
+        // ---- Backward: trunk → z ------------------------------------------
+        let (trunk_grads, dz) = self.trunk.backward(&z, &trunk_acts, &dh_dec);
+
+        // dμ = dz + β_i/B·μ ; dlogσ² = dz ⊙ ½ε·σ + β_i/B·½(σ²−1)
+        let mut dmu = dz.clone();
+        let d = self.cfg.latent_dim;
+        for r in 0..b {
+            let scale = row_beta[r] * inv_b;
+            fvae_tensor::ops::axpy(scale, mu_grad_unit.row(r), dmu.row_mut(r));
+        }
+        let mut dlogvar = Matrix::zeros(b, d);
+        for r in 0..b {
+            let scale = row_beta[r] * inv_b;
+            let lv_row = logvar.row(r);
+            let dz_row = dz.row(r);
+            let eps_row = eps.row(r);
+            let unit_row = lv_grad_unit.row(r);
+            let out = dlogvar.row_mut(r);
+            for i in 0..d {
+                let sigma = (0.5 * lv_row[i]).exp();
+                out[i] = dz_row[i] * 0.5 * eps_row[i] * sigma + scale * unit_row[i];
+            }
+        }
+
+        // ---- Backward: encoder head → layer 0 -----------------------------
+        let mut dstats = Matrix::zeros(b, 2 * self.cfg.latent_dim);
+        for r in 0..b {
+            let row = dstats.row_mut(r);
+            row[..self.cfg.latent_dim].copy_from_slice(dmu.row(r));
+            row[self.cfg.latent_dim..].copy_from_slice(dlogvar.row(r));
+        }
+        let (head_g, dh_enc) = self.enc_head.backward(&h_enc, &stats, &dstats);
+        let (extra_grads, mut dx0) = match (&self.enc_extra, &extra_acts) {
+            (Some(mlp), Some(acts)) => {
+                let (g, dx) = mlp.backward(&x0, acts, &dh_enc);
+                (Some(g), dx)
+            }
+            _ => (None, dh_enc),
+        };
+        // tanh derivative of layer 0.
+        for (d, &y) in dx0.as_mut_slice().iter_mut().zip(x0.as_slice()) {
+            *d *= 1.0 - y * y;
+        }
+        let mut bias_grad = dx0.col_sums();
+        let bag_grads: Vec<_> = (0..self.cfg.n_fields)
+            .map(|k| {
+                let vals_refs: Vec<&[f32]> =
+                    input.vals[k].iter().map(|v| v.as_slice()).collect();
+                self.bags[k].backward(&slots[k], &vals_refs, &dx0)
+            })
+            .collect();
+
+        // ---- Gradient clipping (dense groups) -----------------------------
+        let mut extra_grads = extra_grads;
+        let mut trunk_grads = trunk_grads;
+        let mut head_g = head_g;
+        if let Some(clip) = opt.clip {
+            let mut refs: Vec<&mut [f32]> = Vec::new();
+            refs.push(head_g.dw.as_mut_slice());
+            refs.push(&mut head_g.db);
+            for g in trunk_grads.iter_mut() {
+                refs.push(g.dw.as_mut_slice());
+                refs.push(&mut g.db);
+            }
+            if let Some(eg) = extra_grads.as_mut() {
+                for g in eg.iter_mut() {
+                    refs.push(g.dw.as_mut_slice());
+                    refs.push(&mut g.db);
+                }
+            }
+            refs.push(&mut bias_grad);
+            clip.clip(&mut refs);
+        }
+        self.apply_updates(
+            opt, bag_grads, bias_grad, extra_grads, head_g, trunk_grads, head_grads, recon,
+            kl_mean, beta, total_candidates, b,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_updates(
+        &mut self,
+        opt: &mut OptStates,
+        bag_grads: Vec<fvae_nn::RowGrads>,
+        bias_grad: Vec<f32>,
+        extra_grads: Option<Vec<fvae_nn::DenseGrads>>,
+        head_g: fvae_nn::DenseGrads,
+        trunk_grads: Vec<fvae_nn::DenseGrads>,
+        head_grads: Vec<Option<(fvae_nn::RowGrads, Vec<(usize, f32)>)>>,
+        recon: f32,
+        kl_mean: f32,
+        beta: f32,
+        candidates: usize,
+        batch_size: usize,
+    ) -> StepStats {
+        let adam = opt.adam;
+        for (k, grads) in bag_grads.into_iter().enumerate() {
+            let dim = self.bags[k].dim();
+            adam.step_rows(&mut opt.bags[k], self.bags[k].weights_mut(), dim, &grads);
+        }
+        adam.step_slice(&mut opt.enc_bias, &mut self.enc_bias, &bias_grad);
+        if let (Some(mlp), Some(grads)) = (self.enc_extra.as_mut(), extra_grads) {
+            for ((layer, g), (sw, sb)) in
+                mlp.layers_mut().iter_mut().zip(grads).zip(opt.enc_extra.iter_mut())
+            {
+                let (w, bias) = layer.params_mut();
+                adam.step_matrix(sw, w, &g.dw);
+                adam.step_slice(sb, bias, &g.db);
+            }
+        }
+        {
+            let (w, bias) = self.enc_head.params_mut();
+            adam.step_matrix(&mut opt.enc_head.0, w, &head_g.dw);
+            adam.step_slice(&mut opt.enc_head.1, bias, &head_g.db);
+        }
+        for ((layer, g), (sw, sb)) in self
+            .trunk
+            .layers_mut()
+            .iter_mut()
+            .zip(trunk_grads)
+            .zip(opt.trunk.iter_mut())
+        {
+            let (w, bias) = layer.params_mut();
+            adam.step_matrix(sw, w, &g.dw);
+            adam.step_slice(sb, bias, &g.db);
+        }
+        for (k, grads) in head_grads.into_iter().enumerate() {
+            if let Some((dw, db)) = grads {
+                let dim = self.heads[k].dim();
+                adam.step_rows(&mut opt.heads_w[k], self.heads[k].weights_mut(), dim, &dw);
+                adam.step_scalars(&mut opt.heads_b[k], self.heads[k].bias_mut(), &db);
+            }
+        }
+        StepStats { recon, kl: kl_mean, beta, candidates, batch_size }
+    }
+
+    /// Public single-batch step for benchmarking (Table V measures training
+    /// throughput per batch); creates fresh optimizer state on first use via
+    /// [`Fvae::make_opt_states`].
+    pub fn train_single_batch(
+        &mut self,
+        ds: &MultiFieldDataset,
+        batch_users: &[usize],
+        opt: &mut FvaeOptHandle,
+    ) -> StepStats {
+        self.train_batch(ds, batch_users, &mut opt.0)
+    }
+
+    /// Creates an optimizer-state handle for [`Fvae::train_single_batch`].
+    pub fn make_opt_states(&self) -> FvaeOptHandle {
+        FvaeOptHandle(OptStates::new(self))
+    }
+}
+
+/// Opaque optimizer state handle for external training loops (benchmarks,
+/// the distributed trainer).
+pub struct FvaeOptHandle(pub(crate) OptStates);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FvaeConfig;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn tiny_ds() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 120,
+            n_topics: 3,
+            alpha: 0.15,
+            fields: vec![
+                FieldSpec::new("ch1", 12, 3, 1.0),
+                FieldSpec::new("tag", 48, 5, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 9,
+        }
+        .generate()
+    }
+
+    fn tiny_cfg(ds: &MultiFieldDataset) -> FvaeConfig {
+        let mut cfg = FvaeConfig::for_dataset(ds);
+        cfg.latent_dim = 8;
+        cfg.enc_hidden = 16;
+        cfg.dec_hidden = vec![16];
+        cfg.batch_size = 24;
+        cfg.dropout = 0.1;
+        cfg.anneal_steps = 20;
+        cfg
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_loss() {
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg(&ds);
+        // Isolate the reconstruction path: no KL pressure, no candidate
+        // sampling (sampling changes the loss's support set step to step).
+        cfg.beta_cap = 0.0;
+        cfg.sampling.rate = 1.0;
+        cfg.dropout = 0.0;
+        cfg.lr = 5e-3;
+        let mut model = Fvae::new(cfg);
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut history = Vec::new();
+        model.train_epochs(&ds, &users, 40, |_, s| history.push(s.recon));
+        let first = history[0];
+        let last = *history.last().expect("non-empty");
+        assert!(
+            last < first * 0.9,
+            "reconstruction loss should fall: {first} → {last}"
+        );
+        assert!(history.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn beta_anneals_during_training() {
+        let ds = tiny_ds();
+        let mut model = Fvae::new(tiny_cfg(&ds));
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut betas = Vec::new();
+        model.train_epochs(&ds, &users, 6, |_, s| betas.push(s.beta));
+        assert!(betas[0] < betas[betas.len() - 1] || betas[0] >= model.cfg.beta_cap * 0.99);
+        assert!(betas.iter().all(|&b| b <= model.cfg.beta_cap + 1e-6));
+    }
+
+    #[test]
+    fn sampling_shrinks_candidate_sets() {
+        let ds = tiny_ds();
+        let mut cfg = tiny_cfg(&ds);
+        cfg.sampling.rate = 1.0;
+        let mut full = Fvae::new(cfg.clone());
+        cfg.sampling.rate = 0.2;
+        cfg.sampling.sampled_fields = vec![true, true];
+        let mut sampled = Fvae::new(cfg);
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut full_c = 0.0;
+        full.train_epochs(&ds, &users, 1, |_, s| full_c = s.mean_candidates);
+        let mut samp_c = 0.0;
+        sampled.train_epochs(&ds, &users, 1, |_, s| samp_c = s.mean_candidates);
+        assert!(
+            samp_c < full_c * 0.5,
+            "sampling at r=0.2 should shrink candidates: {samp_c} vs {full_c}"
+        );
+    }
+
+    #[test]
+    fn user_specific_beta_scales_regularization() {
+        let ds = tiny_ds();
+        // With γ > 0, KL pressure is proportional to profile size; the model
+        // still trains to finite parameters and differs from the plain-β run.
+        let mut cfg_plain = tiny_cfg(&ds);
+        cfg_plain.beta_cap = 0.2;
+        let mut cfg_user = cfg_plain.clone();
+        cfg_user.user_beta_gamma = 0.05;
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let mut plain = Fvae::new(cfg_plain);
+        plain.train_epochs(&ds, &users, 4, |_, s| assert!(s.recon.is_finite()));
+        let mut user_beta = Fvae::new(cfg_user);
+        user_beta.train_epochs(&ds, &users, 4, |_, s| assert!(s.recon.is_finite()));
+        let a = plain.embed_users(&ds, &users[..8], None);
+        let b = user_beta.embed_users(&ds, &users[..8], None);
+        assert!(a.is_finite() && b.is_finite());
+        assert_ne!(a.as_slice(), b.as_slice(), "γ must change the optimization");
+    }
+
+    #[test]
+    fn parameters_stay_finite_through_training() {
+        let ds = tiny_ds();
+        let mut model = Fvae::new(tiny_cfg(&ds));
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        model.train_epochs(&ds, &users, 3, |_, _| {});
+        assert!(model.enc_head.params().0.is_finite());
+        assert!(model.bags.iter().all(|b| b.weights().iter().all(|v| v.is_finite())));
+        let (mu, logvar) = model.encode(&ds, &users[..5], None);
+        assert!(mu.is_finite() && logvar.is_finite());
+    }
+
+    #[test]
+    fn trained_embeddings_separate_topics_better_than_random() {
+        let ds = tiny_ds();
+        let mut model = Fvae::new(tiny_cfg(&ds));
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let sep = |m: &Fvae| {
+            let emb = m.embed_users(&ds, &users, None);
+            // Mean within-topic vs cross-topic cosine similarity.
+            let mut within = (0.0f64, 0usize);
+            let mut cross = (0.0f64, 0usize);
+            for i in 0..60 {
+                for j in (i + 1)..60 {
+                    let c = fvae_tensor::ops::cosine_similarity(emb.row(i), emb.row(j)) as f64;
+                    if ds.user_topics[i] == ds.user_topics[j] {
+                        within = (within.0 + c, within.1 + 1);
+                    } else {
+                        cross = (cross.0 + c, cross.1 + 1);
+                    }
+                }
+            }
+            within.0 / within.1.max(1) as f64 - cross.0 / cross.1.max(1) as f64
+        };
+        model.train_epochs(&ds, &users, 10, |_, _| {});
+        let after = sep(&model);
+        assert!(after > 0.02, "topic separation after training: {after}");
+    }
+}

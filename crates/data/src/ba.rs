@@ -1,0 +1,142 @@
+//! Barabási–Albert preferential-attachment workloads for the scalability
+//! experiment (Fig. 9: "We generate random samples with large sparse
+//! features by Barabási–Albert preferential attachment model").
+//!
+//! Users arrive sequentially and attach `avg_features` edges; each edge picks
+//! an existing feature proportionally to its current degree (preferential
+//! attachment) or, with a small probability, a brand-new feature — capped at
+//! `max_features`. The result is a single-field dataset whose feature-degree
+//! distribution is the scale-free power law the experiment needs, with the
+//! two knobs the figure sweeps: average feature size and max feature size.
+
+use fvae_sparse::{CsrBuilder, FastHashSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::dataset::MultiFieldDataset;
+
+/// Configuration for the BA workload generator.
+#[derive(Clone, Copy, Debug)]
+pub struct BaConfig {
+    /// Number of user rows.
+    pub n_users: usize,
+    /// Edges (observed features) per user — the *average feature size* axis.
+    pub avg_features: usize,
+    /// Feature-vocabulary cap — the *max feature size* axis.
+    pub max_features: usize,
+    /// Probability that an edge creates a new feature while the cap allows.
+    pub new_feature_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaConfig {
+    fn default() -> Self {
+        Self {
+            n_users: 2_000,
+            avg_features: 200,
+            max_features: 100_000,
+            new_feature_prob: 0.05,
+            seed: 66,
+        }
+    }
+}
+
+/// Generates the single-field BA dataset.
+pub fn generate_ba(cfg: &BaConfig) -> MultiFieldDataset {
+    assert!(cfg.n_users > 0 && cfg.avg_features > 0 && cfg.max_features > 0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Repeated-node trick: sampling uniformly from the edge-endpoint list is
+    // exactly degree-proportional sampling, in O(1) per draw.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(cfg.n_users * cfg.avg_features);
+    let mut n_features: u32 = 0;
+    let mut builder = CsrBuilder::with_capacity(
+        cfg.max_features,
+        cfg.n_users,
+        cfg.n_users * cfg.avg_features,
+    );
+    let mut row: FastHashSet<u32> = FastHashSet::default();
+
+    for _ in 0..cfg.n_users {
+        row.clear();
+        // Row lengths vary ±50% around the average, like the topic generator.
+        let lo = (cfg.avg_features / 2).max(1);
+        let hi = cfg.avg_features + cfg.avg_features / 2;
+        let n = rng.random_range(lo..=hi);
+        let mut guard = 0;
+        while row.len() < n && guard < n * 20 {
+            guard += 1;
+            let feature = if n_features == 0
+                || ((n_features as usize) < cfg.max_features
+                    && rng.random::<f64>() < cfg.new_feature_prob)
+            {
+                let f = n_features;
+                n_features += 1;
+                f
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())]
+            };
+            if row.insert(feature) {
+                endpoints.push(feature);
+            }
+        }
+        let mut ix: Vec<u32> = row.iter().copied().collect();
+        ix.sort_unstable();
+        builder.push_binary_row(&ix);
+    }
+
+    MultiFieldDataset::new(vec!["ba".into()], vec![builder.build()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_row_count_and_cap() {
+        let cfg = BaConfig { n_users: 300, avg_features: 20, max_features: 500, ..Default::default() };
+        let ds = generate_ba(&cfg);
+        assert_eq!(ds.n_users(), 300);
+        assert!(ds.field(0).n_cols() == 500);
+        let max_seen = ds
+            .field(0)
+            .rows()
+            .flat_map(|(ix, _)| ix.iter().copied())
+            .max()
+            .expect("non-empty");
+        assert!((max_seen as usize) < 500);
+    }
+
+    #[test]
+    fn average_row_length_tracks_config() {
+        let cfg = BaConfig { n_users: 500, avg_features: 50, max_features: 10_000, ..Default::default() };
+        let ds = generate_ba(&cfg);
+        let mean = ds.field(0).mean_row_nnz();
+        assert!((mean - 50.0).abs() < 10.0, "mean row nnz {mean}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let cfg = BaConfig { n_users: 1_000, avg_features: 30, max_features: 50_000, ..Default::default() };
+        let ds = generate_ba(&cfg);
+        let mut freq = ds.field(0).column_frequencies();
+        freq.retain(|&f| f > 0.0);
+        freq.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let total: f32 = freq.iter().sum();
+        let top1pct: f32 = freq.iter().take((freq.len() / 100).max(1)).sum();
+        assert!(
+            top1pct / total > 0.05,
+            "preferential attachment should concentrate mass (got {})",
+            top1pct / total
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BaConfig { n_users: 100, avg_features: 10, max_features: 1_000, ..Default::default() };
+        let a = generate_ba(&cfg);
+        let b = generate_ba(&cfg);
+        assert_eq!(a.field(0).row(37), b.field(0).row(37));
+    }
+}

@@ -1,0 +1,271 @@
+//! The multi-field dataset container.
+
+use fvae_sparse::CsrMatrix;
+
+/// Number of low bits of a global feature ID reserved for the within-field
+/// index; the field index lives above them. 2⁴⁰ features per field is far
+/// beyond anything this workspace generates.
+const FIELD_SHIFT: u32 = 40;
+
+/// Packs `(field, index)` into the global `u64` feature-ID space used by the
+/// dynamic hash tables.
+#[inline]
+pub fn global_id(field: usize, index: u32) -> u64 {
+    ((field as u64) << FIELD_SHIFT) | index as u64
+}
+
+/// Inverse of [`global_id`].
+#[inline]
+pub fn split_global_id(id: u64) -> (usize, u32) {
+    ((id >> FIELD_SHIFT) as usize, (id & ((1 << FIELD_SHIFT) - 1)) as u32)
+}
+
+/// A dataset of `n_users` users, each described by one multi-hot row per
+/// feature field (`F_i^k` in the paper).
+#[derive(Clone, Debug)]
+pub struct MultiFieldDataset {
+    field_names: Vec<String>,
+    fields: Vec<CsrMatrix>,
+    /// Ground-truth dominant topic per user when generated synthetically
+    /// (used by the Fig. 4 visualization case study); empty otherwise.
+    pub user_topics: Vec<usize>,
+    /// Ground-truth topic *mixtures* (row-major `n_users × n_topics`) when
+    /// generated synthetically; empty otherwise. The A/B simulator uses the
+    /// full mixture as the affinity ground truth.
+    pub user_mixtures: Vec<f32>,
+    /// Number of generator topics (`user_mixtures` row width); 0 otherwise.
+    pub n_topics: usize,
+}
+
+/// The Table I statistics of a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of feature fields.
+    pub n_fields: usize,
+    /// Mean number of observed features per user (`N̄`).
+    pub mean_features_per_user: f64,
+    /// Total feature-vocabulary size across fields (`J`).
+    pub total_features: usize,
+}
+
+impl MultiFieldDataset {
+    /// Assembles a dataset from per-field CSR matrices. All fields must have
+    /// the same number of rows.
+    pub fn new(field_names: Vec<String>, fields: Vec<CsrMatrix>) -> Self {
+        assert_eq!(field_names.len(), fields.len(), "one name per field");
+        assert!(!fields.is_empty(), "at least one field");
+        let n = fields[0].n_rows();
+        assert!(
+            fields.iter().all(|f| f.n_rows() == n),
+            "every field must cover the same users"
+        );
+        Self {
+            field_names,
+            fields,
+            user_topics: Vec::new(),
+            user_mixtures: Vec::new(),
+            n_topics: 0,
+        }
+    }
+
+    /// Ground-truth topic mixture of user `u` (empty slice when the dataset
+    /// carries no generator ground truth).
+    pub fn user_mixture(&self, u: usize) -> &[f32] {
+        if self.n_topics == 0 {
+            &[]
+        } else {
+            &self.user_mixtures[u * self.n_topics..(u + 1) * self.n_topics]
+        }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.fields[0].n_rows()
+    }
+
+    /// Number of fields (`K`).
+    pub fn n_fields(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field names in order.
+    pub fn field_names(&self) -> &[String] {
+        &self.field_names
+    }
+
+    /// The CSR matrix of field `k`.
+    pub fn field(&self, k: usize) -> &CsrMatrix {
+        &self.fields[k]
+    }
+
+    /// Vocabulary size of field `k` (`J_k`).
+    pub fn field_vocab(&self, k: usize) -> usize {
+        self.fields[k].n_cols()
+    }
+
+    /// Total vocabulary size (`J = Σ J_k`).
+    pub fn total_features(&self) -> usize {
+        self.fields.iter().map(|f| f.n_cols()).sum()
+    }
+
+    /// User `i`'s sparse row in field `k`.
+    pub fn user_field(&self, i: usize, k: usize) -> (&[u32], &[f32]) {
+        self.fields[k].row(i)
+    }
+
+    /// User `i`'s features across `use_fields` as global IDs with values.
+    /// Passing `None` uses every field (the encoder input); the fold-in
+    /// protocol passes the channel fields only.
+    pub fn user_global_row(
+        &self,
+        i: usize,
+        use_fields: Option<&[usize]>,
+    ) -> (Vec<u64>, Vec<f32>) {
+        let all: Vec<usize> = (0..self.n_fields()).collect();
+        let picks = use_fields.unwrap_or(&all);
+        let cap: usize = picks.iter().map(|&k| self.fields[k].row_nnz(i)).sum();
+        let mut ids = Vec::with_capacity(cap);
+        let mut vals = Vec::with_capacity(cap);
+        for &k in picks {
+            let (ix, vs) = self.fields[k].row(i);
+            ids.extend(ix.iter().map(|&j| global_id(k, j)));
+            vals.extend_from_slice(vs);
+        }
+        (ids, vals)
+    }
+
+    /// Computes the Table I statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let nnz: usize = self.fields.iter().map(|f| f.nnz()).sum();
+        DatasetStats {
+            n_users: self.n_users(),
+            n_fields: self.n_fields(),
+            mean_features_per_user: if self.n_users() == 0 {
+                0.0
+            } else {
+                nnz as f64 / self.n_users() as f64
+            },
+            total_features: self.total_features(),
+        }
+    }
+
+    /// Restricts the dataset to a subset of users (splits, fold-in sets).
+    pub fn select_users(&self, users: &[usize]) -> MultiFieldDataset {
+        let fields = self.fields.iter().map(|f| f.select_rows(users)).collect();
+        let user_topics = if self.user_topics.is_empty() {
+            Vec::new()
+        } else {
+            users.iter().map(|&u| self.user_topics[u]).collect()
+        };
+        let user_mixtures = if self.n_topics == 0 {
+            Vec::new()
+        } else {
+            let mut out = Vec::with_capacity(users.len() * self.n_topics);
+            for &u in users {
+                out.extend_from_slice(self.user_mixture(u));
+            }
+            out
+        };
+        Self {
+            field_names: self.field_names.clone(),
+            fields,
+            user_topics,
+            user_mixtures,
+            n_topics: self.n_topics,
+        }
+    }
+
+    /// Index of the field named `name`, if present.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.field_names.iter().position(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_sparse::CsrBuilder;
+
+    fn tiny() -> MultiFieldDataset {
+        let mut f0 = CsrBuilder::new(4);
+        f0.push_binary_row(&[0, 1]);
+        f0.push_binary_row(&[2]);
+        let mut f1 = CsrBuilder::new(6);
+        f1.push_binary_row(&[5]);
+        f1.push_binary_row(&[0, 3, 4]);
+        MultiFieldDataset::new(vec!["ch1".into(), "tag".into()], vec![f0.build(), f1.build()])
+    }
+
+    #[test]
+    fn global_id_roundtrip() {
+        for field in [0usize, 1, 3] {
+            for index in [0u32, 7, 1 << 20] {
+                let id = global_id(field, index);
+                assert_eq!(split_global_id(id), (field, index));
+            }
+        }
+    }
+
+    #[test]
+    fn global_ids_are_disjoint_across_fields() {
+        assert_ne!(global_id(0, 5), global_id(1, 5));
+    }
+
+    #[test]
+    fn stats_match_table1_definition() {
+        let d = tiny();
+        let s = d.stats();
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.n_fields, 2);
+        assert_eq!(s.total_features, 10);
+        // 3 + 4 stored features over 2 users.
+        assert!((s.mean_features_per_user - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_global_row_concatenates_fields() {
+        let d = tiny();
+        let (ids, vals) = d.user_global_row(1, None);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(vals, vec![1.0; 4]);
+        assert!(ids.contains(&global_id(0, 2)));
+        assert!(ids.contains(&global_id(1, 3)));
+    }
+
+    #[test]
+    fn user_global_row_respects_field_subset() {
+        let d = tiny();
+        let (ids, _) = d.user_global_row(1, Some(&[0]));
+        assert_eq!(ids, vec![global_id(0, 2)]);
+    }
+
+    #[test]
+    fn select_users_reindexes_rows() {
+        let d = tiny();
+        let sub = d.select_users(&[1]);
+        assert_eq!(sub.n_users(), 1);
+        assert_eq!(sub.user_field(0, 0).0, &[2]);
+        assert_eq!(sub.user_field(0, 1).0, &[0, 3, 4]);
+    }
+
+    #[test]
+    fn field_index_lookup() {
+        let d = tiny();
+        assert_eq!(d.field_index("tag"), Some(1));
+        assert_eq!(d.field_index("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "same users")]
+    fn mismatched_row_counts_are_rejected() {
+        let mut f0 = CsrBuilder::new(2);
+        f0.push_binary_row(&[0]);
+        let f1 = CsrBuilder::new(2);
+        let _ = MultiFieldDataset::new(
+            vec!["a".into(), "b".into()],
+            vec![f0.build(), f1.build()],
+        );
+    }
+}

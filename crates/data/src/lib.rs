@@ -1,0 +1,27 @@
+//! Multi-field sparse datasets for the FVAE reproduction.
+//!
+//! The paper evaluates on three proprietary Tencent datasets (Kandian,
+//! QQ Browser, Short Content) that share one structure: every user is a set
+//! of multi-hot feature *fields* — three nested channel-ID levels plus a tag
+//! field — with power-law feature popularity. This crate provides:
+//!
+//! * [`MultiFieldDataset`] — the container (one CSR matrix per field) plus
+//!   the Table I statistics,
+//! * [`synth`] — a latent-topic generative model that reproduces that
+//!   structure with known ground truth, with presets standing in for the
+//!   SC / KD / QB datasets (scaled; see DESIGN.md §1),
+//! * [`split`] — train/validation/test user splits and the tag-prediction
+//!   fold-in protocol of §V-B2 (channels in, tags out, 1:1 sampled
+//!   negatives),
+//! * [`ba`] — Barabási–Albert preferential-attachment workloads for the
+//!   scalability experiment (Fig. 9).
+
+pub mod ba;
+pub mod dataset;
+pub mod io;
+pub mod split;
+pub mod synth;
+
+pub use dataset::{DatasetStats, MultiFieldDataset};
+pub use split::{tag_prediction_cases, SplitIndices, TagEvalCase};
+pub use synth::{FieldSpec, TopicModelConfig};

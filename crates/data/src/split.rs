@@ -1,0 +1,282 @@
+//! User splits and the tag-prediction evaluation protocol (§V-B2).
+
+use fvae_sparse::FastHashSet;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::dataset::MultiFieldDataset;
+
+/// Train/validation/test user index sets.
+#[derive(Clone, Debug)]
+pub struct SplitIndices {
+    /// Training users.
+    pub train: Vec<usize>,
+    /// Validation users (early stopping, Fig. 6 curves).
+    pub val: Vec<usize>,
+    /// Held-out test users.
+    pub test: Vec<usize>,
+}
+
+impl SplitIndices {
+    /// Randomly partitions `n` users with the given validation/test
+    /// fractions; the remainder trains.
+    pub fn random(n: usize, val_frac: f64, test_frac: f64, seed: u64) -> Self {
+        assert!(val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let n_test = (n as f64 * test_frac).round() as usize;
+        let val = order[..n_val].to_vec();
+        let test = order[n_val..n_val + n_test].to_vec();
+        let train = order[n_val + n_test..].to_vec();
+        Self { train, val, test }
+    }
+}
+
+/// One tag-prediction evaluation case: a held-out user, its channel fold-in
+/// input, and a candidate tag list with labels (observed tags positive,
+/// equally many sampled unobserved tags negative).
+#[derive(Clone, Debug)]
+pub struct TagEvalCase {
+    /// User index in the *original* dataset.
+    pub user: usize,
+    /// Candidate tag indices within the tag field vocabulary.
+    pub candidates: Vec<u32>,
+    /// Parallel labels.
+    pub labels: Vec<bool>,
+}
+
+/// Builds the §V-B2 protocol for the given held-out users: "choose features
+/// of Ch1, Ch2 and Ch3 as the fold-in set … pick the observed tags as the
+/// positives and randomly select unobserved tags as the negatives with the
+/// same number".
+pub fn tag_prediction_cases(
+    ds: &MultiFieldDataset,
+    users: &[usize],
+    tag_field: usize,
+    seed: u64,
+) -> Vec<TagEvalCase> {
+    // Negatives are drawn from the *observed tag catalogue* — tags that
+    // occur for at least one user in the dataset. A production tag-matching
+    // stage only ever ranks tags that exist in the system; vocabulary slots
+    // no user ever produced are not real candidates (and at our scaled-down
+    // user counts a large fraction of the vocabulary would otherwise be
+    // such phantom tags).
+    let catalogue: Vec<u32> = ds
+        .field(tag_field)
+        .column_frequencies()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0.0)
+        .map(|(t, _)| t as u32)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(users.len());
+    for &user in users {
+        let (observed, _) = ds.user_field(user, tag_field);
+        if observed.is_empty() || observed.len() * 2 >= catalogue.len() {
+            continue;
+        }
+        let positive: FastHashSet<u32> = observed.iter().copied().collect();
+        let mut candidates: Vec<u32> = observed.to_vec();
+        let mut labels = vec![true; observed.len()];
+        let mut negatives = FastHashSet::default();
+        while negatives.len() < observed.len() {
+            let t = catalogue[rng.random_range(0..catalogue.len())];
+            if !positive.contains(&t) && negatives.insert(t) {
+                candidates.push(t);
+                labels.push(false);
+            }
+        }
+        cases.push(TagEvalCase { user, candidates, labels });
+    }
+    cases
+}
+
+/// One hold-out reconstruction case: user `user` has `held_out` items of
+/// field `field` hidden from its encoder input; `input` lists the items that
+/// stayed visible (excluded from ranking candidates).
+#[derive(Clone, Debug)]
+pub struct ReconCase {
+    /// User index in the original dataset.
+    pub user: usize,
+    /// Field index.
+    pub field: usize,
+    /// Hidden items (the positives to recover).
+    pub held_out: Vec<u32>,
+    /// Visible items (excluded from the ranking).
+    pub input: Vec<u32>,
+}
+
+/// Builds the hold-out reconstruction protocol (Liang et al.'s fold-in
+/// evaluation, the standard way to score "reconstruction" without rewarding
+/// memorization): for every listed user and every field, `1 − keep_frac` of
+/// the observed items are hidden; the returned dataset is a copy with those
+/// items removed from the users' rows, and the cases list what was hidden.
+pub fn mask_for_reconstruction(
+    ds: &MultiFieldDataset,
+    users: &[usize],
+    keep_frac: f64,
+    seed: u64,
+) -> (MultiFieldDataset, Vec<ReconCase>) {
+    assert!((0.0..1.0).contains(&keep_frac) && keep_frac > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let test: FastHashSet<usize> = users.iter().copied().collect();
+    let mut cases = Vec::new();
+    let mut fields = Vec::with_capacity(ds.n_fields());
+    for k in 0..ds.n_fields() {
+        let src = ds.field(k);
+        let mut builder =
+            fvae_sparse::CsrBuilder::with_capacity(src.n_cols(), src.n_rows(), src.nnz());
+        for u in 0..src.n_rows() {
+            let (ix, vs) = src.row(u);
+            if !test.contains(&u) || ix.len() < 2 {
+                builder.push_row(ix, vs);
+                continue;
+            }
+            // Shuffle item positions; keep a ⌈keep_frac⌉ prefix (≥1 kept,
+            // ≥1 held out).
+            let mut order: Vec<usize> = (0..ix.len()).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let keep = ((ix.len() as f64 * keep_frac).round() as usize)
+                .clamp(1, ix.len() - 1);
+            let mut kept: Vec<usize> = order[..keep].to_vec();
+            kept.sort_unstable();
+            let kept_ix: Vec<u32> = kept.iter().map(|&p| ix[p]).collect();
+            let kept_vs: Vec<f32> = kept.iter().map(|&p| vs[p]).collect();
+            let held: Vec<u32> = order[keep..].iter().map(|&p| ix[p]).collect();
+            builder.push_row(&kept_ix, &kept_vs);
+            cases.push(ReconCase { user: u, field: k, held_out: held, input: kept_ix });
+        }
+        fields.push(builder.build());
+    }
+    let mut masked = MultiFieldDataset::new(ds.field_names().to_vec(), fields);
+    masked.user_topics = ds.user_topics.clone();
+    (masked, cases)
+}
+
+/// Shuffles user indices into mini-batches of at most `batch_size`.
+pub fn shuffled_batches(
+    users: &[usize],
+    batch_size: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order = users.to_vec();
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{FieldSpec, TopicModelConfig};
+
+    fn tiny() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 100,
+            n_topics: 3,
+            alpha: 0.2,
+            fields: vec![
+                FieldSpec::new("ch1", 8, 2, 1.0),
+                FieldSpec::new("tag", 64, 4, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 3,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn split_partitions_all_users_exactly_once() {
+        let s = SplitIndices::random(100, 0.1, 0.2, 1);
+        assert_eq!(s.val.len(), 10);
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 70);
+        let mut all: Vec<usize> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        let a = SplitIndices::random(50, 0.2, 0.2, 9);
+        let b = SplitIndices::random(50, 0.2, 0.2, 9);
+        assert_eq!(a.test, b.test);
+        let c = SplitIndices::random(50, 0.2, 0.2, 10);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn cases_are_balanced_and_disjoint() {
+        let ds = tiny();
+        let users: Vec<usize> = (0..30).collect();
+        let cases = tag_prediction_cases(&ds, &users, 1, 42);
+        assert!(!cases.is_empty());
+        for case in &cases {
+            let pos = case.labels.iter().filter(|&&l| l).count();
+            let neg = case.labels.len() - pos;
+            assert_eq!(pos, neg, "1:1 positive/negative balance");
+            // Negatives must not be observed tags.
+            let observed: std::collections::HashSet<u32> =
+                ds.user_field(case.user, 1).0.iter().copied().collect();
+            for (c, &l) in case.candidates.iter().zip(&case.labels) {
+                assert_eq!(observed.contains(c), l);
+            }
+            // No duplicate candidates.
+            let uniq: std::collections::HashSet<u32> =
+                case.candidates.iter().copied().collect();
+            assert_eq!(uniq.len(), case.candidates.len());
+        }
+    }
+
+    #[test]
+    fn reconstruction_mask_partitions_items() {
+        let ds = tiny();
+        let test: Vec<usize> = (0..20).collect();
+        let (masked, cases) = mask_for_reconstruction(&ds, &test, 0.8, 4);
+        assert_eq!(masked.n_users(), ds.n_users());
+        // Non-test users are byte-identical.
+        for u in 30..ds.n_users() {
+            assert_eq!(masked.user_field(u, 0), ds.user_field(u, 0));
+            assert_eq!(masked.user_field(u, 1), ds.user_field(u, 1));
+        }
+        // For every case: kept ∪ held == original row, kept ∩ held == ∅.
+        for case in &cases {
+            let (orig, _) = ds.user_field(case.user, case.field);
+            let mut rebuilt: Vec<u32> =
+                case.input.iter().chain(case.held_out.iter()).copied().collect();
+            rebuilt.sort_unstable();
+            let mut orig_sorted = orig.to_vec();
+            orig_sorted.sort_unstable();
+            assert_eq!(rebuilt, orig_sorted);
+            assert!(!case.held_out.is_empty() && !case.input.is_empty());
+            let held: std::collections::HashSet<u32> =
+                case.held_out.iter().copied().collect();
+            assert!(case.input.iter().all(|i| !held.contains(i)));
+        }
+    }
+
+    #[test]
+    fn batches_cover_every_user_once() {
+        let users: Vec<usize> = (0..23).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches = shuffled_batches(&users, 5, &mut rng);
+        assert_eq!(batches.len(), 5);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, users);
+    }
+}

@@ -1,0 +1,107 @@
+//! Table VI: the look-alike online A/B test.
+//!
+//! Control arm: skip-gram (Item2Vec) user embeddings — "we employ the
+//! skip-gram model as the baseline to learn user representations".
+//! Treatment arm: FVAE embeddings. Both feed the identical look-alike
+//! recall machinery; behaviour is simulated from the synthetic users'
+//! ground-truth topics (see `fvae-lookalike`'s crate docs for why this
+//! preserves the online test's causal structure).
+
+use fvae_baselines::{Item2Vec, RepresentationModel};
+use fvae_lookalike::abtest::{run_ab_test, AbTestConfig, AbTestReport};
+use fvae_tensor::Matrix;
+
+use crate::context::{render_table, EvalContext};
+use crate::models::{fvae_config, FvaeModel, LATENT_DIM};
+
+/// One-hot topic matrix from the dataset's ground-truth dominant topics
+/// (fallback when a dataset carries no mixtures).
+pub fn topic_matrix(user_topics: &[usize]) -> Matrix {
+    let t = user_topics.iter().copied().max().unwrap_or(0) + 1;
+    let mut m = Matrix::zeros(user_topics.len(), t);
+    for (u, &topic) in user_topics.iter().enumerate() {
+        m.set(u, topic, 1.0);
+    }
+    m
+}
+
+/// Ground-truth affinity basis for the simulator: the full topic mixtures
+/// when available (the finer-grained truth behaviour is sampled from),
+/// otherwise the one-hot dominant topics.
+pub fn ground_truth_matrix(ds: &fvae_data::MultiFieldDataset) -> Matrix {
+    if ds.n_topics > 0 {
+        Matrix::from_vec(ds.n_users(), ds.n_topics, ds.user_mixtures.clone())
+    } else {
+        topic_matrix(&ds.user_topics)
+    }
+}
+
+/// Trains both arms and runs the simulated A/B test.
+pub fn run_table6_experiment(ctx: &EvalContext) -> AbTestReport {
+    let mut cfg = fvae_data::TopicModelConfig::sc();
+    cfg.n_users = ctx.scale.users(cfg.n_users).min(6_000);
+    let ds = cfg.generate();
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+
+    eprintln!("[table6] fitting skip-gram control arm");
+    let mut skipgram = Item2Vec::new(LATENT_DIM, 31);
+    skipgram.epochs = ctx.scale.epochs(8).max(2);
+    skipgram.fit(&ds, &users);
+    let control = skipgram.embed(&ds, &users, None);
+
+    eprintln!("[table6] fitting FVAE treatment arm");
+    // Same step-budget reasoning as tables 2–4 (see tagpred.rs).
+    let mut fvae_cfg = fvae_config(&ds, ctx.scale.epochs(28));
+    fvae_cfg.sampling.rate = 0.2;
+    let mut fvae = FvaeModel::new(fvae_cfg);
+    fvae.fit(&ds, &users);
+    let treatment = fvae.embed(&ds, &users, None);
+
+    let theta = ground_truth_matrix(&ds);
+    let ab_cfg = AbTestConfig {
+        n_accounts: 250,
+        followers_per_account: 25,
+        recall_k: 10,
+        ..Default::default()
+    };
+    run_ab_test(&theta, &control, &treatment, &ab_cfg)
+}
+
+/// Regenerates Table VI. Writes `table6.csv`.
+pub fn table6(ctx: &EvalContext) -> String {
+    let report = run_table6_experiment(ctx);
+    let rows: Vec<Vec<String>> = report
+        .relative_changes()
+        .into_iter()
+        .map(|(metric, change)| {
+            vec![metric.to_string(), format!("{:+.2}%", change * 100.0)]
+        })
+        .collect();
+    let header = ["Metric", "Change"];
+    ctx.write_csv("table6.csv", &header, &rows);
+    let mut out = render_table(
+        "Table VI: relative changes in the simulated look-alike A/B test (FVAE vs skip-gram)",
+        &header,
+        &rows,
+    );
+    out.push_str(&format!(
+        "control:   {:?}\ntreatment: {:?}\n",
+        report.control, report.treatment
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_matrix_is_one_hot() {
+        let m = topic_matrix(&[0, 2, 1]);
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.row(1), &[0.0, 0.0, 1.0]);
+        for r in 0..3 {
+            assert!((m.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-9);
+        }
+    }
+}

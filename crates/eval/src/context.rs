@@ -1,0 +1,168 @@
+//! Shared experiment plumbing: scale presets, result-file output, and text
+//! table rendering.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Shrunk users/epochs: the whole suite replays in minutes on one core.
+    Quick,
+    /// The DESIGN.md preset sizes.
+    Full,
+}
+
+impl Scale {
+    /// Reads `FVAE_SCALE=full|quick` from the environment (default quick).
+    pub fn from_env() -> Self {
+        match std::env::var("FVAE_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Scales a user count.
+    pub fn users(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 4).max(600),
+        }
+    }
+
+    /// Scales an epoch count.
+    pub fn epochs(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 2).max(2),
+        }
+    }
+}
+
+/// Output context: where result files go.
+pub struct EvalContext {
+    results_dir: PathBuf,
+    /// Experiment scale (propagated to all drivers).
+    pub scale: Scale,
+}
+
+impl EvalContext {
+    /// Creates a context writing to `results/` (or `$FVAE_RESULTS_DIR`).
+    pub fn new() -> Self {
+        let dir = std::env::var("FVAE_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+        Self { results_dir: PathBuf::from(dir), scale: Scale::from_env() }
+    }
+
+    /// Creates a context with an explicit directory and scale (tests).
+    pub fn at(dir: impl Into<PathBuf>, scale: Scale) -> Self {
+        Self { results_dir: dir.into(), scale }
+    }
+
+    /// Writes a CSV with a header row; returns the path.
+    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+        fs::create_dir_all(&self.results_dir).expect("create results dir");
+        let path = self.results_dir.join(name);
+        let file = fs::File::create(&path).expect("create result file");
+        let mut out = std::io::BufWriter::new(file);
+        writeln!(out, "{}", header.join(",")).expect("write header");
+        for row in rows {
+            writeln!(out, "{}", row.join(",")).expect("write row");
+        }
+        out.flush().expect("flush result file");
+        path
+    }
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders an aligned text table (first column left-aligned, rest right).
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}  "));
+            } else {
+                line.push_str(&format!("{cell:>w$}  "));
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an `f64` metric with 4 decimals; NaN renders as `-`.
+pub fn fmt_metric(v: f64) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets() {
+        assert_eq!(Scale::Full.users(8000), 8000);
+        assert_eq!(Scale::Quick.users(8000), 2000);
+        assert_eq!(Scale::Quick.users(100), 600);
+        assert_eq!(Scale::Quick.epochs(8), 4);
+        assert_eq!(Scale::Quick.epochs(3), 2);
+    }
+
+    #[test]
+    fn csv_writes_and_roundtrips() {
+        let dir = std::env::temp_dir().join("fvae_eval_test");
+        let ctx = EvalContext::at(&dir, Scale::Quick);
+        let path = ctx.write_csv(
+            "demo.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let content = std::fs::read_to_string(path).expect("read back");
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "t",
+            &["model", "AUC"],
+            &[vec!["PCA".into(), "0.9".into()], vec!["FVAE-long".into(), "0.95".into()]],
+        );
+        assert!(s.contains("FVAE-long"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(0.12345), "0.1235");
+        assert_eq!(fmt_metric(f64::NAN), "-");
+    }
+}

@@ -1,0 +1,42 @@
+//! Experiment drivers that regenerate every table and figure of the paper's
+//! evaluation (§V). Each driver trains the relevant models, computes the
+//! paper's metrics, prints the table, and writes a CSV under `results/`.
+//!
+//! | driver | paper artifact |
+//! |---|---|
+//! | [`stats::table1`] | Table I — dataset statistics |
+//! | [`recon::table2`] | Table II — reconstruction AUC/mAP on SC |
+//! | [`tagpred::table3`] | Table III — tag prediction on SC |
+//! | [`tagpred::table4`] | Table IV — tag prediction on KD/QB |
+//! | [`speed::table5`] | Table V — training throughput FVAE vs Mult-VAE |
+//! | [`abtest::table6`] | Table VI — look-alike online A/B test |
+//! | [`viz::fig4`] | Fig. 4 — t-SNE of user embeddings |
+//! | [`sweeps::fig5`] | Fig. 5 — sampling strategies × rates |
+//! | [`sweeps::fig6`] | Fig. 6 — AUC vs training time per rate |
+//! | [`sweeps::fig7`] | Fig. 7 — α sensitivity per field |
+//! | [`sweeps::fig8`] | Fig. 8 — β sensitivity |
+//! | [`scaling::fig9`] | Fig. 9 — runtime vs avg/max feature size |
+//! | [`scaling::fig10`] | Fig. 10 — distributed speedup |
+//!
+//! An extra [`ablation::ablations`] driver isolates what each mechanism
+//! contributes (not a paper artifact; DESIGN.md §6).
+//!
+//! Every driver accepts a [`Scale`]: `Quick` shrinks users/epochs so the
+//! whole suite replays in minutes on one core; `Full` uses the DESIGN.md
+//! preset sizes. The *shape* of every result (method ordering, sweep trends)
+//! is preserved at both scales.
+
+pub mod ablation;
+pub mod abtest;
+pub mod context;
+pub mod models;
+pub mod recon;
+pub mod scaling;
+pub mod speed;
+pub mod stats;
+pub mod sweeps;
+pub mod tagpred;
+pub mod viz;
+
+pub use context::{EvalContext, Scale};
+pub use models::FvaeModel;

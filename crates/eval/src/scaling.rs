@@ -1,0 +1,113 @@
+//! Figures 9 & 10: scalability and distributed speedup.
+
+use std::time::Instant;
+
+use fvae_core::Fvae;
+use fvae_data::ba::{generate_ba, BaConfig};
+use fvae_distributed::{speedup_curve, CommModel};
+
+use crate::context::{render_table, EvalContext, Scale};
+use crate::models::fvae_config;
+
+/// Seconds per epoch of FVAE training on a BA dataset (measured over a
+/// bounded number of batches and extrapolated linearly, matching how the
+/// paper reports per-epoch running time).
+pub fn epoch_seconds(cfg: &BaConfig, batch_size: usize, max_batches: usize) -> f64 {
+    let ds = generate_ba(cfg);
+    let mut model_cfg = fvae_config(&ds, 1);
+    model_cfg.batch_size = batch_size;
+    let mut model = Fvae::new(model_cfg);
+    let mut opt = model.make_opt_states();
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    let n_batches = users.len().div_ceil(batch_size);
+    let timed = n_batches.min(max_batches);
+    // Warm-up populates the dynamic tables.
+    let warm: Vec<usize> = users.iter().copied().take(batch_size).collect();
+    model.train_single_batch(&ds, &warm, &mut opt);
+    let t0 = Instant::now();
+    for b in 0..timed {
+        let batch: Vec<usize> = users
+            .iter()
+            .copied()
+            .skip(b * batch_size)
+            .take(batch_size)
+            .collect();
+        if batch.is_empty() {
+            break;
+        }
+        model.train_single_batch(&ds, &batch, &mut opt);
+    }
+    t0.elapsed().as_secs_f64() / timed as f64 * n_batches as f64
+}
+
+/// Fig. 9: per-epoch running time vs average feature size (max fixed) and
+/// vs max feature size (average fixed). Writes `fig9_scalability.csv`.
+pub fn fig9(ctx: &EvalContext) -> String {
+    let (n_users, max_batches) = match ctx.scale {
+        Scale::Full => (2_000, 8),
+        Scale::Quick => (600, 4),
+    };
+    let batch = 128;
+    let mut rows = Vec::new();
+    // Sweep A: average feature size, max fixed at 1e5 (paper's setting).
+    for avg in [50usize, 100, 200, 400] {
+        eprintln!("[fig9] avg_features={avg}");
+        let cfg = BaConfig {
+            n_users,
+            avg_features: avg,
+            max_features: 100_000,
+            ..Default::default()
+        };
+        let secs = epoch_seconds(&cfg, batch, max_batches);
+        rows.push(vec!["avg_sweep".into(), avg.to_string(), "100000".into(), format!("{secs:.3}")]);
+    }
+    // Sweep B: max feature size, average fixed at 200 (paper's setting).
+    for max in [10_000usize, 100_000, 1_000_000] {
+        eprintln!("[fig9] max_features={max}");
+        let cfg = BaConfig {
+            n_users,
+            avg_features: 200,
+            max_features: max,
+            ..Default::default()
+        };
+        let secs = epoch_seconds(&cfg, batch, max_batches);
+        rows.push(vec!["max_sweep".into(), "200".into(), max.to_string(), format!("{secs:.3}")]);
+    }
+    let header = ["sweep", "avg_features", "max_features", "epoch_seconds"];
+    ctx.write_csv("fig9_scalability.csv", &header, &rows);
+    render_table(
+        "Fig. 9: FVAE per-epoch time vs average / max feature size (BA workloads)",
+        &header,
+        &rows,
+    )
+}
+
+/// Fig. 10: distributed speedup vs number of servers on the KD preset.
+/// Writes `fig10_speedup.csv`.
+pub fn fig10(ctx: &EvalContext) -> String {
+    let mut ds_cfg = fvae_data::TopicModelConfig::kd();
+    ds_cfg.n_users = ctx.scale.users(ds_cfg.n_users).min(10_000);
+    let ds = ds_cfg.generate();
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    let mut model = Fvae::new(fvae_config(&ds, 1));
+    let workers = [1usize, 3, 6, 9, 12];
+    eprintln!("[fig10] measuring shard compute at {} worker counts", workers.len());
+    let points = speedup_curve(&mut model, &ds, &users, &workers, 512, &CommModel::default());
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                format!("{:.3}", p.epoch_seconds),
+                format!("{:.2}", p.speedup),
+            ]
+        })
+        .collect();
+    let header = ["servers", "epoch_seconds", "speedup"];
+    ctx.write_csv("fig10_speedup.csv", &header, &rows);
+    render_table(
+        "Fig. 10: speedup via distributed computing (measured shards + ring all-reduce model)",
+        &header,
+        &rows,
+    )
+}

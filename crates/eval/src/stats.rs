@@ -1,0 +1,52 @@
+//! Table I: dataset statistics (#users, #fields, N̄, J).
+
+use fvae_data::TopicModelConfig;
+
+use crate::context::{render_table, EvalContext};
+
+/// Regenerates Table I for the three dataset presets. Returns the rendered
+/// table and writes `table1.csv`.
+pub fn table1(ctx: &EvalContext) -> String {
+    let presets = [
+        ("KD", TopicModelConfig::kd()),
+        ("QB", TopicModelConfig::qb()),
+        ("SC", TopicModelConfig::sc()),
+    ];
+    let mut rows = Vec::new();
+    for (name, mut cfg) in presets {
+        cfg.n_users = ctx.scale.users(cfg.n_users);
+        let ds = cfg.generate();
+        let s = ds.stats();
+        rows.push(vec![
+            name.to_string(),
+            s.n_users.to_string(),
+            s.n_fields.to_string(),
+            format!("{:.2}", s.mean_features_per_user),
+            s.total_features.to_string(),
+        ]);
+    }
+    let header = ["Dataset", "#Users", "#Fields", "N", "J"];
+    ctx.write_csv("table1.csv", &header, &rows);
+    render_table(
+        "Table I: statistics of datasets (scaled presets; see DESIGN.md)",
+        &header,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn table1_lists_three_datasets() {
+        let dir = std::env::temp_dir().join("fvae_table1_test");
+        let ctx = EvalContext::at(&dir, Scale::Quick);
+        let out = table1(&ctx);
+        for name in ["KD", "QB", "SC"] {
+            assert!(out.contains(name), "missing {name} in\n{out}");
+        }
+        assert!(dir.join("table1.csv").exists());
+    }
+}

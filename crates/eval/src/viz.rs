@@ -1,0 +1,108 @@
+//! Fig. 4: t-SNE visualization of FVAE user embeddings.
+//!
+//! "We randomly select 1000 users from 3 topics … mapping those vectors into
+//! the 2-D space with t-SNE." The driver writes the 2-D coordinates with
+//! topic labels (`fig4_tsne.csv`, plottable directly) and reports the
+//! k-nearest-neighbour label agreement as the quantitative stand-in for
+//! "clusters with clear boundaries".
+
+use fvae_baselines::RepresentationModel;
+use fvae_tensor::Matrix;
+use fvae_tsne::{knn_label_agreement, tsne, TsneConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::context::{render_table, EvalContext, Scale};
+use crate::models::{fvae_config, FvaeModel};
+
+/// Result of the visualization case study.
+pub struct VizResult {
+    /// 2-D layout (`points × 2`).
+    pub layout: Matrix,
+    /// Topic label per point.
+    pub labels: Vec<usize>,
+    /// k-NN label agreement (k = 10).
+    pub knn_agreement: f64,
+}
+
+/// Runs the Fig. 4 pipeline: train FVAE on the KD preset, sample users from
+/// the 3 most common topics, embed, t-SNE.
+pub fn run_fig4(ctx: &EvalContext) -> VizResult {
+    let mut cfg = fvae_data::TopicModelConfig::kd();
+    cfg.n_users = ctx.scale.users(8_000).min(8_000);
+    let ds = cfg.generate();
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    let epochs = ctx.scale.epochs(8);
+    eprintln!("[fig4] fitting FVAE on the KD preset");
+    let mut model = FvaeModel::new(fvae_config(&ds, epochs));
+    model.fit(&ds, &users);
+
+    // The 3 most common ground-truth topics, `n_points` users total.
+    let n_points = match ctx.scale {
+        Scale::Full => 1000,
+        Scale::Quick => 450,
+    };
+    let mut counts = std::collections::HashMap::new();
+    for &t in &ds.user_topics {
+        *counts.entry(t).or_insert(0usize) += 1;
+    }
+    let mut by_count: Vec<(usize, usize)> = counts.into_iter().collect();
+    by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let top3: Vec<usize> = by_count.iter().take(3).map(|&(t, _)| t).collect();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut picked = Vec::new();
+    let mut labels = Vec::new();
+    for &topic in &top3 {
+        let mut members: Vec<usize> =
+            users.iter().copied().filter(|&u| ds.user_topics[u] == topic).collect();
+        for i in (1..members.len()).rev() {
+            let j = rng.random_range(0..=i);
+            members.swap(i, j);
+        }
+        for &u in members.iter().take(n_points / 3) {
+            picked.push(u);
+            labels.push(topic);
+        }
+    }
+
+    let embeddings = model.embed(&ds, &picked, None);
+    eprintln!("[fig4] running t-SNE on {} points", picked.len());
+    let tsne_cfg = TsneConfig {
+        perplexity: 30.0,
+        iterations: match ctx.scale {
+            Scale::Full => 400,
+            Scale::Quick => 250,
+        },
+        ..Default::default()
+    };
+    let layout = tsne(&embeddings, &tsne_cfg);
+    let knn = knn_label_agreement(&layout, &labels, 10);
+    VizResult { layout, labels, knn_agreement: knn }
+}
+
+/// Regenerates Fig. 4 (coordinates CSV + cluster-quality summary).
+pub fn fig4(ctx: &EvalContext) -> String {
+    let result = run_fig4(ctx);
+    let rows: Vec<Vec<String>> = (0..result.layout.rows())
+        .map(|r| {
+            vec![
+                format!("{:.4}", result.layout.get(r, 0)),
+                format!("{:.4}", result.layout.get(r, 1)),
+                result.labels[r].to_string(),
+            ]
+        })
+        .collect();
+    ctx.write_csv("fig4_tsne.csv", &["x", "y", "topic"], &rows);
+    let summary = vec![vec![
+        result.layout.rows().to_string(),
+        "3".to_string(),
+        format!("{:.4}", result.knn_agreement),
+    ]];
+    ctx.write_csv("fig4_summary.csv", &["points", "topics", "knn10_agreement"], &summary);
+    render_table(
+        "Fig. 4: t-SNE of FVAE embeddings (coordinates in fig4_tsne.csv)",
+        &["points", "topics", "knn10 label agreement"],
+        &summary,
+    )
+}

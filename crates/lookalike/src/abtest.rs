@@ -1,0 +1,327 @@
+//! Online A/B test simulator (Table VI).
+//!
+//! The paper runs FVAE embeddings against skip-gram embeddings in QQ
+//! Browser's uploader recommendation: both arms share the same look-alike
+//! machinery (average-pooled account embeddings + L2 recall); only the user
+//! embedding differs. Users click "follow" on recalled uploaders they like,
+//! and may then Like/Share content — stronger positive feedback.
+//!
+//! The simulator keeps exactly that causal structure. Ground truth is the
+//! users' latent topic mixture (known for the synthetic datasets): an
+//! account's *true* affinity to a user is `θ_user · τ_account`, behaviour is
+//! sampled from that affinity, and each arm only controls *which accounts
+//! get recalled*. A better embedding recalls higher-affinity accounts and
+//! mechanically collects more clicks/likes/shares — the same path the online
+//! test measures.
+
+use fvae_tensor::ops::sigmoid;
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::store::EmbeddingStore;
+use crate::system::{Account, LookalikeSystem};
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AbTestConfig {
+    /// Number of uploader accounts.
+    pub n_accounts: usize,
+    /// Seed followers per account.
+    pub followers_per_account: usize,
+    /// Accounts recalled (exposed) per user.
+    pub recall_k: usize,
+    /// Steepness of the affinity → click sigmoid.
+    pub click_scale: f32,
+    /// Affinity level with 50% click probability.
+    pub click_threshold: f32,
+    /// Probability cap of a Like given a click (scaled by affinity).
+    pub like_given_click: f32,
+    /// Probability cap of a Share given a click (scaled by affinity).
+    pub share_given_click: f32,
+    /// RNG seed (accounts, behaviour).
+    pub seed: u64,
+}
+
+impl Default for AbTestConfig {
+    fn default() -> Self {
+        Self {
+            n_accounts: 200,
+            followers_per_account: 20,
+            recall_k: 10,
+            click_scale: 8.0,
+            click_threshold: 0.35,
+            like_given_click: 0.35,
+            share_given_click: 0.15,
+            seed: 77,
+        }
+    }
+}
+
+/// Raw counters of one arm, named after the Table VI metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArmMetrics {
+    /// `#Following Click`.
+    pub following_clicks: u64,
+    /// `#Like`.
+    pub likes: u64,
+    /// `#Share`.
+    pub shares: u64,
+    /// Users with ≥ 1 like (denominator of `Avg. Like`).
+    pub users_liked: u64,
+    /// Users with ≥ 1 share (denominator of `Avg. Share`).
+    pub users_shared: u64,
+}
+
+impl ArmMetrics {
+    /// `Avg. Like = #Like / #users_liked`.
+    pub fn avg_like(&self) -> f64 {
+        if self.users_liked == 0 {
+            0.0
+        } else {
+            self.likes as f64 / self.users_liked as f64
+        }
+    }
+
+    /// `Avg. Share = #Share / #users_shared`.
+    pub fn avg_share(&self) -> f64 {
+        if self.users_shared == 0 {
+            0.0
+        } else {
+            self.shares as f64 / self.users_shared as f64
+        }
+    }
+}
+
+/// Result of one A/B test.
+#[derive(Clone, Debug)]
+pub struct AbTestReport {
+    /// Control arm (the paper's skip-gram baseline).
+    pub control: ArmMetrics,
+    /// Treatment arm (FVAE).
+    pub treatment: ArmMetrics,
+}
+
+impl AbTestReport {
+    /// Relative changes of treatment over control, in Table VI's row order:
+    /// `#Following Click, #Like, Avg. Like, #Share, Avg. Share`.
+    pub fn relative_changes(&self) -> Vec<(&'static str, f64)> {
+        let rel = |t: f64, c: f64| if c == 0.0 { f64::NAN } else { (t - c) / c };
+        vec![
+            (
+                "#Following Click",
+                rel(self.treatment.following_clicks as f64, self.control.following_clicks as f64),
+            ),
+            ("#Like", rel(self.treatment.likes as f64, self.control.likes as f64)),
+            ("Avg. Like", rel(self.treatment.avg_like(), self.control.avg_like())),
+            ("#Share", rel(self.treatment.shares as f64, self.control.shares as f64)),
+            ("Avg. Share", rel(self.treatment.avg_share(), self.control.avg_share())),
+        ]
+    }
+}
+
+/// Builds model-independent accounts: each account draws a topic profile and
+/// its seed followers are the best-matching users from a random pool —
+/// mirroring real uploader audiences forming around interests.
+pub fn build_accounts(
+    user_topics: &Matrix,
+    cfg: &AbTestConfig,
+    rng: &mut StdRng,
+) -> (Vec<Account>, Matrix) {
+    let n_users = user_topics.rows();
+    let t = user_topics.cols();
+    let mut profiles = Matrix::zeros(cfg.n_accounts, t);
+    let mut accounts = Vec::with_capacity(cfg.n_accounts);
+    for a in 0..cfg.n_accounts {
+        let profile = fvae_tensor::dist::dirichlet(0.2, t, rng);
+        profiles.row_mut(a).copy_from_slice(&profile);
+        // Candidate pool of 8× the follower budget, take the most affine.
+        let pool: Vec<usize> = (0..cfg.followers_per_account * 8)
+            .map(|_| rng.random_range(0..n_users))
+            .collect();
+        let scores: Vec<f32> = pool
+            .iter()
+            .map(|&u| fvae_tensor::ops::dot(user_topics.row(u), &profile))
+            .collect();
+        let top = fvae_tensor::ops::top_k_indices(&scores, cfg.followers_per_account);
+        let followers: Vec<u64> = top.into_iter().map(|i| pool[i] as u64).collect();
+        accounts.push(Account { id: a as u64, followers });
+    }
+    (accounts, profiles)
+}
+
+fn run_arm(
+    embeddings: &Matrix,
+    accounts: &[Account],
+    user_topics: &Matrix,
+    profiles: &Matrix,
+    cfg: &AbTestConfig,
+    behaviour_seed: u64,
+) -> ArmMetrics {
+    let store = EmbeddingStore::new(embeddings.cols());
+    for u in 0..embeddings.rows() {
+        store.put(u as u64, embeddings.row(u).to_vec());
+    }
+    let system = LookalikeSystem::build(&store, accounts.to_vec());
+    let mut metrics = ArmMetrics::default();
+    for u in 0..embeddings.rows() {
+        // Behaviour RNG is seeded per user, NOT per arm: the same user shown
+        // the same account reacts identically in both arms, so the only
+        // difference between arms is recall quality.
+        let mut rng = StdRng::seed_from_u64(behaviour_seed ^ (u as u64).wrapping_mul(0x9e3779b9));
+        let recalled = system.recall(embeddings.row(u), cfg.recall_k);
+        let mut liked = false;
+        let mut shared = false;
+        for a in recalled {
+            let affinity =
+                fvae_tensor::ops::dot(user_topics.row(u), profiles.row(a));
+            let p_click = sigmoid(cfg.click_scale * (affinity - cfg.click_threshold));
+            if rng.random::<f32>() < p_click {
+                metrics.following_clicks += 1;
+                let engagement = (2.0 * affinity).min(1.0);
+                if rng.random::<f32>() < cfg.like_given_click * engagement {
+                    metrics.likes += 1;
+                    liked = true;
+                }
+                if rng.random::<f32>() < cfg.share_given_click * engagement {
+                    metrics.shares += 1;
+                    shared = true;
+                }
+            }
+        }
+        metrics.users_liked += liked as u64;
+        metrics.users_shared += shared as u64;
+    }
+    metrics
+}
+
+/// Runs the full A/B test: same accounts, same behaviour model, two
+/// embedding arms.
+pub fn run_ab_test(
+    user_topics: &Matrix,
+    control_embeddings: &Matrix,
+    treatment_embeddings: &Matrix,
+    cfg: &AbTestConfig,
+) -> AbTestReport {
+    assert_eq!(
+        control_embeddings.rows(),
+        treatment_embeddings.rows(),
+        "both arms must cover the same users"
+    );
+    assert_eq!(user_topics.rows(), control_embeddings.rows());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (accounts, profiles) = build_accounts(user_topics, cfg, &mut rng);
+    let behaviour_seed = cfg.seed.wrapping_add(1);
+    let control = run_arm(
+        control_embeddings,
+        &accounts,
+        user_topics,
+        &profiles,
+        cfg,
+        behaviour_seed,
+    );
+    let treatment = run_arm(
+        treatment_embeddings,
+        &accounts,
+        user_topics,
+        &profiles,
+        cfg,
+        behaviour_seed,
+    );
+    AbTestReport { control, treatment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_tensor::dist::Gaussian;
+
+    fn topics(n: usize, t: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, t);
+        for r in 0..n {
+            let mix = fvae_tensor::dist::dirichlet(0.1, t, &mut rng);
+            m.row_mut(r).copy_from_slice(&mix);
+        }
+        m
+    }
+
+    fn noisy(base: &Matrix, std: f32, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = Gaussian::new(0.0, std);
+        let mut out = base.clone();
+        for v in out.as_mut_slice() {
+            *v += gauss.sample(&mut rng);
+        }
+        out
+    }
+
+    #[test]
+    fn perfect_embeddings_beat_random_ones() {
+        let theta = topics(800, 6, 1);
+        let perfect = theta.clone();
+        let random = noisy(&Matrix::zeros(800, 6), 1.0, 2);
+        let cfg = AbTestConfig { n_accounts: 60, ..Default::default() };
+        let report = run_ab_test(&theta, &random, &perfect, &cfg);
+        assert!(
+            report.treatment.following_clicks > report.control.following_clicks,
+            "perfect recall must collect more clicks: {:?} vs {:?}",
+            report.treatment,
+            report.control
+        );
+        assert!(report.treatment.likes >= report.control.likes);
+        let changes = report.relative_changes();
+        assert!(changes[0].1 > 0.0, "#Following Click change {:?}", changes[0]);
+    }
+
+    #[test]
+    fn identical_arms_tie_exactly() {
+        let theta = topics(300, 4, 3);
+        let emb = noisy(&theta, 0.1, 4);
+        let cfg = AbTestConfig { n_accounts: 40, ..Default::default() };
+        let report = run_ab_test(&theta, &emb, &emb, &cfg);
+        assert_eq!(report.control, report.treatment, "shared behaviour seed ⇒ exact tie");
+        for (_, change) in report.relative_changes() {
+            assert!(change.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counters_are_internally_consistent() {
+        let theta = topics(400, 5, 5);
+        let emb = noisy(&theta, 0.3, 6);
+        let cfg = AbTestConfig { n_accounts: 50, ..Default::default() };
+        let report = run_ab_test(&theta, &emb, &emb, &cfg);
+        for arm in [report.control, report.treatment] {
+            assert!(arm.likes <= arm.following_clicks);
+            assert!(arm.shares <= arm.following_clicks);
+            assert!(arm.users_liked <= arm.likes.max(1));
+            assert!(arm.avg_like() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn accounts_follow_their_topic() {
+        let theta = topics(500, 4, 7);
+        let cfg = AbTestConfig { n_accounts: 20, followers_per_account: 10, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(8);
+        let (accounts, profiles) = build_accounts(&theta, &cfg, &mut rng);
+        // Followers of an account should have above-average affinity to it.
+        for (a, account) in accounts.iter().enumerate() {
+            let mean_all: f32 = (0..500)
+                .map(|u| fvae_tensor::ops::dot(theta.row(u), profiles.row(a)))
+                .sum::<f32>()
+                / 500.0;
+            let mean_followers: f32 = account
+                .followers
+                .iter()
+                .map(|&u| fvae_tensor::ops::dot(theta.row(u as usize), profiles.row(a)))
+                .sum::<f32>()
+                / account.followers.len() as f32;
+            assert!(
+                mean_followers > mean_all,
+                "account {a}: followers {mean_followers} vs population {mean_all}"
+            );
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The look-alike system of §IV-D/§V-F and its online A/B test simulator
+//! (Table VI).
+//!
+//! Deployment path reproduced here:
+//!
+//! 1. an offline model infers user embeddings and writes them to the
+//!    [`EmbeddingStore`] (the paper's Redis-style "high performance cache"),
+//! 2. account (uploader) embeddings are built by **average pooling** the
+//!    embeddings of the account's followers,
+//! 3. candidates are recalled by **L2 similarity** between a user's
+//!    embedding and the account embeddings,
+//! 4. the [`abtest`] module replays synthetic user behaviour (click → like /
+//!    share, driven by ground-truth affinity) against two recall arms and
+//!    reports the Table VI metrics.
+
+pub mod abtest;
+pub mod store;
+pub mod system;
+
+pub use abtest::{AbTestConfig, AbTestReport, ArmMetrics};
+pub use store::EmbeddingStore;
+pub use system::{Account, LookalikeSystem};

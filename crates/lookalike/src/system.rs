@@ -1,0 +1,141 @@
+//! The look-alike recall path: account embeddings by average pooling,
+//! candidate recall by L2 similarity (§V-F).
+
+use fvae_tensor::Matrix;
+
+use crate::store::EmbeddingStore;
+
+/// An uploader account with its seed followers.
+#[derive(Clone, Debug)]
+pub struct Account {
+    /// Account identifier.
+    pub id: u64,
+    /// User IDs of the account's existing followers (the look-alike seeds).
+    pub followers: Vec<u64>,
+}
+
+/// The serving-side look-alike system.
+pub struct LookalikeSystem {
+    accounts: Vec<Account>,
+    /// Account embeddings (`accounts × dim`), average-pooled from followers.
+    account_embeddings: Matrix,
+    /// Accounts that had at least one cached follower.
+    valid: Vec<bool>,
+}
+
+impl LookalikeSystem {
+    /// Builds account embeddings from the user-embedding store: "generate
+    /// account embeddings by using average pooling to merge all followed
+    /// users".
+    pub fn build(store: &EmbeddingStore, accounts: Vec<Account>) -> Self {
+        let dim = store.dim();
+        let mut emb = Matrix::zeros(accounts.len(), dim);
+        let mut valid = vec![false; accounts.len()];
+        for (r, account) in accounts.iter().enumerate() {
+            if let Some(mean) = store.mean_of(&account.followers) {
+                emb.row_mut(r).copy_from_slice(&mean);
+                valid[r] = true;
+            }
+        }
+        Self { accounts, account_embeddings: emb, valid }
+    }
+
+    /// Number of accounts.
+    pub fn n_accounts(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Account metadata.
+    pub fn account(&self, idx: usize) -> &Account {
+        &self.accounts[idx]
+    }
+
+    /// The pooled embedding of account `idx`.
+    pub fn account_embedding(&self, idx: usize) -> &[f32] {
+        self.account_embeddings.row(idx)
+    }
+
+    /// Recalls the top-`k` accounts for a user embedding by L2 similarity
+    /// ("recall similar accounts by the L2 similarity"): score =
+    /// −‖u − a‖². Accounts with no cached followers are never recalled.
+    /// Returns account indices, best first.
+    pub fn recall(&self, user_embedding: &[f32], k: usize) -> Vec<usize> {
+        let scores: Vec<f32> = (0..self.accounts.len())
+            .map(|a| {
+                if self.valid[a] {
+                    -fvae_tensor::ops::squared_distance(
+                        user_embedding,
+                        self.account_embeddings.row(a),
+                    )
+                } else {
+                    f32::NEG_INFINITY
+                }
+            })
+            .collect();
+        fvae_tensor::ops::top_k_indices(&scores, k)
+            .into_iter()
+            .filter(|&a| self.valid[a])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_two_clusters() -> EmbeddingStore {
+        let store = EmbeddingStore::new(2);
+        // Users 0–4 near (0, 0); users 10–14 near (10, 10).
+        for u in 0..5u64 {
+            store.put(u, vec![0.1 * u as f32, 0.0]);
+        }
+        for u in 10..15u64 {
+            store.put(u, vec![10.0 + 0.1 * (u - 10) as f32, 10.0]);
+        }
+        store
+    }
+
+    #[test]
+    fn account_embeddings_are_follower_means() {
+        let store = store_with_two_clusters();
+        let system = LookalikeSystem::build(
+            &store,
+            vec![Account { id: 100, followers: vec![0, 1, 2, 3, 4] }],
+        );
+        let e = system.account_embedding(0);
+        assert!((e[0] - 0.2).abs() < 1e-6);
+        assert_eq!(e[1], 0.0);
+    }
+
+    #[test]
+    fn recall_prefers_nearby_accounts() {
+        let store = store_with_two_clusters();
+        let system = LookalikeSystem::build(
+            &store,
+            vec![
+                Account { id: 100, followers: vec![0, 1, 2] },
+                Account { id: 200, followers: vec![10, 11, 12] },
+            ],
+        );
+        let near_origin = system.recall(&[0.0, 0.0], 1);
+        assert_eq!(near_origin, vec![0]);
+        let near_far = system.recall(&[10.0, 10.0], 1);
+        assert_eq!(near_far, vec![1]);
+        let both = system.recall(&[0.0, 0.0], 5);
+        assert_eq!(both, vec![0, 1], "k beyond catalogue returns all, best first");
+    }
+
+    #[test]
+    fn accounts_without_cached_followers_are_skipped() {
+        let store = store_with_two_clusters();
+        let system = LookalikeSystem::build(
+            &store,
+            vec![
+                Account { id: 100, followers: vec![999] },
+                Account { id: 200, followers: vec![0, 1] },
+            ],
+        );
+        let recalled = system.recall(&[0.0, 0.0], 2);
+        assert_eq!(recalled, vec![1]);
+    }
+}

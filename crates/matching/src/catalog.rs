@@ -1,0 +1,185 @@
+//! Item catalogue with tag profiles.
+
+use fvae_data::MultiFieldDataset;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A recommendable item: a tag profile plus (for synthetic catalogues) the
+/// ground-truth topic it was produced from.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item identifier (index into the catalogue).
+    pub id: u32,
+    /// Tag indices within the dataset's tag field, sorted and distinct.
+    pub tags: Vec<u32>,
+    /// Ground-truth topic (evaluation only).
+    pub topic: usize,
+}
+
+/// A catalogue of items sharing a dataset's tag statistics.
+#[derive(Clone, Debug)]
+pub struct ItemCatalog {
+    items: Vec<Item>,
+    tag_vocab: usize,
+}
+
+impl ItemCatalog {
+    /// Synthesizes `n_items` items against `ds`: each item copies a few tags
+    /// from a random user's profile (so item tags follow exactly the corpus
+    /// tag distribution, head-heavy and topic-clustered) and inherits that
+    /// user's topic as ground truth.
+    pub fn synthesize(
+        ds: &MultiFieldDataset,
+        tag_field: usize,
+        n_items: usize,
+        tags_per_item: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n_items > 0 && tags_per_item > 0);
+        assert!(!ds.user_topics.is_empty(), "catalogue synthesis needs topic ground truth");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut items = Vec::with_capacity(n_items);
+        let mut id = 0u32;
+        while items.len() < n_items {
+            let user = rng.random_range(0..ds.n_users());
+            let (tags, _) = ds.user_field(user, tag_field);
+            if tags.is_empty() {
+                continue;
+            }
+            let mut picked = Vec::with_capacity(tags_per_item);
+            for _ in 0..tags_per_item {
+                picked.push(tags[rng.random_range(0..tags.len())]);
+            }
+            picked.sort_unstable();
+            picked.dedup();
+            items.push(Item { id, tags: picked, topic: ds.user_topics[user] });
+            id += 1;
+        }
+        Self { items, tag_vocab: ds.field_vocab(tag_field) }
+    }
+
+    /// Builds a catalogue from explicit items (tests, external catalogues).
+    /// Panics if any tag exceeds `tag_vocab` or ids are not `0..n`.
+    pub fn from_items(items: Vec<Item>, tag_vocab: usize) -> Self {
+        for (pos, item) in items.iter().enumerate() {
+            assert_eq!(item.id as usize, pos, "item ids must be dense 0..n");
+            assert!(
+                item.tags.iter().all(|&t| (t as usize) < tag_vocab),
+                "tag out of vocabulary"
+            );
+        }
+        Self { items, tag_vocab }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Item accessor.
+    pub fn item(&self, id: u32) -> &Item {
+        &self.items[id as usize]
+    }
+
+    /// All items.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Tag-field vocabulary size the catalogue was built against.
+    pub fn tag_vocab(&self) -> usize {
+        self.tag_vocab
+    }
+
+    /// Inverted index: tag → item ids carrying it.
+    pub fn inverted_index(&self) -> Vec<Vec<u32>> {
+        let mut index = vec![Vec::new(); self.tag_vocab];
+        for item in &self.items {
+            for &t in &item.tags {
+                index[t as usize].push(item.id);
+            }
+        }
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvae_data::{FieldSpec, TopicModelConfig};
+
+    fn ds() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 150,
+            n_topics: 3,
+            alpha: 0.1,
+            fields: vec![
+                FieldSpec::new("ch1", 12, 3, 1.0),
+                FieldSpec::new("tag", 64, 6, 1.2),
+            ],
+            pair_prob: 0.0,
+            seed: 3,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn synthesized_items_have_valid_tags_and_topics() {
+        let ds = ds();
+        let catalog = ItemCatalog::synthesize(&ds, 1, 100, 3, 7);
+        assert_eq!(catalog.len(), 100);
+        assert_eq!(catalog.tag_vocab(), 64);
+        for item in catalog.items() {
+            assert!(!item.tags.is_empty() && item.tags.len() <= 3);
+            assert!(item.tags.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+            assert!(item.tags.iter().all(|&t| t < 64));
+            assert!(item.topic < 3);
+        }
+    }
+
+    #[test]
+    fn inverted_index_is_consistent() {
+        let ds = ds();
+        let catalog = ItemCatalog::synthesize(&ds, 1, 60, 2, 8);
+        let index = catalog.inverted_index();
+        for item in catalog.items() {
+            for &t in &item.tags {
+                assert!(index[t as usize].contains(&item.id));
+            }
+        }
+        let total: usize = index.iter().map(Vec::len).sum();
+        let expect: usize = catalog.items().iter().map(|i| i.tags.len()).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn item_tags_follow_corpus_popularity() {
+        let ds = ds();
+        let catalog = ItemCatalog::synthesize(&ds, 1, 500, 3, 9);
+        // The most popular corpus tag should appear in noticeably more items
+        // than a random tail tag.
+        let freq = ds.field(1).column_frequencies();
+        let head_tag = freq
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty")
+            .0;
+        let index = catalog.inverted_index();
+        let head_count = index[head_tag].len();
+        let median_count = {
+            let mut lens: Vec<usize> = index.iter().map(Vec::len).collect();
+            lens.sort_unstable();
+            lens[lens.len() / 2]
+        };
+        assert!(
+            head_count > median_count,
+            "head tag items {head_count} vs median {median_count}"
+        );
+    }
+}

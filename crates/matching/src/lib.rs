@@ -1,0 +1,25 @@
+//! The industrial matching stage of Fig. 3: "the matching stage aims at
+//! finding satisfied items from millions of candidates, and feeding them to
+//! the ranking stage. … The matching stage consists of several different
+//! models or strategies, where Tag-based matching is one of the most popular
+//! one. It recalls candidates by matching the same or similar tag observed
+//! in the item and user profiles."
+//!
+//! This crate provides the pipeline the FVAE's tag prediction plugs into:
+//!
+//! * [`ItemCatalog`] — items carrying tag profiles (synthesized against a
+//!   dataset's tag statistics, with ground-truth topics for evaluation),
+//! * [`TagMatcher`] — inverted-index recall over the user's predicted tags,
+//! * [`EmbeddingMatcher`] — recall by the FVAE decoder's item affinity
+//!   (mean tag logit under the user's latent),
+//! * [`MatchingPipeline`] — strategy union with deduplication, the "several
+//!   different models or strategies" of the figure, handing a bounded
+//!   candidate set to ranking.
+
+pub mod catalog;
+pub mod matchers;
+pub mod pipeline;
+
+pub use catalog::{Item, ItemCatalog};
+pub use matchers::{EmbeddingMatcher, Matcher, TagMatcher, UserQuery};
+pub use pipeline::{MatchingPipeline, RankedCandidate};

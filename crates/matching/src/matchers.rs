@@ -1,0 +1,189 @@
+//! Matching strategies: each turns a user query into scored item candidates.
+
+use fvae_core::Fvae;
+use fvae_data::MultiFieldDataset;
+use fvae_sparse::FastHashMap;
+
+use crate::catalog::ItemCatalog;
+
+/// A user at matching time: its index plus the FVAE's view of it.
+#[derive(Clone, Debug)]
+pub struct UserQuery {
+    /// User index in the dataset.
+    pub user: usize,
+    /// Latent embedding (μ) from the fold-in fields.
+    pub embedding: Vec<f32>,
+    /// Top predicted tags `(tag, score)`, best first.
+    pub predicted_tags: Vec<(u32, f32)>,
+}
+
+impl UserQuery {
+    /// Builds the query with the model: embed from `fold_in_fields`, predict
+    /// the top-`n_tags` tags over the whole tag vocabulary.
+    pub fn build(
+        model: &Fvae,
+        ds: &MultiFieldDataset,
+        user: usize,
+        fold_in_fields: &[usize],
+        tag_field: usize,
+        n_tags: usize,
+    ) -> Self {
+        let z = model.embed_users(ds, &[user], Some(fold_in_fields));
+        let vocab: Vec<u32> = (0..ds.field_vocab(tag_field) as u32).collect();
+        let scores = model.field_logits_one(z.row(0), tag_field, &vocab);
+        let top = fvae_tensor::ops::top_k_indices(&scores, n_tags);
+        let predicted_tags: Vec<(u32, f32)> =
+            top.into_iter().map(|i| (vocab[i], scores[i])).collect();
+        Self { user, embedding: z.row(0).to_vec(), predicted_tags }
+    }
+}
+
+/// A matching strategy: produces `(item, score)` candidates for a query.
+pub trait Matcher {
+    /// Strategy name (shown in pipeline diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Recalls up to `k` scored candidates, best first.
+    fn recall(&self, query: &UserQuery, k: usize) -> Vec<(u32, f32)>;
+}
+
+/// Tag-based matching: "recalls candidates by matching the same or similar
+/// tag observed in the item and user profiles". Items are scored by the sum
+/// of the query's predicted-tag scores they overlap, discounted by tag
+/// document frequency (head tags match everything and carry little signal).
+pub struct TagMatcher {
+    index: Vec<Vec<u32>>,
+    /// `idf[t] = ln(1 + N/df_t)` per tag.
+    idf: Vec<f32>,
+}
+
+impl TagMatcher {
+    /// Builds the inverted index over a catalogue.
+    pub fn new(catalog: &ItemCatalog) -> Self {
+        let index = catalog.inverted_index();
+        let n = catalog.len() as f32;
+        let idf = index
+            .iter()
+            .map(|items| (1.0 + n / (items.len() as f32 + 1.0)).ln())
+            .collect();
+        Self { index, idf }
+    }
+}
+
+impl Matcher for TagMatcher {
+    fn name(&self) -> &'static str {
+        "tag-match"
+    }
+
+    fn recall(&self, query: &UserQuery, k: usize) -> Vec<(u32, f32)> {
+        let mut scores: FastHashMap<u32, f32> = FastHashMap::default();
+        for &(tag, tag_score) in &query.predicted_tags {
+            let Some(items) = self.index.get(tag as usize) else {
+                continue;
+            };
+            let weight = tag_score * self.idf[tag as usize];
+            for &item in items {
+                *scores.entry(item).or_insert(0.0) += weight;
+            }
+        }
+        let mut ranked: Vec<(u32, f32)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+/// Embedding-based matching: scores an item by the model's mean logit of the
+/// item's tags under the user's latent — the decoder's own item affinity, no
+/// separate item tower needed.
+pub struct EmbeddingMatcher<'a> {
+    model: &'a Fvae,
+    catalog: &'a ItemCatalog,
+    tag_field: usize,
+}
+
+impl<'a> EmbeddingMatcher<'a> {
+    /// Wraps a trained model and a catalogue.
+    pub fn new(model: &'a Fvae, catalog: &'a ItemCatalog, tag_field: usize) -> Self {
+        Self { model, catalog, tag_field }
+    }
+}
+
+impl Matcher for EmbeddingMatcher<'_> {
+    fn name(&self) -> &'static str {
+        "embedding-match"
+    }
+
+    fn recall(&self, query: &UserQuery, k: usize) -> Vec<(u32, f32)> {
+        // One pass over the tag vocabulary, then per-item averaging — far
+        // cheaper than scoring items independently.
+        let vocab: Vec<u32> = (0..self.catalog.tag_vocab() as u32).collect();
+        let z = fvae_tensor::Matrix::from_vec(1, query.embedding.len(), query.embedding.clone());
+        let tag_scores = self.model.field_log_probs(&z, self.tag_field, &vocab);
+        let row = tag_scores.row(0);
+        let mut ranked: Vec<(u32, f32)> = self
+            .catalog
+            .items()
+            .iter()
+            .map(|item| {
+                let s: f32 =
+                    item.tags.iter().map(|&t| row[t as usize]).sum::<f32>()
+                        / item.tags.len() as f32;
+                (item.id, s)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Item;
+
+    fn toy_catalog() -> ItemCatalog {
+        // Hand-built catalogue; bypass synthesize for exact control.
+        let items = vec![
+            Item { id: 0, tags: vec![1, 2], topic: 0 },
+            Item { id: 1, tags: vec![2, 3], topic: 0 },
+            Item { id: 2, tags: vec![7], topic: 1 },
+        ];
+        ItemCatalog::from_items(items, 10)
+    }
+
+    fn query(tags: &[(u32, f32)]) -> UserQuery {
+        UserQuery { user: 0, embedding: vec![0.0; 4], predicted_tags: tags.to_vec() }
+    }
+
+    #[test]
+    fn tag_matcher_scores_overlap() {
+        let catalog = toy_catalog();
+        let matcher = TagMatcher::new(&catalog);
+        let out = matcher.recall(&query(&[(2, 1.0)]), 10);
+        let ids: Vec<u32> = out.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&0) && ids.contains(&1));
+        // Item 2 shares no tag.
+        assert!(!ids.contains(&2));
+    }
+
+    #[test]
+    fn tag_matcher_accumulates_multiple_tags() {
+        let catalog = toy_catalog();
+        let matcher = TagMatcher::new(&catalog);
+        let out = matcher.recall(&query(&[(1, 1.0), (2, 1.0)]), 10);
+        // Item 0 matches both tags → strictly highest score.
+        assert_eq!(out[0].0, 0);
+        assert!(out[0].1 > out[1].1);
+    }
+
+    #[test]
+    fn tag_matcher_respects_k() {
+        let catalog = toy_catalog();
+        let matcher = TagMatcher::new(&catalog);
+        assert_eq!(matcher.recall(&query(&[(2, 1.0)]), 1).len(), 1);
+        assert!(matcher.recall(&query(&[(9, 1.0)]), 5).is_empty());
+    }
+}

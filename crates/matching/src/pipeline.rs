@@ -1,0 +1,175 @@
+//! Strategy union + ranking hand-off: the full matching stage of Fig. 3.
+
+use fvae_sparse::FastHashMap;
+
+use crate::matchers::{Matcher, UserQuery};
+
+/// A candidate leaving the matching stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedCandidate {
+    /// Item id.
+    pub item: u32,
+    /// Fused score (mean of per-strategy normalized ranks).
+    pub score: f32,
+    /// Which strategies recalled it.
+    pub sources: Vec<&'static str>,
+}
+
+/// The matching stage: several strategies recall in parallel, candidates are
+/// deduplicated, and a bounded, fused-ranked set feeds the ranking stage.
+pub struct MatchingPipeline<'a> {
+    matchers: Vec<Box<dyn Matcher + 'a>>,
+    /// Candidates requested from each strategy.
+    per_matcher_k: usize,
+    /// Candidates handed to ranking.
+    output_k: usize,
+}
+
+impl<'a> MatchingPipeline<'a> {
+    /// Builds a pipeline over the given strategies.
+    pub fn new(
+        matchers: Vec<Box<dyn Matcher + 'a>>,
+        per_matcher_k: usize,
+        output_k: usize,
+    ) -> Self {
+        assert!(!matchers.is_empty(), "a pipeline needs at least one strategy");
+        assert!(per_matcher_k > 0 && output_k > 0);
+        Self { matchers, per_matcher_k, output_k }
+    }
+
+    /// Strategy names, in execution order.
+    pub fn strategy_names(&self) -> Vec<&'static str> {
+        self.matchers.iter().map(|m| m.name()).collect()
+    }
+
+    /// Runs the matching stage for one user.
+    ///
+    /// Per-strategy scores live on incompatible scales (tag-overlap mass vs
+    /// log-probabilities), so fusion uses *reciprocal-rank* contributions —
+    /// the standard scale-free merge for heterogeneous recall channels.
+    pub fn recall(&self, query: &UserQuery) -> Vec<RankedCandidate> {
+        let mut fused: FastHashMap<u32, (f32, Vec<&'static str>)> = FastHashMap::default();
+        for matcher in &self.matchers {
+            for (rank, (item, _)) in
+                matcher.recall(query, self.per_matcher_k).into_iter().enumerate()
+            {
+                let entry = fused.entry(item).or_insert((0.0, Vec::new()));
+                entry.0 += 1.0 / (rank as f32 + 10.0); // RRF with k = 10
+                entry.1.push(matcher.name());
+            }
+        }
+        let mut out: Vec<RankedCandidate> = fused
+            .into_iter()
+            .map(|(item, (score, sources))| RankedCandidate { item, score, sources })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.item.cmp(&b.item))
+        });
+        out.truncate(self.output_k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(&'static str, Vec<(u32, f32)>);
+
+    impl Matcher for Fixed {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn recall(&self, _query: &UserQuery, k: usize) -> Vec<(u32, f32)> {
+            self.1.iter().copied().take(k).collect()
+        }
+    }
+
+    fn query() -> UserQuery {
+        UserQuery { user: 0, embedding: vec![0.0], predicted_tags: vec![] }
+    }
+
+    #[test]
+    fn union_deduplicates_and_tracks_sources() {
+        let pipeline = MatchingPipeline::new(
+            vec![
+                Box::new(Fixed("a", vec![(1, 9.0), (2, 8.0)])),
+                Box::new(Fixed("b", vec![(2, 100.0), (3, 50.0)])),
+            ],
+            10,
+            10,
+        );
+        let out = pipeline.recall(&query());
+        assert_eq!(out.len(), 3);
+        let two = out.iter().find(|c| c.item == 2).expect("item 2 recalled");
+        assert_eq!(two.sources, vec!["a", "b"]);
+        // Recalled by both strategies → must outrank single-source items.
+        assert_eq!(out[0].item, 2);
+    }
+
+    #[test]
+    fn reciprocal_rank_fusion_is_scale_free() {
+        // Strategy b's raw scores are 1000× larger; fusion must not care.
+        let pipeline = MatchingPipeline::new(
+            vec![
+                Box::new(Fixed("a", vec![(1, 0.9), (2, 0.8)])),
+                Box::new(Fixed("b", vec![(3, 9000.0), (4, 8000.0)])),
+            ],
+            10,
+            10,
+        );
+        let out = pipeline.recall(&query());
+        // Rank-1 of each strategy ties; rank-2 of each ties.
+        assert!((out[0].score - out[1].score).abs() < 1e-6);
+        assert!((out[2].score - out[3].score).abs() < 1e-6);
+        assert!(out[0].score > out[2].score);
+    }
+
+    #[test]
+    fn output_is_bounded() {
+        let many: Vec<(u32, f32)> = (0..50).map(|i| (i, 50.0 - i as f32)).collect();
+        let pipeline = MatchingPipeline::new(vec![Box::new(Fixed("a", many))], 40, 5);
+        assert_eq!(pipeline.recall(&query()).len(), 5);
+    }
+
+    #[test]
+    fn fused_output_is_subset_of_strategy_union() {
+        let a_items: Vec<(u32, f32)> = vec![(1, 3.0), (5, 2.0), (9, 1.0)];
+        let b_items: Vec<(u32, f32)> = vec![(5, 7.0), (7, 6.0)];
+        let union: std::collections::HashSet<u32> = a_items
+            .iter()
+            .chain(b_items.iter())
+            .map(|&(i, _)| i)
+            .collect();
+        let pipeline = MatchingPipeline::new(
+            vec![Box::new(Fixed("a", a_items)), Box::new(Fixed("b", b_items))],
+            10,
+            10,
+        );
+        let out = pipeline.recall(&query());
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|c| union.contains(&c.item)));
+        // No duplicates leave the pipeline.
+        let distinct: std::collections::HashSet<u32> = out.iter().map(|c| c.item).collect();
+        assert_eq!(distinct.len(), out.len());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_item_id() {
+        // Two items with identical rank contributions must order by id.
+        let pipeline = MatchingPipeline::new(
+            vec![
+                Box::new(Fixed("a", vec![(9, 1.0)])),
+                Box::new(Fixed("b", vec![(2, 1.0)])),
+            ],
+            10,
+            10,
+        );
+        let out = pipeline.recall(&query());
+        assert_eq!(out[0].item, 2);
+        assert_eq!(out[1].item, 9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Ranking metrics used throughout the paper's evaluation: AUC and mAP
+//! (Tables II–IV, Figures 5–8), plus recall@k for the look-alike system.
+//!
+//! Both headline metrics are computed per user over that user's scored
+//! candidates and then averaged across users, matching the evaluation
+//! protocol of §V-A3 ("computed for each user and averaged over all users").
+
+mod rank;
+
+pub use rank::{auc, average_precision, hit_at_k, ndcg_at_k, recall_at_k};
+
+/// Streaming mean for per-user metric aggregation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mean {
+    sum: f64,
+    n: u64,
+}
+
+impl Mean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation; non-finite values are ignored (a user with no
+    /// positives or no negatives yields an undefined AUC and is skipped).
+    pub fn push(&mut self, v: f64) {
+        if v.is_finite() {
+            self.sum += v;
+            self.n += 1;
+        }
+    }
+
+    /// Number of accepted observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean; `NaN` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// Per-field plus overall metric report, mirroring the column layout of
+/// Tables II and IV.
+#[derive(Clone, Debug)]
+pub struct FieldReport {
+    /// Field names in dataset order.
+    pub fields: Vec<String>,
+    /// Per-field AUC.
+    pub auc: Vec<f64>,
+    /// Per-field mAP.
+    pub map: Vec<f64>,
+    /// Overall AUC (candidates pooled across fields).
+    pub overall_auc: f64,
+    /// Overall mAP.
+    pub overall_map: f64,
+}
+
+impl FieldReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = write!(out, "{:>10}", "metric");
+        let _ = write!(out, "{:>10}", "Overall");
+        for f in &self.fields {
+            let _ = write!(out, "{:>10}", f);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:>10}{:>10.4}", "AUC", self.overall_auc);
+        for v in &self.auc {
+            let _ = write!(out, "{:>10.4}", v);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:>10}{:>10.4}", "mAP", self.overall_map);
+        for v in &self.map {
+            let _ = write!(out, "{:>10.4}", v);
+        }
+        let _ = writeln!(out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_skips_non_finite() {
+        let mut m = Mean::new();
+        m.push(1.0);
+        m.push(f64::NAN);
+        m.push(3.0);
+        assert_eq!(m.count(), 2);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_is_nan() {
+        assert!(Mean::new().mean().is_nan());
+    }
+
+    #[test]
+    fn report_renders_all_fields() {
+        let r = FieldReport {
+            fields: vec!["ch1".into(), "tag".into()],
+            auc: vec![0.9, 0.8],
+            map: vec![0.85, 0.75],
+            overall_auc: 0.88,
+            overall_map: 0.81,
+        };
+        let s = r.render("demo");
+        assert!(s.contains("ch1"));
+        assert!(s.contains("0.9000"));
+        assert!(s.contains("0.8100"));
+    }
+}

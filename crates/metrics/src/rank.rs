@@ -1,0 +1,322 @@
+//! Rank-based metric implementations.
+
+/// Area under the ROC curve via the Mann–Whitney U statistic with average
+/// ranks for ties.
+///
+/// Returns `NaN` when the labels contain no positive or no negative — the
+/// metric is undefined there and callers skip such users.
+pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must be parallel");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return f64::NAN;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Average ranks over tied groups, accumulate the rank sum of positives.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based: positions i..=j share rank (i+1 + j+1)/2.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Average precision: mean of precision@k over the ranks k of the positives.
+///
+/// Returns `NaN` when there are no positives. Ties are broken by input order
+/// after a stable descending sort (deterministic given deterministic scores).
+pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must be parallel");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return f64::NAN;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut hits = 0u64;
+    let mut ap = 0.0f64;
+    for (k, &idx) in order.iter().enumerate() {
+        if labels[idx] {
+            hits += 1;
+            ap += hits as f64 / (k + 1) as f64;
+        }
+    }
+    ap / n_pos as f64
+}
+
+/// Fraction of the positives that appear in the top-`k` scored items.
+pub fn recall_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must be parallel");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 {
+        return f64::NAN;
+    }
+    let top = fvae_top_k(scores, k);
+    let hit = top.iter().filter(|&&i| labels[i]).count();
+    hit as f64 / n_pos as f64
+}
+
+/// Normalized discounted cumulative gain at `k` with binary relevance:
+/// `DCG@k / IDCG@k`. Returns `NaN` when there are no positives.
+pub fn ndcg_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must be parallel");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    if n_pos == 0 || k == 0 {
+        return if n_pos == 0 { f64::NAN } else { 0.0 };
+    }
+    let top = fvae_top_k(scores, k);
+    let dcg: f64 = top
+        .iter()
+        .enumerate()
+        .filter(|&(_, &i)| labels[i])
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..n_pos.min(k))
+        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+/// 1 when any positive appears in the top `k`, else 0 (`NaN` without
+/// positives) — the hit-rate numerator used by matching-stage dashboards.
+pub fn hit_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores and labels must be parallel");
+    if !labels.iter().any(|&l| l) {
+        return f64::NAN;
+    }
+    let top = fvae_top_k(scores, k);
+    if top.iter().any(|&i| labels[i]) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn fvae_top_k(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_give_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_labels_yield_nan() {
+        assert!(auc(&[0.1, 0.2], &[true, true]).is_nan());
+        assert!(auc(&[0.1, 0.2], &[false, false]).is_nan());
+        assert!(average_precision(&[0.1], &[false]).is_nan());
+        assert!(recall_at_k(&[0.1], &[false], 1).is_nan());
+    }
+
+    #[test]
+    fn auc_matches_pairwise_definition() {
+        // AUC = P(score_pos > score_neg) + 0.5·P(tie), checked brute force.
+        let scores = [0.3f32, 0.7, 0.7, 0.1, 0.5];
+        let labels = [false, true, false, false, true];
+        let mut wins = 0.0f64;
+        let mut total = 0.0f64;
+        for i in 0..5 {
+            for j in 0..5 {
+                if labels[i] && !labels[j] {
+                    total += 1.0;
+                    if scores[i] > scores[j] {
+                        wins += 1.0;
+                    } else if scores[i] == scores[j] {
+                        wins += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((auc(&scores, &labels) - wins / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_known_case() {
+        // Ranking: pos, neg, pos → AP = (1/1 + 2/3)/2 = 5/6.
+        let scores = [0.9, 0.8, 0.7];
+        let labels = [true, false, true];
+        assert!((average_precision(&scores, &labels) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_is_one_for_perfect_ranking() {
+        let scores = [0.9, 0.8, 0.1, 0.0];
+        let labels = [true, true, false, false];
+        assert!((average_precision(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_known_cases() {
+        // Perfect ranking → NDCG 1.
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((ndcg_at_k(&scores, &labels, 4) - 1.0).abs() < 1e-12);
+        // Single positive at rank 2 of top-2: DCG = 1/log2(3), IDCG = 1.
+        let scores = [0.9f32, 0.8, 0.1];
+        let labels = [false, true, false];
+        let expect = 1.0 / 3.0f64.log2();
+        assert!((ndcg_at_k(&scores, &labels, 2) - expect).abs() < 1e-12);
+        // No positives → NaN; k = 0 → 0.
+        assert!(ndcg_at_k(&scores, &[false, false, false], 2).is_nan());
+        assert_eq!(ndcg_at_k(&scores, &labels, 0), 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_monotone_in_rank_of_the_positive() {
+        let labels = [false, false, true];
+        let early = ndcg_at_k(&[0.1f32, 0.2, 0.9], &labels, 3);
+        let late = ndcg_at_k(&[0.9f32, 0.8, 0.2], &labels, 3);
+        assert!(early > late);
+    }
+
+    #[test]
+    fn hit_at_k_binary_outcomes() {
+        let scores = [0.9f32, 0.5, 0.1];
+        assert_eq!(hit_at_k(&scores, &[false, false, true], 1), 0.0);
+        assert_eq!(hit_at_k(&scores, &[false, false, true], 3), 1.0);
+        assert!(hit_at_k(&scores, &[false, false, false], 2).is_nan());
+    }
+
+    #[test]
+    fn recall_at_k_counts_top_hits() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [true, false, true, false];
+        assert!((recall_at_k(&scores, &labels, 1) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&scores, &labels, 3) - 1.0).abs() < 1e-12);
+        assert!((recall_at_k(&scores, &labels, 0)).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_case() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+        proptest::collection::vec((0.0f32..1.0, any::<bool>()), 2..100)
+            .prop_map(|v| v.into_iter().unzip())
+    }
+
+    proptest! {
+        /// AUC is within [0, 1] and invariant to monotone score transforms.
+        #[test]
+        fn auc_bounds_and_monotone_invariance((scores, labels) in arb_case()) {
+            let a = auc(&scores, &labels);
+            if a.is_nan() {
+                return Ok(());
+            }
+            prop_assert!((0.0..=1.0).contains(&a));
+            let transformed: Vec<f32> = scores.iter().map(|&s| s * 3.0 + 1.0).collect();
+            let b = auc(&transformed, &labels);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        /// Flipping every label reflects AUC around one half.
+        #[test]
+        fn auc_label_flip_symmetry((scores, labels) in arb_case()) {
+            let a = auc(&scores, &labels);
+            if a.is_nan() {
+                return Ok(());
+            }
+            let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+            let b = auc(&scores, &flipped);
+            prop_assert!((a + b - 1.0).abs() < 1e-9);
+        }
+
+        /// AP lies in (0, 1] whenever defined.
+        #[test]
+        fn ap_bounds((scores, labels) in arb_case()) {
+            let ap = average_precision(&scores, &labels);
+            if ap.is_nan() {
+                return Ok(());
+            }
+            prop_assert!(ap > 0.0 && ap <= 1.0 + 1e-12);
+        }
+
+        /// recall@len == 1 whenever there is at least one positive.
+        #[test]
+        fn recall_at_full_length_is_one((scores, labels) in arb_case()) {
+            let r = recall_at_k(&scores, &labels, scores.len());
+            if labels.iter().any(|&l| l) {
+                prop_assert!((r - 1.0).abs() < 1e-12);
+            }
+        }
+
+        /// NDCG is bounded in [0, 1] at every k (it is NOT monotone in k —
+        /// the ideal-DCG normalizer grows with k), and a perfect ranking
+        /// scores exactly 1 at every depth.
+        #[test]
+        fn ndcg_bounds_and_perfect_ranking((scores, labels) in arb_case()) {
+            if !labels.iter().any(|&l| l) {
+                return Ok(());
+            }
+            for k in 1..=scores.len() {
+                let v = ndcg_at_k(&scores, &labels, k);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "k={k}: {v}");
+            }
+            prop_assert!((hit_at_k(&scores, &labels, scores.len()) - 1.0).abs() < 1e-12);
+            // Perfect ranking: give every positive a higher score than every
+            // negative, keeping the candidate set identical.
+            let perfect: Vec<f32> =
+                labels.iter().map(|&l| if l { 2.0 } else { 1.0 }).collect();
+            for k in 1..=perfect.len() {
+                let v = ndcg_at_k(&perfect, &labels, k);
+                prop_assert!((v - 1.0).abs() < 1e-9, "perfect ranking NDCG@{k} = {v}");
+            }
+        }
+
+        /// hit@k == 1 exactly when recall@k > 0.
+        #[test]
+        fn hit_iff_positive_recall((scores, labels) in arb_case(), k in 1usize..50) {
+            if !labels.iter().any(|&l| l) {
+                return Ok(());
+            }
+            let k = k.min(scores.len());
+            let hit = hit_at_k(&scores, &labels, k);
+            let recall = recall_at_k(&scores, &labels, k);
+            prop_assert_eq!(hit == 1.0, recall > 0.0);
+        }
+    }
+}

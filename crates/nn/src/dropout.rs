@@ -1,0 +1,102 @@
+//! Inverted dropout.
+//!
+//! Mult-DAE applies dropout to the (normalized) input layer; Mult-VAE and
+//! FVAE use it on the encoder input as regularization. Inverted scaling
+//! (`kept / keep_prob`) keeps inference a no-op.
+
+use fvae_tensor::Matrix;
+use rand::{Rng, RngExt};
+
+/// Inverted dropout with drop probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer; `p` must be in `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Applies dropout in place during training, returning the mask (already
+    /// containing the `1/(1-p)` scaling) for the backward pass.
+    pub fn forward_train(&self, x: &mut Matrix, rng: &mut impl Rng) -> Matrix {
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for (m, v) in mask.as_mut_slice().iter_mut().zip(x.as_mut_slice().iter_mut()) {
+            if self.p == 0.0 || rng.random::<f32>() >= self.p {
+                *m = scale;
+                *v *= scale;
+            } else {
+                *m = 0.0;
+                *v = 0.0;
+            }
+        }
+        mask
+    }
+
+    /// Backward: multiplies the gradient by the stored mask.
+    pub fn backward(&self, mask: &Matrix, dy: &mut Matrix) {
+        dy.hadamard_assign(mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_probability_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dropout::new(0.0);
+        let mut x = Matrix::full(4, 4, 2.0);
+        let mask = d.forward_train(&mut x, &mut rng);
+        assert!(x.as_slice().iter().all(|&v| v == 2.0));
+        assert!(mask.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dropout::new(0.5);
+        let mut kept_sum = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let mut x = Matrix::full(1, 100, 1.0);
+            d.forward_train(&mut x, &mut rng);
+            kept_sum += x.as_slice().iter().sum::<f32>();
+        }
+        let mean = kept_sum / (n as f32 * 100.0);
+        assert!((mean - 1.0).abs() < 0.05, "inverted scaling should preserve E[x], got {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dropout::new(0.5);
+        let mut x = Matrix::full(2, 8, 1.0);
+        let mask = d.forward_train(&mut x, &mut rng);
+        let mut dy = Matrix::full(2, 8, 1.0);
+        d.backward(&mask, &mut dy);
+        // Gradient must be zero exactly where the input was dropped.
+        for (g, v) in dy.as_slice().iter().zip(x.as_slice().iter()) {
+            assert_eq!(*g == 0.0, *v == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Sparse embedding-bag input layer over a dynamic hash table (§IV-C1).
+//!
+//! For a user whose field holds feature IDs `{id_1, …, id_n}` with weights
+//! `{v_1, …, v_n}`, the layer output is `Σ v_j · E[slot(id_j)]` — exactly the
+//! product of the multi-hot row with a `J × D` weight matrix, but touching
+//! only the `n ≪ J` rows actually present. New feature IDs get a freshly
+//! initialized row on first sight ("randomly initialized and pushed into the
+//! hash table"), so the model tracks a growing vocabulary without rebuilds.
+
+use fvae_sparse::{DynamicHashTable, FastHashMap};
+use fvae_tensor::dist::Gaussian;
+use fvae_tensor::Matrix;
+use rand::Rng;
+
+/// Sparse gradient: dense slot index → gradient row of length `dim`.
+pub type RowGrads = FastHashMap<usize, Vec<f32>>;
+
+/// Embedding bag with dynamically growing vocabulary.
+#[derive(Clone, Debug)]
+pub struct EmbeddingBag {
+    dim: usize,
+    init_std: f32,
+    table: DynamicHashTable,
+    weights: Vec<f32>,
+}
+
+impl EmbeddingBag {
+    /// Creates an empty bag producing `dim`-dimensional outputs. New rows are
+    /// initialized `N(0, init_std²)`.
+    pub fn new(dim: usize, init_std: f32) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, init_std, table: DynamicHashTable::new(), weights: Vec::new() }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of feature IDs seen so far.
+    pub fn vocab_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The underlying ID → slot table.
+    pub fn table(&self) -> &DynamicHashTable {
+        &self.table
+    }
+
+    /// Raw weight buffer (`vocab_len × dim`, row-major) for optimizers.
+    pub fn weights_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.weights
+    }
+
+    /// Raw weight buffer.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Returns the slot for `id`, growing the table and weight buffer when
+    /// the ID is new.
+    pub fn slot_or_insert(&mut self, id: u64, rng: &mut impl Rng) -> usize {
+        let dim = self.dim;
+        let init_std = self.init_std;
+        let weights = &mut self.weights;
+        self.table.slot_or_insert(id, |_slot| {
+            let mut gauss = Gaussian::new(0.0, init_std);
+            let start = weights.len();
+            weights.resize(start + dim, 0.0);
+            gauss.fill(rng, &mut weights[start..]);
+        })
+    }
+
+    /// Embedding row for a slot.
+    #[inline]
+    pub fn row(&self, slot: usize) -> &[f32] {
+        &self.weights[slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    /// Inserts `id` (if new) and overwrites its embedding row — used by
+    /// parameter averaging in the distributed trainer.
+    pub fn set_row(&mut self, id: u64, row: &[f32], rng: &mut impl Rng) {
+        assert_eq!(row.len(), self.dim, "row width mismatch");
+        let slot = self.slot_or_insert(id, rng);
+        self.weights[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(row);
+    }
+
+    /// Forward pass over a batch of sparse rows, inserting unseen IDs.
+    ///
+    /// Returns the pooled `batch × dim` output and, per row, the slot of each
+    /// input ID (parallel to the input order) for the backward pass.
+    pub fn forward_batch(
+        &mut self,
+        rows: &[(&[u64], &[f32])],
+        rng: &mut impl Rng,
+    ) -> (Matrix, Vec<Vec<u32>>) {
+        let mut out = Matrix::zeros(rows.len(), self.dim);
+        let mut all_slots = Vec::with_capacity(rows.len());
+        for (r, (ids, vals)) in rows.iter().enumerate() {
+            assert_eq!(ids.len(), vals.len(), "ids and values must be parallel");
+            let mut slots = Vec::with_capacity(ids.len());
+            for (&id, &v) in ids.iter().zip(vals.iter()) {
+                let slot = self.slot_or_insert(id, rng);
+                slots.push(slot as u32);
+                let emb = &self.weights[slot * self.dim..(slot + 1) * self.dim];
+                let out_row = out.row_mut(r);
+                for (o, &e) in out_row.iter_mut().zip(emb.iter()) {
+                    *o += v * e;
+                }
+            }
+            all_slots.push(slots);
+        }
+        (out, all_slots)
+    }
+
+    /// Forward pass that never inserts; unknown IDs contribute nothing.
+    /// Used at inference time (the paper's offline embedding inference).
+    pub fn forward_batch_frozen(&self, rows: &[(&[u64], &[f32])]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.dim);
+        for (r, (ids, vals)) in rows.iter().enumerate() {
+            let out_row = out.row_mut(r);
+            for (&id, &v) in ids.iter().zip(vals.iter()) {
+                if let Some(slot) = self.table.slot_of(id) {
+                    let emb = &self.weights[slot * self.dim..(slot + 1) * self.dim];
+                    for (o, &e) in out_row.iter_mut().zip(emb.iter()) {
+                        *o += v * e;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: scatters `∂L/∂out` into per-slot gradient rows.
+    ///
+    /// `rows_slots`/`rows_vals` are the slot lists returned by
+    /// [`EmbeddingBag::forward_batch`] and the input values. Gradients for
+    /// slots hit by several rows accumulate.
+    pub fn backward(
+        &self,
+        rows_slots: &[Vec<u32>],
+        rows_vals: &[&[f32]],
+        dy: &Matrix,
+    ) -> RowGrads {
+        assert_eq!(rows_slots.len(), dy.rows(), "batch size mismatch");
+        let mut grads = RowGrads::default();
+        for (r, (slots, vals)) in rows_slots.iter().zip(rows_vals.iter()).enumerate() {
+            let dy_row = dy.row(r);
+            for (&slot, &v) in slots.iter().zip(vals.iter()) {
+                let g = grads
+                    .entry(slot as usize)
+                    .or_insert_with(|| vec![0.0; self.dim]);
+                for (gi, &d) in g.iter_mut().zip(dy_row.iter()) {
+                    *gi += v * d;
+                }
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_pools_weighted_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bag = EmbeddingBag::new(3, 0.1);
+        let ids = [7u64, 9];
+        let vals = [2.0f32, 1.0];
+        let (out, slots) = bag.forward_batch(&[(&ids, &vals)], &mut rng);
+        assert_eq!(bag.vocab_len(), 2);
+        assert_eq!(slots, vec![vec![0, 1]]);
+        let expect: Vec<f32> = (0..3)
+            .map(|d| 2.0 * bag.row(0)[d] + bag.row(1)[d])
+            .collect();
+        for (o, e) in out.row(0).iter().zip(expect.iter()) {
+            assert!((o - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn repeated_ids_reuse_slots() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bag = EmbeddingBag::new(2, 0.1);
+        let ids = [5u64, 5];
+        let vals = [1.0f32, 1.0];
+        let (out, _) = bag.forward_batch(&[(&ids, &vals)], &mut rng);
+        assert_eq!(bag.vocab_len(), 1);
+        for (o, &w) in out.row(0).iter().zip(bag.row(0).iter()) {
+            assert!((o - 2.0 * w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn frozen_forward_skips_unknown_ids() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bag = EmbeddingBag::new(2, 0.1);
+        let known = [1u64];
+        let ones = [1.0f32];
+        bag.forward_batch(&[(&known, &ones)], &mut rng);
+        let mixed = [1u64, 999];
+        let vals = [1.0f32, 1.0];
+        let out = bag.forward_batch_frozen(&[(&mixed, &vals)]);
+        for (o, &w) in out.row(0).iter().zip(bag.row(0).iter()) {
+            assert!((o - w).abs() < 1e-6, "unknown id must contribute nothing");
+        }
+        assert_eq!(bag.vocab_len(), 1, "frozen forward must not grow the vocab");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bag = EmbeddingBag::new(3, 0.5);
+        let ids_a = [10u64, 20];
+        let vals_a = [1.5f32, -0.5];
+        let ids_b = [20u64];
+        let vals_b = [2.0f32];
+        let rows: Vec<(&[u64], &[f32])> = vec![(&ids_a, &vals_a), (&ids_b, &vals_b)];
+        let (out, slots) = bag.forward_batch(&rows, &mut rng);
+        // Loss = Σ out² → dL/dout = 2·out.
+        let dy = out.map(|v| 2.0 * v);
+        let vals_refs: Vec<&[f32]> = vec![&vals_a, &vals_b];
+        let grads = bag.backward(&slots, &vals_refs, &dy);
+
+        let eps = 1e-3;
+        for (&slot, grad) in &grads {
+            for d in 0..3 {
+                let idx = slot * 3 + d;
+                let orig = bag.weights[idx];
+                bag.weights[idx] = orig + eps;
+                let hi: f32 = bag
+                    .forward_batch_frozen(&rows)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum();
+                bag.weights[idx] = orig - eps;
+                let lo: f32 = bag
+                    .forward_batch_frozen(&rows)
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum();
+                bag.weights[idx] = orig;
+                let numeric = (hi - lo) / (2.0 * eps);
+                assert!(
+                    (numeric - grad[d]).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "slot {slot} dim {d}: {} vs {numeric}",
+                    grad[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_accumulates_across_rows_sharing_a_feature() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut bag = EmbeddingBag::new(1, 0.1);
+        let ids = [1u64];
+        let ones = [1.0f32];
+        let rows: Vec<(&[u64], &[f32])> = vec![(&ids, &ones), (&ids, &ones)];
+        let (_, slots) = bag.forward_batch(&rows, &mut rng);
+        let dy = Matrix::from_vec(2, 1, vec![1.0, 3.0]);
+        let vals_refs: Vec<&[f32]> = vec![&ones, &ones];
+        let grads = bag.backward(&slots, &vals_refs, &dy);
+        assert_eq!(grads.len(), 1);
+        assert!((grads[&0][0] - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,36 @@
+//! A minimal neural-network library with hand-written reverse-mode
+//! differentiation, built for the FVAE reproduction.
+//!
+//! The paper's three efficiency mechanisms exist here as first-class layers:
+//!
+//! * [`EmbeddingBag`] — the *dynamic hash table* input layer (§IV-C1): the
+//!   sum of embedding rows for the observed feature IDs is mathematically
+//!   identical to multiplying the multi-hot input by the first dense weight
+//!   matrix, but costs `O(N̄·D)` instead of `O(J·D)`.
+//! * [`SampledSoftmaxOutput`] — the *batched softmax* output layer (§IV-C2):
+//!   softmax restricted to the candidate features active in the current
+//!   batch, `O(N̄_b·D)` instead of `O(J·D)`.
+//! * The candidate set fed to the output layer can be *feature-sampled*
+//!   (§IV-C3); the samplers live in `fvae-core` since they are part of the
+//!   FVAE training loop, not of the layer.
+//!
+//! Everything is explicit forward/backward pairs over [`fvae_tensor::Matrix`];
+//! correctness is pinned by finite-difference gradient checks in each
+//! module's tests.
+
+pub mod activation;
+pub mod dense;
+pub mod dropout;
+pub mod embedding;
+pub mod mlp;
+pub mod optim;
+pub mod serialize;
+pub mod softmax_out;
+
+pub use activation::Activation;
+pub use dense::{Dense, DenseGrads};
+pub use dropout::Dropout;
+pub use embedding::{EmbeddingBag, RowGrads};
+pub use mlp::{Mlp, MlpGrads};
+pub use optim::{Adam, AdamState, GradClip, Sgd};
+pub use softmax_out::{SampledSoftmaxOutput, SoftmaxBatch};

@@ -1,0 +1,203 @@
+//! A stack of dense layers with cached activations for backprop.
+
+use fvae_tensor::Matrix;
+use rand::Rng;
+
+use crate::activation::Activation;
+use crate::dense::{Dense, DenseGrads};
+
+/// A multilayer perceptron: `dims[0] → dims[1] → … → dims.last()`.
+///
+/// Hidden layers use the supplied activation; the final layer's activation is
+/// chosen separately (typically [`Activation::Identity`] so the caller can
+/// attach a softmax or Gaussian head).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Per-layer parameter gradients for an MLP batch.
+pub type MlpGrads = Vec<DenseGrads>;
+
+impl Mlp {
+    /// Builds an MLP from the dimension chain `dims`.
+    pub fn new(
+        dims: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            let is_last = layers.len() == dims.len() - 2;
+            let act = if is_last { output_act } else { hidden_act };
+            layers.push(Dense::new(w[0], w[1], act, rng));
+        }
+        Self { layers }
+    }
+
+    /// Wraps pre-built layers.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_dim(),
+                pair[1].in_dim(),
+                "consecutive layer dims must chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Layer access for optimizers.
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Layer access.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Plain forward pass (no caches), for inference.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].forward(x);
+        for layer in &self.layers[1..] {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Forward pass returning every layer's output (`acts[i]` is the output
+    /// of layer `i`); needed by [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &Matrix) -> Vec<Matrix> {
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut h = self.layers[0].forward(x);
+        acts.push(h.clone());
+        for layer in &self.layers[1..] {
+            h = layer.forward(&h);
+            acts.push(h.clone());
+        }
+        acts
+    }
+
+    /// Backward pass given the forward input, the cached activations from
+    /// [`Mlp::forward_cached`], and `∂L/∂output`. Returns per-layer parameter
+    /// gradients (in layer order) and `∂L/∂x`.
+    pub fn backward(&self, x: &Matrix, acts: &[Matrix], dout: &Matrix) -> (MlpGrads, Matrix) {
+        assert_eq!(acts.len(), self.layers.len(), "activation cache depth mismatch");
+        let mut grads: Vec<Option<DenseGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut dy = dout.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let input = if i == 0 { x } else { &acts[i - 1] };
+            let (g, dx) = layer.backward(input, &acts[i], &dy);
+            grads[i] = Some(g);
+            dy = dx;
+        }
+        let grads = grads.into_iter().map(|g| g.expect("filled in reverse loop")).collect();
+        (grads, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(mlp: &Mlp, x: &Matrix) -> f32 {
+        mlp.forward(x).as_slice().iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn construction_chains_dimensions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[10, 6, 4, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        assert_eq!(mlp.depth(), 3);
+        assert_eq!(mlp.in_dim(), 10);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.param_count(), 10 * 6 + 6 + 6 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[5, 4, 3], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Matrix::glorot_uniform(3, 5, &mut rng);
+        let acts = mlp.forward_cached(&x);
+        let direct = mlp.forward(&x);
+        assert_eq!(acts.last().expect("non-empty"), &direct);
+    }
+
+    #[test]
+    fn full_gradient_check_through_two_layers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[4, 3, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Matrix::glorot_uniform(3, 4, &mut rng);
+        let acts = mlp.forward_cached(&x);
+        let dout = acts.last().expect("non-empty").map(|v| 2.0 * v);
+        let (grads, dx) = mlp.backward(&x, &acts, &dout);
+
+        let eps = 1e-3;
+        // Check a weight in each layer.
+        for layer_idx in 0..2 {
+            for widx in [0usize, 3] {
+                let orig = mlp.layers[layer_idx].params().0.as_slice()[widx];
+                mlp.layers[layer_idx].params_mut().0.as_mut_slice()[widx] = orig + eps;
+                let hi = loss(&mlp, &x);
+                mlp.layers[layer_idx].params_mut().0.as_mut_slice()[widx] = orig - eps;
+                let lo = loss(&mlp, &x);
+                mlp.layers[layer_idx].params_mut().0.as_mut_slice()[widx] = orig;
+                let numeric = (hi - lo) / (2.0 * eps);
+                let analytic = grads[layer_idx].dw.as_slice()[widx];
+                assert!(
+                    (numeric - analytic).abs() < 3e-2 * numeric.abs().max(1.0),
+                    "layer {layer_idx} w[{widx}]: {analytic} vs {numeric}"
+                );
+            }
+        }
+        // Check an input gradient.
+        let mut xp = x.clone();
+        let orig = xp.as_slice()[1];
+        xp.as_mut_slice()[1] = orig + eps;
+        let hi = loss(&mlp, &xp);
+        xp.as_mut_slice()[1] = orig - eps;
+        let lo = loss(&mlp, &xp);
+        let numeric = (hi - lo) / (2.0 * eps);
+        assert!(
+            (numeric - dx.as_slice()[1]).abs() < 3e-2 * numeric.abs().max(1.0),
+            "dx[1]: {} vs {numeric}",
+            dx.as_slice()[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn from_layers_rejects_mismatched_dims() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l1 = Dense::new(3, 4, Activation::Tanh, &mut rng);
+        let l2 = Dense::new(5, 2, Activation::Identity, &mut rng);
+        let _ = Mlp::from_layers(vec![l1, l2]);
+    }
+}

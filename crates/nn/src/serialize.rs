@@ -1,0 +1,257 @@
+//! Binary (de)serialization of layers, built on `fvae-sparse`'s format
+//! helpers. Used by the FVAE's model save/load (offline training writes a
+//! model artifact; the serving side reloads it — the HDFS hand-off of
+//! Fig. 2's deployment diagram).
+
+use bytes::{Buf, BufMut, BytesMut};
+use fvae_sparse::serial::{get_f32_vec, get_u64_vec, put_f32_slice, put_u64_slice, DecodeError};
+use fvae_tensor::Matrix;
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::embedding::EmbeddingBag;
+use crate::mlp::Mlp;
+use crate::softmax_out::SampledSoftmaxOutput;
+
+fn act_tag(act: Activation) -> u8 {
+    match act {
+        Activation::Identity => 0,
+        Activation::Tanh => 1,
+        Activation::Relu => 2,
+        Activation::Sigmoid => 3,
+    }
+}
+
+fn act_from_tag(tag: u8) -> Result<Activation, DecodeError> {
+    Ok(match tag {
+        0 => Activation::Identity,
+        1 => Activation::Tanh,
+        2 => Activation::Relu,
+        3 => Activation::Sigmoid,
+        other => return Err(DecodeError::Invalid(format!("unknown activation tag {other}"))),
+    })
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes a dense layer.
+pub fn put_dense(buf: &mut BytesMut, layer: &Dense) {
+    let (w, b) = layer.params();
+    buf.put_u64_le(w.rows() as u64);
+    buf.put_u64_le(w.cols() as u64);
+    buf.put_u8(act_tag(layer.activation()));
+    put_f32_slice(buf, w.as_slice());
+    put_f32_slice(buf, b);
+}
+
+/// Deserializes a dense layer.
+pub fn get_dense(buf: &mut impl Buf) -> Result<Dense, DecodeError> {
+    need(buf, 17)?;
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let act = act_from_tag(buf.get_u8())?;
+    let w = get_f32_vec(buf)?;
+    let b = get_f32_vec(buf)?;
+    if w.len() != rows * cols || b.len() != cols {
+        return Err(DecodeError::Invalid("dense layer shape mismatch".into()));
+    }
+    Ok(Dense::from_parts(Matrix::from_vec(rows, cols, w), b, act))
+}
+
+/// Serializes an MLP.
+pub fn put_mlp(buf: &mut BytesMut, mlp: &Mlp) {
+    buf.put_u64_le(mlp.layers().len() as u64);
+    for layer in mlp.layers() {
+        put_dense(buf, layer);
+    }
+}
+
+/// Deserializes an MLP.
+pub fn get_mlp(buf: &mut impl Buf) -> Result<Mlp, DecodeError> {
+    need(buf, 8)?;
+    let depth = buf.get_u64_le() as usize;
+    if depth == 0 {
+        return Err(DecodeError::Invalid("empty MLP".into()));
+    }
+    let mut layers = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        layers.push(get_dense(buf)?);
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+/// Serializes an embedding bag (IDs in slot order + weight buffer).
+pub fn put_embedding_bag(buf: &mut BytesMut, bag: &EmbeddingBag) {
+    buf.put_u64_le(bag.dim() as u64);
+    put_u64_slice(buf, bag.table().ids());
+    put_f32_slice(buf, bag.weights());
+}
+
+/// Deserializes an embedding bag. `init_std` seeds rows for IDs first seen
+/// *after* loading.
+pub fn get_embedding_bag(
+    buf: &mut impl Buf,
+    init_std: f32,
+) -> Result<EmbeddingBag, DecodeError> {
+    need(buf, 8)?;
+    let dim = buf.get_u64_le() as usize;
+    let ids = get_u64_vec(buf)?;
+    let weights = get_f32_vec(buf)?;
+    if weights.len() != ids.len() * dim {
+        return Err(DecodeError::Invalid("embedding bag size mismatch".into()));
+    }
+    let mut bag = EmbeddingBag::new(dim.max(1), init_std);
+    if dim == 0 {
+        return Err(DecodeError::Invalid("zero embedding dim".into()));
+    }
+    for (slot, &id) in ids.iter().enumerate() {
+        bag.set_row(id, &weights[slot * dim..(slot + 1) * dim], &mut NoRng);
+    }
+    Ok(bag)
+}
+
+/// Serializes a batched-softmax head.
+pub fn put_softmax_head(buf: &mut BytesMut, head: &SampledSoftmaxOutput) {
+    buf.put_u64_le(head.dim() as u64);
+    put_u64_slice(buf, head.table().ids());
+    let mut weights = Vec::with_capacity(head.vocab_len() * head.dim());
+    let mut bias = Vec::with_capacity(head.vocab_len());
+    for slot in 0..head.vocab_len() {
+        weights.extend_from_slice(head.weight_row(slot));
+        bias.push(head.bias_of(slot));
+    }
+    put_f32_slice(buf, &weights);
+    put_f32_slice(buf, &bias);
+}
+
+/// Deserializes a batched-softmax head.
+pub fn get_softmax_head(
+    buf: &mut impl Buf,
+    init_std: f32,
+) -> Result<SampledSoftmaxOutput, DecodeError> {
+    need(buf, 8)?;
+    let dim = buf.get_u64_le() as usize;
+    let ids = get_u64_vec(buf)?;
+    let weights = get_f32_vec(buf)?;
+    let bias = get_f32_vec(buf)?;
+    if dim == 0 {
+        return Err(DecodeError::Invalid("zero head dim".into()));
+    }
+    if weights.len() != ids.len() * dim || bias.len() != ids.len() {
+        return Err(DecodeError::Invalid("softmax head size mismatch".into()));
+    }
+    let mut head = SampledSoftmaxOutput::new(dim, init_std);
+    for (slot, &id) in ids.iter().enumerate() {
+        head.set_row(id, &weights[slot * dim..(slot + 1) * dim], bias[slot], &mut NoRng);
+    }
+    Ok(head)
+}
+
+/// A deterministic "RNG" for deserialization paths where every row is
+/// overwritten immediately after insertion, so random init must never run.
+struct NoRng;
+
+impl rand::TryRng for NoRng {
+    type Error = std::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok(0)
+    }
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(0)
+    }
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+        dst.fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::new(5, 3, Activation::Tanh, &mut rng);
+        let mut buf = BytesMut::new();
+        put_dense(&mut buf, &layer);
+        let back = get_dense(&mut buf.freeze()).expect("decode");
+        assert_eq!(back.params().0, layer.params().0);
+        assert_eq!(back.params().1, layer.params().1);
+        assert_eq!(back.activation(), layer.activation());
+    }
+
+    #[test]
+    fn mlp_roundtrip_preserves_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[4, 6, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Matrix::glorot_uniform(3, 4, &mut rng);
+        let before = mlp.forward(&x);
+        let mut buf = BytesMut::new();
+        put_mlp(&mut buf, &mlp);
+        let back = get_mlp(&mut buf.freeze()).expect("decode");
+        let after = back.forward(&x);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn embedding_bag_roundtrip_preserves_lookups() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bag = EmbeddingBag::new(4, 0.3);
+        let ids = [11u64, 99, 5];
+        let vals = [1.0f32, 0.5, 2.0];
+        bag.forward_batch(&[(&ids, &vals)], &mut rng);
+        let mut buf = BytesMut::new();
+        put_embedding_bag(&mut buf, &bag);
+        let back = get_embedding_bag(&mut buf.freeze(), 0.3).expect("decode");
+        assert_eq!(back.vocab_len(), bag.vocab_len());
+        let before = bag.forward_batch_frozen(&[(&ids, &vals)]);
+        let after = back.forward_batch_frozen(&[(&ids, &vals)]);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn softmax_head_roundtrip_preserves_scores() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut head = SampledSoftmaxOutput::new(4, 0.3);
+        let h = Matrix::glorot_uniform(2, 4, &mut rng);
+        let cand = [7u64, 3, 123];
+        head.forward(&h, &cand, &mut rng);
+        let mut buf = BytesMut::new();
+        put_softmax_head(&mut buf, &head);
+        let back = get_softmax_head(&mut buf.freeze(), 0.3).expect("decode");
+        assert_eq!(back.vocab_len(), head.vocab_len());
+        assert_eq!(
+            back.logits_for_ids(h.row(0), &cand),
+            head.logits_for_ids(h.row(0), &cand)
+        );
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Dense::new(3, 2, Activation::Relu, &mut rng);
+        let mut buf = BytesMut::new();
+        put_dense(&mut buf, &layer);
+        let bytes = buf.freeze();
+        let cut = bytes.slice(0..bytes.len() / 2);
+        assert!(get_dense(&mut cut.clone()).is_err());
+        // Bad activation tag.
+        let mut bad = BytesMut::new();
+        bad.put_u64_le(1);
+        bad.put_u64_le(1);
+        bad.put_u8(9);
+        put_f32_slice(&mut bad, &[1.0]);
+        put_f32_slice(&mut bad, &[0.0]);
+        assert!(matches!(get_dense(&mut bad.freeze()), Err(DecodeError::Invalid(_))));
+    }
+}

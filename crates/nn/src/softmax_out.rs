@@ -1,0 +1,388 @@
+//! Batched (sampled) softmax output layer (§IV-C2).
+//!
+//! The legacy softmax normalizes over every feature of a field — `O(J_k·D)`
+//! per batch. The batched softmax instead normalizes only over the
+//! *candidate set*: the features observed by at least one user in the batch
+//! (optionally thinned further by feature sampling, §IV-C3). With power-law
+//! feature popularity the candidate set is tiny relative to the vocabulary
+//! (`N̄_b ≪ J`), which is where FVAE's orders-of-magnitude training speedup
+//! comes from (Table V).
+//!
+//! The layer owns one weight row + bias per feature, keyed through the same
+//! dynamic hash table as the input embeddings, so the output vocabulary also
+//! grows on demand.
+
+use fvae_sparse::DynamicHashTable;
+use fvae_tensor::dist::Gaussian;
+use fvae_tensor::Matrix;
+use rand::Rng;
+
+use crate::embedding::RowGrads;
+
+/// Cached state of one batched-softmax forward pass.
+#[derive(Clone, Debug)]
+pub struct SoftmaxBatch {
+    /// Softmax probabilities over the candidate set, `batch × C`.
+    pub probs: Matrix,
+    /// Weight-table slot of each candidate column.
+    pub slots: Vec<u32>,
+}
+
+/// Softmax output head over a dynamically growing feature vocabulary.
+#[derive(Clone, Debug)]
+pub struct SampledSoftmaxOutput {
+    dim: usize,
+    init_std: f32,
+    table: DynamicHashTable,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl SampledSoftmaxOutput {
+    /// Creates a head consuming `dim`-dimensional hidden states.
+    pub fn new(dim: usize, init_std: f32) -> Self {
+        assert!(dim > 0, "hidden dimension must be positive");
+        Self {
+            dim,
+            init_std,
+            table: DynamicHashTable::new(),
+            weights: Vec::new(),
+            bias: Vec::new(),
+        }
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of features with materialized output weights.
+    pub fn vocab_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Raw weight buffer (`vocab × dim`) for optimizers.
+    pub fn weights_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.weights
+    }
+
+    /// Raw bias buffer for optimizers.
+    pub fn bias_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.bias
+    }
+
+    /// The underlying ID → slot table.
+    pub fn table(&self) -> &DynamicHashTable {
+        &self.table
+    }
+
+    /// Weight row of a slot.
+    pub fn weight_row(&self, slot: usize) -> &[f32] {
+        &self.weights[slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    /// Bias of a slot.
+    pub fn bias_of(&self, slot: usize) -> f32 {
+        self.bias[slot]
+    }
+
+    /// Inserts `id` (if new) and overwrites its weight row and bias — used
+    /// by parameter averaging in the distributed trainer.
+    pub fn set_row(&mut self, id: u64, row: &[f32], bias: f32, rng: &mut impl Rng) {
+        assert_eq!(row.len(), self.dim, "row width mismatch");
+        let slot = self.slot_or_insert(id, rng);
+        self.weights[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(row);
+        self.bias[slot] = bias;
+    }
+
+    fn slot_or_insert(&mut self, id: u64, rng: &mut impl Rng) -> usize {
+        let dim = self.dim;
+        let init_std = self.init_std;
+        let weights = &mut self.weights;
+        let bias = &mut self.bias;
+        self.table.slot_or_insert(id, |_| {
+            let mut gauss = Gaussian::new(0.0, init_std);
+            let start = weights.len();
+            weights.resize(start + dim, 0.0);
+            gauss.fill(rng, &mut weights[start..]);
+            bias.push(0.0);
+        })
+    }
+
+    /// Logit of candidate column `c` for hidden row `h`.
+    #[inline]
+    fn logit(&self, h: &[f32], slot: usize) -> f32 {
+        let w = &self.weights[slot * self.dim..(slot + 1) * self.dim];
+        fvae_tensor::ops::dot(h, w) + self.bias[slot]
+    }
+
+    /// Forward pass: softmax over `candidate_ids` for every hidden row.
+    /// Unseen candidate IDs get freshly initialized weights.
+    pub fn forward(
+        &mut self,
+        h: &Matrix,
+        candidate_ids: &[u64],
+        rng: &mut impl Rng,
+    ) -> SoftmaxBatch {
+        assert_eq!(h.cols(), self.dim, "hidden dim mismatch");
+        assert!(!candidate_ids.is_empty(), "candidate set must be non-empty");
+        let slots: Vec<u32> = candidate_ids
+            .iter()
+            .map(|&id| self.slot_or_insert(id, rng) as u32)
+            .collect();
+        let mut probs = Matrix::zeros(h.rows(), slots.len());
+        for r in 0..h.rows() {
+            let h_row = h.row(r);
+            let out = probs.row_mut(r);
+            for (o, &slot) in out.iter_mut().zip(slots.iter()) {
+                *o = {
+                    let w =
+                        &self.weights[slot as usize * self.dim..(slot as usize + 1) * self.dim];
+                    fvae_tensor::ops::dot(h_row, w) + self.bias[slot as usize]
+                };
+            }
+            fvae_tensor::ops::softmax_in_place(out);
+        }
+        SoftmaxBatch { probs, slots }
+    }
+
+    /// Multinomial negative log-likelihood and its logit gradient.
+    ///
+    /// `targets[r]` lists `(candidate_column, value)` pairs for row `r`; the
+    /// value is the multi-hot weight `F_{i,j}^k`. Returns the *summed* loss
+    /// `Σ_i −Σ_j v_ij log π_ij` and `∂L/∂logits` (also summed — callers scale
+    /// by `1/B` and the field weight `α_k` before [`Self::backward`]).
+    pub fn multinomial_loss(
+        batch: &SoftmaxBatch,
+        targets: &[Vec<(u32, f32)>],
+    ) -> (f32, Matrix) {
+        assert_eq!(batch.probs.rows(), targets.len(), "target batch mismatch");
+        let c = batch.probs.cols();
+        let mut loss = 0.0f64;
+        let mut dlogits = Matrix::zeros(targets.len(), c);
+        for (r, row_targets) in targets.iter().enumerate() {
+            let probs = batch.probs.row(r);
+            let n_i: f32 = row_targets.iter().map(|&(_, v)| v).sum();
+            let drow = dlogits.row_mut(r);
+            // d/dlogit_j of −Σ_t v_t log π_t = N_i·π_j − v_j
+            for (d, &p) in drow.iter_mut().zip(probs.iter()) {
+                *d = n_i * p;
+            }
+            for &(col, v) in row_targets {
+                let col = col as usize;
+                debug_assert!(col < c, "target column out of candidate range");
+                loss -= (v as f64) * (probs[col].max(1e-12) as f64).ln();
+                drow[col] -= v;
+            }
+        }
+        (loss as f32, dlogits)
+    }
+
+    /// Backward pass from logit gradients.
+    ///
+    /// Returns `∂L/∂h` plus sparse weight/bias gradients keyed by slot.
+    pub fn backward(
+        &self,
+        h: &Matrix,
+        batch: &SoftmaxBatch,
+        dlogits: &Matrix,
+    ) -> (Matrix, RowGrads, Vec<(usize, f32)>) {
+        assert_eq!(dlogits.shape(), batch.probs.shape(), "dlogits shape mismatch");
+        let mut dh = Matrix::zeros(h.rows(), self.dim);
+        let mut dw = RowGrads::default();
+        let mut db_dense = vec![0.0f32; batch.slots.len()];
+        for r in 0..h.rows() {
+            let h_row = h.row(r);
+            let d_row = dlogits.row(r);
+            let dh_row = dh.row_mut(r);
+            for ((&slot, &d), db) in batch.slots.iter().zip(d_row.iter()).zip(db_dense.iter_mut())
+            {
+                if d == 0.0 {
+                    continue;
+                }
+                let slot = slot as usize;
+                let w = &self.weights[slot * self.dim..(slot + 1) * self.dim];
+                fvae_tensor::ops::axpy(d, w, dh_row);
+                let g = dw.entry(slot).or_insert_with(|| vec![0.0; self.dim]);
+                fvae_tensor::ops::axpy(d, h_row, g);
+                *db += d;
+            }
+        }
+        let db: Vec<(usize, f32)> = batch
+            .slots
+            .iter()
+            .zip(db_dense)
+            .filter(|&(_, g)| g != 0.0)
+            .map(|(&slot, g)| (slot as usize, g))
+            .collect();
+        (dh, dw, db)
+    }
+
+    /// Frozen logits for arbitrary feature IDs (evaluation / scoring).
+    /// Unknown IDs score 0 (an untrained feature is indistinguishable from
+    /// an average one under ranking metrics).
+    pub fn logits_for_ids(&self, h_row: &[f32], ids: &[u64]) -> Vec<f32> {
+        assert_eq!(h_row.len(), self.dim, "hidden dim mismatch");
+        ids.iter()
+            .map(|&id| match self.table.slot_of(id) {
+                Some(slot) => self.logit(h_row, slot),
+                None => 0.0,
+            })
+            .collect()
+    }
+
+    /// Frozen log-softmax over a fixed ID set for a batch of hidden rows
+    /// (reconstruction evaluation uses this with the full field vocabulary).
+    pub fn log_probs_over_ids(&self, h: &Matrix, ids: &[u64]) -> Matrix {
+        let mut out = Matrix::zeros(h.rows(), ids.len());
+        for r in 0..h.rows() {
+            let h_row = h.row(r);
+            let row = out.row_mut(r);
+            for (o, &id) in row.iter_mut().zip(ids.iter()) {
+                *o = match self.table.slot_of(id) {
+                    Some(slot) => self.logit(h_row, slot),
+                    None => 0.0,
+                };
+            }
+            fvae_tensor::ops::log_softmax_in_place(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SampledSoftmaxOutput, Matrix, Vec<u64>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let head = SampledSoftmaxOutput::new(4, 0.3);
+        let h = Matrix::glorot_uniform(3, 4, &mut rng);
+        let ids = vec![100u64, 200, 300, 400, 500];
+        (head, h, ids, rng)
+    }
+
+    #[test]
+    fn forward_probabilities_sum_to_one() {
+        let (mut head, h, ids, mut rng) = setup();
+        let batch = head.forward(&h, &ids, &mut rng);
+        assert_eq!(batch.probs.shape(), (3, 5));
+        for r in 0..3 {
+            let s: f32 = batch.probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(head.vocab_len(), 5);
+    }
+
+    #[test]
+    fn candidate_restriction_matches_full_softmax_on_subset() {
+        // When the candidate set IS the full vocabulary, batched softmax must
+        // equal the legacy softmax (they only differ by restriction).
+        let (mut head, h, ids, mut rng) = setup();
+        head.forward(&h, &ids, &mut rng); // materialize weights
+        let batch = head.forward(&h, &ids, &mut rng);
+        let log_probs = head.log_probs_over_ids(&h, &ids);
+        for r in 0..3 {
+            for c in 0..5 {
+                assert!(
+                    (batch.probs.get(r, c).ln() - log_probs.get(r, c)).abs() < 1e-4,
+                    "row {r} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_gradient_matches_finite_differences() {
+        let (mut head, h, ids, mut rng) = setup();
+        let targets: Vec<Vec<(u32, f32)>> =
+            vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 1.0)], vec![(4, 1.0), (3, 1.0)]];
+        head.forward(&h, &ids, &mut rng); // materialize weights
+
+        let loss_fn = |head: &SampledSoftmaxOutput, h: &Matrix| -> f32 {
+            // Recompute probs frozen, then the multinomial loss.
+            let slots: Vec<u32> =
+                ids.iter().map(|&id| head.table.slot_of(id).expect("known") as u32).collect();
+            let mut probs = Matrix::zeros(h.rows(), slots.len());
+            for r in 0..h.rows() {
+                let row = probs.row_mut(r);
+                for (o, &slot) in row.iter_mut().zip(slots.iter()) {
+                    *o = head.logit(h.row(r), slot as usize);
+                }
+                fvae_tensor::ops::softmax_in_place(row);
+            }
+            let batch = SoftmaxBatch { probs, slots };
+            SampledSoftmaxOutput::multinomial_loss(&batch, &targets).0
+        };
+
+        let batch = head.forward(&h, &ids, &mut rng);
+        let (loss, dlogits) = SampledSoftmaxOutput::multinomial_loss(&batch, &targets);
+        assert!(loss > 0.0);
+        let (dh, dw, db) = head.backward(&h, &batch, &dlogits);
+
+        let eps = 1e-2;
+        // Hidden-state gradient.
+        let mut hp = h.clone();
+        for idx in [0usize, 5, 11] {
+            let orig = hp.as_slice()[idx];
+            hp.as_mut_slice()[idx] = orig + eps;
+            let hi = loss_fn(&head, &hp);
+            hp.as_mut_slice()[idx] = orig - eps;
+            let lo = loss_fn(&head, &hp);
+            hp.as_mut_slice()[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - dh.as_slice()[idx]).abs() < 5e-2 * numeric.abs().max(1.0),
+                "dh[{idx}]: {} vs {numeric}",
+                dh.as_slice()[idx]
+            );
+        }
+        // Weight gradient for a touched slot.
+        let (&slot, grad) = dw.iter().next().expect("some weight gradient");
+        for d in 0..4 {
+            let idx = slot * 4 + d;
+            let orig = head.weights[idx];
+            head.weights[idx] = orig + eps;
+            let hi = loss_fn(&head, &h);
+            head.weights[idx] = orig - eps;
+            let lo = loss_fn(&head, &h);
+            head.weights[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (numeric - grad[d]).abs() < 5e-2 * numeric.abs().max(1.0),
+                "dw[{slot}][{d}]: {} vs {numeric}",
+                grad[d]
+            );
+        }
+        // Bias gradient.
+        let &(slot, g) = db.first().expect("some bias gradient");
+        let orig = head.bias[slot];
+        head.bias[slot] = orig + eps;
+        let hi = loss_fn(&head, &h);
+        head.bias[slot] = orig - eps;
+        let lo = loss_fn(&head, &h);
+        head.bias[slot] = orig;
+        let numeric = (hi - lo) / (2.0 * eps);
+        assert!((numeric - g).abs() < 5e-2 * numeric.abs().max(1.0), "db[{slot}]: {g} vs {numeric}");
+    }
+
+    #[test]
+    fn unknown_ids_score_zero() {
+        let (mut head, h, ids, mut rng) = setup();
+        head.forward(&h, &ids, &mut rng);
+        let scores = head.logits_for_ids(h.row(0), &[100, 123456]);
+        assert_eq!(scores[1], 0.0);
+        assert_ne!(scores[0], 0.0);
+    }
+
+    #[test]
+    fn repeated_forward_does_not_regrow_vocab() {
+        let (mut head, h, ids, mut rng) = setup();
+        head.forward(&h, &ids, &mut rng);
+        let before = head.vocab_len();
+        head.forward(&h, &ids, &mut rng);
+        assert_eq!(head.vocab_len(), before);
+    }
+}

@@ -1,0 +1,362 @@
+//! Compressed sparse row (CSR) storage for multi-hot user rows.
+//!
+//! Every dataset in the workspace stores one `CsrMatrix` per feature field:
+//! row `i` holds the feature indices (within that field's vocabulary) and
+//! weights observed for user `i`. The representation is the classic
+//! `(indptr, indices, values)` triple.
+
+/// Immutable CSR matrix with `u32` column indices and `f32` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+/// Incremental builder: append rows one at a time.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrBuilder {
+    /// Starts an empty matrix with `n_cols` columns.
+    pub fn new(n_cols: usize) -> Self {
+        Self { n_cols, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Starts an empty matrix, reserving space for `rows` rows / `nnz` entries.
+    pub fn with_capacity(n_cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0);
+        Self {
+            n_cols,
+            indptr,
+            indices: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends a row given parallel `(index, value)` slices.
+    ///
+    /// Panics if lengths differ or an index is out of bounds. Indices need
+    /// not be sorted; duplicates are allowed (they act additively under the
+    /// multinomial likelihood).
+    pub fn push_row(&mut self, indices: &[u32], values: &[f32]) {
+        assert_eq!(indices.len(), values.len(), "row slices must be parallel");
+        for &ix in indices {
+            assert!((ix as usize) < self.n_cols, "column index {ix} out of bounds");
+        }
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Appends a row of implicit-feedback ones.
+    pub fn push_binary_row(&mut self, indices: &[u32]) {
+        for &ix in indices {
+            assert!((ix as usize) < self.n_cols, "column index {ix} out of bounds");
+        }
+        self.indices.extend_from_slice(indices);
+        self.values.extend(std::iter::repeat(1.0).take(indices.len()));
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Finalizes the matrix.
+    pub fn build(self) -> CsrMatrix {
+        CsrMatrix {
+            n_cols: self.n_cols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+        }
+    }
+}
+
+impl CsrMatrix {
+    /// An empty matrix with the given number of columns and zero rows.
+    pub fn empty(n_cols: usize) -> Self {
+        CsrBuilder::new(n_cols).build()
+    }
+
+    /// Builds from per-row index/value vectors.
+    pub fn from_rows(n_cols: usize, rows: &[(Vec<u32>, Vec<f32>)]) -> Self {
+        let nnz = rows.iter().map(|(ix, _)| ix.len()).sum();
+        let mut b = CsrBuilder::with_capacity(n_cols, rows.len(), nnz);
+        for (ix, vs) in rows {
+            b.push_row(ix, vs);
+        }
+        b.build()
+    }
+
+    /// Raw parts accessor `(n_cols, indptr, indices, values)`.
+    pub fn raw_parts(&self) -> (usize, &[usize], &[u32], &[f32]) {
+        (self.n_cols, &self.indptr, &self.indices, &self.values)
+    }
+
+    /// Reassembles a matrix from raw parts, validating invariants.
+    pub fn from_raw_parts(
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        let m = Self { n_cols, indptr, indices, values };
+        m.validate().expect("invalid CSR parts");
+        m
+    }
+
+    /// Reassembles without validating; used by fallible decode paths that
+    /// run [`CsrMatrix::validate`] themselves.
+    pub(crate) fn from_raw_parts_unchecked(
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        Self { n_cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns (field vocabulary size).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Borrow the indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterates rows as `(indices, values)` pairs.
+    pub fn rows(&self) -> impl Iterator<Item = (&[u32], &[f32])> {
+        (0..self.n_rows()).map(move |r| self.row(r))
+    }
+
+    /// Sum of values in row `r` (`N_i^k` in the paper: the multinomial count).
+    pub fn row_sum(&self, r: usize) -> f32 {
+        self.row(r).1.iter().sum()
+    }
+
+    /// Mean number of stored entries per row (`N̄` in Table I).
+    pub fn mean_row_nnz(&self) -> f64 {
+        if self.n_rows() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n_rows() as f64
+        }
+    }
+
+    /// Per-column occurrence counts (weighted), used by frequency-based
+    /// samplers and LDA initialization.
+    pub fn column_frequencies(&self) -> Vec<f32> {
+        let mut freq = vec![0.0f32; self.n_cols];
+        for (&ix, &v) in self.indices.iter().zip(self.values.iter()) {
+            freq[ix as usize] += v;
+        }
+        freq
+    }
+
+    /// Densifies into a row-major buffer (tests and the small dense
+    /// baselines only — never call this on a large field).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n_rows() * self.n_cols];
+        for r in 0..self.n_rows() {
+            let (ix, vs) = self.row(r);
+            let row = &mut out[r * self.n_cols..(r + 1) * self.n_cols];
+            for (&i, &v) in ix.iter().zip(vs.iter()) {
+                row[i as usize] += v;
+            }
+        }
+        out
+    }
+
+    /// Selects a subset of rows into a new matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let nnz = rows.iter().map(|&r| self.row_nnz(r)).sum();
+        let mut b = CsrBuilder::with_capacity(self.n_cols, rows.len(), nnz);
+        for &r in rows {
+            let (ix, vs) = self.row(r);
+            b.push_row(ix, vs);
+        }
+        b.build()
+    }
+
+    /// Checks the CSR invariants, returning a description of the first
+    /// violation if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.indptr.is_empty() {
+            return Err("indptr must contain at least one entry".into());
+        }
+        if self.indptr[0] != 0 {
+            return Err("indptr must start at 0".into());
+        }
+        if *self.indptr.last().expect("non-empty") != self.indices.len() {
+            return Err("indptr must end at nnz".into());
+        }
+        if self.indices.len() != self.values.len() {
+            return Err("indices and values must be parallel".into());
+        }
+        if self.indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("indptr must be non-decreasing".into());
+        }
+        if self.indices.iter().any(|&ix| ix as usize >= self.n_cols) {
+            return Err("column index out of bounds".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        let mut b = CsrBuilder::new(5);
+        b.push_row(&[0, 2], &[1.0, 2.0]);
+        b.push_row(&[], &[]);
+        b.push_binary_row(&[1, 3, 4]);
+        b.build()
+    }
+
+    #[test]
+    fn shape_and_rows() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 5);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0f32, 2.0][..]));
+        assert_eq!(m.row(1).0.len(), 0);
+        assert_eq!(m.row(2), (&[1u32, 3, 4][..], &[1.0f32, 1.0, 1.0][..]));
+    }
+
+    #[test]
+    fn row_sums_and_means() {
+        let m = sample();
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_sum(1), 0.0);
+        assert!((m.mean_row_nnz() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn column_frequencies_accumulate_values() {
+        let m = sample();
+        assert_eq!(m.column_frequencies(), vec![1.0, 1.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn to_dense_places_entries() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d.len(), 15);
+        assert_eq!(d[0], 1.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[5..10], [0.0; 5]);
+        assert_eq!(d[11], 1.0);
+    }
+
+    #[test]
+    fn select_rows_preserves_content() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0).0, &[1, 3, 4]);
+        assert_eq!(s.row(1).0, &[0, 2]);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parts() {
+        let bad = CsrMatrix {
+            n_cols: 2,
+            indptr: vec![0, 3],
+            indices: vec![0, 1],
+            values: vec![1.0, 1.0],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_row_rejects_out_of_range_index() {
+        let mut b = CsrBuilder::new(2);
+        b.push_row(&[2], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn push_row_rejects_mismatched_slices() {
+        let mut b = CsrBuilder::new(2);
+        b.push_row(&[0], &[1.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rows() -> impl Strategy<Value = Vec<Vec<u32>>> {
+        proptest::collection::vec(proptest::collection::vec(0u32..50, 0..20), 0..30)
+    }
+
+    proptest! {
+        /// Building from rows and reading rows back is the identity.
+        #[test]
+        fn roundtrip_rows(rows in arb_rows()) {
+            let tuples: Vec<(Vec<u32>, Vec<f32>)> = rows
+                .iter()
+                .map(|ix| (ix.clone(), vec![1.0; ix.len()]))
+                .collect();
+            let m = CsrMatrix::from_rows(50, &tuples);
+            prop_assert!(m.validate().is_ok());
+            prop_assert_eq!(m.n_rows(), rows.len());
+            for (r, ix) in rows.iter().enumerate() {
+                prop_assert_eq!(m.row(r).0, &ix[..]);
+            }
+        }
+
+        /// nnz equals the sum of per-row nnz, and column frequencies sum to nnz
+        /// for binary rows.
+        #[test]
+        fn counting_invariants(rows in arb_rows()) {
+            let tuples: Vec<(Vec<u32>, Vec<f32>)> = rows
+                .iter()
+                .map(|ix| (ix.clone(), vec![1.0; ix.len()]))
+                .collect();
+            let m = CsrMatrix::from_rows(50, &tuples);
+            let total: usize = (0..m.n_rows()).map(|r| m.row_nnz(r)).sum();
+            prop_assert_eq!(total, m.nnz());
+            let freq_sum: f32 = m.column_frequencies().iter().sum();
+            prop_assert!((freq_sum - m.nnz() as f32).abs() < 1e-3);
+        }
+    }
+}

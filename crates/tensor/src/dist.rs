@@ -1,0 +1,372 @@
+//! Random distributions implemented from scratch on the `rand` core traits.
+//!
+//! The approved dependency list excludes `rand_distr`, so the handful of
+//! distributions the paper's experiments need are implemented here:
+//!
+//! * [`Gaussian`] — Box–Muller with a cached spare variate (latent sampling,
+//!   weight init),
+//! * [`Gamma`]/[`dirichlet`] — Marsaglia–Tsang squeeze (the latent-topic data
+//!   generator draws user topic mixtures from a Dirichlet),
+//! * [`Zipf`] — inverse-CDF over a precomputed table (power-law feature
+//!   popularity, the Zipfian feature-sampling strategy of §V-D1),
+//! * [`AliasTable`] — Walker's alias method for O(1) draws from arbitrary
+//!   discrete distributions (frequency sampling, Item2Vec negative sampling).
+
+use rand::{Rng, RngExt};
+
+/// Gaussian sampler using the Box–Muller transform.
+///
+/// Box–Muller produces variates in pairs; the second is cached so consecutive
+/// calls cost one `ln`/`sqrt`/`cos` pair every other call.
+#[derive(Clone, Debug)]
+pub struct Gaussian {
+    mean: f32,
+    std: f32,
+    spare: Option<f32>,
+}
+
+impl Gaussian {
+    /// Creates a sampler for `N(mean, std²)`. `std` must be non-negative.
+    pub fn new(mean: f32, std: f32) -> Self {
+        assert!(std >= 0.0, "standard deviation must be non-negative");
+        Self { mean, std, spare: None }
+    }
+
+    /// Standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Draws one sample.
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f32 {
+        let unit = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                // Draw u1 in (0, 1] to keep ln(u1) finite.
+                let u1: f32 = 1.0 - rng.random::<f32>();
+                let u2: f32 = rng.random();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f32::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        self.mean + self.std * unit
+    }
+
+    /// Fills `out` with samples.
+    pub fn fill(&mut self, rng: &mut impl Rng, out: &mut [f32]) {
+        for v in out.iter_mut() {
+            *v = self.sample(rng);
+        }
+    }
+}
+
+/// Gamma distribution via the Marsaglia–Tsang method.
+///
+/// For `shape < 1` the boost `Gamma(a) = Gamma(a+1) · U^{1/a}` is applied.
+#[derive(Clone, Copy, Debug)]
+pub struct Gamma {
+    shape: f32,
+    scale: f32,
+}
+
+impl Gamma {
+    /// Creates a sampler for `Gamma(shape, scale)`. Both must be positive.
+    pub fn new(shape: f32, scale: f32) -> Self {
+        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        Self { shape, scale }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f32 {
+        let a = self.shape;
+        if a < 1.0 {
+            let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+            return Gamma::new(a + 1.0, self.scale).sample(rng) * u.powf(1.0 / a);
+        }
+        let d = a - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let mut gauss = Gaussian::standard();
+        loop {
+            let x = gauss.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f32 = rng.random::<f32>().max(f32::MIN_POSITIVE);
+            if u < 1.0 - 0.0331 * x.powi(4)
+                || u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln())
+            {
+                return d * v3 * self.scale;
+            }
+        }
+    }
+}
+
+/// Draws one sample from a symmetric `Dirichlet(alpha, …, alpha)` of dimension `k`.
+pub fn dirichlet(alpha: f32, k: usize, rng: &mut impl Rng) -> Vec<f32> {
+    assert!(k > 0, "dimension must be positive");
+    let gamma = Gamma::new(alpha, 1.0);
+    let mut draws: Vec<f32> = (0..k).map(|_| gamma.sample(rng).max(1e-30)).collect();
+    let sum: f32 = draws.iter().sum();
+    draws.iter_mut().for_each(|v| *v /= sum);
+    draws
+}
+
+/// Draws one sample from `Dirichlet(alphas)` with per-component concentrations.
+pub fn dirichlet_with(alphas: &[f32], rng: &mut impl Rng) -> Vec<f32> {
+    assert!(!alphas.is_empty(), "alphas must be non-empty");
+    let mut draws: Vec<f32> = alphas
+        .iter()
+        .map(|&a| Gamma::new(a, 1.0).sample(rng).max(1e-30))
+        .collect();
+    let sum: f32 = draws.iter().sum();
+    draws.iter_mut().for_each(|v| *v /= sum);
+    draws
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = i) ∝ (i + 1)^{-s}`.
+///
+/// Sampling is inverse-CDF with binary search over a precomputed cumulative
+/// table — O(log n) per draw, exact for any `s ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        cdf.iter_mut().for_each(|v| *v /= total);
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Walker's alias method: O(n) construction, O(1) sampling from an arbitrary
+/// discrete distribution given by non-negative weights.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f32>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (not necessarily
+    /// normalized). Panics if all weights are zero or the slice is empty.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let n = weights.len();
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * n as f64 / total).collect();
+        let mut prob = vec![0.0f32; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        // Pop pairs only while BOTH stacks are non-empty; evaluating both
+        // pops inside a `while let` tuple would discard an element when the
+        // other stack is exhausted.
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s] = scaled[s] as f32;
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a category index.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Gaussian::new(2.0, 3.0);
+        let n = 100_000;
+        let samples: Vec<f32> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(shape, scale) in &[(0.5f32, 2.0f32), (2.0, 1.0), (7.5, 0.5)] {
+            let g = Gamma::new(shape, scale);
+            let n = 50_000;
+            let mean = (0..n).map(|_| g.sample(&mut rng)).sum::<f32>() / n as f32;
+            let expected = shape * scale;
+            assert!(
+                (mean - expected).abs() < 0.08 * expected.max(1.0),
+                "shape {shape}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Gamma::new(0.3, 1.0);
+        for _ in 0..1000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let d = dirichlet(0.5, 8, &mut rng);
+            assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert!(d.iter().all(|&x| x >= 0.0));
+        }
+        let d = dirichlet_with(&[1.0, 2.0, 3.0], &mut rng);
+        assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zipf_pmf_is_monotone_decreasing() {
+        let z = Zipf::new(100, 1.1);
+        for i in 1..100 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_pmf() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let z = Zipf::new(10, 1.0);
+        let n = 200_000;
+        let mut counts = vec![0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..10 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - z.pmf(i)).abs() < 0.01, "rank {i}: {emp} vs {}", z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(5, 0.0);
+        for i in 0..5 {
+            assert!((z.pmf(i) - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = vec![1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let n = 200_000;
+        let mut counts = vec![0usize; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f32 = weights.iter().sum();
+        for i in 0..4 {
+            let emp = counts[i] as f32 / n as f32;
+            let expect = weights[i] / total;
+            assert!((emp - expect).abs() < 0.01, "cat {i}: {emp} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weight_categories() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,465 @@
+//! Row-major dense `f32` matrix.
+//!
+//! The layout choice matters: every model in this workspace processes
+//! mini-batches as `batch × dim` matrices, so row-major storage keeps each
+//! sample contiguous and lets the GEMM kernels below run down cache lines.
+
+use rand::{Rng, RngExt};
+
+use crate::dist::Gaussian;
+
+/// A dense, row-major `f32` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing buffer. Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Glorot/Xavier-uniform initialization, the default for dense layers.
+    pub fn glorot_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(rng.random_range(-limit..limit));
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Gaussian initialization with the given standard deviation.
+    pub fn gaussian(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Self {
+        let mut gauss = Gaussian::new(0.0, std);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(gauss.sample(rng));
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Add `v` to element `(r, c)`.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Apply `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Return a new matrix with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise addition. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place element-wise subtraction. Panics on shape mismatch.
+    pub fn sub_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy_assign(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale(&mut self, alpha: f32) {
+        self.data.iter_mut().for_each(|x| *x *= alpha);
+    }
+
+    /// Element-wise (Hadamard) product in place.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
+    /// `self · other`, shape `(m×k)·(k×n) → m×n`.
+    ///
+    /// Plain ikj loop: the inner loop runs over contiguous rows of both the
+    /// output and `other`, which vectorizes well and is fast enough for the
+    /// batch×hidden sizes used throughout this workspace.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        let _ = k;
+        out
+    }
+
+    /// `self · otherᵀ`, shape `(m×k)·(n×k)ᵀ → m×n`.
+    ///
+    /// Used in backprop for input gradients (`dX = dY · Wᵀ` with `W: in×out`
+    /// stored untransposed). Both operands are traversed row-contiguously, so
+    /// this is a sequence of dot products.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transb inner dimension mismatch");
+        let (m, n) = (self.rows, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::ops::dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`, shape `(k×m)ᵀ·(k×n) → m×n`.
+    ///
+    /// Used in backprop for weight gradients (`dW = Xᵀ · dY`). Implemented as
+    /// a rank-1-update accumulation so both inputs stream row-major.
+    pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_transa inner dimension mismatch");
+        let (m, n) = (self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..self.rows {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        self.rows_iter().map(|row| crate::ops::dot(row, v)).collect()
+    }
+
+    /// Sum over rows, producing a length-`cols` vector.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.rows_iter() {
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Mean over rows, producing a length-`cols` vector.
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut s = self.col_sums();
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f32;
+            s.iter_mut().for_each(|x| *x *= inv);
+        }
+        s
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Extract a copy of the given rows (in order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn m(rows: usize, cols: usize, data: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec())
+    }
+
+    #[test]
+    fn zeros_has_expected_shape_and_content() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(1, 1), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transb_equals_matmul_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::glorot_uniform(4, 5, &mut rng);
+        let b = Matrix::glorot_uniform(3, 5, &mut rng);
+        let fast = a.matmul_transb(&b);
+        let slow = a.matmul(&b.transpose());
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transa_equals_matmul_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Matrix::glorot_uniform(6, 4, &mut rng);
+        let b = Matrix::glorot_uniform(6, 3, &mut rng);
+        let fast = a.matmul_transa(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::glorot_uniform(5, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::glorot_uniform(4, 4, &mut rng);
+        let i = Matrix::identity(4);
+        let prod = a.matmul(&i);
+        for (x, y) in prod.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul_column() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = vec![1.0, 0.5, 2.0];
+        let got = a.matvec(&v);
+        assert_eq!(got, vec![8.0, 18.5]);
+    }
+
+    #[test]
+    fn col_sums_and_means() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.col_sums(), vec![4.0, 6.0]);
+        assert_eq!(a.col_means(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[1.0, 1.0, 1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0]);
+        a.axpy_assign(2.0, &b);
+        assert_eq!(a.as_slice(), &[3.0, 4.0, 5.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5]);
+        let mut c = m(1, 3, &[2.0, 2.0, 2.0]);
+        c.hadamard_assign(&m(1, 3, &[1.0, 2.0, 3.0]));
+        assert_eq!(c.as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn glorot_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::glorot_uniform(10, 20, &mut rng);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(a.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        let i = Matrix::identity(9);
+        assert!((i.frobenius_norm() - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,365 @@
+//! Exact t-SNE (van der Maaten & Hinton) for the Fig. 4 case study:
+//! "mapping those vectors into the 2-D space with t-SNE".
+//!
+//! The paper visualizes 1000 users, for which the exact O(n²) algorithm is
+//! perfectly adequate — no Barnes–Hut tree needed. Includes the standard
+//! refinements: per-point perplexity calibration by binary search, early
+//! exaggeration, and momentum with gain adaptation.
+
+use fvae_tensor::dist::Gaussian;
+use fvae_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum (switches from 0.5 to this after the early phase).
+    pub momentum: f32,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f32,
+    /// Output dimensionality (2 for the figure).
+    pub out_dim: usize,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            momentum: 0.8,
+            exaggeration: 8.0,
+            out_dim: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Pairwise squared Euclidean distances.
+fn pairwise_sq(data: &Matrix) -> Matrix {
+    let n = data.rows();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = fvae_tensor::ops::squared_distance(data.row(i), data.row(j));
+            d.set(i, j, dist);
+            d.set(j, i, dist);
+        }
+    }
+    d
+}
+
+/// Calibrates the Gaussian bandwidth of row `i` so the conditional
+/// distribution hits the target perplexity; returns the row of `p_{j|i}`.
+fn calibrate_row(dists: &[f32], i: usize, perplexity: f32) -> Vec<f32> {
+    let target_entropy = perplexity.ln();
+    let mut beta = 1.0f32;
+    let mut beta_min = f32::NEG_INFINITY;
+    let mut beta_max = f32::INFINITY;
+    let n = dists.len();
+    let mut p = vec![0.0f32; n];
+    for _ in 0..60 {
+        let mut sum = 0.0f32;
+        for (j, &d) in dists.iter().enumerate() {
+            p[j] = if j == i { 0.0 } else { (-beta * d).exp() };
+            sum += p[j];
+        }
+        let sum = sum.max(1e-12);
+        // Shannon entropy H = log Σ + β·E[d].
+        let mut entropy = 0.0f32;
+        for (j, &d) in dists.iter().enumerate() {
+            if j != i && p[j] > 0.0 {
+                entropy += beta * d * p[j];
+            }
+        }
+        let entropy = sum.ln() + entropy / sum;
+        let diff = entropy - target_entropy;
+        if diff.abs() < 1e-4 {
+            break;
+        }
+        if diff > 0.0 {
+            beta_min = beta;
+            beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+        } else {
+            beta_max = beta;
+            beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+        }
+    }
+    let sum: f32 = p.iter().sum::<f32>().max(1e-12);
+    p.iter_mut().for_each(|v| *v /= sum);
+    p
+}
+
+/// Symmetrized, normalized joint affinities `P`.
+fn joint_affinities(data: &Matrix, perplexity: f32) -> Matrix {
+    let n = data.rows();
+    let d = pairwise_sq(data);
+    let mut p = Matrix::zeros(n, n);
+    for i in 0..n {
+        let row = calibrate_row(d.row(i), i, perplexity);
+        p.row_mut(i).copy_from_slice(&row);
+    }
+    // Symmetrize: P = (P + Pᵀ) / 2n, floored for numerical safety.
+    let mut joint = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = (p.get(i, j) + p.get(j, i)) / (2.0 * n as f32);
+            joint.set(i, j, v.max(1e-12));
+        }
+    }
+    joint
+}
+
+/// Runs t-SNE on `data` (`n × dim`), returning an `n × out_dim` layout.
+pub fn tsne(data: &Matrix, cfg: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 4, "t-SNE needs at least a handful of points");
+    assert!(
+        cfg.perplexity * 3.0 < n as f32,
+        "perplexity {} too large for {} points",
+        cfg.perplexity,
+        n
+    );
+    let mut p = joint_affinities(data, cfg.perplexity);
+    p.scale(cfg.exaggeration);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y = Matrix::zeros(n, cfg.out_dim);
+    let mut gauss = Gaussian::new(0.0, 1e-2);
+    gauss.fill(&mut rng, y.as_mut_slice());
+    let mut velocity = Matrix::zeros(n, cfg.out_dim);
+    let mut gains = Matrix::full(n, cfg.out_dim, 1.0);
+
+    let exaggeration_end = cfg.iterations / 4;
+    let mut grad = Matrix::zeros(n, cfg.out_dim);
+    let mut q_num = Matrix::zeros(n, n);
+    for iter in 0..cfg.iterations {
+        if iter == exaggeration_end {
+            p.scale(1.0 / cfg.exaggeration);
+        }
+        // Student-t kernel numerators and their sum.
+        let mut q_sum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = fvae_tensor::ops::squared_distance(y.row(i), y.row(j));
+                let num = 1.0 / (1.0 + d);
+                q_num.set(i, j, num);
+                q_num.set(j, i, num);
+                q_sum += 2.0 * num;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+        // Gradient: 4 Σ_j (p_ij − q_ij)·num_ij·(y_i − y_j).
+        grad.fill(0.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let num = q_num.get(i, j);
+                let q = (num / q_sum).max(1e-12);
+                let coeff = 4.0 * (p.get(i, j) - q) * num;
+                for d in 0..cfg.out_dim {
+                    grad.add_at(i, d, coeff * (y.get(i, d) - y.get(j, d)));
+                }
+            }
+        }
+        // Momentum with gain adaptation (classic implementation).
+        let momentum = if iter < exaggeration_end { 0.5 } else { cfg.momentum };
+        for idx in 0..n * cfg.out_dim {
+            let g = grad.as_slice()[idx];
+            let v = velocity.as_slice()[idx];
+            let gain = &mut gains.as_mut_slice()[idx];
+            *gain = if (g > 0.0) == (v > 0.0) {
+                (*gain * 0.8).max(0.01)
+            } else {
+                *gain + 0.2
+            };
+            let new_v = momentum * v - cfg.learning_rate * *gain * g;
+            velocity.as_mut_slice()[idx] = new_v;
+            y.as_mut_slice()[idx] += new_v;
+        }
+        // Re-center.
+        let means = y.col_means();
+        for r in 0..n {
+            let row = y.row_mut(r);
+            for (v, &m) in row.iter_mut().zip(means.iter()) {
+                *v -= m;
+            }
+        }
+    }
+    y
+}
+
+/// k-nearest-neighbour label agreement in the layout — the quantitative
+/// stand-in for "topics form clusters with clear boundaries" in Fig. 4.
+pub fn knn_label_agreement(layout: &Matrix, labels: &[usize], k: usize) -> f64 {
+    assert_eq!(layout.rows(), labels.len(), "one label per point");
+    let n = layout.rows();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                (
+                    fvae_tensor::ops::squared_distance(layout.row(i), layout.row(j)),
+                    j,
+                )
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for &(_, j) in dists.iter().take(k) {
+            total += 1;
+            if labels[j] == labels[i] {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Three well-separated Gaussian blobs in 10-D.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gauss = Gaussian::new(0.0, 0.3);
+        let mut data = Matrix::zeros(3 * n_per, 10);
+        let mut labels = Vec::with_capacity(3 * n_per);
+        for c in 0..3 {
+            for i in 0..n_per {
+                let row = data.row_mut(c * n_per + i);
+                for (d, v) in row.iter_mut().enumerate() {
+                    let center = if d % 3 == c { 4.0 } else { 0.0 };
+                    *v = center + gauss.sample(&mut rng);
+                }
+                labels.push(c);
+            }
+        }
+        // Shuffle rows so clusters are interleaved.
+        let n = 3 * n_per;
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            for d in 0..10 {
+                let tmp = data.get(i, d);
+                data.set(i, d, data.get(j, d));
+                data.set(j, d, tmp);
+            }
+            labels.swap(i, j);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn affinities_are_symmetric_and_normalized() {
+        let (data, _) = blobs(10, 1);
+        let p = joint_affinities(&data, 5.0);
+        let total: f32 = p.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "sum {total}");
+        for i in 0..p.rows() {
+            for j in 0..p.cols() {
+                assert!((p.get(i, j) - p.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_hits_target_perplexity() {
+        let (data, _) = blobs(15, 2);
+        let d = pairwise_sq(&data);
+        let row = calibrate_row(d.row(0), 0, 10.0);
+        // Perplexity = 2^H ≈ exp(entropy); recompute the entropy.
+        let entropy: f32 = row
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum();
+        assert!(
+            (entropy.exp() - 10.0).abs() < 1.0,
+            "achieved perplexity {}",
+            entropy.exp()
+        );
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        let (data, labels) = blobs(25, 3);
+        let cfg = TsneConfig {
+            perplexity: 10.0,
+            iterations: 250,
+            ..Default::default()
+        };
+        let layout = tsne(&data, &cfg);
+        assert_eq!(layout.shape(), (75, 2));
+        assert!(layout.is_finite());
+        let agreement = knn_label_agreement(&layout, &labels, 5);
+        assert!(
+            agreement > 0.85,
+            "3 separated blobs should map to separated clusters (knn agreement {agreement})"
+        );
+    }
+
+    #[test]
+    fn layout_is_deterministic_per_seed() {
+        let (data, _) = blobs(10, 4);
+        let cfg = TsneConfig { perplexity: 5.0, iterations: 50, ..Default::default() };
+        let a = tsne(&data, &cfg);
+        let b = tsne(&data, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_agreement_is_one_for_perfectly_separated_layout() {
+        let mut layout = Matrix::zeros(6, 2);
+        for i in 0..3 {
+            layout.set(i, 0, 0.0 + i as f32 * 0.01);
+        }
+        for i in 3..6 {
+            layout.set(i, 0, 100.0 + i as f32 * 0.01);
+        }
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        assert!((knn_label_agreement(&layout, &labels, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_is_centered() {
+        let (data, _) = blobs(12, 6);
+        let cfg = TsneConfig { perplexity: 8.0, iterations: 60, ..Default::default() };
+        let layout = tsne(&data, &cfg);
+        for (d, &m) in layout.col_means().iter().enumerate() {
+            assert!(m.abs() < 1e-3, "dimension {d} mean {m}");
+        }
+    }
+
+    #[test]
+    fn output_dim_is_configurable() {
+        let (data, _) = blobs(10, 7);
+        let cfg = TsneConfig { perplexity: 6.0, iterations: 30, out_dim: 3, ..Default::default() };
+        let layout = tsne(&data, &cfg);
+        assert_eq!(layout.shape(), (30, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "perplexity")]
+    fn rejects_oversized_perplexity() {
+        let (data, _) = blobs(3, 5);
+        let cfg = TsneConfig { perplexity: 30.0, iterations: 10, ..Default::default() };
+        let _ = tsne(&data, &cfg);
+    }
+}

@@ -1,0 +1,70 @@
+//! Embedding visualization — the Fig. 4 case study at example scale.
+//!
+//! Trains an FVAE, samples users from 3 topics, projects their embeddings to
+//! 2-D with t-SNE, and writes `results/example_tsne.csv` (x, y, topic) ready
+//! for any plotting tool. Prints the k-NN label agreement as the cluster
+//! quality score.
+//!
+//! ```sh
+//! cargo run --release --example embedding_visualization
+//! ```
+
+use std::io::Write as _;
+
+use fvae_repro::data::TopicModelConfig;
+use fvae_repro::eval::models::{fvae_config, FvaeModel};
+use fvae_repro::tsne::{knn_label_agreement, tsne, TsneConfig};
+use fvae_repro::baselines::RepresentationModel;
+
+fn main() {
+    let mut gen = TopicModelConfig::sc_small();
+    gen.n_users = 1_500;
+    gen.n_topics = 6;
+    let dataset = gen.generate();
+    let users: Vec<usize> = (0..dataset.n_users()).collect();
+
+    println!("training FVAE…");
+    let mut cfg = fvae_config(&dataset, 5);
+    cfg.latent_dim = 32;
+    cfg.enc_hidden = 64;
+    cfg.dec_hidden = vec![64];
+    let mut model = FvaeModel::new(cfg);
+    model.fit(&dataset, &users);
+
+    // 300 users from the 3 most common topics.
+    let mut counts = std::collections::HashMap::new();
+    for &t in &dataset.user_topics {
+        *counts.entry(t).or_insert(0usize) += 1;
+    }
+    let mut by_count: Vec<(usize, usize)> = counts.into_iter().collect();
+    by_count.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let top3: Vec<usize> = by_count.iter().take(3).map(|&(t, _)| t).collect();
+    let mut picked = Vec::new();
+    let mut labels = Vec::new();
+    for &topic in &top3 {
+        for &u in users.iter().filter(|&&u| dataset.user_topics[u] == topic).take(100) {
+            picked.push(u);
+            labels.push(topic);
+        }
+    }
+
+    let embeddings = model.embed(&dataset, &picked, None);
+    println!("running t-SNE on {} points…", picked.len());
+    let layout = tsne(
+        &embeddings,
+        &TsneConfig { perplexity: 25.0, iterations: 300, ..Default::default() },
+    );
+    let agreement = knn_label_agreement(&layout, &labels, 10);
+    println!("knn-10 label agreement in the 2-D layout: {agreement:.3}");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let mut file = std::io::BufWriter::new(
+        std::fs::File::create("results/example_tsne.csv").expect("create csv"),
+    );
+    writeln!(file, "x,y,topic").expect("header");
+    for r in 0..layout.rows() {
+        writeln!(file, "{:.4},{:.4},{}", layout.get(r, 0), layout.get(r, 1), labels[r])
+            .expect("row");
+    }
+    println!("wrote results/example_tsne.csv — plot it with your favourite tool");
+}

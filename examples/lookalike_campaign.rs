@@ -1,0 +1,68 @@
+//! Look-alike campaign — the deployment scenario of §IV-D/§V-F.
+//!
+//! Trains an FVAE, pushes user embeddings into the serving cache, builds
+//! uploader-account embeddings by average pooling their followers, recalls
+//! look-alike audiences by L2 similarity, and replays the simulated A/B test
+//! against a skip-gram control arm (Table VI's setting).
+//!
+//! ```sh
+//! cargo run --release --example lookalike_campaign
+//! ```
+
+use fvae_repro::baselines::{Item2Vec, RepresentationModel};
+use fvae_repro::data::TopicModelConfig;
+use fvae_repro::eval::abtest::topic_matrix;
+use fvae_repro::eval::models::{fvae_config, FvaeModel};
+use fvae_repro::lookalike::abtest::{build_accounts, run_ab_test, AbTestConfig};
+use fvae_repro::lookalike::{EmbeddingStore, LookalikeSystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut gen = TopicModelConfig::sc_small();
+    gen.n_users = 2_000;
+    let dataset = gen.generate();
+    let users: Vec<usize> = (0..dataset.n_users()).collect();
+
+    // Offline module: train and infer embeddings.
+    println!("training FVAE (treatment arm)…");
+    let mut cfg = fvae_config(&dataset, 4);
+    cfg.latent_dim = 32;
+    cfg.enc_hidden = 64;
+    cfg.dec_hidden = vec![64];
+    let mut fvae = FvaeModel::new(cfg);
+    fvae.fit(&dataset, &users);
+    let fvae_emb = fvae.embed(&dataset, &users, None);
+
+    println!("training skip-gram (control arm)…");
+    let mut skipgram = Item2Vec::new(32, 9);
+    skipgram.epochs = 3;
+    skipgram.fit(&dataset, &users);
+    let sg_emb = skipgram.embed(&dataset, &users, None);
+
+    // Online module: the embedding store is the serving cache.
+    let store = EmbeddingStore::new(fvae_emb.cols());
+    for (u, row) in (0..fvae_emb.rows()).map(|u| (u as u64, fvae_emb.row(u))) {
+        store.put(u, row.to_vec());
+    }
+    println!("serving cache holds {} embeddings of dim {}", store.len(), store.dim());
+
+    // Build a small campaign and peek at one recall.
+    let theta = topic_matrix(&dataset.user_topics);
+    let ab_cfg = AbTestConfig { n_accounts: 120, followers_per_account: 15, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(3);
+    let (accounts, _profiles) = build_accounts(&theta, &ab_cfg, &mut rng);
+    let system = LookalikeSystem::build(&store, accounts);
+    let recalled = system.recall(fvae_emb.row(0), 5);
+    println!("user 0 → top-5 look-alike accounts: {recalled:?}");
+
+    // Replay the A/B test.
+    let report = run_ab_test(&theta, &sg_emb, &fvae_emb, &ab_cfg);
+    println!("\nsimulated online A/B test (FVAE vs skip-gram):");
+    for (metric, change) in report.relative_changes() {
+        println!("  {metric:<18} {:+.2}%", change * 100.0);
+    }
+    println!(
+        "\nnote: at this synthetic scale the skip-gram control recalls within\n         ~1.5% of the oracle affinity ceiling, so arm differences are noise —\n         see EXPERIMENTS.md (Table VI) for the full diagnosis. The harness\n         resolves real differences when they exist (its unit tests pit ground\n         truth against noise and reproduce the paper's directional lifts)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Integration test for the Fig. 3 matching stage: an FVAE trained on the
+//! synthetic data must recall items whose topics agree with the user's far
+//! above chance, through both strategies and through the fused pipeline.
+
+use fvae_repro::core::Fvae;
+use fvae_repro::data::{FieldSpec, TopicModelConfig};
+use fvae_repro::matching::{
+    EmbeddingMatcher, Matcher, MatchingPipeline, ItemCatalog, TagMatcher, UserQuery,
+};
+
+#[test]
+fn matching_recalls_on_topic_items() {
+    let ds = TopicModelConfig {
+        n_users: 600,
+        n_topics: 4,
+        alpha: 0.08,
+        fields: vec![
+            FieldSpec::new("ch1", 16, 4, 1.2),
+            FieldSpec::new("ch2", 64, 6, 1.2),
+            FieldSpec::new("tag", 256, 8, 1.2),
+        ],
+        pair_prob: 0.2,
+        seed: 21,
+    }
+    .generate();
+    let tag_field = 2;
+    let channels = vec![0usize, 1];
+
+    let mut cfg = fvae_repro::core::FvaeConfig::for_dataset(&ds);
+    cfg.latent_dim = 16;
+    cfg.enc_hidden = 32;
+    cfg.dec_hidden = vec![32];
+    cfg.batch_size = 64;
+    cfg.lr = 5e-3;
+    cfg.dropout = 0.3;
+    let mut model = Fvae::new(cfg);
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    model.train_epochs(&ds, &users, 8, |_, _| {});
+
+    let catalog = ItemCatalog::synthesize(&ds, tag_field, 400, 4, 9);
+    let agreement = |matchers: Vec<Box<dyn Matcher + '_>>| -> f64 {
+        let pipeline = MatchingPipeline::new(matchers, 50, 10);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for &user in users.iter().take(80) {
+            let query = UserQuery::build(&model, &ds, user, &channels, tag_field, 15);
+            for candidate in pipeline.recall(&query) {
+                total += 1;
+                agree += (catalog.item(candidate.item).topic == ds.user_topics[user]) as usize;
+            }
+        }
+        agree as f64 / total.max(1) as f64
+    };
+
+    let chance = 1.0 / 4.0;
+    let tag_only = agreement(vec![Box::new(TagMatcher::new(&catalog))]);
+    assert!(tag_only > chance * 1.5, "tag matcher agreement {tag_only} (chance {chance})");
+    let emb_only =
+        agreement(vec![Box::new(EmbeddingMatcher::new(&model, &catalog, tag_field))]);
+    assert!(emb_only > chance * 1.5, "embedding matcher agreement {emb_only}");
+    let fused = agreement(vec![
+        Box::new(TagMatcher::new(&catalog)),
+        Box::new(EmbeddingMatcher::new(&model, &catalog, tag_field)),
+    ]);
+    assert!(
+        fused > chance * 1.5,
+        "fused pipeline agreement {fused} (tag {tag_only}, emb {emb_only})"
+    );
+}

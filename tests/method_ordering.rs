@@ -1,0 +1,53 @@
+//! Integration test for the paper's headline *comparative* claims at small
+//! scale: FVAE beats the classical baselines on tag prediction (Table III's
+//! ordering), and FVAE's training step is cheaper than dense Mult-VAE's on a
+//! wide vocabulary (Table V's direction).
+
+use fvae_repro::baselines::{Pca, RepresentationModel};
+use fvae_repro::data::{tag_prediction_cases, SplitIndices, TopicModelConfig};
+use fvae_repro::eval::models::FvaeModel;
+use fvae_repro::eval::tagpred::evaluate_tag_prediction;
+
+#[test]
+fn fvae_outranks_pca_on_tag_prediction() {
+    let mut gen = TopicModelConfig::sc();
+    gen.n_users = 2000;
+    let ds = gen.generate();
+    let split = SplitIndices::random(ds.n_users(), 0.1, 0.2, 11);
+    let tag_field = ds.field_index("tag").expect("tag field");
+    let channels: Vec<usize> = (0..ds.n_fields()).filter(|&k| k != tag_field).collect();
+    let cases = tag_prediction_cases(&ds, &split.test, tag_field, 13);
+
+    let mut pca = Pca::new(32, 1);
+    pca.fit(&ds, &split.train);
+    let (pca_auc, _) = evaluate_tag_prediction(&pca, &ds, &cases, &channels, tag_field);
+
+    // The table-driver configuration (latent 64, enc 128): capacity matters
+    // for the neural model to pull ahead of the closed-form PCA here.
+    let mut cfg = fvae_repro::eval::models::fvae_config(&ds, 14);
+    cfg.sampling.rate = 0.2; // the table-3 driver's operating point
+    let mut fvae = FvaeModel::new(cfg);
+    fvae.fit(&ds, &split.train);
+    let (fvae_auc, _) = evaluate_tag_prediction(&fvae, &ds, &cases, &channels, tag_field);
+
+    assert!(pca_auc > 0.5, "PCA should beat chance: {pca_auc}");
+    assert!(fvae_auc > 0.6, "FVAE should clearly beat chance: {fvae_auc}");
+    assert!(
+        fvae_auc > pca_auc,
+        "Table III ordering: FVAE ({fvae_auc:.4}) must beat PCA ({pca_auc:.4})"
+    );
+}
+
+#[test]
+fn fvae_step_outpaces_dense_multvae_on_wide_vocab() {
+    use fvae_repro::eval::speed::{fvae_throughput, multvae_throughput};
+    let mut gen = TopicModelConfig::sc();
+    gen.n_users = 2000;
+    let ds = gen.generate();
+    let fvae = fvae_throughput(&ds, 128, 2);
+    let multvae = multvae_throughput(&ds, 128, 1, None);
+    assert!(
+        fvae > multvae,
+        "Table V direction: FVAE {fvae:.0} users/s vs Mult-VAE {multvae:.0} users/s"
+    );
+}
