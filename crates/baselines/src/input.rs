@@ -41,12 +41,28 @@ pub fn concat_row(
     user: usize,
     input_fields: Option<&[usize]>,
 ) -> (Vec<u32>, Vec<f32>) {
-    let all: Vec<usize> = (0..ds.n_fields()).collect();
-    let picks = input_fields.unwrap_or(&all);
     let mut ids = Vec::new();
     let mut vals = Vec::new();
+    concat_row_into(ds, layout, user, input_fields, &mut ids, &mut vals);
+    (ids, vals)
+}
+
+/// [`concat_row`] writing into caller-owned vectors (cleared first), so a
+/// batch assembly loop reuses their capacity across rows.
+pub fn concat_row_into(
+    ds: &MultiFieldDataset,
+    layout: &ConcatLayout,
+    user: usize,
+    input_fields: Option<&[usize]>,
+    ids: &mut Vec<u32>,
+    vals: &mut Vec<f32>,
+) {
+    ids.clear();
+    vals.clear();
+    let n_picks = input_fields.map_or(ds.n_fields(), <[usize]>::len);
     let mut sq = 0.0f32;
-    for &k in picks {
+    for p in 0..n_picks {
+        let k = input_fields.map_or(p, |f| f[p]);
         let (ix, vs) = ds.user_field(user, k);
         for (&i, &v) in ix.iter().zip(vs.iter()) {
             ids.push(layout.column(k, i) as u32);
@@ -58,7 +74,6 @@ pub fn concat_row(
         let inv = 1.0 / sq.sqrt();
         vals.iter_mut().for_each(|v| *v *= inv);
     }
-    (ids, vals)
 }
 
 /// Densifies a batch of users into `users × J` (dense baselines only; keep

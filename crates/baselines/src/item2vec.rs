@@ -119,8 +119,8 @@ impl RepresentationModel for Item2Vec {
                         {
                             let score = dot(in_vecs.row(c), out_vecs.row(other));
                             let g = (sigmoid(score) - 1.0) * self.lr;
-                            for d in 0..self.dim {
-                                grad_c[d] += g * out_vecs.get(other, d);
+                            for (d, gc) in grad_c.iter_mut().enumerate() {
+                                *gc += g * out_vecs.get(other, d);
                             }
                             for d in 0..self.dim {
                                 let upd = g * in_vecs.get(c, d);
@@ -135,8 +135,8 @@ impl RepresentationModel for Item2Vec {
                             }
                             let score = dot(in_vecs.row(c), out_vecs.row(neg));
                             let g = sigmoid(score) * self.lr;
-                            for d in 0..self.dim {
-                                grad_c[d] += g * out_vecs.get(neg, d);
+                            for (d, gc) in grad_c.iter_mut().enumerate() {
+                                *gc += g * out_vecs.get(neg, d);
                             }
                             for d in 0..self.dim {
                                 let upd = g * in_vecs.get(c, d);
@@ -144,8 +144,8 @@ impl RepresentationModel for Item2Vec {
                             }
                         }
                     }
-                    for d in 0..self.dim {
-                        in_vecs.add_at(c, d, -grad_c[d]);
+                    for (d, &g) in grad_c.iter().enumerate() {
+                        in_vecs.add_at(c, d, -g);
                     }
                 }
             }

@@ -117,7 +117,7 @@ impl RepresentationModel for Job2Vec {
         let all_fields: Vec<usize> = (0..ds.n_fields()).collect();
         for _ in 0..self.epochs {
             for &u in users {
-                for k in 0..ds.n_fields() {
+                for (k, neg_table) in neg_tables.iter().enumerate() {
                     // Context: the fused embedding of the OTHER views.
                     let others: Vec<usize> =
                         all_fields.iter().copied().filter(|&f| f != k).collect();
@@ -137,7 +137,7 @@ impl RepresentationModel for Job2Vec {
                             out_vecs.add_at(pos_col, d, -upd);
                         }
                         for _ in 0..self.negatives {
-                            let neg = neg_tables[k].sample(&mut rng);
+                            let neg = neg_table.sample(&mut rng);
                             if neg == f as usize {
                                 continue;
                             }
@@ -167,12 +167,8 @@ impl RepresentationModel for Job2Vec {
                         let (oix, _) = ds.user_field(u, ok);
                         let per_item = share / oix.len() as f32;
                         for &oi in oix {
-                            for d in 0..self.dim {
-                                self.views[ok].add_at(
-                                    oi as usize,
-                                    d,
-                                    -ctx_grad[d] * per_item,
-                                );
+                            for (d, &g) in ctx_grad.iter().enumerate() {
+                                self.views[ok].add_at(oi as usize, d, -g * per_item);
                             }
                         }
                     }

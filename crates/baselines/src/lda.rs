@@ -69,7 +69,7 @@ impl Lda {
         ids: &[u32],
         counts: &[f32],
         expbeta: &Matrix,
-        mut sstats: Option<&mut Matrix>,
+        sstats: Option<&mut Matrix>,
     ) -> Vec<f32> {
         let t = self.n_topics;
         let mut gamma = vec![1.0f32; t];
@@ -84,17 +84,16 @@ impl Lda {
             for (&j, &c) in ids.iter().zip(counts.iter()) {
                 // φ_{jt} ∝ expElogθ_t · expElogβ_{tj}
                 let mut norm = 1e-30f32;
-                for tt in 0..t {
-                    norm += exp_elog_theta[tt] * expbeta.get(tt, j as usize);
+                for (tt, &e) in exp_elog_theta.iter().enumerate() {
+                    norm += e * expbeta.get(tt, j as usize);
                 }
-                for tt in 0..t {
-                    new_gamma[tt] +=
-                        c * exp_elog_theta[tt] * expbeta.get(tt, j as usize) / norm;
+                for (tt, ng) in new_gamma.iter_mut().enumerate() {
+                    *ng += c * exp_elog_theta[tt] * expbeta.get(tt, j as usize) / norm;
                 }
             }
             gamma = new_gamma;
         }
-        if let Some(ss) = sstats.as_deref_mut() {
+        if let Some(ss) = sstats {
             let gsum: f32 = gamma.iter().sum();
             let psi_sum = digamma(gsum);
             for (e, &g) in exp_elog_theta.iter_mut().zip(gamma.iter()) {
@@ -102,15 +101,11 @@ impl Lda {
             }
             for (&j, &c) in ids.iter().zip(counts.iter()) {
                 let mut norm = 1e-30f32;
-                for tt in 0..t {
-                    norm += exp_elog_theta[tt] * expbeta.get(tt, j as usize);
+                for (tt, &e) in exp_elog_theta.iter().enumerate() {
+                    norm += e * expbeta.get(tt, j as usize);
                 }
-                for tt in 0..t {
-                    ss.add_at(
-                        tt,
-                        j as usize,
-                        c * exp_elog_theta[tt] * expbeta.get(tt, j as usize) / norm,
-                    );
+                for (tt, &e) in exp_elog_theta.iter().enumerate() {
+                    ss.add_at(tt, j as usize, c * e * expbeta.get(tt, j as usize) / norm);
                 }
             }
         }
@@ -217,8 +212,8 @@ impl RepresentationModel for Lda {
             for (o, &cand) in row.iter_mut().zip(candidates.iter()) {
                 let j = layout.column(field, cand);
                 let mut p = 0.0f32;
-                for t in 0..self.n_topics {
-                    p += th[t] * phi.get(t, j);
+                for (t, &tv) in th.iter().enumerate() {
+                    p += tv * phi.get(t, j);
                 }
                 *o = p;
             }

@@ -12,14 +12,14 @@
 use std::hash::BuildHasher;
 
 use fvae_data::MultiFieldDataset;
-use fvae_nn::{Activation, Adam, AdamState, Dropout, Mlp};
+use fvae_nn::{Activation, Adam, AdamState, Dropout, Mlp, MlpGrads, Workspace};
 use fvae_sparse::hasher::FastBuildHasher;
 use fvae_tensor::dist::Gaussian;
 use fvae_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::input::{concat_row, ConcatLayout};
+use crate::input::{concat_row_into, ConcatLayout};
 use crate::RepresentationModel;
 
 /// Adam states for every layer of an MLP.
@@ -81,10 +81,28 @@ impl DenseInput {
         users: &[usize],
         input_fields: Option<&[usize]>,
     ) -> (Matrix, Matrix) {
-        let mut x = Matrix::zeros(users.len(), self.input_dim);
-        let mut t = Matrix::zeros(users.len(), self.input_dim);
+        let mut x = Matrix::zeros(0, 0);
+        let mut t = Matrix::zeros(0, 0);
+        self.batch_into(ds, users, input_fields, &mut x, &mut t);
+        (x, t)
+    }
+
+    /// [`DenseInput::batch`] writing into caller-owned matrices that are
+    /// reshaped in place, so a training loop reuses their capacity.
+    pub(crate) fn batch_into(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        input_fields: Option<&[usize]>,
+        x: &mut Matrix,
+        t: &mut Matrix,
+    ) {
+        x.resize_zeroed(users.len(), self.input_dim);
+        t.resize_zeroed(users.len(), self.input_dim);
+        let mut ids = Vec::new();
+        let mut vals = Vec::new();
         for (r, &u) in users.iter().enumerate() {
-            let (ids, vals) = concat_row(ds, &self.layout, u, input_fields);
+            concat_row_into(ds, &self.layout, u, input_fields, &mut ids, &mut vals);
             let x_row = x.row_mut(r);
             for (&i, &v) in ids.iter().zip(vals.iter()) {
                 x_row[self.col(i as usize)] += v;
@@ -99,22 +117,37 @@ impl DenseInput {
                 }
             }
         }
-        (x, t)
     }
 }
 
 /// Multinomial log-likelihood over full logits; returns the summed loss and
 /// `∂L/∂logits` (already divided by the batch size).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn multinomial_dense_loss(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    let mut dlogits = Matrix::zeros(0, 0);
+    let mut probs_row = Vec::new();
+    let loss = multinomial_dense_loss_into(logits, targets, &mut dlogits, &mut probs_row);
+    (loss, dlogits)
+}
+
+/// [`multinomial_dense_loss`] writing the logit gradient into a caller-owned
+/// matrix; `probs_row` is a reusable softmax scratch row.
+pub(crate) fn multinomial_dense_loss_into(
+    logits: &Matrix,
+    targets: &Matrix,
+    dlogits: &mut Matrix,
+    probs_row: &mut Vec<f32>,
+) -> f32 {
     assert_eq!(logits.shape(), targets.shape());
     let b = logits.rows();
     let inv_b = 1.0 / b as f32;
     let mut loss = 0.0f64;
-    let mut dlogits = Matrix::zeros(b, logits.cols());
-    let mut probs_row = vec![0.0f32; logits.cols()];
+    dlogits.resize_zeroed(b, logits.cols());
+    probs_row.clear();
+    probs_row.resize(logits.cols(), 0.0);
     for r in 0..b {
         probs_row.copy_from_slice(logits.row(r));
-        fvae_tensor::ops::softmax_in_place(&mut probs_row);
+        fvae_tensor::ops::softmax_in_place(probs_row);
         let t_row = targets.row(r);
         let n_i: f32 = t_row.iter().sum();
         let d_row = dlogits.row_mut(r);
@@ -125,13 +158,20 @@ pub(crate) fn multinomial_dense_loss(logits: &Matrix, targets: &Matrix) -> (f32,
             *d = (n_i * p - t) * inv_b;
         }
     }
-    (loss as f32, dlogits)
+    loss as f32
 }
 
 pub(crate) fn clamp_split(stats: &Matrix, d: usize) -> (Matrix, Matrix) {
+    let mut mu = Matrix::zeros(0, 0);
+    let mut logvar = Matrix::zeros(0, 0);
+    clamp_split_into(stats, d, &mut mu, &mut logvar);
+    (mu, logvar)
+}
+
+pub(crate) fn clamp_split_into(stats: &Matrix, d: usize, mu: &mut Matrix, logvar: &mut Matrix) {
     let b = stats.rows();
-    let mut mu = Matrix::zeros(b, d);
-    let mut logvar = Matrix::zeros(b, d);
+    mu.resize_zeroed(b, d);
+    logvar.resize_zeroed(b, d);
     for r in 0..b {
         let row = stats.row(r);
         mu.row_mut(r).copy_from_slice(&row[..d]);
@@ -139,7 +179,30 @@ pub(crate) fn clamp_split(stats: &Matrix, d: usize) -> (Matrix, Matrix) {
             *lv = s.clamp(-8.0, 8.0);
         }
     }
-    (mu, logvar)
+}
+
+/// Reusable step buffers for the dense VAE family. Matrices and activation
+/// caches are reshaped in place each step, so at a stable batch shape the
+/// training loop stops allocating after the first step.
+#[derive(Default)]
+pub(crate) struct VaeScratch {
+    pub(crate) ws: Workspace,
+    pub(crate) x: Matrix,
+    pub(crate) t: Matrix,
+    pub(crate) mask: Matrix,
+    pub(crate) enc_acts: Vec<Matrix>,
+    pub(crate) mu: Matrix,
+    pub(crate) logvar: Matrix,
+    pub(crate) eps: Matrix,
+    pub(crate) z: Matrix,
+    pub(crate) dec_acts: Vec<Matrix>,
+    pub(crate) dlogits: Matrix,
+    pub(crate) probs_row: Vec<f32>,
+    pub(crate) dec_grads: MlpGrads,
+    pub(crate) dz: Matrix,
+    pub(crate) dstats: Matrix,
+    pub(crate) enc_grads: MlpGrads,
+    pub(crate) dx: Matrix,
 }
 
 /// Mult-VAE: variational autoencoder with a multinomial likelihood.
@@ -167,6 +230,7 @@ pub struct MultVae {
     pub(crate) enc: Option<Mlp>,
     pub(crate) dec: Option<Mlp>,
     step: u64,
+    scratch: VaeScratch,
 }
 
 impl MultVae {
@@ -187,6 +251,7 @@ impl MultVae {
             enc: None,
             dec: None,
             step: 0,
+            scratch: VaeScratch::default(),
         }
     }
 
@@ -209,57 +274,62 @@ impl MultVae {
         dec_opt: &mut MlpAdamHandle,
         rng: &mut StdRng,
     ) -> f32 {
-        let input = self.input.as_ref().expect("fitted or initialized");
-        let (mut x, t) = input.batch(ds, users, None);
-        let dropout = Dropout::new(self.dropout);
-        let _mask = dropout.forward_train(&mut x, rng);
         let beta = self.beta_at(self.step);
         self.step += 1;
         let b = users.len();
         let inv_b = 1.0 / b as f32;
+        let d = self.latent_dim;
+        let dropout = Dropout::new(self.dropout);
+        // Split borrow: the scratch, the input layout, and the networks are
+        // distinct fields, so the whole step runs on `&mut self.scratch`.
+        let sc = &mut self.scratch;
+        let input = self.input.as_ref().expect("fitted or initialized");
+        input.batch_into(ds, users, None, &mut sc.x, &mut sc.t);
+        dropout.forward_train_into(&mut sc.x, &mut sc.mask, rng);
 
         let enc = self.enc.as_ref().expect("init");
         let dec = self.dec.as_ref().expect("init");
-        let enc_acts = enc.forward_cached(&x);
-        let (mu, logvar) = clamp_split(enc_acts.last().expect("non-empty"), self.latent_dim);
+        enc.forward_cached_into(&sc.x, &mut sc.enc_acts);
+        clamp_split_into(sc.enc_acts.last().expect("non-empty"), d, &mut sc.mu, &mut sc.logvar);
         let mut gauss = Gaussian::standard();
-        let mut eps = Matrix::zeros(b, self.latent_dim);
-        gauss.fill(rng, eps.as_mut_slice());
-        let mut z = mu.clone();
-        for ((zi, &e), &lv) in z
-            .as_mut_slice()
-            .iter_mut()
-            .zip(eps.as_slice())
-            .zip(logvar.as_slice())
+        sc.eps.resize_zeroed(b, d);
+        gauss.fill(rng, sc.eps.as_mut_slice());
+        sc.z.resize_zeroed(b, d);
+        sc.z.as_mut_slice().copy_from_slice(sc.mu.as_slice());
+        for ((zi, &e), &lv) in
+            sc.z.as_mut_slice().iter_mut().zip(sc.eps.as_slice()).zip(sc.logvar.as_slice())
         {
             *zi += e * (0.5 * lv).exp();
         }
-        let dec_acts = dec.forward_cached(&z);
-        let (loss, dlogits) =
-            multinomial_dense_loss(dec_acts.last().expect("non-empty"), &t);
-        let (dec_grads, dz) = dec.backward(&z, &dec_acts, &dlogits);
+        dec.forward_cached_into(&sc.z, &mut sc.dec_acts);
+        let loss = multinomial_dense_loss_into(
+            sc.dec_acts.last().expect("non-empty"),
+            &sc.t,
+            &mut sc.dlogits,
+            &mut sc.probs_row,
+        );
+        dec.backward_into(&sc.z, &sc.dec_acts, &sc.dlogits, &mut sc.dec_grads, &mut sc.dz, &mut sc.ws);
 
-        // KL gradients.
-        let mut dmu = dz.clone();
-        dmu.axpy_assign(beta * inv_b, &mu);
-        let mut dlogvar = Matrix::zeros(b, self.latent_dim);
-        for i in 0..dlogvar.as_slice().len() {
-            let sigma = (0.5 * logvar.as_slice()[i]).exp();
-            dlogvar.as_mut_slice()[i] = dz.as_slice()[i] * 0.5 * eps.as_slice()[i] * sigma
-                + beta * inv_b * 0.5 * (logvar.as_slice()[i].exp() - 1.0);
-        }
-        let mut dstats = Matrix::zeros(b, 2 * self.latent_dim);
+        // KL gradients, folded directly into the stats gradient:
+        //   dμ = dz + β/B·μ ; dlogσ² = dz·½εσ + β/B·½(σ²−1)
+        sc.dstats.resize_zeroed(b, 2 * d);
         for r in 0..b {
-            let row = dstats.row_mut(r);
-            row[..self.latent_dim].copy_from_slice(dmu.row(r));
-            row[self.latent_dim..].copy_from_slice(dlogvar.row(r));
+            let row = sc.dstats.row_mut(r);
+            let dz_row = sc.dz.row(r);
+            let mu_row = sc.mu.row(r);
+            let lv_row = sc.logvar.row(r);
+            let eps_row = sc.eps.row(r);
+            for i in 0..d {
+                let sigma = (0.5 * lv_row[i]).exp();
+                row[i] = dz_row[i] + beta * inv_b * mu_row[i];
+                row[d + i] = dz_row[i] * 0.5 * eps_row[i] * sigma
+                    + beta * inv_b * 0.5 * (lv_row[i].exp() - 1.0);
+            }
         }
-        let (enc_grads, _) = enc.backward(&x, &enc_acts, &dstats);
+        enc.backward_into(&sc.x, &sc.enc_acts, &sc.dstats, &mut sc.enc_grads, &mut sc.dx, &mut sc.ws);
 
-        let enc_mlp = self.enc.as_mut().expect("init");
-        enc_opt.0.step(adam, enc_mlp, &enc_grads);
-        let dec_mlp = self.dec.as_mut().expect("init");
-        dec_opt.0.step(adam, dec_mlp, &dec_grads);
+        enc_opt.0.step(adam, self.enc.as_mut().expect("init"), &sc.enc_grads);
+        dec_opt.0.step(adam, self.dec.as_mut().expect("init"), &sc.dec_grads);
         loss * inv_b
     }
 
@@ -415,21 +485,35 @@ impl RepresentationModel for MultDae {
         let mut enc_opt = MlpAdam::new(&enc);
         let mut dec_opt = MlpAdam::new(&dec);
         let dropout = Dropout::new(self.dropout);
+        // Epoch-lifetime scratch: every step reshapes these in place.
+        let mut sc = VaeScratch::default();
         for _ in 0..self.epochs {
             let batches =
                 fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
             for batch in &batches {
-                let (mut x, t) = input.batch(ds, batch, None);
-                let _mask = dropout.forward_train(&mut x, &mut rng);
-                let enc_acts = enc.forward_cached(&x);
-                let z = enc_acts.last().expect("non-empty").clone();
-                let dec_acts = dec.forward_cached(&z);
-                let (_, dlogits) =
-                    multinomial_dense_loss(dec_acts.last().expect("non-empty"), &t);
-                let (dec_grads, dz) = dec.backward(&z, &dec_acts, &dlogits);
-                let (enc_grads, _) = enc.backward(&x, &enc_acts, &dz);
-                enc_opt.step(&adam, &mut enc, &enc_grads);
-                dec_opt.step(&adam, &mut dec, &dec_grads);
+                input.batch_into(ds, batch, None, &mut sc.x, &mut sc.t);
+                dropout.forward_train_into(&mut sc.x, &mut sc.mask, &mut rng);
+                enc.forward_cached_into(&sc.x, &mut sc.enc_acts);
+                // The code (z) is the last encoder activation; the decoder
+                // consumes it straight from the cache — no clone.
+                dec.forward_cached_into(sc.enc_acts.last().expect("non-empty"), &mut sc.dec_acts);
+                multinomial_dense_loss_into(
+                    sc.dec_acts.last().expect("non-empty"),
+                    &sc.t,
+                    &mut sc.dlogits,
+                    &mut sc.probs_row,
+                );
+                dec.backward_into(
+                    sc.enc_acts.last().expect("non-empty"),
+                    &sc.dec_acts,
+                    &sc.dlogits,
+                    &mut sc.dec_grads,
+                    &mut sc.dz,
+                    &mut sc.ws,
+                );
+                enc.backward_into(&sc.x, &sc.enc_acts, &sc.dz, &mut sc.enc_grads, &mut sc.dx, &mut sc.ws);
+                enc_opt.step(&adam, &mut enc, &sc.enc_grads);
+                dec_opt.step(&adam, &mut dec, &sc.dec_grads);
             }
         }
         self.input = Some(input);

@@ -64,8 +64,8 @@ impl RepresentationModel for Pca {
         let gram = b.matmul_transb(&b);
         let (vals, vecs) = jacobi_eigen(&gram);
         let mut v = Matrix::zeros(layout.total, self.dim.min(l));
-        for c in 0..v.cols() {
-            let sigma = vals[c].max(1e-12).sqrt();
+        for (c, &val) in vals.iter().enumerate().take(v.cols()) {
+            let sigma = val.max(1e-12).sqrt();
             // V[:, c] = Bᵀ · U[:, c] / σ_c
             for r in 0..l {
                 let u_rc = vecs.get(r, c);

@@ -21,7 +21,9 @@ use fvae_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::multvae::{clamp_split, multinomial_dense_loss, DenseInput, MlpAdam};
+use crate::multvae::{
+    clamp_split, clamp_split_into, multinomial_dense_loss_into, DenseInput, MlpAdam, VaeScratch,
+};
 use crate::RepresentationModel;
 
 /// RecVAE.
@@ -75,15 +77,29 @@ impl RecVae {
     /// `−∇_z log p(z)` for the composite prior, evaluated row-wise.
     /// `mu_old`/`logvar_old` come from the snapshot encoder on the same
     /// input. Responsibilities use log-sum-exp for stability.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn neg_dlogp_dz(
         &self,
         z: &Matrix,
         mu_old: &Matrix,
         logvar_old: &Matrix,
     ) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.neg_dlogp_dz_into(z, mu_old, logvar_old, &mut out);
+        out
+    }
+
+    /// [`RecVae::neg_dlogp_dz`] writing into a caller-owned matrix.
+    fn neg_dlogp_dz_into(
+        &self,
+        z: &Matrix,
+        mu_old: &Matrix,
+        logvar_old: &Matrix,
+        out: &mut Matrix,
+    ) {
         let d = z.cols();
         let wide_logvar = 10.0f32.ln();
-        let mut out = Matrix::zeros(z.rows(), d);
+        out.resize_zeroed(z.rows(), d);
         for r in 0..z.rows() {
             let zr = z.row(r);
             let mo = mu_old.row(r);
@@ -98,14 +114,16 @@ impl RecVae {
                 logd[1] += -0.5 * (lo[i] as f64 + diff * diff / var_old);
                 logd[2] += -0.5 * (wide_logvar as f64 + zi * zi / 10.0);
             }
-            let logw: Vec<f64> = self
-                .prior_weights
-                .iter()
-                .zip(logd.iter())
-                .map(|(&w, &ld)| (w.max(1e-12) as f64).ln() + ld)
-                .collect();
+            let mut logw = [0.0f64; 3];
+            for (lw, (&w, &ld)) in logw.iter_mut().zip(self.prior_weights.iter().zip(logd.iter()))
+            {
+                *lw = (w.max(1e-12) as f64).ln() + ld;
+            }
             let max = logw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let resp: Vec<f64> = logw.iter().map(|&lw| (lw - max).exp()).collect();
+            let mut resp = [0.0f64; 3];
+            for (re, &lw) in resp.iter_mut().zip(logw.iter()) {
+                *re = (lw - max).exp();
+            }
             let total: f64 = resp.iter().sum();
             let row = out.row_mut(r);
             for i in 0..d {
@@ -117,7 +135,6 @@ impl RecVae {
                     ((resp[0] * g0 + resp[1] * g1 + resp[2] * g2) / total) as f32;
             }
         }
-        out
     }
 }
 
@@ -146,6 +163,15 @@ impl RepresentationModel for RecVae {
         let mut dec_opt = MlpAdam::new(&dec);
         let dropout = Dropout::new(self.dropout);
         let mut gauss = Gaussian::standard();
+        let d = self.latent_dim;
+        // Fit-lifetime scratch: every step reshapes these in place.
+        let mut sc = VaeScratch::default();
+        let mut x_clean = Matrix::zeros(0, 0);
+        let mut old_acts: Vec<Matrix> = Vec::new();
+        let mut mu_old = Matrix::zeros(0, 0);
+        let mut logvar_old = Matrix::zeros(0, 0);
+        let mut glogp = Matrix::zeros(0, 0);
+        let mut betas: Vec<f32> = Vec::new();
 
         for _ in 0..self.epochs {
             // Snapshot the encoder: the composite prior's second component.
@@ -155,72 +181,88 @@ impl RepresentationModel for RecVae {
             for batch in &batches {
                 let b = batch.len();
                 let inv_b = 1.0 / b as f32;
-                let (mut x, t) = input.batch(ds, batch, None);
-                let x_clean = x.clone();
-                let _mask = dropout.forward_train(&mut x, &mut rng);
+                input.batch_into(ds, batch, None, &mut sc.x, &mut sc.t);
+                x_clean.resize_zeroed(sc.x.rows(), sc.x.cols());
+                x_clean.as_mut_slice().copy_from_slice(sc.x.as_slice());
+                dropout.forward_train_into(&mut sc.x, &mut sc.mask, &mut rng);
 
-                let enc_acts = enc.forward_cached(&x);
-                let (mu, logvar) =
-                    clamp_split(enc_acts.last().expect("non-empty"), self.latent_dim);
-                let mut eps = Matrix::zeros(b, self.latent_dim);
-                gauss.fill(&mut rng, eps.as_mut_slice());
-                let mut z = mu.clone();
-                for ((zi, &e), &lv) in z
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(eps.as_slice())
-                    .zip(logvar.as_slice())
+                enc.forward_cached_into(&sc.x, &mut sc.enc_acts);
+                clamp_split_into(
+                    sc.enc_acts.last().expect("non-empty"),
+                    d,
+                    &mut sc.mu,
+                    &mut sc.logvar,
+                );
+                sc.eps.resize_zeroed(b, d);
+                gauss.fill(&mut rng, sc.eps.as_mut_slice());
+                sc.z.resize_zeroed(b, d);
+                sc.z.as_mut_slice().copy_from_slice(sc.mu.as_slice());
+                for ((zi, &e), &lv) in
+                    sc.z.as_mut_slice().iter_mut().zip(sc.eps.as_slice()).zip(sc.logvar.as_slice())
                 {
                     *zi += e * (0.5 * lv).exp();
                 }
 
-                let dec_acts = dec.forward_cached(&z);
-                let (_, dlogits) =
-                    multinomial_dense_loss(dec_acts.last().expect("non-empty"), &t);
-                let (dec_grads, dz) = dec.backward(&z, &dec_acts, &dlogits);
+                dec.forward_cached_into(&sc.z, &mut sc.dec_acts);
+                multinomial_dense_loss_into(
+                    sc.dec_acts.last().expect("non-empty"),
+                    &sc.t,
+                    &mut sc.dlogits,
+                    &mut sc.probs_row,
+                );
+                dec.backward_into(
+                    &sc.z,
+                    &sc.dec_acts,
+                    &sc.dlogits,
+                    &mut sc.dec_grads,
+                    &mut sc.dz,
+                    &mut sc.ws,
+                );
 
                 // Composite-prior KL gradients (Monte-Carlo):
                 //   dμ  += β_i/B · (−∇_z log p)          (entropy dμ cancels)
                 //   dlv += β_i/B · ((−∇_z log p)·½εσ − ½) (entropy gives −½)
-                let old_stats = enc_snapshot.forward(&x_clean);
-                let (mu_old, logvar_old) = clamp_split(&old_stats, self.latent_dim);
-                let glogp = self.neg_dlogp_dz(&z, &mu_old, &logvar_old);
-                let betas: Vec<f32> = batch
-                    .iter()
-                    .map(|&u| {
-                        let n_i: f32 = (0..ds.n_fields())
-                            .map(|k| ds.user_field(u, k).1.iter().sum::<f32>())
-                            .sum();
-                        self.gamma * n_i
-                    })
-                    .collect();
+                enc_snapshot.forward_cached_into(&x_clean, &mut old_acts);
+                clamp_split_into(
+                    old_acts.last().expect("non-empty"),
+                    d,
+                    &mut mu_old,
+                    &mut logvar_old,
+                );
+                self.neg_dlogp_dz_into(&sc.z, &mu_old, &logvar_old, &mut glogp);
+                betas.clear();
+                betas.extend(batch.iter().map(|&u| {
+                    let n_i: f32 = (0..ds.n_fields())
+                        .map(|k| ds.user_field(u, k).1.iter().sum::<f32>())
+                        .sum();
+                    self.gamma * n_i
+                }));
 
-                let mut dmu = dz.clone();
-                let mut dlogvar = Matrix::zeros(b, self.latent_dim);
-                for r in 0..b {
-                    let beta_scale = betas[r] * inv_b;
+                sc.dstats.resize_zeroed(b, 2 * d);
+                for (r, &beta_r) in betas.iter().enumerate() {
+                    let beta_scale = beta_r * inv_b;
                     let g_row = glogp.row(r);
-                    let dz_row = dz.row(r);
-                    let eps_row = eps.row(r);
-                    let lv_row = logvar.row(r);
-                    let dmu_row = dmu.row_mut(r);
-                    let dlv_row = dlogvar.row_mut(r);
-                    for i in 0..self.latent_dim {
+                    let dz_row = sc.dz.row(r);
+                    let eps_row = sc.eps.row(r);
+                    let lv_row = sc.logvar.row(r);
+                    let row = sc.dstats.row_mut(r);
+                    for i in 0..d {
                         let sigma = (0.5 * lv_row[i]).exp();
-                        dmu_row[i] += beta_scale * g_row[i];
-                        dlv_row[i] = dz_row[i] * 0.5 * eps_row[i] * sigma
+                        row[i] = dz_row[i] + beta_scale * g_row[i];
+                        row[d + i] = dz_row[i] * 0.5 * eps_row[i] * sigma
                             + beta_scale * (g_row[i] * 0.5 * eps_row[i] * sigma - 0.5);
                     }
                 }
-                let mut dstats = Matrix::zeros(b, 2 * self.latent_dim);
-                for r in 0..b {
-                    let row = dstats.row_mut(r);
-                    row[..self.latent_dim].copy_from_slice(dmu.row(r));
-                    row[self.latent_dim..].copy_from_slice(dlogvar.row(r));
-                }
-                let (enc_grads, _) = enc.backward(&x, &enc_acts, &dstats);
-                enc_opt.step(&adam, &mut enc, &enc_grads);
-                dec_opt.step(&adam, &mut dec, &dec_grads);
+                enc.backward_into(
+                    &sc.x,
+                    &sc.enc_acts,
+                    &sc.dstats,
+                    &mut sc.enc_grads,
+                    &mut sc.dx,
+                    &mut sc.ws,
+                );
+                enc_opt.step(&adam, &mut enc, &sc.enc_grads);
+                dec_opt.step(&adam, &mut dec, &sc.dec_grads);
             }
             self.enc_old = Some(enc_snapshot);
         }

@@ -1,0 +1,161 @@
+//! Old-vs-new dense kernel microbenches for the zero-allocation training
+//! hot path: the seed's single-accumulator loops (reproduced here verbatim
+//! as `seed_*` baselines) against the register-tiled `_into` kernels now in
+//! `fvae-tensor`, at the workspace's dominant GEMM shapes — the SC-preset
+//! encoder step (256×128 · 128×64) and the decoder-head step
+//! (256×64 · 64×J_batch with J_batch ≈ 1.5k batch-unique candidates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvae_tensor::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// The seed's `matmul`: plain ikj loop, one output row and one k-lane per
+/// pass, single accumulator stream. Kept as the benchmark baseline.
+fn seed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's `matmul_transa`: rank-1 accumulation, one batch row per pass.
+fn seed_matmul_transa(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows());
+    let (m, n) = (a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..a.rows() {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The seed's `dot`: single-accumulator zip/map/sum reduction.
+fn seed_dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// The seed's `matmul_transb` built on the seed dot.
+fn seed_matmul_transb(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols());
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = seed_dot(a_row, b.row(j));
+        }
+    }
+    out
+}
+
+/// `(m, k, n)` GEMM shapes that dominate an SC-preset training step.
+const GEMM_SHAPES: [(usize, usize, usize); 2] = [
+    (256, 128, 64),   // encoder: bag activations × μ/logσ² head
+    (256, 64, 1536),  // decoder head: latent trunk × batch-unique candidates
+];
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for (m, k, n) in GEMM_SHAPES {
+        let label = format!("{m}x{k}x{n}");
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::gaussian(m, k, 0.5, &mut rng);
+        let b = Matrix::gaussian(k, n, 0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("seed_matmul", &label), &(), |bch, _| {
+            bch.iter(|| black_box(seed_matmul(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_into", &label), &(), |bch, _| {
+            let mut out = Matrix::zeros(m, n);
+            bch.iter(|| {
+                a.matmul_into(&b, &mut out);
+                black_box(out.get(0, 0))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward_gemms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_backward");
+    group.sample_size(20);
+    // dW = Xᵀ·dY and dX = dY·Wᵀ at the encoder shape.
+    let (m, k, n) = (256, 128, 64);
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Matrix::gaussian(m, k, 0.5, &mut rng);
+    let dy = Matrix::gaussian(m, n, 0.5, &mut rng);
+    let w = Matrix::gaussian(k, n, 0.5, &mut rng);
+    group.bench_function("seed_transa_256x128x64", |bch| {
+        bch.iter(|| black_box(seed_matmul_transa(&x, &dy)))
+    });
+    group.bench_function("transa_into_256x128x64", |bch| {
+        let mut out = Matrix::zeros(k, n);
+        bch.iter(|| {
+            x.matmul_transa_into(&dy, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    group.bench_function("seed_transb_256x64x128", |bch| {
+        bch.iter(|| black_box(seed_matmul_transb(&dy, &w)))
+    });
+    group.bench_function("transb_into_256x64x128", |bch| {
+        let mut out = Matrix::zeros(m, k);
+        bch.iter(|| {
+            dy.matmul_transb_into(&w, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_vector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vector_kernels");
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Matrix::gaussian(1, 4096, 1.0, &mut rng).into_vec();
+    let b = Matrix::gaussian(1, 4096, 1.0, &mut rng).into_vec();
+    group.bench_function("seed_dot_4096", |bch| {
+        bch.iter(|| black_box(seed_dot(&a, &b)))
+    });
+    group.bench_function("dot_4096", |bch| {
+        bch.iter(|| black_box(ops::dot(&a, &b)))
+    });
+    // axpy has no loop-carried dependency; benchmarked to document that the
+    // plain loop already saturates (see ops.rs doc comment).
+    group.bench_function("axpy_4096", |bch| {
+        let mut y = b.clone();
+        bch.iter(|| {
+            ops::axpy(0.5, &a, &mut y);
+            black_box(y[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_backward_gemms, bench_vector_kernels);
+criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Regenerates every table and figure in sequence (the EXPERIMENTS.md
 //! refresh). Scale via FVAE_SCALE=quick|full.
+type Experiment = (&'static str, fn(&fvae_eval::EvalContext) -> String);
+
 fn main() {
     let ctx = fvae_eval::EvalContext::new();
-    let experiments: Vec<(&str, fn(&fvae_eval::EvalContext) -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("Table I", fvae_eval::stats::table1),
         ("Table II", fvae_eval::recon::table2),
         ("Table III", fvae_eval::tagpred::table3),

@@ -1,0 +1,30 @@
+//! SC-preset training-throughput probe (users/second, batch 256 by default).
+//!
+//! A single number that moves when the training hot path gets faster —
+//! used for the before/after entries in EXPERIMENTS.md. Environment knobs:
+//! `FVAE_TP_USERS` (dataset size), `FVAE_TP_BATCH`, `FVAE_TP_STEPS`.
+
+use fvae_data::TopicModelConfig;
+use fvae_eval::speed::fvae_throughput;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let batch = env_usize("FVAE_TP_BATCH", 256);
+    let steps = env_usize("FVAE_TP_STEPS", 20);
+    let mut cfg = TopicModelConfig::sc();
+    cfg.n_users = env_usize("FVAE_TP_USERS", 2048).max(2 * batch);
+    let ds = cfg.generate();
+    eprintln!(
+        "[throughput] SC preset: {} users, J = {}, batch {batch}, {steps} timed steps",
+        ds.n_users(),
+        ds.total_features()
+    );
+    // Three repeats; report each so warm-up effects are visible.
+    for rep in 0..3 {
+        let ups = fvae_throughput(&ds, batch, steps);
+        println!("rep {rep}: {ups:.0} users/s");
+    }
+}

@@ -49,6 +49,7 @@ pub struct Fvae {
 
 /// Sparse batch input: `ids[field][row]` / `vals[field][row]`, already
 /// normalized (and dropout-masked during training).
+#[derive(Default)]
 pub(crate) struct BatchInput {
     pub ids: Vec<Vec<Vec<u64>>>,
     pub vals: Vec<Vec<Vec<f32>>>,
@@ -118,85 +119,95 @@ impl Fvae {
         self.bags.iter().map(EmbeddingBag::vocab_len).sum()
     }
 
-    /// Assembles normalized sparse inputs for `users`, optionally restricted
-    /// to `fields` (fold-in) and with input dropout (training only).
-    pub(crate) fn build_input(
+    /// Assembles normalized sparse inputs for `users` — optionally restricted
+    /// to `fields` (fold-in) and with input dropout (training only) — into a
+    /// caller-owned [`BatchInput`] whose nested row vectors are reshaped in
+    /// place, so a training loop reuses all of their capacity across steps.
+    pub(crate) fn build_input_into(
         &mut self,
         ds: &MultiFieldDataset,
         users: &[usize],
         fields: Option<&[usize]>,
         dropout: bool,
-    ) -> BatchInput {
-        let all: Vec<usize> = (0..self.cfg.n_fields).collect();
-        let picks: Vec<usize> = fields.unwrap_or(&all).to_vec();
+        input: &mut BatchInput,
+    ) {
+        let n_fields = self.cfg.n_fields;
+        let n_picks = fields.map_or(n_fields, <[usize]>::len);
+        let is_picked = |k: usize| fields.is_none_or(|f| f.contains(&k));
         let p = self.cfg.dropout;
         let keep_scale = if p > 0.0 { 1.0 / (1.0 - p) } else { 1.0 };
-        let mut ids = vec![Vec::with_capacity(users.len()); self.cfg.n_fields];
-        let mut vals = vec![Vec::with_capacity(users.len()); self.cfg.n_fields];
-        for &u in users {
+        input.ids.resize_with(n_fields, Vec::new);
+        input.vals.resize_with(n_fields, Vec::new);
+        for k in 0..n_fields {
+            input.ids[k].resize_with(users.len(), Vec::new);
+            input.vals[k].resize_with(users.len(), Vec::new);
+        }
+        for (r, &u) in users.iter().enumerate() {
             // Structured field dropout: with probability `field_dropout`,
             // hide one random field of this user entirely (training only).
             let masked_field: Option<usize> = if dropout
                 && self.cfg.field_dropout > 0.0
-                && picks.len() > 1
+                && n_picks > 1
                 && self.rng.random::<f32>() < self.cfg.field_dropout
             {
-                Some(picks[self.rng.random_range(0..picks.len())])
+                let pick = self.rng.random_range(0..n_picks);
+                Some(fields.map_or(pick, |f| f[pick]))
             } else {
                 None
             };
             // L2 norm over the *used* fields of this user.
             let mut sq = 0.0f32;
-            for &k in &picks {
-                if masked_field == Some(k) {
+            for k in 0..n_fields {
+                if !is_picked(k) || masked_field == Some(k) {
                     continue;
                 }
                 let (_, vs) = ds.user_field(u, k);
                 sq += vs.iter().map(|v| v * v).sum::<f32>();
             }
             let inv_norm = if sq > 0.0 { 1.0 / sq.sqrt() } else { 0.0 };
-            for k in 0..self.cfg.n_fields {
-                if !picks.contains(&k) || masked_field == Some(k) {
-                    ids[k].push(Vec::new());
-                    vals[k].push(Vec::new());
+            for k in 0..n_fields {
+                input.ids[k][r].clear();
+                input.vals[k][r].clear();
+                if !is_picked(k) || masked_field == Some(k) {
                     continue;
                 }
                 let (ix, vs) = ds.user_field(u, k);
-                let mut row_ids = Vec::with_capacity(ix.len());
-                let mut row_vals = Vec::with_capacity(ix.len());
                 for (&i, &v) in ix.iter().zip(vs.iter()) {
                     if dropout && p > 0.0 && self.rng.random::<f32>() < p {
                         continue;
                     }
-                    row_ids.push(i as u64);
-                    row_vals.push(v * inv_norm * if dropout { keep_scale } else { 1.0 });
+                    input.ids[k][r].push(i as u64);
+                    input.vals[k][r].push(v * inv_norm * if dropout { keep_scale } else { 1.0 });
                 }
-                ids[k].push(row_ids);
-                vals[k].push(row_vals);
             }
         }
-        BatchInput { ids, vals }
     }
 
-    /// First encoder layer during training (inserts unseen IDs). Returns the
-    /// post-tanh activation and the per-field slot lists for backprop.
-    pub(crate) fn encode_layer0_train(
+    /// First encoder layer during training (inserts unseen IDs). Writes the
+    /// post-tanh activation and the per-field slot lists for backprop into
+    /// caller-owned buffers. Every bag accumulates directly into the shared
+    /// `x0`, so no per-field output temporary exists.
+    pub(crate) fn encode_layer0_train_into(
         &mut self,
         input: &BatchInput,
-    ) -> (Matrix, Vec<Vec<Vec<u32>>>) {
+        x0: &mut Matrix,
+        slots: &mut Vec<Vec<Vec<u32>>>,
+    ) {
         let batch = input.ids[0].len();
-        let mut x0 = Matrix::zeros(batch, self.cfg.enc_hidden);
-        let mut slots = Vec::with_capacity(self.cfg.n_fields);
+        x0.resize_zeroed(batch, self.cfg.enc_hidden);
+        slots.resize_with(self.cfg.n_fields, Vec::new);
+        slots.truncate(self.cfg.n_fields);
         let rng = &mut self.rng;
         for (k, bag) in self.bags.iter_mut().enumerate() {
-            let rows: Vec<(&[u64], &[f32])> = input.ids[k]
-                .iter()
-                .zip(input.vals[k].iter())
-                .map(|(i, v)| (i.as_slice(), v.as_slice()))
-                .collect();
-            let (out, field_slots) = bag.forward_batch(&rows, rng);
-            x0.add_assign(&out);
-            slots.push(field_slots);
+            bag.accumulate_batch_into(
+                input.ids[k]
+                    .iter()
+                    .zip(input.vals[k].iter())
+                    .map(|(i, v)| (i.as_slice(), v.as_slice())),
+                rng,
+                x0,
+                &mut slots[k],
+            );
         }
         for r in 0..batch {
             let row = x0.row_mut(r);
@@ -205,7 +216,6 @@ impl Fvae {
             }
         }
         x0.map_inplace(f32::tanh);
-        (x0, slots)
     }
 
     /// First encoder layer at inference (never inserts; unknown IDs skipped).
@@ -233,10 +243,18 @@ impl Fvae {
 
     /// Splits the head output into `(μ, clamped log σ²)`.
     pub(crate) fn split_stats(&self, stats: &Matrix) -> (Matrix, Matrix) {
+        let mut mu = Matrix::zeros(0, 0);
+        let mut logvar = Matrix::zeros(0, 0);
+        self.split_stats_into(stats, &mut mu, &mut logvar);
+        (mu, logvar)
+    }
+
+    /// [`Fvae::split_stats`] writing into caller-owned buffers.
+    pub(crate) fn split_stats_into(&self, stats: &Matrix, mu: &mut Matrix, logvar: &mut Matrix) {
         let d = self.cfg.latent_dim;
         let batch = stats.rows();
-        let mut mu = Matrix::zeros(batch, d);
-        let mut logvar = Matrix::zeros(batch, d);
+        mu.resize_zeroed(batch, d);
+        logvar.resize_zeroed(batch, d);
         for r in 0..batch {
             let row = stats.row(r);
             mu.row_mut(r).copy_from_slice(&row[..d]);
@@ -244,16 +262,22 @@ impl Fvae {
                 *lv = s.clamp(-LOGVAR_CLAMP, LOGVAR_CLAMP);
             }
         }
-        (mu, logvar)
     }
 
-    /// Reparametrization trick: `z = μ + ε ⊙ exp(½ log σ²)`, returning both
-    /// `z` and the noise `ε` (needed by backprop).
-    pub(crate) fn reparametrize(&mut self, mu: &Matrix, logvar: &Matrix) -> (Matrix, Matrix) {
+    /// Reparametrization trick: `z = μ + ε ⊙ exp(½ log σ²)`, writing both
+    /// `z` and the noise `ε` (needed by backprop) into caller-owned buffers.
+    pub(crate) fn reparametrize_into(
+        &mut self,
+        mu: &Matrix,
+        logvar: &Matrix,
+        z: &mut Matrix,
+        eps: &mut Matrix,
+    ) {
         let mut gauss = Gaussian::standard();
-        let mut eps = Matrix::zeros(mu.rows(), mu.cols());
+        eps.resize_zeroed(mu.rows(), mu.cols());
         gauss.fill(&mut self.rng, eps.as_mut_slice());
-        let mut z = mu.clone();
+        z.resize_zeroed(mu.rows(), mu.cols());
+        z.as_mut_slice().copy_from_slice(mu.as_slice());
         for ((zi, &e), &lv) in z
             .as_mut_slice()
             .iter_mut()
@@ -262,7 +286,6 @@ impl Fvae {
         {
             *zi += e * (0.5 * lv).exp();
         }
-        (z, eps)
     }
 
     /// Encodes users to their latent Gaussians `(μ, log σ²)` without
@@ -395,17 +418,15 @@ impl Fvae {
                 others.iter().map(|o| &o.trunk.layers()[layer_idx]).collect();
             avg_dense(&mut self.trunk.layers_mut()[layer_idx], theirs);
         }
-        if self.enc_extra.is_some() {
-            let depth = self.enc_extra.as_ref().expect("checked").layers().len();
+        if let Some(depth) = self.enc_extra.as_ref().map(|e| e.layers().len()) {
             for layer_idx in 0..depth {
                 let theirs: Vec<&Dense> = others
                     .iter()
                     .map(|o| &o.enc_extra.as_ref().expect("same architecture").layers()[layer_idx])
                     .collect();
-                avg_dense(
-                    &mut self.enc_extra.as_mut().expect("checked").layers_mut()[layer_idx],
-                    theirs,
-                );
+                if let Some(extra) = self.enc_extra.as_mut() {
+                    avg_dense(&mut extra.layers_mut()[layer_idx], theirs);
+                }
             }
         }
 
@@ -477,9 +498,24 @@ impl Fvae {
     /// Analytic KL divergence `KL(N(μ, σ²) ‖ N(0, I))` summed over the batch,
     /// plus its gradients w.r.t. μ and log σ².
     pub(crate) fn kl_and_grads(mu: &Matrix, logvar: &Matrix) -> (f32, Matrix, Matrix) {
+        let mut dmu = Matrix::zeros(0, 0);
+        let mut dlogvar = Matrix::zeros(0, 0);
+        let kl = Self::kl_and_grads_into(mu, logvar, &mut dmu, &mut dlogvar);
+        (kl, dmu, dlogvar)
+    }
+
+    /// [`Fvae::kl_and_grads`] writing into caller-owned buffers.
+    pub(crate) fn kl_and_grads_into(
+        mu: &Matrix,
+        logvar: &Matrix,
+        dmu: &mut Matrix,
+        dlogvar: &mut Matrix,
+    ) -> f32 {
         let mut kl = 0.0f64;
-        let mut dmu = mu.clone();
-        let mut dlogvar = Matrix::zeros(logvar.rows(), logvar.cols());
+        // dKL/dμ = μ.
+        dmu.resize_zeroed(mu.rows(), mu.cols());
+        dmu.as_mut_slice().copy_from_slice(mu.as_slice());
+        dlogvar.resize_zeroed(logvar.rows(), logvar.cols());
         for ((&m, &lv), dl) in mu
             .as_slice()
             .iter()
@@ -490,9 +526,7 @@ impl Fvae {
             kl += 0.5 * ((m * m + var - 1.0 - lv) as f64);
             *dl = 0.5 * (var - 1.0);
         }
-        // dKL/dμ = μ — `dmu` already holds a copy of μ.
-        let _ = &mut dmu;
-        (kl as f32, dmu, dlogvar)
+        kl as f32
     }
 }
 
@@ -551,7 +585,8 @@ mod tests {
         let mut model = tiny_model(&ds);
         let mu = Matrix::full(200, 8, 2.0);
         let logvar = Matrix::full(200, 8, -2.0);
-        let (z, eps) = model.reparametrize(&mu, &logvar);
+        let (mut z, mut eps) = (Matrix::default(), Matrix::default());
+        model.reparametrize_into(&mu, &logvar, &mut z, &mut eps);
         assert_eq!(z.shape(), (200, 8));
         assert_eq!(eps.shape(), (200, 8));
         let mean = fvae_tensor::ops::mean(z.as_slice());

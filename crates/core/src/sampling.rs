@@ -205,7 +205,7 @@ mod tests {
     fn uniform_is_unbiased_across_features() {
         let mut rng = StdRng::seed_from_u64(4);
         let (f, w) = features(10);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         let trials = 20_000;
         for _ in 0..trials {
             for x in sample_candidates(&f, &w, 0.3, SamplingStrategy::Uniform, &mut rng) {

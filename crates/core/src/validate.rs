@@ -106,7 +106,7 @@ impl Fvae {
             epoch += burst;
             let elbo = self.evaluate_elbo(ds, val_users);
             history.validations.push((epoch, elbo));
-            let improved = best.as_ref().map_or(true, |&(b, _, _)| elbo > b);
+            let improved = best.as_ref().is_none_or(|&(b, _, _)| elbo > b);
             if improved {
                 best = Some((elbo, self.to_bytes(), epoch));
                 strikes = 0;

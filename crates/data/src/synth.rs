@@ -321,7 +321,7 @@ mod tests {
     fn feature_popularity_is_heavy_tailed() {
         let ds = TopicModelConfig { n_users: 2_000, ..tiny_config() }.generate();
         let freq = ds.field(1).column_frequencies();
-        let mut sorted: Vec<f32> = freq.iter().copied().collect();
+        let mut sorted: Vec<f32> = freq.to_vec();
         sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let total: f32 = sorted.iter().sum();
         let top10: f32 = sorted.iter().take(6).sum(); // top ~10% of 64

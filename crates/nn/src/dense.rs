@@ -4,6 +4,7 @@ use fvae_tensor::Matrix;
 use rand::Rng;
 
 use crate::activation::Activation;
+use crate::workspace::Workspace;
 
 /// A dense layer `y = act(x · W + b)` with `W: in × out` stored untransposed.
 #[derive(Clone, Debug)]
@@ -20,6 +21,20 @@ pub struct DenseGrads {
     pub dw: Matrix,
     /// ∂L/∂b.
     pub db: Vec<f32>,
+}
+
+impl DenseGrads {
+    /// An empty gradient holder for [`Dense::backward_into`] to fill; its
+    /// buffers grow on first use and are reused afterwards.
+    pub fn empty() -> Self {
+        Self { dw: Matrix::zeros(0, 0), db: Vec::new() }
+    }
+}
+
+impl Default for DenseGrads {
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 impl Dense {
@@ -70,16 +85,23 @@ impl Dense {
 
     /// Forward pass over a batch (`x: batch × in`), returning `batch × out`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// [`Dense::forward`] writing into a caller-owned output buffer, which
+    /// is reshaped in place (no allocation once its capacity suffices).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.in_dim(), "dense forward dim mismatch");
-        let mut y = x.matmul(&self.w);
-        for r in 0..y.rows() {
-            let row = y.row_mut(r);
+        x.matmul_into(&self.w, out);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
             for (v, &b) in row.iter_mut().zip(self.b.iter()) {
                 *v += b;
             }
         }
-        self.act.apply(&mut y);
-        y
+        self.act.apply(out);
     }
 
     /// Backward pass.
@@ -88,13 +110,31 @@ impl Dense {
     /// loss gradient `dy = ∂L/∂y`. Returns the parameter gradients and
     /// `∂L/∂x` for the upstream layer.
     pub fn backward(&self, x: &Matrix, y: &Matrix, dy: &Matrix) -> (DenseGrads, Matrix) {
+        let mut grads = DenseGrads::empty();
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(x, y, dy, &mut grads, &mut dx, &mut Workspace::new());
+        (grads, dx)
+    }
+
+    /// [`Dense::backward`] writing into caller-owned buffers. The
+    /// pre-activation gradient temporary comes from `ws`, so a training loop
+    /// that recycles its workspace pays zero allocations per step.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        y: &Matrix,
+        dy: &Matrix,
+        grads: &mut DenseGrads,
+        dx: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
         assert_eq!(dy.shape(), y.shape(), "dense backward shape mismatch");
-        let mut dpre = dy.clone();
+        let mut dpre = ws.take_matrix_copy(dy);
         self.act.chain(y, &mut dpre);
-        let dw = x.matmul_transa(&dpre);
-        let db = dpre.col_sums();
-        let dx = dpre.matmul_transb(&self.w);
-        (DenseGrads { dw, db }, dx)
+        x.matmul_transa_into(&dpre, &mut grads.dw);
+        dpre.col_sums_into(&mut grads.db);
+        dpre.matmul_transb_into(&self.w, dx);
+        ws.recycle_matrix(dpre);
     }
 }
 

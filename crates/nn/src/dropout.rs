@@ -28,9 +28,17 @@ impl Dropout {
     /// Applies dropout in place during training, returning the mask (already
     /// containing the `1/(1-p)` scaling) for the backward pass.
     pub fn forward_train(&self, x: &mut Matrix, rng: &mut impl Rng) -> Matrix {
+        let mut mask = Matrix::zeros(0, 0);
+        self.forward_train_into(x, &mut mask, rng);
+        mask
+    }
+
+    /// [`Dropout::forward_train`] writing the mask into a caller-owned buffer
+    /// that is reshaped in place and reused across steps.
+    pub fn forward_train_into(&self, x: &mut Matrix, mask: &mut Matrix, rng: &mut impl Rng) {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        mask.resize_zeroed(x.rows(), x.cols());
         for (m, v) in mask.as_mut_slice().iter_mut().zip(x.as_mut_slice().iter_mut()) {
             if self.p == 0.0 || rng.random::<f32>() >= self.p {
                 *m = scale;
@@ -40,7 +48,6 @@ impl Dropout {
                 *v = 0.0;
             }
         }
-        mask
     }
 
     /// Backward: multiplies the gradient by the stored mask.

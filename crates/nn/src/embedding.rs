@@ -12,6 +12,8 @@ use fvae_tensor::dist::Gaussian;
 use fvae_tensor::Matrix;
 use rand::Rng;
 
+use crate::workspace::Workspace;
+
 /// Sparse gradient: dense slot index → gradient row of length `dim`.
 pub type RowGrads = FastHashMap<usize, Vec<f32>>;
 
@@ -96,21 +98,43 @@ impl EmbeddingBag {
     ) -> (Matrix, Vec<Vec<u32>>) {
         let mut out = Matrix::zeros(rows.len(), self.dim);
         let mut all_slots = Vec::with_capacity(rows.len());
-        for (r, (ids, vals)) in rows.iter().enumerate() {
+        self.accumulate_batch_into(rows.iter().copied(), rng, &mut out, &mut all_slots);
+        (out, all_slots)
+    }
+
+    /// Batch forward that *accumulates* into `out` (which must already be
+    /// `batch × dim`) instead of overwriting it. Letting callers sum several
+    /// fields' bags into one pre-zeroed buffer removes both the per-field
+    /// output temporary and the per-row slot-list allocations: `slots_out` is
+    /// reshaped in place, reusing its nested `Vec` capacity across steps.
+    pub fn accumulate_batch_into<'a>(
+        &mut self,
+        rows: impl Iterator<Item = (&'a [u64], &'a [f32])>,
+        rng: &mut impl Rng,
+        out: &mut Matrix,
+        slots_out: &mut Vec<Vec<u32>>,
+    ) {
+        let mut n = 0;
+        for (r, (ids, vals)) in rows.enumerate() {
+            assert!(r < out.rows(), "more input rows than output rows");
             assert_eq!(ids.len(), vals.len(), "ids and values must be parallel");
-            let mut slots = Vec::with_capacity(ids.len());
+            if slots_out.len() <= r {
+                slots_out.push(Vec::new());
+            }
+            slots_out[r].clear();
             for (&id, &v) in ids.iter().zip(vals.iter()) {
                 let slot = self.slot_or_insert(id, rng);
-                slots.push(slot as u32);
+                slots_out[r].push(slot as u32);
                 let emb = &self.weights[slot * self.dim..(slot + 1) * self.dim];
                 let out_row = out.row_mut(r);
                 for (o, &e) in out_row.iter_mut().zip(emb.iter()) {
                     *o += v * e;
                 }
             }
-            all_slots.push(slots);
+            n = r + 1;
         }
-        (out, all_slots)
+        assert_eq!(n, out.rows(), "fewer input rows than output rows");
+        slots_out.truncate(n);
     }
 
     /// Forward pass that never inserts; unknown IDs contribute nothing.
@@ -142,20 +166,44 @@ impl EmbeddingBag {
         rows_vals: &[&[f32]],
         dy: &Matrix,
     ) -> RowGrads {
-        assert_eq!(rows_slots.len(), dy.rows(), "batch size mismatch");
         let mut grads = RowGrads::default();
-        for (r, (slots, vals)) in rows_slots.iter().zip(rows_vals.iter()).enumerate() {
+        self.backward_into(
+            rows_slots,
+            rows_vals.iter().copied(),
+            dy,
+            &mut grads,
+            &mut Workspace::new(),
+        );
+        grads
+    }
+
+    /// [`EmbeddingBag::backward`] reusing a caller-owned gradient map. Stale
+    /// rows from the previous step are drained back into `ws` first, so the
+    /// map's table capacity and every gradient row's heap buffer survive
+    /// across steps.
+    pub fn backward_into<'a>(
+        &self,
+        rows_slots: &[Vec<u32>],
+        rows_vals: impl Iterator<Item = &'a [f32]>,
+        dy: &Matrix,
+        grads: &mut RowGrads,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(rows_slots.len(), dy.rows(), "batch size mismatch");
+        for (_, g) in grads.drain() {
+            ws.recycle_vec(g);
+        }
+        for (r, (slots, vals)) in rows_slots.iter().zip(rows_vals).enumerate() {
             let dy_row = dy.row(r);
             for (&slot, &v) in slots.iter().zip(vals.iter()) {
                 let g = grads
                     .entry(slot as usize)
-                    .or_insert_with(|| vec![0.0; self.dim]);
+                    .or_insert_with(|| ws.take_vec(self.dim));
                 for (gi, &d) in g.iter_mut().zip(dy_row.iter()) {
                     *gi += v * d;
                 }
             }
         }
-        grads
     }
 }
 
@@ -228,7 +276,7 @@ mod tests {
 
         let eps = 1e-3;
         for (&slot, grad) in &grads {
-            for d in 0..3 {
+            for (d, &analytic) in grad.iter().enumerate() {
                 let idx = slot * 3 + d;
                 let orig = bag.weights[idx];
                 bag.weights[idx] = orig + eps;
@@ -248,9 +296,8 @@ mod tests {
                 bag.weights[idx] = orig;
                 let numeric = (hi - lo) / (2.0 * eps);
                 assert!(
-                    (numeric - grad[d]).abs() < 2e-2 * numeric.abs().max(1.0),
-                    "slot {slot} dim {d}: {} vs {numeric}",
-                    grad[d]
+                    (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "slot {slot} dim {d}: {analytic} vs {numeric}"
                 );
             }
         }

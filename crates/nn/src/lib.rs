@@ -26,6 +26,7 @@ pub mod mlp;
 pub mod optim;
 pub mod serialize;
 pub mod softmax_out;
+pub mod workspace;
 
 pub use activation::Activation;
 pub use dense::{Dense, DenseGrads};
@@ -34,3 +35,4 @@ pub use embedding::{EmbeddingBag, RowGrads};
 pub use mlp::{Mlp, MlpGrads};
 pub use optim::{Adam, AdamState, GradClip, Sgd};
 pub use softmax_out::{SampledSoftmaxOutput, SoftmaxBatch};
+pub use workspace::Workspace;

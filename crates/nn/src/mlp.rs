@@ -5,6 +5,7 @@ use rand::Rng;
 
 use crate::activation::Activation;
 use crate::dense::{Dense, DenseGrads};
+use crate::workspace::Workspace;
 
 /// A multilayer perceptron: `dims[0] → dims[1] → … → dims.last()`.
 ///
@@ -93,30 +94,59 @@ impl Mlp {
     /// of layer `i`); needed by [`Mlp::backward`].
     pub fn forward_cached(&self, x: &Matrix) -> Vec<Matrix> {
         let mut acts = Vec::with_capacity(self.layers.len());
-        let mut h = self.layers[0].forward(x);
-        acts.push(h.clone());
-        for layer in &self.layers[1..] {
-            h = layer.forward(&h);
-            acts.push(h.clone());
-        }
+        self.forward_cached_into(x, &mut acts);
         acts
+    }
+
+    /// [`Mlp::forward_cached`] writing each layer's activation into a
+    /// caller-owned cache that is reused (reshaped in place) across steps.
+    pub fn forward_cached_into(&self, x: &Matrix, acts: &mut Vec<Matrix>) {
+        acts.resize_with(self.layers.len(), || Matrix::zeros(0, 0));
+        acts.truncate(self.layers.len());
+        self.layers[0].forward_into(x, &mut acts[0]);
+        for i in 1..self.layers.len() {
+            let (head, tail) = acts.split_at_mut(i);
+            self.layers[i].forward_into(&head[i - 1], &mut tail[0]);
+        }
     }
 
     /// Backward pass given the forward input, the cached activations from
     /// [`Mlp::forward_cached`], and `∂L/∂output`. Returns per-layer parameter
     /// gradients (in layer order) and `∂L/∂x`.
     pub fn backward(&self, x: &Matrix, acts: &[Matrix], dout: &Matrix) -> (MlpGrads, Matrix) {
+        let mut grads = MlpGrads::new();
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(x, acts, dout, &mut grads, &mut dx, &mut Workspace::new());
+        (grads, dx)
+    }
+
+    /// [`Mlp::backward`] writing per-layer gradients and `∂L/∂x` into
+    /// caller-owned buffers; inter-layer gradient temporaries come from `ws`.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        acts: &[Matrix],
+        dout: &Matrix,
+        grads: &mut MlpGrads,
+        dx: &mut Matrix,
+        ws: &mut Workspace,
+    ) {
         assert_eq!(acts.len(), self.layers.len(), "activation cache depth mismatch");
-        let mut grads: Vec<Option<DenseGrads>> = (0..self.layers.len()).map(|_| None).collect();
-        let mut dy = dout.clone();
+        grads.resize_with(self.layers.len(), DenseGrads::empty);
+        grads.truncate(self.layers.len());
+        let mut dy = ws.take_matrix_copy(dout);
+        let mut dnext = ws.take_matrix(0, 0);
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let input = if i == 0 { x } else { &acts[i - 1] };
-            let (g, dx) = layer.backward(input, &acts[i], &dy);
-            grads[i] = Some(g);
-            dy = dx;
+            if i == 0 {
+                layer.backward_into(input, &acts[i], &dy, &mut grads[i], dx, ws);
+            } else {
+                layer.backward_into(input, &acts[i], &dy, &mut grads[i], &mut dnext, ws);
+                std::mem::swap(&mut dy, &mut dnext);
+            }
         }
-        let grads = grads.into_iter().map(|g| g.expect("filled in reverse loop")).collect();
-        (grads, dy)
+        ws.recycle_matrix(dy);
+        ws.recycle_matrix(dnext);
     }
 }
 
@@ -160,7 +190,8 @@ mod tests {
         let (grads, dx) = mlp.backward(&x, &acts, &dout);
 
         let eps = 1e-3;
-        // Check a weight in each layer.
+        // Check a weight in each layer (index mutates `mlp` and reads `grads`).
+        #[allow(clippy::needless_range_loop)]
         for layer_idx in 0..2 {
             for widx in [0usize, 3] {
                 let orig = mlp.layers[layer_idx].params().0.as_slice()[widx];

@@ -117,8 +117,7 @@ impl Adam {
     /// Dense update of a matrix.
     pub fn step_matrix(&self, state: &mut AdamState, param: &mut Matrix, grad: &Matrix) {
         assert_eq!(param.shape(), grad.shape(), "adam shape mismatch");
-        let g = grad.as_slice().to_vec();
-        self.step_slice(state, param.as_mut_slice(), &g);
+        self.step_slice(state, param.as_mut_slice(), grad.as_slice());
     }
 
     /// Lazy sparse update: only rows present in `row_grads` are touched.
@@ -138,10 +137,9 @@ impl Adam {
         for (&slot, grad) in row_grads {
             let start = slot * dim;
             debug_assert!(start + dim <= param.len(), "slot beyond parameter buffer");
-            for d in 0..dim {
+            for (d, &g) in grad.iter().enumerate().take(dim) {
                 let i = start + d;
-                let (p, g) = (&mut param[i], grad[d]);
-                self.apply_one(p, g, &mut state.m[i], &mut state.v[i], corr1, corr2);
+                self.apply_one(&mut param[i], g, &mut state.m[i], &mut state.v[i], corr1, corr2);
             }
         }
     }

@@ -18,9 +18,10 @@ use fvae_tensor::Matrix;
 use rand::Rng;
 
 use crate::embedding::RowGrads;
+use crate::workspace::Workspace;
 
 /// Cached state of one batched-softmax forward pass.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SoftmaxBatch {
     /// Softmax probabilities over the candidate set, `batch × C`.
     pub probs: Matrix,
@@ -124,26 +125,38 @@ impl SampledSoftmaxOutput {
         candidate_ids: &[u64],
         rng: &mut impl Rng,
     ) -> SoftmaxBatch {
+        let mut out = SoftmaxBatch { probs: Matrix::zeros(0, 0), slots: Vec::new() };
+        self.forward_into(h, candidate_ids, rng, &mut out);
+        out
+    }
+
+    /// [`SampledSoftmaxOutput::forward`] writing into a caller-owned batch
+    /// cache whose probability matrix and slot list are reused across steps.
+    pub fn forward_into(
+        &mut self,
+        h: &Matrix,
+        candidate_ids: &[u64],
+        rng: &mut impl Rng,
+        out: &mut SoftmaxBatch,
+    ) {
         assert_eq!(h.cols(), self.dim, "hidden dim mismatch");
         assert!(!candidate_ids.is_empty(), "candidate set must be non-empty");
-        let slots: Vec<u32> = candidate_ids
-            .iter()
-            .map(|&id| self.slot_or_insert(id, rng) as u32)
-            .collect();
-        let mut probs = Matrix::zeros(h.rows(), slots.len());
+        out.slots.clear();
+        for &id in candidate_ids {
+            let slot = self.slot_or_insert(id, rng) as u32;
+            out.slots.push(slot);
+        }
+        out.probs.resize_zeroed(h.rows(), out.slots.len());
         for r in 0..h.rows() {
             let h_row = h.row(r);
-            let out = probs.row_mut(r);
-            for (o, &slot) in out.iter_mut().zip(slots.iter()) {
-                *o = {
-                    let w =
-                        &self.weights[slot as usize * self.dim..(slot as usize + 1) * self.dim];
-                    fvae_tensor::ops::dot(h_row, w) + self.bias[slot as usize]
-                };
+            let row = out.probs.row_mut(r);
+            for (o, &slot) in row.iter_mut().zip(out.slots.iter()) {
+                let slot = slot as usize;
+                let w = &self.weights[slot * self.dim..(slot + 1) * self.dim];
+                *o = fvae_tensor::ops::dot(h_row, w) + self.bias[slot];
             }
-            fvae_tensor::ops::softmax_in_place(out);
+            fvae_tensor::ops::softmax_in_place(row);
         }
-        SoftmaxBatch { probs, slots }
     }
 
     /// Multinomial negative log-likelihood and its logit gradient.
@@ -156,10 +169,22 @@ impl SampledSoftmaxOutput {
         batch: &SoftmaxBatch,
         targets: &[Vec<(u32, f32)>],
     ) -> (f32, Matrix) {
+        let mut dlogits = Matrix::zeros(0, 0);
+        let loss = Self::multinomial_loss_into(batch, targets, &mut dlogits);
+        (loss, dlogits)
+    }
+
+    /// [`SampledSoftmaxOutput::multinomial_loss`] writing the logit gradient
+    /// into a caller-owned buffer, reshaped in place.
+    pub fn multinomial_loss_into(
+        batch: &SoftmaxBatch,
+        targets: &[Vec<(u32, f32)>],
+        dlogits: &mut Matrix,
+    ) -> f32 {
         assert_eq!(batch.probs.rows(), targets.len(), "target batch mismatch");
         let c = batch.probs.cols();
         let mut loss = 0.0f64;
-        let mut dlogits = Matrix::zeros(targets.len(), c);
+        dlogits.resize_zeroed(targets.len(), c);
         for (r, row_targets) in targets.iter().enumerate() {
             let probs = batch.probs.row(r);
             let n_i: f32 = row_targets.iter().map(|&(_, v)| v).sum();
@@ -175,7 +200,7 @@ impl SampledSoftmaxOutput {
                 drow[col] -= v;
             }
         }
-        (loss as f32, dlogits)
+        loss as f32
     }
 
     /// Backward pass from logit gradients.
@@ -187,15 +212,54 @@ impl SampledSoftmaxOutput {
         batch: &SoftmaxBatch,
         dlogits: &Matrix,
     ) -> (Matrix, RowGrads, Vec<(usize, f32)>) {
-        assert_eq!(dlogits.shape(), batch.probs.shape(), "dlogits shape mismatch");
-        let mut dh = Matrix::zeros(h.rows(), self.dim);
+        let mut dh = Matrix::zeros(0, 0);
         let mut dw = RowGrads::default();
-        let mut db_dense = vec![0.0f32; batch.slots.len()];
+        let mut db = Vec::new();
+        let mut db_dense = Vec::new();
+        self.backward_into(
+            h,
+            batch,
+            dlogits,
+            &mut dh,
+            &mut dw,
+            &mut db,
+            &mut db_dense,
+            &mut Workspace::new(),
+        );
+        (dh, dw, db)
+    }
+
+    /// [`SampledSoftmaxOutput::backward`] writing into caller-owned buffers.
+    /// The sparse weight-gradient map is drained back into `ws` before reuse.
+    /// `db_dense` is the per-candidate bias accumulator: it is caller-owned
+    /// (not pooled in `ws`) because its length follows the candidate count,
+    /// not the hidden dim — sharing the pool with the dim-sized row-gradient
+    /// vectors would let the large buffer get captured by a small request and
+    /// buried inside `dw`, forcing a fresh allocation every step.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_into(
+        &self,
+        h: &Matrix,
+        batch: &SoftmaxBatch,
+        dlogits: &Matrix,
+        dh: &mut Matrix,
+        dw: &mut RowGrads,
+        db: &mut Vec<(usize, f32)>,
+        db_dense: &mut Vec<f32>,
+        ws: &mut Workspace,
+    ) {
+        assert_eq!(dlogits.shape(), batch.probs.shape(), "dlogits shape mismatch");
+        dh.resize_zeroed(h.rows(), self.dim);
+        for (_, g) in dw.drain() {
+            ws.recycle_vec(g);
+        }
+        db_dense.clear();
+        db_dense.resize(batch.slots.len(), 0.0);
         for r in 0..h.rows() {
             let h_row = h.row(r);
             let d_row = dlogits.row(r);
             let dh_row = dh.row_mut(r);
-            for ((&slot, &d), db) in batch.slots.iter().zip(d_row.iter()).zip(db_dense.iter_mut())
+            for ((&slot, &d), acc) in batch.slots.iter().zip(d_row.iter()).zip(db_dense.iter_mut())
             {
                 if d == 0.0 {
                     continue;
@@ -203,19 +267,20 @@ impl SampledSoftmaxOutput {
                 let slot = slot as usize;
                 let w = &self.weights[slot * self.dim..(slot + 1) * self.dim];
                 fvae_tensor::ops::axpy(d, w, dh_row);
-                let g = dw.entry(slot).or_insert_with(|| vec![0.0; self.dim]);
+                let g = dw.entry(slot).or_insert_with(|| ws.take_vec(self.dim));
                 fvae_tensor::ops::axpy(d, h_row, g);
-                *db += d;
+                *acc += d;
             }
         }
-        let db: Vec<(usize, f32)> = batch
-            .slots
-            .iter()
-            .zip(db_dense)
-            .filter(|&(_, g)| g != 0.0)
-            .map(|(&slot, g)| (slot as usize, g))
-            .collect();
-        (dh, dw, db)
+        db.clear();
+        db.extend(
+            batch
+                .slots
+                .iter()
+                .zip(db_dense.iter())
+                .filter(|&(_, &g)| g != 0.0)
+                .map(|(&slot, &g)| (slot as usize, g)),
+        );
     }
 
     /// Frozen logits for arbitrary feature IDs (evaluation / scoring).
@@ -341,7 +406,7 @@ mod tests {
         }
         // Weight gradient for a touched slot.
         let (&slot, grad) = dw.iter().next().expect("some weight gradient");
-        for d in 0..4 {
+        for (d, &analytic) in grad.iter().enumerate() {
             let idx = slot * 4 + d;
             let orig = head.weights[idx];
             head.weights[idx] = orig + eps;
@@ -351,9 +416,8 @@ mod tests {
             head.weights[idx] = orig;
             let numeric = (hi - lo) / (2.0 * eps);
             assert!(
-                (numeric - grad[d]).abs() < 5e-2 * numeric.abs().max(1.0),
-                "dw[{slot}][{d}]: {} vs {numeric}",
-                grad[d]
+                (numeric - analytic).abs() < 5e-2 * numeric.abs().max(1.0),
+                "dw[{slot}][{d}]: {analytic} vs {numeric}"
             );
         }
         // Bias gradient.

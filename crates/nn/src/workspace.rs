@@ -1,0 +1,218 @@
+//! Reusable scratch buffers for the zero-allocation training hot path.
+//!
+//! Every layer's `*_into` backward pass needs short-lived temporaries (the
+//! pre-activation gradient of a dense layer, the dense bias accumulator of
+//! the softmax head, the per-slot rows of a sparse gradient). Allocating
+//! them per step dominated small-batch training cost; a [`Workspace`] keeps
+//! them on a free list instead, so after the first step every `take` is a
+//! pop + `resize` inside existing capacity.
+//!
+//! The arena also doubles as the *allocation-counting hook*: [`Workspace::allocs`]
+//! increments only when a `take` could not be served from pooled capacity,
+//! so a steady-state training loop can assert the counter stays flat.
+
+use fvae_tensor::Matrix;
+
+/// Free-list arena of matrix and vector scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    mats: Vec<Matrix>,
+    vecs: Vec<Vec<f32>>,
+    allocs: u64,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `take_*` calls that had to grow heap capacity (pool empty
+    /// or no pooled buffer large enough). Flat across steady-state steps.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Buffers currently parked on the free lists.
+    pub fn pooled(&self) -> usize {
+        self.mats.len() + self.vecs.len()
+    }
+
+    /// Takes a zeroed `rows × cols` matrix, reusing the pooled buffer whose
+    /// capacity fits best (smallest sufficient; otherwise the largest, grown).
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        let needed = rows * cols;
+        let mut fit: Option<usize> = None;
+        let mut largest: Option<usize> = None;
+        for (i, m) in self.mats.iter().enumerate() {
+            let cap = m.capacity();
+            if cap >= needed && fit.is_none_or(|j| cap < self.mats[j].capacity()) {
+                fit = Some(i);
+            }
+            if largest.is_none_or(|j| cap > self.mats[j].capacity()) {
+                largest = Some(i);
+            }
+        }
+        let mut m = match fit.or(largest) {
+            Some(i) => self.mats.swap_remove(i),
+            None => Matrix::zeros(0, 0),
+        };
+        if m.capacity() < needed {
+            self.allocs += 1;
+        }
+        m.resize_zeroed(rows, cols);
+        m
+    }
+
+    /// Takes a matrix shaped and filled like `src`.
+    pub fn take_matrix_copy(&mut self, src: &Matrix) -> Matrix {
+        let mut m = self.take_matrix(src.rows(), src.cols());
+        m.as_mut_slice().copy_from_slice(src.as_slice());
+        m
+    }
+
+    /// Returns a matrix to the pool for reuse.
+    pub fn recycle_matrix(&mut self, m: Matrix) {
+        self.mats.push(m);
+    }
+
+    /// Takes a zeroed vector of the given length, same best-fit policy as
+    /// [`Workspace::take_matrix`].
+    pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        let mut fit: Option<usize> = None;
+        let mut largest: Option<usize> = None;
+        for (i, v) in self.vecs.iter().enumerate() {
+            let cap = v.capacity();
+            if cap >= len && fit.is_none_or(|j| cap < self.vecs[j].capacity()) {
+                fit = Some(i);
+            }
+            if largest.is_none_or(|j| cap > self.vecs[j].capacity()) {
+                largest = Some(i);
+            }
+        }
+        let mut v = match fit.or(largest) {
+            Some(i) => self.vecs.swap_remove(i),
+            None => Vec::new(),
+        };
+        if v.capacity() < len {
+            self.allocs += 1;
+        }
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a vector to the pool for reuse.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        self.vecs.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers_of_requested_shape() {
+        let mut ws = Workspace::new();
+        let m = ws.take_matrix(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        let v = ws.take_vec(7);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn steady_state_reuse_allocates_once() {
+        let mut ws = Workspace::new();
+        for _ in 0..5 {
+            let mut m = ws.take_matrix(8, 8);
+            m.fill(1.0);
+            ws.recycle_matrix(m);
+            let v = ws.take_vec(16);
+            ws.recycle_vec(v);
+        }
+        assert_eq!(ws.allocs(), 2, "one matrix + one vector allocation total");
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_zeroed_on_take() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take_matrix(2, 2);
+        m.fill(9.0);
+        ws.recycle_matrix(m);
+        let m = ws.take_matrix(2, 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        ws.recycle_matrix(Matrix::zeros(10, 10)); // cap 100
+        ws.recycle_matrix(Matrix::zeros(2, 3)); // cap 6
+        let m = ws.take_matrix(2, 2); // needs 4 → the cap-6 buffer
+        assert_eq!(ws.allocs(), 0);
+        assert!(m.capacity() < 100, "picked {} — should be the small buffer", m.capacity());
+    }
+
+    #[test]
+    fn growing_past_pooled_capacity_counts_as_alloc() {
+        let mut ws = Workspace::new();
+        ws.recycle_vec(Vec::with_capacity(4));
+        let v = ws.take_vec(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(ws.allocs(), 1);
+    }
+
+    #[test]
+    fn copy_take_matches_source() {
+        let mut ws = Workspace::new();
+        let src = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let m = ws.take_matrix_copy(&src);
+        assert_eq!(m, src);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::dense::{Dense, DenseGrads};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    proptest! {
+        /// A workspace reused across two different batch sizes (so every
+        /// pooled buffer is taken back dirty and at the wrong shape) produces
+        /// bit-identical gradients to fresh buffers each time.
+        #[test]
+        fn workspace_reuse_across_batch_sizes_matches_fresh(
+            b1 in 1usize..7, b2 in 1usize..7, seed in 0u64..1_000_000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let layer = Dense::new(5, 4, Activation::Tanh, &mut rng);
+            let mut shared = Workspace::new();
+            for &b in &[b1, b2, b1] {
+                let x = Matrix::from_fn(b, 5, |_, _| rng.random_range(-1.0f32..1.0));
+                let mut y = Matrix::zeros(0, 0);
+                layer.forward_into(&x, &mut y);
+                let dy = y.map(|v| 2.0 * v);
+
+                let run = |ws: &mut Workspace| {
+                    let mut grads = DenseGrads::empty();
+                    let mut dx = Matrix::zeros(0, 0);
+                    layer.backward_into(&x, &y, &dy, &mut grads, &mut dx, ws);
+                    (grads, dx)
+                };
+                let (g_shared, dx_shared) = run(&mut shared);
+                let (g_fresh, dx_fresh) = run(&mut Workspace::new());
+                prop_assert_eq!(&g_shared.dw, &g_fresh.dw);
+                prop_assert_eq!(&g_shared.db, &g_fresh.db);
+                prop_assert_eq!(&dx_shared, &dx_fresh);
+            }
+        }
+    }
+}

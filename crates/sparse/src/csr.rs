@@ -62,7 +62,7 @@ impl CsrBuilder {
             assert!((ix as usize) < self.n_cols, "column index {ix} out of bounds");
         }
         self.indices.extend_from_slice(indices);
-        self.values.extend(std::iter::repeat(1.0).take(indices.len()));
+        self.values.extend(std::iter::repeat_n(1.0, indices.len()));
         self.indptr.push(self.indices.len());
     }
 

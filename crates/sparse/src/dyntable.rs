@@ -144,7 +144,7 @@ mod tests {
         assert!(!t.contains(1));
         t.slot_or_insert(1, |_| {});
         assert!(t.contains(1));
-        assert!(t.is_empty() == false);
+        assert!(!t.is_empty());
     }
 }
 

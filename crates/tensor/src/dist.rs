@@ -319,12 +319,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let z = Zipf::new(10, 1.0);
         let n = 200_000;
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..10 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &cnt) in counts.iter().enumerate() {
+            let emp = cnt as f64 / n as f64;
             assert!((emp - z.pmf(i)).abs() < 0.01, "rank {i}: {emp} vs {}", z.pmf(i));
         }
     }
@@ -343,7 +343,7 @@ mod tests {
         let weights = vec![1.0, 2.0, 3.0, 4.0];
         let table = AliasTable::new(&weights);
         let n = 200_000;
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for _ in 0..n {
             counts[table.sample(&mut rng)] += 1;
         }

@@ -16,6 +16,14 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — the natural seed for `*_into` output
+    /// buffers, which grow on first use and are reused afterwards.
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -213,90 +221,256 @@ impl Matrix {
         out
     }
 
-    /// `self · other`, shape `(m×k)·(k×n) → m×n`.
+    /// Reshapes in place to `rows × cols`, zero-filling every element.
     ///
-    /// Plain ikj loop: the inner loop runs over contiguous rows of both the
-    /// output and `other`, which vectorizes well and is fast enough for the
-    /// batch×hidden sizes used throughout this workspace.
+    /// Reuses the existing allocation whenever its capacity suffices — this
+    /// is the primitive every `_into` kernel and the `fvae-nn` workspace
+    /// arena build on to keep the training hot path allocation-free after
+    /// warm-up.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Capacity (in elements) of the backing buffer — used by tests to
+    /// verify that steady-state training never reallocates.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// `self · other`, shape `(m×k)·(k×n) → m×n`. Thin allocating wrapper
+    /// over [`Matrix::matmul_into`].
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        let _ = k;
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
         out
     }
 
-    /// `self · otherᵀ`, shape `(m×k)·(n×k)ᵀ → m×n`.
+    /// `self · other` written into `out` (resized to `m × n`; its old
+    /// contents are discarded, its allocation reused when large enough).
+    ///
+    /// Register-tiled ikj kernel: each pass pins a 2-row tile of the output
+    /// and streams a 4-row panel of `other`, so every loaded `B` cache line
+    /// feeds 8 independent accumulator streams (2 output rows × 4 k-lanes)
+    /// before being evicted. The contiguous inner loop over output columns
+    /// autovectorizes to packed FMAs. All-zero coefficient tiles are
+    /// skipped, which preserves the fast path for sparse multi-hot inputs
+    /// (the embedding-bag ablation's densified baseline).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.resize_zeroed(m, n);
+        let mut i = 0;
+        // 2-row output tiles: both rows consume the same B panel.
+        while i + 2 <= m {
+            let (out0, out1) = {
+                let pair = &mut out.data[i * n..(i + 2) * n];
+                pair.split_at_mut(n)
+            };
+            let a0 = &self.data[i * self.cols..(i + 1) * self.cols];
+            let a1 = &self.data[(i + 1) * self.cols..(i + 2) * self.cols];
+            let mut p = 0;
+            // 4-wide k panels.
+            while p + 4 <= k {
+                let (a00, a01, a02, a03) = (a0[p], a0[p + 1], a0[p + 2], a0[p + 3]);
+                let (a10, a11, a12, a13) = (a1[p], a1[p + 1], a1[p + 2], a1[p + 3]);
+                if a00 == 0.0
+                    && a01 == 0.0
+                    && a02 == 0.0
+                    && a03 == 0.0
+                    && a10 == 0.0
+                    && a11 == 0.0
+                    && a12 == 0.0
+                    && a13 == 0.0
+                {
+                    p += 4;
+                    continue;
+                }
+                let b0 = &other.data[p * n..(p + 1) * n];
+                let b1 = &other.data[(p + 1) * n..(p + 2) * n];
+                let b2 = &other.data[(p + 2) * n..(p + 3) * n];
+                let b3 = &other.data[(p + 3) * n..(p + 4) * n];
+                for (((((o0, o1), &v0), &v1), &v2), &v3) in out0
+                    .iter_mut()
+                    .zip(out1.iter_mut())
+                    .zip(b0)
+                    .zip(b1)
+                    .zip(b2)
+                    .zip(b3)
+                {
+                    *o0 += a00 * v0 + a01 * v1 + a02 * v2 + a03 * v3;
+                    *o1 += a10 * v0 + a11 * v1 + a12 * v2 + a13 * v3;
+                }
+                p += 4;
+            }
+            // k remainder: single B rows against the same output tile.
+            while p < k {
+                let (c0, c1) = (a0[p], a1[p]);
+                if c0 != 0.0 || c1 != 0.0 {
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for ((o0, o1), &b) in out0.iter_mut().zip(out1.iter_mut()).zip(b_row) {
+                        *o0 += c0 * b;
+                        *o1 += c1 * b;
+                    }
+                }
+                p += 1;
+            }
+            i += 2;
+        }
+        // m remainder: one output row, still 4-wide over k.
+        if i < m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut p = 0;
+            while p + 4 <= k {
+                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                    p += 4;
+                    continue;
+                }
+                let b0 = &other.data[p * n..(p + 1) * n];
+                let b1 = &other.data[(p + 1) * n..(p + 2) * n];
+                let b2 = &other.data[(p + 2) * n..(p + 3) * n];
+                let b3 = &other.data[(p + 3) * n..(p + 4) * n];
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
+                }
+                p += 4;
+            }
+            while p < k {
+                let a = a_row[p];
+                if a != 0.0 {
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+                p += 1;
+            }
+        }
+    }
+
+    /// `self · otherᵀ`, shape `(m×k)·(n×k)ᵀ → m×n`. Thin allocating wrapper
+    /// over [`Matrix::matmul_transb_into`].
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transb_into(other, &mut out);
+        out
+    }
+
+    /// `self · otherᵀ` written into `out` (resized to `m × n`).
     ///
     /// Used in backprop for input gradients (`dX = dY · Wᵀ` with `W: in×out`
-    /// stored untransposed). Both operands are traversed row-contiguously, so
-    /// this is a sequence of dot products.
-    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+    /// stored untransposed). Both operands are traversed row-contiguously,
+    /// so each output element is one [`crate::ops::dot`] — which carries the
+    /// 8-lane unrolled reduction.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_transb inner dimension mismatch");
         let (m, n) = (self.rows, other.rows);
-        let mut out = Matrix::zeros(m, n);
+        out.resize_zeroed(m, n);
         for i in 0..m {
-            let a_row = self.row(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (j, o) in out_row.iter_mut().enumerate() {
                 *o = crate::ops::dot(a_row, other.row(j));
             }
         }
+    }
+
+    /// `selfᵀ · other`, shape `(k×m)ᵀ·(k×n) → m×n`. Thin allocating wrapper
+    /// over [`Matrix::matmul_transa_into`].
+    pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transa_into(other, &mut out);
         out
     }
 
-    /// `selfᵀ · other`, shape `(k×m)ᵀ·(k×n) → m×n`.
+    /// `selfᵀ · other` written into `out` (resized to `m × n`).
     ///
-    /// Used in backprop for weight gradients (`dW = Xᵀ · dY`). Implemented as
-    /// a rank-1-update accumulation so both inputs stream row-major.
-    pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
+    /// Used in backprop for weight gradients (`dW = Xᵀ · dY`). Rank-2
+    /// accumulation: each pass streams a 2-row panel of batch rows, so
+    /// every output row touched gets two fused updates per load of its
+    /// cache lines and the `other` panel is read once per pair instead of
+    /// once per row. Zero coefficients skip their update, which matters for
+    /// post-ReLU/dropout activations.
+    pub fn matmul_transa_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_transa inner dimension mismatch");
         let (m, n) = (self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for p in 0..self.rows {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
+        out.resize_zeroed(m, n);
+        let mut p = 0;
+        while p + 2 <= self.rows {
+            let a0 = &self.data[p * self.cols..(p + 1) * self.cols];
+            let a1 = &self.data[(p + 1) * self.cols..(p + 2) * self.cols];
+            let b0 = &other.data[p * n..(p + 1) * n];
+            let b1 = &other.data[(p + 1) * n..(p + 2) * n];
+            for i in 0..m {
+                let (c0, c1) = (a0[i], a1[i]);
+                if c0 == 0.0 && c1 == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for ((o, &x0), &x1) in out_row.iter_mut().zip(b0).zip(b1) {
+                    *o += c0 * x0 + c1 * x1;
+                }
+            }
+            p += 2;
+        }
+        if p < self.rows {
+            let a_row = &self.data[p * self.cols..(p + 1) * self.cols];
+            let b_row = &other.data[p * n..(p + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
+    }
+
+    /// Matrix–vector product `self · v`. Thin allocating wrapper over
+    /// [`Matrix::matvec_into`].
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.matvec_into(v, &mut out);
         out
     }
 
-    /// Matrix–vector product `self · v`.
-    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+    /// Matrix–vector product written into `out` (resized to `rows`).
+    pub fn matvec_into(&self, v: &[f32], out: &mut Vec<f32>) {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        self.rows_iter().map(|row| crate::ops::dot(row, v)).collect()
+        out.clear();
+        // resize-then-fill (not extend) so an `m × 0` matrix still yields
+        // `m` zeros even though its row iterator is empty.
+        out.resize(self.rows, 0.0);
+        for (o, row) in out.iter_mut().zip(self.rows_iter()) {
+            *o = crate::ops::dot(row, v);
+        }
     }
 
-    /// Sum over rows, producing a length-`cols` vector.
+    /// Sum over rows, producing a length-`cols` vector. Thin allocating
+    /// wrapper over [`Matrix::col_sums_into`].
     pub fn col_sums(&self) -> Vec<f32> {
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Sum over rows written into `out` (resized to `cols`).
+    pub fn col_sums_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.rows_iter() {
             for (o, &v) in out.iter_mut().zip(row.iter()) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Mean over rows, producing a length-`cols` vector.

@@ -62,8 +62,8 @@ fn main() {
         std::fs::File::create("results/example_tsne.csv").expect("create csv"),
     );
     writeln!(file, "x,y,topic").expect("header");
-    for r in 0..layout.rows() {
-        writeln!(file, "{:.4},{:.4},{}", layout.get(r, 0), layout.get(r, 1), labels[r])
+    for (r, label) in labels.iter().enumerate() {
+        writeln!(file, "{:.4},{:.4},{label}", layout.get(r, 0), layout.get(r, 1))
             .expect("row");
     }
     println!("wrote results/example_tsne.csv — plot it with your favourite tool");

@@ -1,0 +1,85 @@
+//! Vendored stand-in for `crossbeam` (no registry access in this build
+//! environment). Provides `crossbeam::thread::scope` with the 0.8 calling
+//! convention — spawn closures receive a scope handle argument (ignored by
+//! this workspace's call sites) and `scope` returns a `Result` — built on
+//! `std::thread::scope`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Result of [`scope`]: `Err` carries the payload of a panicked,
+    /// un-joined child thread.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. The
+        /// closure's argument mirrors crossbeam's nested-scope handle; the
+        /// workspace ignores it, so a unit is passed.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// it returns. Unlike `std::thread::scope`, a panic in an un-joined
+    /// child is returned as `Err` rather than propagated.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_and_join_borrowing_locals() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker")).sum()
+            })
+            .expect("scope");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn joined_panic_is_catchable() {
+            let r = super::scope(|scope| {
+                let h = scope.spawn(|_| panic!("boom"));
+                h.join().is_err()
+            });
+            assert!(r.expect("scope itself succeeds"));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Vendored stand-in for `parking_lot` (no registry access in this build
+//! environment). Provides the poison-free [`RwLock`] API the workspace
+//! uses, implemented over `std::sync::RwLock`: a poisoned std lock is
+//! recovered rather than propagated, matching parking_lot's behaviour of
+//! not poisoning at all.
+
+/// Read guard; derefs to the protected value.
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Write guard; derefs mutably to the protected value.
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// Reader-writer lock without poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a new lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwLock::new(5);
+        assert_eq!(*lock.read(), 5);
+        *lock.write() += 1;
+        assert_eq!(*lock.read(), 6);
+        assert_eq!(lock.into_inner(), 6);
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let lock = std::sync::Arc::new(RwLock::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = lock.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), 4000);
+    }
+}

@@ -1,0 +1,368 @@
+//! Vendored stand-in for the `rand` crate (no registry access in this
+//! build environment). It reimplements exactly the API surface the
+//! workspace uses:
+//!
+//! - [`TryRng`]: fallible raw generator (the only trait external RNGs such
+//!   as `fvae-nn`'s `NoRng` need to implement).
+//! - [`Rng`]: infallible raw generator, blanket-implemented for every
+//!   `TryRng` by unwrapping (the error type is `Infallible` everywhere in
+//!   practice).
+//! - [`RngExt`]: the ergonomic extension methods `random::<T>()` and
+//!   `random_range(..)`, blanket-implemented for every `Rng`.
+//! - [`SeedableRng::seed_from_u64`]: the only seeding entry point used.
+//! - [`rngs::StdRng`]: xoshiro256++ behind a SplitMix64 seed expander.
+//!   Deliberately **not** `Clone` — model code relies on that to keep
+//!   cloned models from replaying identical random streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A fallible source of randomness.
+///
+/// This is the one trait external generators implement; everything else is
+/// derived from it via blanket impls.
+pub trait TryRng {
+    /// Error produced when the underlying source fails.
+    type Error: std::fmt::Debug;
+
+    /// Returns the next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+    /// Returns the next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Fills `dst` with random bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+impl<R: TryRng + ?Sized> TryRng for &mut R {
+    type Error = R::Error;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        (**self).try_next_u32()
+    }
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        (**self).try_next_u64()
+    }
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+        (**self).try_fill_bytes(dst)
+    }
+}
+
+/// An infallible source of randomness.
+///
+/// Blanket-implemented for every [`TryRng`]; a failure of the underlying
+/// source panics. In this workspace every generator is infallible
+/// (`Error = Infallible`), so the panic branch is unreachable.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R: TryRng + ?Sized> Rng for R {
+    fn next_u32(&mut self) -> u32 {
+        self.try_next_u32().expect("RNG source failed")
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.try_next_u64().expect("RNG source failed")
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        self.try_fill_bytes(dst).expect("RNG source failed")
+    }
+}
+
+/// Types that can be sampled from their "standard" distribution:
+/// unit interval for floats, full range for integers, fair coin for bools.
+pub trait Random: Sized {
+    /// Draws one value from `rng`.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f32 {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types uniformly sampleable over a half-open or inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                low.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_sample_uniform_float {
+    ($t:ty, $unit:path) => {
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let u: $t = $unit(rng);
+                low + (high - low) * u
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let u: $t = $unit(rng);
+                low + (high - low) * u
+            }
+        }
+    };
+}
+impl_sample_uniform_float!(f32, Random::random);
+impl_sample_uniform_float!(f64, Random::random);
+
+/// Unbiased uniform draw from `[0, bound)` via Lemire's multiply-shift
+/// rejection. `bound == 0` means the full `u64` range.
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    if bound == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound && low < bound.wrapping_neg() {
+            // Fast accept once the low word clears the bias zone.
+            return (m >> 64) as u64;
+        }
+        if low.wrapping_neg() % bound <= low {
+            continue; // biased slice — reject and redraw
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value from the type's standard distribution
+    /// (`[0, 1)` for floats).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic seeding.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{SeedableRng, TryRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded through
+    /// SplitMix64.
+    ///
+    /// Intentionally **not** `Clone`: call sites (e.g. `Fvae`'s manual
+    /// `Clone`) depend on cloned models re-seeding rather than replaying
+    /// the identical stream.
+    #[derive(Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let result = (self.s[0].wrapping_add(self.s[3]))
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expands the 64-bit seed into the 256-bit state,
+            // guaranteeing a non-zero state for every seed.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl TryRng for StdRng {
+        type Error = std::convert::Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok((self.next() >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            Ok(self.next())
+        }
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.next().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let a = rng.random_range(3..17u64);
+            assert!((3..17).contains(&a));
+            let b = rng.random_range(0..=5usize);
+            assert!(b <= 5);
+            let c = rng.random_range(-0.5..0.5f32);
+            assert!((-0.5..0.5).contains(&c));
+            assert_eq!(rng.random_range(4..=4usize), 4);
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
