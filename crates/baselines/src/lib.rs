@@ -22,10 +22,12 @@ pub mod item2vec;
 pub mod job2vec;
 pub mod lda;
 pub mod multvae;
+pub mod obs;
 pub mod pca;
 pub mod recvae;
 
 pub use item2vec::Item2Vec;
+pub use obs::FitObs;
 pub use job2vec::Job2Vec;
 pub use lda::Lda;
 pub use multvae::{MultDae, MultVae};

@@ -20,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::input::{concat_row_into, ConcatLayout};
+use crate::obs::FitObs;
 use crate::RepresentationModel;
+use fvae_obs::{Registry, Span};
 
 /// Adam states for every layer of an MLP.
 pub(crate) struct MlpAdam {
@@ -231,6 +233,7 @@ pub struct MultVae {
     pub(crate) dec: Option<Mlp>,
     step: u64,
     scratch: VaeScratch,
+    obs: Option<FitObs>,
 }
 
 impl MultVae {
@@ -252,7 +255,14 @@ impl MultVae {
             dec: None,
             step: 0,
             scratch: VaeScratch::default(),
+            obs: None,
         }
+    }
+
+    /// Records fit-loop step/epoch timings into `registry`
+    /// (`fvae_baselines_multvae_*`).
+    pub fn observe(&mut self, registry: &Registry) {
+        self.obs = Some(FitObs::new(registry, "multvae"));
     }
 
     fn beta_at(&self, step: u64) -> f32 {
@@ -376,10 +386,18 @@ impl RepresentationModel for MultVae {
         let adam = Adam::new(self.lr);
         let (mut enc_opt, mut dec_opt) = self.make_opts();
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        // Cloned handles (Arc bumps) so the spans don't borrow `self` across
+        // the `&mut self` step call.
+        let obs = self.obs.clone();
         for _ in 0..self.epochs {
+            let _epoch_span = obs.as_ref().map(|o| Span::on(&o.epoch_ns));
             let batches =
                 fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
             for batch in &batches {
+                let _step_span = obs.as_ref().map(|o| {
+                    o.steps.inc();
+                    Span::on(&o.step_ns)
+                });
                 self.train_batch_timed(ds, batch, &adam, &mut enc_opt, &mut dec_opt, &mut rng);
             }
         }
@@ -440,6 +458,7 @@ pub struct MultDae {
     input: Option<DenseInput>,
     enc: Option<Mlp>,
     dec: Option<Mlp>,
+    obs: Option<FitObs>,
 }
 
 impl MultDae {
@@ -457,7 +476,14 @@ impl MultDae {
             input: None,
             enc: None,
             dec: None,
+            obs: None,
         }
+    }
+
+    /// Records fit-loop step/epoch timings into `registry`
+    /// (`fvae_baselines_multdae_*`).
+    pub fn observe(&mut self, registry: &Registry) {
+        self.obs = Some(FitObs::new(registry, "multdae"));
     }
 }
 
@@ -488,9 +514,14 @@ impl RepresentationModel for MultDae {
         // Epoch-lifetime scratch: every step reshapes these in place.
         let mut sc = VaeScratch::default();
         for _ in 0..self.epochs {
+            let _epoch_span = self.obs.as_ref().map(|o| Span::on(&o.epoch_ns));
             let batches =
                 fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
             for batch in &batches {
+                let _step_span = self.obs.as_ref().map(|o| {
+                    o.steps.inc();
+                    Span::on(&o.step_ns)
+                });
                 input.batch_into(ds, batch, None, &mut sc.x, &mut sc.t);
                 dropout.forward_train_into(&mut sc.x, &mut sc.mask, &mut rng);
                 enc.forward_cached_into(&sc.x, &mut sc.enc_acts);

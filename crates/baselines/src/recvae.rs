@@ -24,7 +24,9 @@ use rand::SeedableRng;
 use crate::multvae::{
     clamp_split, clamp_split_into, multinomial_dense_loss_into, DenseInput, MlpAdam, VaeScratch,
 };
+use crate::obs::FitObs;
 use crate::RepresentationModel;
+use fvae_obs::{Registry, Span};
 
 /// RecVAE.
 pub struct RecVae {
@@ -51,6 +53,7 @@ pub struct RecVae {
     enc: Option<Mlp>,
     dec: Option<Mlp>,
     enc_old: Option<Mlp>,
+    obs: Option<FitObs>,
 }
 
 impl RecVae {
@@ -71,7 +74,14 @@ impl RecVae {
             enc: None,
             dec: None,
             enc_old: None,
+            obs: None,
         }
+    }
+
+    /// Records fit-loop step/epoch timings into `registry`
+    /// (`fvae_baselines_recvae_*`).
+    pub fn observe(&mut self, registry: &Registry) {
+        self.obs = Some(FitObs::new(registry, "recvae"));
     }
 
     /// `−∇_z log p(z)` for the composite prior, evaluated row-wise.
@@ -174,11 +184,16 @@ impl RepresentationModel for RecVae {
         let mut betas: Vec<f32> = Vec::new();
 
         for _ in 0..self.epochs {
+            let _epoch_span = self.obs.as_ref().map(|o| Span::on(&o.epoch_ns));
             // Snapshot the encoder: the composite prior's second component.
             let enc_snapshot = enc.clone();
             let batches =
                 fvae_data::split::shuffled_batches(users, self.batch_size, &mut rng);
             for batch in &batches {
+                let _step_span = self.obs.as_ref().map(|o| {
+                    o.steps.inc();
+                    Span::on(&o.step_ns)
+                });
                 let b = batch.len();
                 let inv_b = 1.0 / b as f32;
                 input.batch_into(ds, batch, None, &mut sc.x, &mut sc.t);

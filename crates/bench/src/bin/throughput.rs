@@ -2,10 +2,13 @@
 //!
 //! A single number that moves when the training hot path gets faster —
 //! used for the before/after entries in EXPERIMENTS.md. Environment knobs:
-//! `FVAE_TP_USERS` (dataset size), `FVAE_TP_BATCH`, `FVAE_TP_STEPS`.
+//! `FVAE_TP_USERS` (dataset size), `FVAE_TP_BATCH`, `FVAE_TP_STEPS`,
+//! `FVAE_TP_METRICS` (write the run's Prometheus snapshot — step and
+//! per-phase histograms — to this path; `-` for stdout).
 
 use fvae_data::TopicModelConfig;
-use fvae_eval::speed::fvae_throughput;
+use fvae_eval::speed::fvae_throughput_observed;
+use fvae_obs::Registry;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -14,6 +17,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 fn main() {
     let batch = env_usize("FVAE_TP_BATCH", 256);
     let steps = env_usize("FVAE_TP_STEPS", 20);
+    let metrics_path = std::env::var("FVAE_TP_METRICS").ok();
     let mut cfg = TopicModelConfig::sc();
     cfg.n_users = env_usize("FVAE_TP_USERS", 2048).max(2 * batch);
     let ds = cfg.generate();
@@ -22,9 +26,21 @@ fn main() {
         ds.n_users(),
         ds.total_features()
     );
+    let registry = metrics_path.as_ref().map(|_| Registry::new());
     // Three repeats; report each so warm-up effects are visible.
     for rep in 0..3 {
-        let ups = fvae_throughput(&ds, batch, steps);
+        let ups = fvae_throughput_observed(&ds, batch, steps, registry.as_ref());
         println!("rep {rep}: {ups:.0} users/s");
+    }
+    if let (Some(path), Some(registry)) = (metrics_path, registry) {
+        let text = registry.render();
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("[throughput] failed to write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("[throughput] metrics snapshot → {path}");
+        }
     }
 }

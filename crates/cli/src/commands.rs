@@ -2,7 +2,9 @@
 //! file-to-file steps.
 
 use bytes::Bytes;
-use fvae_core::{Fvae, FvaeConfig, TrainOptions};
+use fvae_core::{
+    EpochStats, Fvae, FvaeConfig, StepCtx, TelemetrySink, TrainObserver, TrainOptions,
+};
 use fvae_data::{tag_prediction_cases, MultiFieldDataset, SplitIndices, TopicModelConfig};
 use fvae_lookalike::EmbeddingStore;
 use fvae_metrics::{auc, average_precision, ndcg_at_k, Mean};
@@ -34,6 +36,7 @@ pub fn usage() -> String {
      \x20 stats     --data DS\n\
      \x20 train     --data DS --out MODEL [--epochs N] [--rate R] [--latent D]\n\
      \x20           [--batch B] [--lr LR] [--early-stop true]\n\
+     \x20           [--obs-jsonl RUN.jsonl] [--obs-stderr true] [--quiet true]\n\
      \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
      \x20 evaluate  --data DS --model MODEL [--seed S]\n\
      \x20 similar   --store STORE --user ID [--k K]\n"
@@ -90,9 +93,32 @@ fn stats(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Fans training telemetry out to the [`TelemetrySink`] (metrics, JSONL,
+/// stderr heartbeat) while keeping the per-epoch lines on stdout that the
+/// CLI has always printed.
+struct CliObserver<'a> {
+    sink: TelemetrySink,
+    log: &'a mut String,
+}
+
+impl TrainObserver for CliObserver<'_> {
+    fn on_step(&mut self, ctx: &StepCtx) {
+        self.sink.on_step(ctx);
+    }
+
+    fn on_epoch(&mut self, epoch: usize, stats: &EpochStats) {
+        self.sink.on_epoch(epoch, stats);
+        self.log.push_str(&format!(
+            "epoch {epoch}: recon {:.4} kl {:.4} beta {:.2}\n",
+            stats.recon, stats.kl, stats.beta
+        ));
+    }
+}
+
 fn train(args: &Args) -> Result<String, String> {
     args.expect_only(&[
         "data", "out", "epochs", "rate", "latent", "batch", "lr", "early-stop", "seed",
+        "obs-jsonl", "obs-stderr", "quiet",
     ])?;
     let ds = load_dataset(args.required("data")?)?;
     let out = args.required("out")?;
@@ -104,30 +130,47 @@ fn train(args: &Args) -> Result<String, String> {
     cfg.lr = args.get_or("lr", cfg.lr)?;
     cfg.seed = args.get_or("seed", cfg.seed)?;
     let early_stop: bool = args.get_or("early-stop", false)?;
+    let quiet: bool = args.get_or("quiet", false)?;
+    let step_lines: bool = args.get_or("obs-stderr", false)?;
     let mut model = Fvae::new(cfg);
+    let epochs = model.config().epochs;
+    let mut sink = TelemetrySink::new(epochs)
+        .with_heartbeat(!quiet)
+        .with_step_lines(step_lines);
+    if let Some(path) = args.optional("obs-jsonl") {
+        sink = sink
+            .with_jsonl(path)
+            .map_err(|e| format!("cannot open run log {path}: {e}"))?;
+    }
     let mut log = String::new();
-    if early_stop {
+    let mut observer = CliObserver { sink, log: &mut log };
+    let history = if early_stop {
         let split = SplitIndices::random(ds.n_users(), 0.1, 0.0, 13);
-        let history = model.train_until(
+        let history = model.train_until_observed(
             &ds,
             &split.train,
             &split.val,
-            TrainOptions { max_epochs: model.config().epochs, ..Default::default() },
+            TrainOptions { max_epochs: epochs, ..Default::default() },
+            &mut observer,
         );
+        Some(history)
+    } else {
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        model.train_observed(&ds, &users, epochs, &mut observer);
+        None
+    };
+    let mut sink = observer.sink;
+    sink.flush();
+    if let Some(history) = history {
         log.push_str(&format!(
             "trained {} epochs (early stop: {}), best epoch {}\n",
             history.epochs.len(),
             history.stopped_early,
             history.best_epoch
         ));
-    } else {
-        let users: Vec<usize> = (0..ds.n_users()).collect();
-        model.train(&ds, &users, |epoch, s| {
-            log.push_str(&format!(
-                "epoch {epoch}: recon {:.4} kl {:.4} beta {:.2}\n",
-                s.recon, s.kl, s.beta
-            ));
-        });
+    }
+    if let Some(path) = args.optional("obs-jsonl") {
+        log.push_str(&format!("run log: {path} ({} records)\n", sink.jsonl_lines()));
     }
     std::fs::write(out, model.to_bytes()).map_err(|e| format!("cannot write {out}: {e}"))?;
     log.push_str(&format!(
@@ -279,6 +322,74 @@ mod tests {
         )))
         .expect("train");
         assert!(out.contains("early stop"));
+    }
+
+    #[test]
+    fn telemetry_jsonl_records_every_step_with_flat_scratch_allocs() {
+        use fvae_obs::Value;
+        let ds_path = tmp("obs_ds.bin");
+        let model_path = tmp("obs_model.bin");
+        let jsonl_path = tmp("obs_run.jsonl");
+        run(&args(&format!(
+            "generate --preset sc-small --users 512 --seed 6 --out {ds_path}"
+        )))
+        .expect("generate");
+        // rate 1.0 keeps candidate sets deterministic; everything else is
+        // seeded, so the run (and its allocation profile) is reproducible.
+        let out = run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 2 --batch 64 --rate 1.0 \
+             --latent 8 --quiet true --obs-jsonl {jsonl_path}"
+        )))
+        .expect("train");
+        assert!(out.contains("run log:"));
+
+        let text = std::fs::read_to_string(&jsonl_path).expect("run log exists");
+        let records: Vec<Value> = text
+            .lines()
+            .map(|line| fvae_obs::parse(line).expect("every line parses as JSON"))
+            .collect();
+        let steps: Vec<&Value> = records
+            .iter()
+            .filter(|r| r.get("type").and_then(Value::as_str) == Some("step"))
+            .collect();
+        let steps_per_epoch = 512usize.div_ceil(64);
+        assert_eq!(steps.len(), 2 * steps_per_epoch, "one record per optimizer step");
+
+        let epoch = records
+            .iter()
+            .find(|r| r.get("type").and_then(Value::as_str) == Some("epoch"))
+            .expect("epoch record present");
+        assert_eq!(epoch.get("epoch").and_then(Value::as_u64), Some(0));
+        let elbo = epoch.get("elbo").and_then(Value::as_f64).expect("elbo field");
+        assert!(elbo.is_finite(), "elbo must be finite: {elbo}");
+        assert!(epoch.get("users_per_sec").and_then(Value::as_f64).expect("ups") > 0.0);
+
+        // The zero-allocation contract, observed from the outside: the alloc
+        // gauge is a high-water mark of the scratch arena, so it may creep
+        // while warm-up batches discover the largest candidate sets, but a
+        // warmed epoch must be completely flat.
+        let allocs: Vec<u64> = steps
+            .iter()
+            .map(|s| s.get("scratch_allocs").and_then(Value::as_u64).expect("gauge"))
+            .collect();
+        assert!(allocs.windows(2).all(|w| w[0] <= w[1]), "monotone gauge: {allocs:?}");
+        let warmed = &allocs[steps_per_epoch..];
+        assert!(
+            warmed.windows(2).all(|w| w[0] == w[1]),
+            "scratch allocs must stay flat across the warmed epoch: {allocs:?}"
+        );
+        // Per-phase timelines cover the whole step.
+        for s in &steps {
+            let phases = s.get("phase_ns").expect("phase timeline");
+            let total: u64 = ["batch_assembly", "encoder_fwd", "decoder_fwd",
+                "sampled_softmax", "backward", "optimizer"]
+                .iter()
+                .map(|p| phases.get(p).and_then(Value::as_u64).expect("phase"))
+                .sum();
+            let wall = s.get("wall_ns").and_then(Value::as_u64).expect("wall_ns");
+            assert!(total <= wall, "phases ({total}) cannot exceed the step ({wall})");
+            assert!(total > 0, "phase timeline must be populated");
+        }
     }
 
     #[test]

@@ -18,23 +18,59 @@
 //! softmax on the output ([`fvae_nn::SampledSoftmaxOutput`]), and
 //! [`sampling`] of batch candidate features for sparse fields.
 //!
-//! ```no_run
-//! use fvae_core::{Fvae, FvaeConfig};
-//! use fvae_data::TopicModelConfig;
+//! Training reports through the [`observe::TrainObserver`] hook — per-step
+//! loss breakdowns, per-phase wall times, and scratch-arena counters — with
+//! [`observe::TelemetrySink`] as the batteries-included observer (metrics
+//! registry + JSONL run log + stderr heartbeat):
 //!
-//! let dataset = TopicModelConfig::sc_small().generate();
-//! let config = FvaeConfig::for_dataset(&dataset);
+//! ```
+//! use fvae_core::observe::{StepCtx, TrainObserver};
+//! use fvae_core::{EpochStats, Fvae, FvaeConfig};
+//! use fvae_data::{FieldSpec, TopicModelConfig};
+//!
+//! let dataset = TopicModelConfig {
+//!     n_users: 60,
+//!     n_topics: 3,
+//!     alpha: 0.15,
+//!     fields: vec![
+//!         FieldSpec::new("ch", 12, 3, 1.0),
+//!         FieldSpec::new("tag", 48, 5, 1.0),
+//!     ],
+//!     pair_prob: 0.0,
+//!     seed: 7,
+//! }
+//! .generate();
+//! let mut config = FvaeConfig::for_dataset(&dataset);
+//! config.latent_dim = 8;
+//! config.enc_hidden = 16;
+//! config.dec_hidden = vec![16];
+//! config.batch_size = 20;
+//!
+//! /// Counts optimizer steps and prints one line per epoch.
+//! struct StepCounter(usize);
+//! impl TrainObserver for StepCounter {
+//!     fn on_step(&mut self, ctx: &StepCtx) {
+//!         self.0 += 1;
+//!         assert!(ctx.stats.loss().is_finite());
+//!     }
+//!     fn on_epoch(&mut self, epoch: usize, stats: &EpochStats) {
+//!         println!("epoch {epoch}: elbo {:.3} ({:.0} users/s)", stats.elbo(), stats.users_per_sec);
+//!     }
+//! }
+//!
 //! let mut model = Fvae::new(config);
 //! let users: Vec<usize> = (0..dataset.n_users()).collect();
-//! model.train(&dataset, &users, |epoch, stats| {
-//!     println!("epoch {epoch}: elbo {:.3}", stats.elbo());
-//! });
+//! let mut observer = StepCounter(0);
+//! model.train_observed(&dataset, &users, 2, &mut observer);
+//! assert_eq!(observer.0, 2 * 60usize.div_ceil(20));
+//!
 //! let embeddings = model.embed_users(&dataset, &users, None);
 //! assert_eq!(embeddings.rows(), dataset.n_users());
 //! ```
 
 pub mod config;
 pub mod model;
+pub mod observe;
 pub mod sampling;
 pub mod serialize;
 pub mod train;
@@ -42,6 +78,7 @@ pub mod validate;
 
 pub use config::{FvaeConfig, SamplingConfig};
 pub use model::Fvae;
+pub use observe::{NullObserver, PhaseNs, StepCtx, TelemetrySink, TrainObserver};
 pub use sampling::SamplingStrategy;
 pub use train::{EpochStats, StepStats};
 pub use validate::{TrainHistory, TrainOptions};

@@ -10,6 +10,7 @@ use fvae_sparse::{FastHashMap, FastHashSet};
 use fvae_tensor::Matrix;
 
 use crate::model::{BatchInput, Fvae};
+use crate::observe::{PhaseNs, StepCtx, TrainObserver};
 use crate::sampling::sample_candidates;
 
 /// Loss breakdown of one training step (all values are per-user means).
@@ -25,12 +26,36 @@ pub struct StepStats {
     pub candidates: usize,
     /// Users in the batch.
     pub batch_size: usize,
+    /// Wall time of the step in nanoseconds (populated by the trainer).
+    pub wall_ns: u64,
+    /// Training throughput of the step (populated by the trainer).
+    pub users_per_sec: f32,
 }
 
 impl StepStats {
     /// Negative ELBO of the step (what training minimizes).
     pub fn loss(&self) -> f32 {
         self.recon + self.beta * self.kl
+    }
+
+    /// Writes the step's fields into a JSON object (the JSONL exporter's
+    /// per-step payload).
+    pub fn write_json(&self, o: &mut fvae_obs::JsonObj) {
+        o.f32("recon", self.recon)
+            .f32("kl", self.kl)
+            .f32("beta", self.beta)
+            .f32("loss", self.loss())
+            .usize("candidates", self.candidates)
+            .usize("batch_size", self.batch_size)
+            .u64("wall_ns", self.wall_ns)
+            .f32("users_per_sec", self.users_per_sec);
+    }
+
+    /// The step as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut o = fvae_obs::JsonObj::new();
+        self.write_json(&mut o);
+        o.finish()
     }
 }
 
@@ -47,6 +72,12 @@ pub struct EpochStats {
     pub users: usize,
     /// Mean candidate-set size per step.
     pub mean_candidates: f64,
+    /// Optimizer steps taken in the epoch (populated by the trainer).
+    pub steps: usize,
+    /// Wall time of the epoch in seconds (populated by the trainer).
+    pub wall_secs: f64,
+    /// Training throughput of the epoch (populated by the trainer).
+    pub users_per_sec: f64,
 }
 
 impl EpochStats {
@@ -54,6 +85,33 @@ impl EpochStats {
     pub fn elbo(&self) -> f32 {
         -(self.recon + self.beta * self.kl)
     }
+
+    /// Writes the epoch's fields into a JSON object (the JSONL exporter's
+    /// per-epoch payload).
+    pub fn write_json(&self, o: &mut fvae_obs::JsonObj) {
+        o.f32("recon", self.recon)
+            .f32("kl", self.kl)
+            .f32("beta", self.beta)
+            .f32("elbo", self.elbo())
+            .usize("users", self.users)
+            .usize("steps", self.steps)
+            .f64("mean_candidates", self.mean_candidates)
+            .f64("wall_secs", self.wall_secs)
+            .f64("users_per_sec", self.users_per_sec);
+    }
+
+    /// The epoch as a standalone JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut o = fvae_obs::JsonObj::new();
+        self.write_json(&mut o);
+        o.finish()
+    }
+}
+
+/// Saturating `Duration → u64` nanoseconds.
+#[inline]
+fn dur_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Per-step scratch for [`Fvae::train_batch`]. Owned by the optimizer state
@@ -107,6 +165,8 @@ pub(crate) struct TrainScratch {
     dx0: Matrix,
     bias_grad: Vec<f32>,
     bag_grads: Vec<RowGrads>,
+    /// Per-phase wall time of the most recent step (observability timeline).
+    phases: PhaseNs,
 }
 
 /// Visits every dense gradient buffer of the current step in a fixed order.
@@ -176,19 +236,39 @@ impl Fvae {
         self.train_epochs(ds, users, epochs, callback);
     }
 
-    /// Trains for an explicit number of epochs.
+    /// Trains for an explicit number of epochs, reporting each epoch to a
+    /// bare closure (kept for compatibility; [`Fvae::train_observed`] is the
+    /// structured interface).
     pub fn train_epochs(
         &mut self,
         ds: &MultiFieldDataset,
         users: &[usize],
         epochs: usize,
-        mut callback: impl FnMut(usize, &EpochStats),
+        callback: impl FnMut(usize, &EpochStats),
     ) {
+        self.train_observed(ds, users, epochs, &mut crate::observe::EpochCallback(callback));
+    }
+
+    /// Trains for `epochs` epochs, reporting every optimizer step and epoch
+    /// to `observer` (see [`crate::observe`]). Returns the last epoch's
+    /// statistics.
+    pub fn train_observed(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        epochs: usize,
+        observer: &mut dyn TrainObserver,
+    ) -> EpochStats {
         let mut opt = OptStates::new(self);
+        let mut global_step = 0u64;
+        let mut last = EpochStats::default();
         for epoch in 0..epochs {
-            let stats = self.train_one_epoch(ds, users, &mut opt);
-            callback(epoch, &stats);
+            let stats =
+                self.train_one_epoch(ds, users, &mut opt, epoch, &mut global_step, observer);
+            observer.on_epoch(epoch, &stats);
+            last = stats;
         }
+        last
     }
 
     fn train_one_epoch(
@@ -196,7 +276,11 @@ impl Fvae {
         ds: &MultiFieldDataset,
         users: &[usize],
         opt: &mut OptStates,
+        epoch: usize,
+        global_step: &mut u64,
+        observer: &mut dyn TrainObserver,
     ) -> EpochStats {
+        let epoch_start = std::time::Instant::now();
         let batch_size = self.cfg.batch_size;
         let batches = shuffled_batches(users, batch_size, &mut self.rng);
         let mut recon = 0.0f64;
@@ -210,15 +294,29 @@ impl Fvae {
             kl += s.kl as f64 * s.batch_size as f64;
             beta = s.beta;
             cand += s.candidates as f64;
+            let phases = opt.scratch.phases;
+            observer.on_step(&StepCtx {
+                epoch,
+                step: n_steps,
+                global_step: *global_step,
+                stats: &s,
+                phases: &phases,
+                scratch: opt.scratch.ws.stats(),
+            });
+            *global_step += 1;
             n_steps += 1;
         }
         let n = users.len().max(1) as f64;
+        let wall_secs = epoch_start.elapsed().as_secs_f64();
         EpochStats {
             recon: (recon / n) as f32,
             kl: (kl / n) as f32,
             beta,
             users: users.len(),
             mean_candidates: if n_steps == 0 { 0.0 } else { cand / n_steps as f64 },
+            steps: n_steps,
+            wall_secs,
+            users_per_sec: if wall_secs > 0.0 { users.len() as f64 / wall_secs } else { 0.0 },
         }
     }
 
@@ -232,6 +330,7 @@ impl Fvae {
         batch_users: &[usize],
         opt: &mut OptStates,
     ) -> StepStats {
+        let step_start = std::time::Instant::now();
         let b = batch_users.len();
         assert!(b > 0, "empty batch");
         let inv_b = 1.0 / b as f32;
@@ -243,6 +342,7 @@ impl Fvae {
 
         // ---- Forward: encoder -------------------------------------------
         self.build_input_into(ds, batch_users, None, true, &mut sc.input);
+        let t_assembled = std::time::Instant::now();
         self.encode_layer0_train_into(&sc.input, &mut sc.x0, &mut sc.slots);
         match &self.enc_extra {
             Some(mlp) => mlp.forward_cached_into(&sc.x0, &mut sc.extra_acts),
@@ -253,9 +353,11 @@ impl Fvae {
         self.enc_head.forward_into(h_enc, &mut sc.stats);
         self.split_stats_into(&sc.stats, &mut sc.mu, &mut sc.logvar);
         self.reparametrize_into(&sc.mu, &sc.logvar, &mut sc.z, &mut sc.eps);
+        let t_encoded = std::time::Instant::now();
 
         // ---- Forward: decoder trunk --------------------------------------
         self.trunk.forward_cached_into(&sc.z, &mut sc.trunk_acts);
+        let t_decoded = std::time::Instant::now();
 
         // ---- Per-field batched softmax + multinomial loss ----------------
         sc.dh_dec.resize_zeroed(b, self.trunk.out_dim());
@@ -369,6 +471,7 @@ impl Fvae {
             sc.dh_dec.add_assign(&sc.dh_k);
             sc.head_active[k] = true;
         }
+        let t_softmaxed = std::time::Instant::now();
 
         // ---- KL term ------------------------------------------------------
         let kl_sum = Fvae::kl_and_grads_into(&sc.mu, &sc.logvar, &mut sc.dmu_unit, &mut sc.dlv_unit);
@@ -473,7 +576,22 @@ impl Fvae {
                 for_each_dense_grad(sc, &mut |g| fvae_tensor::ops::scale(s, g));
             }
         }
-        self.apply_updates(opt, recon, kl_mean, beta, total_candidates, b)
+        let t_backward = std::time::Instant::now();
+        let mut stats = self.apply_updates(opt, recon, kl_mean, beta, total_candidates, b);
+        let t_end = std::time::Instant::now();
+        opt.scratch.phases = PhaseNs {
+            batch_assembly: dur_ns(t_assembled - step_start),
+            encoder_fwd: dur_ns(t_encoded - t_assembled),
+            decoder_fwd: dur_ns(t_decoded - t_encoded),
+            sampled_softmax: dur_ns(t_softmaxed - t_decoded),
+            backward: dur_ns(t_backward - t_softmaxed),
+            optimizer: dur_ns(t_end - t_backward),
+        };
+        stats.wall_ns = dur_ns(t_end - step_start);
+        let wall_secs = (t_end - step_start).as_secs_f64();
+        stats.users_per_sec =
+            if wall_secs > 0.0 { (b as f64 / wall_secs) as f32 } else { 0.0 };
+        stats
     }
 
     fn apply_updates(
@@ -537,7 +655,9 @@ impl Fvae {
                 adam.step_scalars(&mut heads_b[k], self.heads[k].bias_mut(), &sc.head_db[k]);
             }
         }
-        StepStats { recon, kl: kl_mean, beta, candidates, batch_size }
+        // wall_ns / users_per_sec are stamped by `train_batch` once the
+        // optimizer phase is timed.
+        StepStats { recon, kl: kl_mean, beta, candidates, batch_size, wall_ns: 0, users_per_sec: 0.0 }
     }
 
     /// Public single-batch step for benchmarking (Table V measures training
@@ -568,6 +688,16 @@ impl FvaeOptHandle {
     /// allocation-free in steady state.
     pub fn scratch_allocs(&self) -> u64 {
         self.0.scratch.ws.allocs()
+    }
+
+    /// Full scratch-arena counters after the most recent step.
+    pub fn scratch_stats(&self) -> fvae_nn::WorkspaceStats {
+        self.0.scratch.ws.stats()
+    }
+
+    /// Per-phase wall time of the most recent step.
+    pub fn last_phases(&self) -> PhaseNs {
+        self.0.scratch.phases
     }
 }
 

@@ -12,6 +12,7 @@ use fvae_nn::SampledSoftmaxOutput;
 use fvae_sparse::FastHashMap;
 
 use crate::model::Fvae;
+use crate::observe::{NullObserver, StepCtx, TrainObserver};
 use crate::train::EpochStats;
 
 /// Early-stopping options.
@@ -95,6 +96,20 @@ impl Fvae {
         val_users: &[usize],
         options: TrainOptions,
     ) -> TrainHistory {
+        self.train_until_observed(ds, train_users, val_users, options, &mut NullObserver)
+    }
+
+    /// [`Fvae::train_until`] with telemetry: every optimizer step and epoch
+    /// is forwarded to `observer` with epoch indices rebased to be global
+    /// across the early-stopping bursts.
+    pub fn train_until_observed(
+        &mut self,
+        ds: &MultiFieldDataset,
+        train_users: &[usize],
+        val_users: &[usize],
+        options: TrainOptions,
+        observer: &mut dyn TrainObserver,
+    ) -> TrainHistory {
         assert!(options.max_epochs > 0 && options.eval_every > 0);
         let mut history = TrainHistory::default();
         let mut best: Option<(f32, bytes::Bytes, usize)> = None;
@@ -102,7 +117,12 @@ impl Fvae {
         let mut epoch = 0usize;
         while epoch < options.max_epochs {
             let burst = options.eval_every.min(options.max_epochs - epoch);
-            self.train_epochs(ds, train_users, burst, |_, s| history.epochs.push(*s));
+            let mut burst_obs = BurstObserver {
+                inner: observer,
+                base: epoch,
+                epochs: &mut history.epochs,
+            };
+            self.train_observed(ds, train_users, burst, &mut burst_obs);
             epoch += burst;
             let elbo = self.evaluate_elbo(ds, val_users);
             history.validations.push((epoch, elbo));
@@ -123,6 +143,27 @@ impl Fvae {
             history.best_epoch = best_epoch;
         }
         history
+    }
+}
+
+/// Collects per-epoch history and forwards to the caller's observer with
+/// epoch indices rebased from burst-local (each `train_observed` burst starts
+/// at 0) to run-global.
+struct BurstObserver<'a> {
+    inner: &'a mut dyn TrainObserver,
+    base: usize,
+    epochs: &'a mut Vec<EpochStats>,
+}
+
+impl TrainObserver for BurstObserver<'_> {
+    fn on_step(&mut self, ctx: &StepCtx) {
+        let rebased = StepCtx { epoch: self.base + ctx.epoch, ..*ctx };
+        self.inner.on_step(&rebased);
+    }
+
+    fn on_epoch(&mut self, epoch: usize, stats: &EpochStats) {
+        self.epochs.push(*stats);
+        self.inner.on_epoch(self.base + epoch, stats);
     }
 }
 

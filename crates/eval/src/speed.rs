@@ -11,9 +11,10 @@
 use std::time::Instant;
 
 use fvae_baselines::MultVae;
-use fvae_core::Fvae;
+use fvae_core::{Fvae, PhaseNs};
 use fvae_data::{MultiFieldDataset, TopicModelConfig};
 use fvae_nn::Adam;
+use fvae_obs::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,11 +23,31 @@ use crate::models::{fvae_config, LATENT_DIM};
 
 /// Users/second of FVAE training steps at the given batch size.
 pub fn fvae_throughput(ds: &MultiFieldDataset, batch_size: usize, steps: usize) -> f64 {
+    fvae_throughput_observed(ds, batch_size, steps, None)
+}
+
+/// [`fvae_throughput`] that additionally records each step's wall time and
+/// per-phase breakdown (`fvae_core_step_ns`, `fvae_core_phase_*_ns`) into
+/// `registry`, so a benchmark run ends with a Prometheus snapshot of where
+/// the time went.
+pub fn fvae_throughput_observed(
+    ds: &MultiFieldDataset,
+    batch_size: usize,
+    steps: usize,
+    registry: Option<&Registry>,
+) -> f64 {
     let mut cfg = fvae_config(ds, 1);
     cfg.batch_size = batch_size;
     let mut model = Fvae::new(cfg);
     let mut opt = model.make_opt_states();
     let users: Vec<usize> = (0..ds.n_users()).collect();
+    // Pre-resolved handles: the timed loop only touches atomics.
+    let handles = registry.map(|reg| {
+        let step_ns = reg.histogram("fvae_core_step_ns");
+        let phases =
+            PhaseNs::NAMES.map(|name| reg.histogram(&format!("fvae_core_phase_{name}_ns")));
+        (step_ns, phases)
+    });
     // One warm-up step to populate the dynamic tables.
     let warm: Vec<usize> = users.iter().copied().take(batch_size).collect();
     model.train_single_batch(ds, &warm, &mut opt);
@@ -36,8 +57,14 @@ pub fn fvae_throughput(ds: &MultiFieldDataset, batch_size: usize, steps: usize) 
         let start = (s * batch_size) % ds.n_users();
         let batch: Vec<usize> =
             (0..batch_size).map(|i| (start + i) % ds.n_users()).collect();
-        model.train_single_batch(ds, &batch, &mut opt);
+        let stats = model.train_single_batch(ds, &batch, &mut opt);
         processed += batch_size;
+        if let Some((step_ns, phases)) = &handles {
+            step_ns.record(stats.wall_ns);
+            for (hist, (_, ns)) in phases.iter().zip(opt.last_phases().entries()) {
+                hist.record(ns);
+            }
+        }
     }
     processed as f64 / t0.elapsed().as_secs_f64()
 }

@@ -35,4 +35,4 @@ pub use embedding::{EmbeddingBag, RowGrads};
 pub use mlp::{Mlp, MlpGrads};
 pub use optim::{Adam, AdamState, GradClip, Sgd};
 pub use softmax_out::{SampledSoftmaxOutput, SoftmaxBatch};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, WorkspaceStats};

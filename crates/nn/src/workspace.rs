@@ -19,6 +19,23 @@ pub struct Workspace {
     mats: Vec<Matrix>,
     vecs: Vec<Vec<f32>>,
     allocs: u64,
+    takes: u64,
+    recycles: u64,
+}
+
+/// Point-in-time arena counters, exported as telemetry gauges by observers
+/// (`fvae_nn_scratch_*`): a flat `allocs` across steps is the zero-allocation
+/// guarantee; `takes`/`recycles` show churn through the pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// `take_*` calls that had to grow heap capacity.
+    pub allocs: u64,
+    /// Total `take_*` calls.
+    pub takes: u64,
+    /// Total `recycle_*` calls.
+    pub recycles: u64,
+    /// Buffers currently parked on the free lists.
+    pub pooled: usize,
 }
 
 impl Workspace {
@@ -38,9 +55,20 @@ impl Workspace {
         self.mats.len() + self.vecs.len()
     }
 
+    /// Snapshot of all arena counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            allocs: self.allocs,
+            takes: self.takes,
+            recycles: self.recycles,
+            pooled: self.pooled(),
+        }
+    }
+
     /// Takes a zeroed `rows × cols` matrix, reusing the pooled buffer whose
     /// capacity fits best (smallest sufficient; otherwise the largest, grown).
     pub fn take_matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.takes += 1;
         let needed = rows * cols;
         let mut fit: Option<usize> = None;
         let mut largest: Option<usize> = None;
@@ -73,12 +101,14 @@ impl Workspace {
 
     /// Returns a matrix to the pool for reuse.
     pub fn recycle_matrix(&mut self, m: Matrix) {
+        self.recycles += 1;
         self.mats.push(m);
     }
 
     /// Takes a zeroed vector of the given length, same best-fit policy as
     /// [`Workspace::take_matrix`].
     pub fn take_vec(&mut self, len: usize) -> Vec<f32> {
+        self.takes += 1;
         let mut fit: Option<usize> = None;
         let mut largest: Option<usize> = None;
         for (i, v) in self.vecs.iter().enumerate() {
@@ -104,6 +134,7 @@ impl Workspace {
 
     /// Returns a vector to the pool for reuse.
     pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        self.recycles += 1;
         self.vecs.push(v);
     }
 }
@@ -164,6 +195,20 @@ mod tests {
         let v = ws.take_vec(100);
         assert_eq!(v.len(), 100);
         assert_eq!(ws.allocs(), 1);
+    }
+
+    #[test]
+    fn stats_track_takes_recycles_and_pool() {
+        let mut ws = Workspace::new();
+        let m = ws.take_matrix(2, 2);
+        let v = ws.take_vec(3);
+        ws.recycle_matrix(m);
+        ws.recycle_vec(v);
+        let _ = ws.take_matrix(2, 2);
+        assert_eq!(
+            ws.stats(),
+            WorkspaceStats { allocs: 2, takes: 3, recycles: 2, pooled: 1 }
+        );
     }
 
     #[test]

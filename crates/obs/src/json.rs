@@ -1,0 +1,471 @@
+//! A dependency-free JSON toolkit: a tiny streaming object writer, an
+//! append-only JSONL file sink, and a small recursive-descent parser
+//! (used by tests and tooling to re-read what the writer emitted).
+//!
+//! The writer produces compact single-line objects — exactly one JSONL
+//! record — with deterministic field order (insertion order). Non-finite
+//! floats become `null`, keeping every emitted line strictly RFC 8259 valid.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Builds one compact JSON object, field by field.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    buf: String,
+    any: bool,
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('"');
+        escape_into(buf, v);
+        buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Adds a `usize` field.
+    pub fn usize(&mut self, k: &str, v: usize) -> &mut Self {
+        self.u64(k, v as u64)
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        let buf = self.key(k);
+        if v.is_finite() {
+            let _ = write!(buf, "{v}");
+        } else {
+            buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds an `f32` field.
+    pub fn f32(&mut self, k: &str, v: f32) -> &mut Self {
+        self.f64(k, v as f64)
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a nested object built by `f`.
+    pub fn obj(&mut self, k: &str, f: impl FnOnce(&mut JsonObj)) -> &mut Self {
+        let mut child = JsonObj::new();
+        f(&mut child);
+        let rendered = child.finish();
+        self.key(k).push_str(&rendered);
+        self
+    }
+
+    /// Closes the object and returns the JSON text (single line, no spaces).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL sink
+// ---------------------------------------------------------------------------
+
+/// An append-only JSON-lines file: one record per line, buffered writes,
+/// flushed explicitly (per epoch, typically) and on drop.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: std::io::BufWriter<std::fs::File>,
+    path: PathBuf,
+    lines: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(Self { writer: std::io::BufWriter::new(file), path, lines: 0 })
+    }
+
+    /// Appends one record (must already be a single-line JSON value, as
+    /// produced by [`JsonObj::finish`]).
+    pub fn write_record(&mut self, record: &str) -> std::io::Result<()> {
+        debug_assert!(!record.contains('\n'), "JSONL records are single lines");
+        self.writer.write_all(record.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered records to disk.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Records written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an integer, if whole.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar (the source is a &str, so
+                // boundaries are valid).
+                let s = &src_str(b)[*pos..];
+                let c = s.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn src_str(b: &[u8]) -> &str {
+    // Safety in spirit: `parse` only ever passes bytes of a &str through.
+    std::str::from_utf8(b).expect("input was a &str")
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_emits_compact_ordered_json() {
+        let mut o = JsonObj::new();
+        o.str("type", "step")
+            .u64("epoch", 0)
+            .f64("elbo", -12.5)
+            .bool("ok", true)
+            .f32("nan", f32::NAN)
+            .obj("phase_ns", |p| {
+                p.u64("fwd", 120).u64("bwd", 340);
+            });
+        assert_eq!(
+            o.finish(),
+            r#"{"type":"step","epoch":0,"elbo":-12.5,"ok":true,"nan":null,"phase_ns":{"fwd":120,"bwd":340}}"#
+        );
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut o = JsonObj::new();
+        o.str("msg", "a\"b\\c\nd\u{1}");
+        let line = o.finish();
+        assert_eq!(line, "{\"msg\":\"a\\\"b\\\\c\\nd\\u0001\"}");
+        let back = parse(&line).expect("round trip");
+        assert_eq!(back.get("msg").and_then(Value::as_str), Some("a\"b\\c\nd\u{1}"));
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut o = JsonObj::new();
+        o.u64("steps", 42).f64("loss", 0.125).obj("t", |t| {
+            t.usize("n", 7);
+        });
+        let v = parse(&o.finish()).expect("valid");
+        assert_eq!(v.get("steps").and_then(Value::as_u64), Some(42));
+        assert_eq!(v.get("loss").and_then(Value::as_f64), Some(0.125));
+        assert_eq!(v.get("t").and_then(|t| t.get("n")).and_then(Value::as_u64), Some(7));
+    }
+
+    #[test]
+    fn parser_handles_arrays_literals_and_rejects_garbage() {
+        let v = parse(r#"[1, -2.5, null, true, "x", {}]"#).expect("valid");
+        match v {
+            Value::Arr(items) => {
+                assert_eq!(items.len(), 6);
+                assert_eq!(items[0], Value::Num(1.0));
+                assert_eq!(items[2], Value::Null);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("123 45").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn jsonl_sink_appends_lines() {
+        let dir = std::env::temp_dir().join("fvae_obs_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("sink.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).expect("create");
+            for i in 0..3u64 {
+                let mut o = JsonObj::new();
+                o.u64("i", i);
+                sink.write_record(&o.finish()).expect("write");
+            }
+            assert_eq!(sink.lines(), 3);
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = parse(line).expect("each line parses");
+            assert_eq!(v.get("i").and_then(Value::as_u64), Some(i as u64));
+        }
+    }
+}

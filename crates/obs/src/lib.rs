@@ -1,0 +1,48 @@
+//! Zero-dependency telemetry for the FVAE workspace.
+//!
+//! The billion-scale story of the paper (§IV-C, Table V) is an efficiency
+//! story, and efficiency claims need runtime visibility: where does a
+//! training step spend its time, does the scratch arena stay allocation-free,
+//! what is the live users/second. This crate provides that visibility with
+//! three guarantees:
+//!
+//! * **Global-free.** There is no process-wide registry; a [`Registry`] is an
+//!   explicit, cheaply cloneable value threaded through whatever wants to be
+//!   observed. Two trainers in one process cannot collide.
+//! * **Allocation-free hot path.** Recording — [`Counter::inc`],
+//!   [`Gauge::set`], [`Histogram::record`], a [`Span`] drop — touches only
+//!   pre-allocated atomics. Creating or looking up a metric may allocate;
+//!   recording into a resolved handle never does (asserted by the
+//!   counting-allocator test in `tests/no_alloc.rs`).
+//! * **Plain-text exports.** [`Registry::render`] produces Prometheus text
+//!   exposition; [`JsonlSink`] appends one JSON record per line, built with
+//!   the dependency-free [`json::JsonObj`] writer (and re-parseable with the
+//!   equally tiny [`json::parse`]).
+//!
+//! Metric names follow the convention `fvae_<crate>_<name>` (with the usual
+//! `_total` / `_ns` suffixes), so one rendered snapshot from a process that
+//! mixes the core trainer, baselines, and bench probes stays readable.
+//!
+//! ```
+//! use fvae_obs::{Registry, Span};
+//!
+//! let registry = Registry::new();
+//! let steps = registry.counter("fvae_demo_steps_total");
+//! let step_ns = registry.histogram("fvae_demo_step_ns");
+//! for _ in 0..3 {
+//!     let _span = Span::on(&step_ns); // records elapsed ns on drop
+//!     steps.inc();
+//! }
+//! assert_eq!(steps.get(), 3);
+//! assert!(registry.render().contains("fvae_demo_steps_total 3"));
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use json::{parse, JsonObj, JsonlSink, Value};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use span::Span;

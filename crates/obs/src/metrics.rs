@@ -1,0 +1,395 @@
+//! The three metric primitives: monotonic counters, last-value gauges, and
+//! log-linear-bucket histograms.
+//!
+//! All recording goes through relaxed atomics on pre-allocated storage, so a
+//! per-batch training loop can record freely: no locks, no heap traffic, no
+//! cross-thread contention beyond the cache line of the touched atomic.
+//! Handles are `Arc`-backed and cheap to clone; clones observe the same
+//! underlying metric.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing `u64` counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a free-standing counter (usually obtained via
+    /// [`crate::Registry::counter`] instead).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A last-value-wins `f64` gauge (stored as bits in an atomic).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Creates a free-standing gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Relaxed);
+    }
+
+    /// Adds `v` (atomically, via compare-and-swap).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        let mut cur = self.0.load(Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Linear sub-buckets per power-of-two octave (2^3 = 8), giving ≤ 12.5%
+/// relative bucket width across the whole `u64` range.
+const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// `SUB` exact buckets for values `0..SUB`, then 8 sub-buckets for each of
+/// the 61 octaves `[2^3, 2^4) … [2^63, 2^64)`.
+pub const N_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Bucket index of a value. Total order preserving: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= SUB_BITS
+    let shift = msb - SUB_BITS as usize;
+    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+    SUB + (msb - SUB_BITS as usize) * SUB + sub
+}
+
+/// Smallest value mapped to bucket `idx`.
+pub fn bucket_lower(idx: usize) -> u64 {
+    assert!(idx < N_BUCKETS, "bucket index {idx} out of range");
+    if idx < SUB {
+        return idx as u64;
+    }
+    let group = idx / SUB; // 1..=61
+    let sub = (idx % SUB) as u64;
+    let msb = group + SUB_BITS as usize - 1;
+    (1u64 << msb) + (sub << (msb - SUB_BITS as usize))
+}
+
+/// Largest value mapped to bucket `idx` (the inclusive `le` boundary).
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 == N_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1) - 1
+    }
+}
+
+/// A histogram of `u64` samples (typically nanoseconds) over fixed
+/// log-linear buckets.
+///
+/// Recording is one atomic add into the sample's bucket plus count/sum/min/
+/// max updates — no allocation, no locking; concurrent recorders only
+/// contend on cache lines. The bucket layout is static, so two histograms
+/// are always mergeable and render deterministically.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramCore {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wraps after ~584 years of nanoseconds).
+    pub sum: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Approximate quantiles (upper bucket boundary), 0 if empty.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    /// Creates a free-standing histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &*self.0;
+        c.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        c.count.fetch_add(1, Relaxed);
+        c.sum.fetch_add(v, Relaxed);
+        c.min.fetch_min(v, Relaxed);
+        c.max.fetch_max(v, Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_ns(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Relaxed)
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the inclusive upper boundary
+    /// of the bucket containing the `ceil(q·count)`-th smallest sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Relaxed);
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(N_BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, cumulative count)`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+
+    /// Current summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 { 0 } else { self.0.min.load(Relaxed) },
+            max: self.0.max.load(Relaxed),
+            p50: self.quantile(0.5),
+            p90: self.quantile(0.9),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-0.5);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_lands_in_the_first_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        let h = Histogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max), (1, 0, 0, 0));
+        assert_eq!(h.cumulative_buckets(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_bucket() {
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_upper(N_BUCKETS - 1), u64::MAX);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.snapshot().max, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotonic_and_self_consistent() {
+        let mut prev_lower = None;
+        for idx in 0..N_BUCKETS {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo <= hi, "bucket {idx}: lower {lo} > upper {hi}");
+            if let Some(p) = prev_lower {
+                assert!(lo > p, "bucket {idx}: lower bound not increasing");
+                assert_eq!(lo, bucket_upper(idx - 1) + 1, "bucket {idx}: gap/overlap");
+            }
+            // Both endpoints map back to the bucket they bound.
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            prev_lower = Some(lo);
+        }
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        // The first two octaves are exact: one value per bucket up to 8,
+        // then width-1 buckets cannot continue but widths stay ≤ v/8.
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_lower(bucket_index(v)), v);
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        // Buckets near 50/90/99 are ≤ 12.5% wide; quantiles report the
+        // bucket's upper bound.
+        assert!((48..=56).contains(&s.p50), "p50 = {}", s.p50);
+        assert!((88..=104).contains(&s.p90), "p90 = {}", s.p90);
+        assert!((96..=112).contains(&s.p99), "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 90, 1_000_000, u64::MAX / 2, 17] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "le sorted");
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "cumulative");
+        assert_eq!(buckets.last().expect("non-empty").1, 6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Bucketing preserves order: a ≤ b ⇒ bucket(a) ≤ bucket(b).
+        #[test]
+        fn bucket_index_is_monotonic(a in any::<u64>(), b in any::<u64>()) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        }
+
+        /// Every value lands in a bucket whose bounds contain it.
+        #[test]
+        fn bucket_bounds_contain_value(v in any::<u64>()) {
+            let idx = bucket_index(v);
+            prop_assert!(idx < N_BUCKETS);
+            prop_assert!(bucket_lower(idx) <= v && v <= bucket_upper(idx));
+        }
+
+        /// Relative bucket width stays within the designed 12.5% resolution.
+        #[test]
+        fn bucket_width_bounded(v in 8u64..u64::MAX) {
+            let idx = bucket_index(v);
+            let width = bucket_upper(idx) - bucket_lower(idx) + 1;
+            prop_assert!(width as u128 * 8 <= bucket_lower(idx) as u128 + 7,
+                "bucket {idx} width {width} too wide for lower {}", bucket_lower(idx));
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! A named registry of metrics with Prometheus-text rendering.
+//!
+//! The registry is explicitly passed (no globals) and cheap to clone — all
+//! clones share the same metric map. Lookups (`counter`/`gauge`/`histogram`)
+//! take a short mutex and get-or-create; the returned handles record through
+//! lock-free atomics, so the lock is off the hot path as long as callers
+//! resolve their handles once (see [`crate::Span`] for the per-call
+//! convenience path, which still only locks for a map lookup).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A shared, named collection of metrics.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the Prometheus metric-name grammar.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        wrap: impl Fn(T) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<&T>,
+        fresh: impl FnOnce() -> T,
+    ) -> T {
+        assert!(valid_name(name), "invalid metric name '{name}'");
+        let mut map = self.metrics.lock().expect("registry lock");
+        match map.get(name) {
+            Some(metric) => unwrap(metric)
+                .unwrap_or_else(|| {
+                    panic!("metric '{name}' already registered as a {}", metric.kind())
+                })
+                .clone(),
+            None => {
+                let handle = fresh();
+                map.insert(name.to_string(), wrap(handle.clone()));
+                handle
+            }
+        }
+    }
+
+    /// The counter named `name`, creating it on first use.
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            Metric::Counter,
+            |m| match m {
+                Metric::Counter(c) => Some(c),
+                _ => None,
+            },
+            Counter::new,
+        )
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            Metric::Gauge,
+            |m| match m {
+                Metric::Gauge(g) => Some(g),
+                _ => None,
+            },
+            Gauge::new,
+        )
+    }
+
+    /// The histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.get_or_insert(
+            name,
+            Metric::Histogram,
+            |m| match m {
+                Metric::Histogram(h) => Some(h),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().expect("registry lock").len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every metric in Prometheus text exposition format (sorted by
+    /// name; histograms emit only their non-empty buckets plus `+Inf`).
+    pub fn render(&self) -> String {
+        let snapshot: Vec<(String, Metric)> = {
+            let map = self.metrics.lock().expect("registry lock");
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = String::new();
+        for (name, metric) in snapshot {
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", format_f64(g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let count = h.count();
+                    for (le, cum) in h.cumulative_buckets() {
+                        if le == u64::MAX {
+                            continue; // folded into +Inf below
+                        }
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus floats: finite values in plain decimal, specials spelled out.
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_across_clones() {
+        let reg = Registry::new();
+        let a = reg.counter("fvae_test_total");
+        let b = reg.clone().counter("fvae_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("fvae_test_total");
+        let _ = reg.gauge("fvae_test_total");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        let _ = Registry::new().counter("0bad name");
+    }
+
+    #[test]
+    fn render_covers_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("fvae_c_total").add(7);
+        reg.gauge("fvae_g").set(1.25);
+        let h = reg.histogram("fvae_h_ns");
+        h.record(5);
+        h.record(5_000);
+        let text = reg.render();
+        assert!(text.contains("# TYPE fvae_c_total counter"));
+        assert!(text.contains("fvae_c_total 7"));
+        assert!(text.contains("fvae_g 1.25"));
+        assert!(text.contains("# TYPE fvae_h_ns histogram"));
+        assert!(text.contains("fvae_h_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("fvae_h_ns_sum 5005"));
+        assert!(text.contains("fvae_h_ns_count 2"));
+    }
+
+    #[test]
+    fn gauge_specials_render_prometheus_style() {
+        assert_eq!(format_f64(f64::NAN), "NaN");
+        assert_eq!(format_f64(f64::INFINITY), "+Inf");
+        assert_eq!(format_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_f64(0.5), "0.5");
+    }
+}

@@ -1,0 +1,80 @@
+//! RAII phase timers: measure a scope, record its duration into a histogram
+//! on drop.
+//!
+//! Two entry points with different cost profiles:
+//!
+//! * [`Span::on`] takes a pre-resolved [`Histogram`] handle — an `Arc` clone
+//!   plus one `Instant::now()`, allocation-free; this is what hot loops use.
+//! * [`Span::enter`] looks the phase up in a [`Registry`] by name — one short
+//!   mutex acquisition and a map lookup (no allocation once the metric
+//!   exists); fine for per-epoch or setup-time scopes.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+use crate::registry::Registry;
+
+/// Times a scope and records elapsed nanoseconds into a histogram when
+/// dropped.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span on a pre-resolved histogram handle (allocation-free).
+    pub fn on(hist: &Histogram) -> Self {
+        Self { hist: hist.clone(), start: Instant::now() }
+    }
+
+    /// Starts a span on the histogram named `phase` in `registry`,
+    /// creating the metric on first use.
+    pub fn enter(registry: &Registry, phase: &str) -> Self {
+        Self::on(&registry.histogram(phase))
+    }
+
+    /// Nanoseconds elapsed so far (what drop will record).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the span now, recording the elapsed time.
+    pub fn finish(self) {} // drop does the work
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let reg = Registry::new();
+        let h = reg.histogram("fvae_test_phase_ns");
+        {
+            let _a = Span::on(&h);
+            let b = Span::enter(&reg, "fvae_test_phase_ns");
+            assert_eq!(h.count(), 0, "nothing recorded while spans are live");
+            b.finish();
+            assert_eq!(h.count(), 1);
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn span_measures_real_time() {
+        let h = Histogram::new();
+        {
+            let _s = Span::on(&h);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(h.snapshot().max >= 2_000_000, "slept 2ms, recorded {} ns", h.snapshot().max);
+    }
+}

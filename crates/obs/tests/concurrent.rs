@@ -1,0 +1,58 @@
+//! Concurrency audit: metrics recorded from `crossbeam` scoped threads lose
+//! nothing. Property-tested — for any split of work across threads, the sum
+//! of per-thread increments equals the final counter value.
+
+use fvae_obs::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Σ per-thread increments == final counter value.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        per_thread in proptest::collection::vec(0u64..2_000, 1..8),
+    ) {
+        let registry = Registry::new();
+        let counter = registry.counter("fvae_test_concurrent_total");
+        crossbeam::thread::scope(|scope| {
+            for &n in &per_thread {
+                let c = counter.clone();
+                scope.spawn(move |_| {
+                    for _ in 0..n {
+                        c.inc();
+                    }
+                });
+            }
+        })
+        .expect("no worker panicked");
+        prop_assert_eq!(counter.get(), per_thread.iter().sum::<u64>());
+    }
+
+    /// Histograms drop no samples under concurrent recording, and the
+    /// cumulative bucket counts stay consistent with the total.
+    #[test]
+    fn concurrent_histogram_records_every_sample(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..200), 1..6),
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("fvae_test_concurrent_ns");
+        crossbeam::thread::scope(|scope| {
+            for samples in &per_thread {
+                let h = hist.clone();
+                scope.spawn(move |_| {
+                    for &v in samples {
+                        h.record(v);
+                    }
+                });
+            }
+        })
+        .expect("no worker panicked");
+        let total: u64 = per_thread.iter().map(|s| s.len() as u64).sum();
+        prop_assert_eq!(hist.count(), total);
+        if let Some(&(_, cum)) = hist.cumulative_buckets().last() {
+            prop_assert_eq!(cum, total);
+        } else {
+            prop_assert_eq!(total, 0);
+        }
+    }
+}

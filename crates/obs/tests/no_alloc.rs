@@ -1,0 +1,91 @@
+//! Hot-path allocation audit, in the same spirit as `Workspace::allocs()`:
+//! a counting wrapper around the system allocator proves that recording into
+//! resolved metric handles — and entering spans, named or pre-resolved —
+//! performs zero heap allocations.
+//!
+//! This file holds exactly one test, and the counter only counts the thread
+//! that opted in via `COUNTING`: the test harness runs its own threads
+//! (timers, output capture) whose incidental allocations must not pollute
+//! the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use fvae_obs::{Registry, Span};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init + no Drop: reading this from inside the allocator is
+    // itself allocation-free and safe during thread setup/teardown.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_measuring() {
+    if COUNTING.with(Cell::get) {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_measuring();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_measuring();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn recording_metrics_is_allocation_free() {
+    let registry = Registry::new();
+    // Resolution may allocate (names, atomics, bucket storage) — that is
+    // setup cost, paid once.
+    let counter = registry.counter("fvae_test_steps_total");
+    let gauge = registry.gauge("fvae_test_beta");
+    let hist = registry.histogram("fvae_test_step_ns");
+    // Warm everything once (first Instant::now may lazily init clocks).
+    counter.inc();
+    gauge.set(1.0);
+    hist.record(1);
+    drop(Span::on(&hist));
+    drop(Span::enter(&registry, "fvae_test_step_ns"));
+
+    COUNTING.with(|f| f.set(true));
+    let before = ALLOCATIONS.load(Relaxed);
+    for i in 0..10_000u64 {
+        counter.inc();
+        counter.add(3);
+        gauge.set(i as f64);
+        gauge.add(0.5);
+        hist.record(i * 977);
+        let span = Span::on(&hist);
+        let _ = span.elapsed_ns();
+        drop(span);
+        // Named lookup on an existing metric: mutex + BTreeMap get, no alloc.
+        drop(Span::enter(&registry, "fvae_test_step_ns"));
+    }
+    let after = ALLOCATIONS.load(Relaxed);
+    COUNTING.with(|f| f.set(false));
+    assert_eq!(
+        after - before,
+        0,
+        "hot-path recording must not allocate ({} allocations in 10k iterations)",
+        after - before
+    );
+    assert_eq!(counter.get(), 4 * 10_000 + 1);
+    assert_eq!(hist.count(), 3 * 10_000 + 3);
+}

@@ -1,0 +1,156 @@
+//! Validates `Registry::render()` against a hand-rolled parser of the
+//! Prometheus text exposition format: metric-name grammar, sample syntax,
+//! `# TYPE` declarations, and histogram invariants (sorted `le`, cumulative
+//! counts, `+Inf` bucket == `_count`).
+
+use std::collections::BTreeMap;
+
+use fvae_obs::Registry;
+
+/// One sample line: name, labels, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+#[derive(Debug, Default)]
+struct Exposition {
+    /// name → declared type
+    types: BTreeMap<String, String>,
+    /// sample name → (labels, value) in order of appearance
+    samples: Vec<Sample>,
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses Prometheus text exposition, panicking with a line-numbered message
+/// on any syntax violation.
+fn parse_exposition(text: &str) -> Exposition {
+    let mut exp = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().expect("type line has a name");
+            let kind = parts.next().unwrap_or_else(|| panic!("line {n}: TYPE missing kind"));
+            assert!(is_name(name), "line {n}: bad metric name '{name}'");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped"),
+                "line {n}: unknown metric kind '{kind}'"
+            );
+            assert!(
+                exp.types.insert(name.to_string(), kind.to_string()).is_none(),
+                "line {n}: duplicate TYPE for '{name}'"
+            );
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample: name[{label="value",...}] value
+        let (name_labels, value) =
+            line.rsplit_once(' ').unwrap_or_else(|| panic!("line {n}: no value"));
+        let value: f64 = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().unwrap_or_else(|_| panic!("line {n}: bad value '{v}'")),
+        };
+        let (name, labels) = match name_labels.split_once('{') {
+            None => (name_labels.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("line {n}: unterminated label set"));
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("line {n}: label without '='"));
+                    assert!(is_name(k), "line {n}: bad label name '{k}'");
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("line {n}: unquoted label value"));
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        assert!(is_name(&name), "line {n}: bad sample name '{name}'");
+        exp.samples.push((name, labels, value));
+    }
+    exp
+}
+
+impl Exposition {
+    fn value_of(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|(s, _, _)| s == name).map(|&(_, _, v)| v)
+    }
+
+    /// Checks histogram invariants for the histogram declared as `name`.
+    fn check_histogram(&self, name: &str) {
+        let buckets: Vec<(&str, f64)> = self
+            .samples
+            .iter()
+            .filter(|(s, _, _)| s == &format!("{name}_bucket"))
+            .map(|(_, labels, v)| {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or_else(|| panic!("{name}: bucket without le label"));
+                (le, *v)
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "{name}: histogram with no buckets");
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0;
+        for &(le, cum) in &buckets {
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("numeric le") };
+            assert!(le > prev_le, "{name}: le boundaries not sorted");
+            assert!(cum >= prev_cum, "{name}: bucket counts not cumulative");
+            prev_le = le;
+            prev_cum = cum;
+        }
+        assert_eq!(buckets.last().expect("non-empty").0, "+Inf", "{name}: missing +Inf");
+        let count = self.value_of(&format!("{name}_count")).expect("histogram _count");
+        let _sum = self.value_of(&format!("{name}_sum")).expect("histogram _sum");
+        assert_eq!(buckets.last().expect("non-empty").1, count, "{name}: +Inf != _count");
+    }
+}
+
+#[test]
+fn rendered_registry_is_valid_exposition() {
+    let registry = Registry::new();
+    registry.counter("fvae_core_steps_total").add(12);
+    registry.gauge("fvae_core_beta").set(0.2);
+    registry.gauge("fvae_core_elbo").set(-57.25);
+    let h = registry.histogram("fvae_core_step_ns");
+    for v in [0u64, 1, 150, 150, 30_000, 2_000_000, u64::MAX] {
+        h.record(v);
+    }
+    let text = registry.render();
+    let exp = parse_exposition(&text);
+
+    assert_eq!(exp.types.get("fvae_core_steps_total").map(String::as_str), Some("counter"));
+    assert_eq!(exp.types.get("fvae_core_beta").map(String::as_str), Some("gauge"));
+    assert_eq!(exp.types.get("fvae_core_step_ns").map(String::as_str), Some("histogram"));
+    assert_eq!(exp.value_of("fvae_core_steps_total"), Some(12.0));
+    assert_eq!(exp.value_of("fvae_core_beta"), Some(0.2));
+    assert_eq!(exp.value_of("fvae_core_elbo"), Some(-57.25));
+    exp.check_histogram("fvae_core_step_ns");
+    assert_eq!(exp.value_of("fvae_core_step_ns_count"), Some(7.0));
+}
+
+#[test]
+fn empty_histogram_still_renders_a_complete_family() {
+    let registry = Registry::new();
+    let _ = registry.histogram("fvae_core_idle_ns");
+    let exp = parse_exposition(&registry.render());
+    exp.check_histogram("fvae_core_idle_ns");
+    assert_eq!(exp.value_of("fvae_core_idle_ns_count"), Some(0.0));
+}
