@@ -1,5 +1,6 @@
 //! Regenerates the mechanism-ablation table (DESIGN.md §6).
-fn main() {
+fn main() -> std::io::Result<()> {
     let ctx = fvae_eval::EvalContext::new();
-    println!("{}", fvae_eval::ablation::ablations(&ctx));
+    println!("{}", fvae_eval::ablation::ablations(&ctx)?);
+    Ok(())
 }

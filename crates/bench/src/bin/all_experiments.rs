@@ -1,8 +1,8 @@
 //! Regenerates every table and figure in sequence (the EXPERIMENTS.md
 //! refresh). Scale via FVAE_SCALE=quick|full.
-type Experiment = (&'static str, fn(&fvae_eval::EvalContext) -> String);
+type Experiment = (&'static str, fn(&fvae_eval::EvalContext) -> std::io::Result<String>);
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let ctx = fvae_eval::EvalContext::new();
     let experiments: Vec<Experiment> = vec![
         ("Table I", fvae_eval::stats::table1),
@@ -22,7 +22,8 @@ fn main() {
     for (name, driver) in experiments {
         eprintln!("=== {name} ===");
         let t0 = std::time::Instant::now();
-        println!("{}", driver(&ctx));
+        println!("{}", driver(&ctx)?);
         eprintln!("=== {name} done in {:.1}s ===\n", t0.elapsed().as_secs_f64());
     }
+    Ok(())
 }

@@ -1,5 +1,6 @@
 //! Regenerates table3 of the paper. Scale via FVAE_SCALE=quick|full.
-fn main() {
+fn main() -> std::io::Result<()> {
     let ctx = fvae_eval::EvalContext::new();
-    println!("{}", fvae_eval::tagpred::table3(&ctx));
+    println!("{}", fvae_eval::tagpred::table3(&ctx)?);
+    Ok(())
 }

@@ -1,5 +1,6 @@
 //! Regenerates table6 of the paper. Scale via FVAE_SCALE=quick|full.
-fn main() {
+fn main() -> std::io::Result<()> {
     let ctx = fvae_eval::EvalContext::new();
-    println!("{}", fvae_eval::abtest::table6(&ctx));
+    println!("{}", fvae_eval::abtest::table6(&ctx)?);
+    Ok(())
 }

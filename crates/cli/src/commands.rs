@@ -3,7 +3,8 @@
 
 use bytes::Bytes;
 use fvae_core::{
-    EpochStats, Fvae, FvaeConfig, StepCtx, TelemetrySink, TrainObserver, TrainOptions,
+    Checkpointer, EpochStats, Fvae, FvaeConfig, StepCtx, TelemetrySink, TrainObserver,
+    TrainOptions, TrainRun,
 };
 use fvae_data::{tag_prediction_cases, MultiFieldDataset, SplitIndices, TopicModelConfig};
 use fvae_lookalike::EmbeddingStore;
@@ -36,6 +37,8 @@ pub fn usage() -> String {
      \x20 stats     --data DS\n\
      \x20 train     --data DS --out MODEL [--epochs N] [--rate R] [--latent D]\n\
      \x20           [--batch B] [--lr LR] [--early-stop true]\n\
+     \x20           [--checkpoint-dir DIR] [--checkpoint-every STEPS] [--keep N]\n\
+     \x20           [--resume true] [--stop-after STEPS]\n\
      \x20           [--obs-jsonl RUN.jsonl] [--obs-stderr true] [--quiet true]\n\
      \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
      \x20 evaluate  --data DS --model MODEL [--seed S]\n\
@@ -118,8 +121,28 @@ impl TrainObserver for CliObserver<'_> {
 fn train(args: &Args) -> Result<String, String> {
     args.expect_only(&[
         "data", "out", "epochs", "rate", "latent", "batch", "lr", "early-stop", "seed",
+        "checkpoint-dir", "checkpoint-every", "keep", "resume", "stop-after",
         "obs-jsonl", "obs-stderr", "quiet",
     ])?;
+    let early_stop: bool = args.get_or("early-stop", false)?;
+    let quiet: bool = args.get_or("quiet", false)?;
+    let step_lines: bool = args.get_or("obs-stderr", false)?;
+
+    let ckpt_dir = args.optional("checkpoint-dir");
+    let ckpt_every: u64 = args.get_or("checkpoint-every", 0u64)?;
+    let keep: usize = args.get_or("keep", 3usize)?;
+    let resume: bool = args.get_or("resume", false)?;
+    let stop_after: Option<u64> =
+        args.optional("stop-after").map(|_| args.get_or("stop-after", 0u64)).transpose()?;
+    if ckpt_dir.is_none() && (ckpt_every > 0 || resume || stop_after.is_some()) {
+        return Err(
+            "--checkpoint-every/--resume/--stop-after require --checkpoint-dir".to_string()
+        );
+    }
+    if early_stop && stop_after.is_some() {
+        return Err("--stop-after applies to plain training, not --early-stop".to_string());
+    }
+
     let ds = load_dataset(args.required("data")?)?;
     let out = args.required("out")?;
     let mut cfg = FvaeConfig::for_dataset(&ds);
@@ -129,9 +152,6 @@ fn train(args: &Args) -> Result<String, String> {
     cfg.batch_size = args.get_or("batch", cfg.batch_size)?;
     cfg.lr = args.get_or("lr", cfg.lr)?;
     cfg.seed = args.get_or("seed", cfg.seed)?;
-    let early_stop: bool = args.get_or("early-stop", false)?;
-    let quiet: bool = args.get_or("quiet", false)?;
-    let step_lines: bool = args.get_or("obs-stderr", false)?;
     let mut model = Fvae::new(cfg);
     let epochs = model.config().epochs;
     let mut sink = TelemetrySink::new(epochs)
@@ -143,24 +163,91 @@ fn train(args: &Args) -> Result<String, String> {
             .map_err(|e| format!("cannot open run log {path}: {e}"))?;
     }
     let mut log = String::new();
+
+    let checkpointer = match ckpt_dir {
+        Some(dir) => Some(
+            Checkpointer::new(dir, ckpt_every, keep.max(1))
+                .map_err(|e| format!("cannot create checkpoint dir {dir}: {e}"))?
+                .with_registry(sink.registry()),
+        ),
+        None => None,
+    };
+    // On --resume, the snapshot's model (with its own config, weights, and
+    // RNG position) replaces the fresh one; only --epochs still applies.
+    let mut resume_point = None;
+    if resume {
+        let dir = std::path::Path::new(ckpt_dir.expect("validated above"));
+        match Checkpointer::load_latest(dir) {
+            Ok(Some(loaded)) => {
+                if !loaded.skipped.is_empty() {
+                    if let Some(cp) = &checkpointer {
+                        cp.record_skipped(loaded.skipped.len());
+                    }
+                    for (path, err) in &loaded.skipped {
+                        log.push_str(&format!(
+                            "skipped corrupt snapshot {}: {err}\n",
+                            path.display()
+                        ));
+                    }
+                }
+                log.push_str(&format!(
+                    "resuming from {} (epoch {}, step {})\n",
+                    loaded.path.display(),
+                    loaded.snapshot.progress().epoch,
+                    loaded.snapshot.progress().global_step
+                ));
+                let (m, rp) = loaded.snapshot.into_resume();
+                model = m;
+                resume_point = Some(rp);
+            }
+            Ok(None) => log.push_str("no snapshot to resume from; starting fresh\n"),
+            Err(e) => return Err(format!("cannot resume from {}: {e}", dir.display())),
+        }
+    }
+
     let mut observer = CliObserver { sink, log: &mut log };
+    let mut stopped_at = None;
     let history = if early_stop {
         let split = SplitIndices::random(ds.n_users(), 0.1, 0.0, 13);
-        let history = model.train_until_observed(
-            &ds,
-            &split.train,
-            &split.val,
-            TrainOptions { max_epochs: epochs, ..Default::default() },
-            &mut observer,
-        );
+        let history = model
+            .train_until_checkpointed(
+                &ds,
+                &split.train,
+                &split.val,
+                TrainOptions { max_epochs: epochs, ..Default::default() },
+                &mut observer,
+                checkpointer.as_ref(),
+                resume_point,
+            )
+            .map_err(|e| format!("checkpoint failure: {e}"))?;
         Some(history)
     } else {
         let users: Vec<usize> = (0..ds.n_users()).collect();
-        model.train_observed(&ds, &users, epochs, &mut observer);
+        let outcome = model
+            .train_checkpointed(
+                &ds,
+                &users,
+                epochs,
+                &mut observer,
+                TrainRun {
+                    checkpointer: checkpointer.as_ref(),
+                    resume: resume_point,
+                    stop_after_steps: stop_after,
+                },
+            )
+            .map_err(|e| format!("checkpoint failure: {e}"))?;
+        if !outcome.completed {
+            stopped_at = Some(outcome.global_step);
+        }
         None
     };
     let mut sink = observer.sink;
     sink.flush();
+    if let Some(step) = stopped_at {
+        log.push_str(&format!(
+            "stopped after {step} steps (snapshot on disk; continue with --resume true)\n"
+        ));
+    }
     if let Some(history) = history {
         log.push_str(&format!(
             "trained {} epochs (early stop: {}), best epoch {}\n",
@@ -248,7 +335,7 @@ fn similar(args: &Args) -> Result<String, String> {
             scored.push((-fvae_tensor::ops::squared_distance(&query, &e), candidate));
         }
     }
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.sort_by(|a, b| fvae_tensor::ops::nan_last_desc(a.0, b.0));
     let mut out = format!("top-{k} look-alike users for user {user}:\n");
     for (score, candidate) in scored.into_iter().take(k) {
         out.push_str(&format!("  user {candidate:<8} distance² {:.4}\n", -score));
@@ -390,6 +477,55 @@ mod tests {
             assert!(total <= wall, "phases ({total}) cannot exceed the step ({wall})");
             assert!(total > 0, "phase timeline must be populated");
         }
+    }
+
+    #[test]
+    fn checkpointed_kill_and_resume_writes_an_identical_model() {
+        let ds_path = tmp("ckpt_ds.bin");
+        let ref_model = tmp("ckpt_model_ref.bin");
+        let resumed_model = tmp("ckpt_model_resumed.bin");
+        let ckpt_dir = tmp("ckpt_dir");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        run(&args(&format!(
+            "generate --preset sc-small --users 256 --seed 8 --out {ds_path}"
+        )))
+        .expect("generate");
+
+        // Reference: 2 uninterrupted epochs (256 users / batch 64 = 8 steps).
+        run(&args(&format!(
+            "train --data {ds_path} --out {ref_model} --epochs 2 --batch 64 --latent 8 \
+             --quiet true"
+        )))
+        .expect("reference train");
+
+        // Kill after 5 of 8 steps, then resume to completion.
+        let out = run(&args(&format!(
+            "train --data {ds_path} --out {resumed_model} --epochs 2 --batch 64 --latent 8 \
+             --quiet true --checkpoint-dir {ckpt_dir} --checkpoint-every 2 --stop-after 5"
+        )))
+        .expect("interrupted train");
+        assert!(out.contains("stopped after 5 steps"), "got: {out}");
+
+        let out = run(&args(&format!(
+            "train --data {ds_path} --out {resumed_model} --epochs 2 --batch 64 --latent 8 \
+             --quiet true --checkpoint-dir {ckpt_dir} --resume true"
+        )))
+        .expect("resumed train");
+        assert!(out.contains("resuming from"), "got: {out}");
+
+        let reference = std::fs::read(&ref_model).expect("reference model");
+        let resumed = std::fs::read(&resumed_model).expect("resumed model");
+        assert_eq!(reference, resumed, "resumed model file must be bit-identical");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn checkpoint_flags_require_a_directory() {
+        let err = run(&args("train --data x --out y --resume true")).expect_err("rejected");
+        assert!(err.contains("--checkpoint-dir"), "got: {err}");
+        let err =
+            run(&args("train --data x --out y --stop-after 3")).expect_err("rejected");
+        assert!(err.contains("--checkpoint-dir"), "got: {err}");
     }
 
     #[test]

@@ -1,0 +1,1150 @@
+//! Crash-safe training checkpoints (DESIGN.md §9).
+//!
+//! A snapshot captures *everything* a resumed run needs to be step-for-step
+//! bit-identical to an uninterrupted one:
+//!
+//! - the model (weights, dynamic hash tables in slot order, the anneal-step
+//!   counter) via [`Fvae::to_bytes`],
+//! - every Adam moment buffer of [`crate::train`]'s optimizer state,
+//! - the exact xoshiro256++ RNG state (not a reseed — mid-stream position),
+//! - train progress: epoch, step-in-epoch, global step, the current epoch's
+//!   shuffled user order (computed from the RNG *at epoch start*, so it
+//!   cannot be re-derived mid-epoch), and the epoch's partial loss sums,
+//! - optionally, [`Fvae::train_until`]'s early-stopping state (best snapshot,
+//!   strikes, validation history).
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [magic u32 "FVCK"][version u16][n_sections u8]
+//! [tag u8, len u64] × n_sections        ← section table
+//! [section payloads, concatenated]
+//! [crc32 u32]                            ← CRC-32/IEEE of all prior bytes
+//! ```
+//!
+//! Unknown section tags are skipped on load (forward compatibility). Every
+//! write is atomic: the bytes go to a dot-prefixed temp file that is fsynced,
+//! renamed over the final name, and the directory fsynced — a crash mid-write
+//! leaves at worst a stale temp file, never a half-written snapshot under the
+//! real name. [`Checkpointer::load_latest`] walks snapshots newest-first and
+//! falls back across corrupt ones, so a torn or bit-flipped file costs one
+//! checkpoint interval, not the run.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fvae_nn::serialize::{get_adam_state, put_adam_state};
+use fvae_nn::AdamState;
+use fvae_sparse::serial::{crc32, get_u64_vec, put_u64_slice, DecodeError};
+
+use crate::model::Fvae;
+use crate::train::{EpochStats, OptStates};
+
+/// Magic prefix of snapshot files ("FVCK").
+pub const SNAPSHOT_MAGIC: u32 = 0x4656_434B;
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+/// Snapshot file extension (files are named `ckpt-<global step>.fvck`).
+pub const SNAPSHOT_EXT: &str = "fvck";
+
+const SEC_MODEL: u8 = 1;
+const SEC_OPTIM: u8 = 2;
+const SEC_RNG: u8 = 3;
+const SEC_PROGRESS: u8 = 4;
+const SEC_EARLY_STOP: u8 = 5;
+
+/// Errors of the snapshot write/load paths.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure (create/write/fsync/rename/read/list).
+    Io(io::Error),
+    /// Structural decode failure (bad magic/version, truncation, invalid
+    /// section payload).
+    Decode(DecodeError),
+    /// The stored checksum does not match the file contents.
+    CrcMismatch {
+        /// Checksum recorded in the file.
+        stored: u32,
+        /// Checksum computed over the file contents.
+        computed: u32,
+    },
+    /// A required section is absent from the section table.
+    MissingSection(u8),
+    /// Every snapshot in the directory failed to load.
+    NoUsableSnapshot {
+        /// How many snapshot files were tried.
+        tried: usize,
+        /// The newest snapshot's failure.
+        newest: Box<SnapshotError>,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            SnapshotError::Decode(e) => write!(f, "checkpoint decode error: {e}"),
+            SnapshotError::CrcMismatch { stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            SnapshotError::MissingSection(tag) => {
+                write!(f, "checkpoint is missing required section {tag}")
+            }
+            SnapshotError::NoUsableSnapshot { tried, newest } => {
+                write!(f, "all {tried} snapshots failed to load; newest: {newest}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Decode(e) => Some(e),
+            SnapshotError::NoUsableSnapshot { newest, .. } => Some(newest),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+/// Where a training run stands, as recorded in a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainProgress {
+    /// Epoch the run is inside (0-based).
+    pub epoch: u64,
+    /// Optimizer steps already completed within that epoch.
+    pub step_in_epoch: u64,
+    /// Optimizer steps completed across the whole run.
+    pub global_step: u64,
+    /// The epoch's shuffled user order. The shuffle consumes RNG at epoch
+    /// start, so a mid-epoch resume must replay this order rather than
+    /// re-derive it.
+    pub epoch_order: Vec<u64>,
+    /// Partial sum of per-user reconstruction loss over the epoch so far.
+    pub recon_sum: f64,
+    /// Partial sum of per-user KL over the epoch so far.
+    pub kl_sum: f64,
+    /// Partial sum of candidate-set sizes over the epoch so far.
+    pub cand_sum: f64,
+    /// β at the most recent step.
+    pub beta: f32,
+}
+
+impl TrainProgress {
+    fn fresh() -> Self {
+        Self {
+            epoch: 0,
+            step_in_epoch: 0,
+            global_step: 0,
+            epoch_order: Vec::new(),
+            recon_sum: 0.0,
+            kl_sum: 0.0,
+            cand_sum: 0.0,
+            beta: 0.0,
+        }
+    }
+}
+
+/// Adam moment buffers for every parameter group, detached from the scratch
+/// so they can cross the (de)serialization boundary.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct OptSnapshot {
+    pub(crate) bags: Vec<AdamState>,
+    pub(crate) enc_bias: AdamState,
+    pub(crate) enc_extra: Vec<(AdamState, AdamState)>,
+    pub(crate) enc_head: (AdamState, AdamState),
+    pub(crate) trunk: Vec<(AdamState, AdamState)>,
+    pub(crate) heads_w: Vec<AdamState>,
+    pub(crate) heads_b: Vec<AdamState>,
+}
+
+impl OptSnapshot {
+    /// Installs the captured moments into freshly built optimizer state.
+    /// Group counts are structural (they follow the model architecture), so
+    /// a mismatch means the snapshot and model disagree.
+    pub(crate) fn install(self, opt: &mut OptStates) -> Result<(), DecodeError> {
+        if self.bags.len() != opt.bags.len()
+            || self.enc_extra.len() != opt.enc_extra.len()
+            || self.trunk.len() != opt.trunk.len()
+            || self.heads_w.len() != opt.heads_w.len()
+            || self.heads_b.len() != opt.heads_b.len()
+        {
+            return Err(DecodeError::Invalid(
+                "optimizer group count does not match the model architecture".into(),
+            ));
+        }
+        opt.bags = self.bags;
+        opt.enc_bias = self.enc_bias;
+        opt.enc_extra = self.enc_extra;
+        opt.enc_head = self.enc_head;
+        opt.trunk = self.trunk;
+        opt.heads_w = self.heads_w;
+        opt.heads_b = self.heads_b;
+        Ok(())
+    }
+}
+
+/// [`Fvae::train_until`]'s early-stopping loop state, checkpointed at
+/// validation boundaries.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct EarlyStopState {
+    /// `(validation ELBO, model bytes, epoch)` of the best point so far.
+    pub(crate) best: Option<(f32, Vec<u8>, u64)>,
+    /// Validations without improvement.
+    pub(crate) strikes: u64,
+    /// True when patience ran out (a resumed run returns immediately).
+    pub(crate) stopped_early: bool,
+    /// Per-epoch stats accumulated so far.
+    pub(crate) epochs: Vec<EpochStats>,
+    /// `(epoch, validation ELBO)` points so far.
+    pub(crate) validations: Vec<(u64, f32)>,
+}
+
+/// A fully decoded snapshot.
+pub struct TrainSnapshot {
+    pub(crate) model: Fvae,
+    pub(crate) opt: OptSnapshot,
+    pub(crate) rng_state: [u64; 4],
+    pub(crate) progress: TrainProgress,
+    pub(crate) early_stop: Option<EarlyStopState>,
+}
+
+/// Everything a resumed run needs besides the model itself; obtained from
+/// [`TrainSnapshot::into_resume`] and consumed by
+/// [`Fvae::train_checkpointed`] / [`Fvae::train_until_checkpointed`].
+pub struct ResumePoint {
+    pub(crate) opt: OptSnapshot,
+    pub(crate) rng_state: [u64; 4],
+    pub(crate) progress: TrainProgress,
+    pub(crate) early_stop: Option<EarlyStopState>,
+}
+
+impl TrainSnapshot {
+    /// The recorded progress (for logging before resuming).
+    pub fn progress(&self) -> &TrainProgress {
+        &self.progress
+    }
+
+    /// True when the snapshot was written by the early-stopping trainer.
+    pub fn is_early_stopping(&self) -> bool {
+        self.early_stop.is_some()
+    }
+
+    /// Splits into the restored model and the resume state for the trainer.
+    pub fn into_resume(self) -> (Fvae, ResumePoint) {
+        (
+            self.model,
+            ResumePoint {
+                opt: self.opt,
+                rng_state: self.rng_state,
+                progress: self.progress,
+                early_stop: self.early_stop,
+            },
+        )
+    }
+}
+
+impl ResumePoint {
+    /// The recorded progress.
+    pub fn progress(&self) -> &TrainProgress {
+        &self.progress
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn put_opt(buf: &mut BytesMut, opt: &OptStates) {
+    buf.put_u64_le(opt.bags.len() as u64);
+    for s in &opt.bags {
+        put_adam_state(buf, s);
+    }
+    put_adam_state(buf, &opt.enc_bias);
+    buf.put_u64_le(opt.enc_extra.len() as u64);
+    for (w, b) in &opt.enc_extra {
+        put_adam_state(buf, w);
+        put_adam_state(buf, b);
+    }
+    put_adam_state(buf, &opt.enc_head.0);
+    put_adam_state(buf, &opt.enc_head.1);
+    buf.put_u64_le(opt.trunk.len() as u64);
+    for (w, b) in &opt.trunk {
+        put_adam_state(buf, w);
+        put_adam_state(buf, b);
+    }
+    buf.put_u64_le(opt.heads_w.len() as u64);
+    for s in &opt.heads_w {
+        put_adam_state(buf, s);
+    }
+    for s in &opt.heads_b {
+        put_adam_state(buf, s);
+    }
+}
+
+fn get_opt(buf: &mut impl Buf) -> Result<OptSnapshot, DecodeError> {
+    need(buf, 8)?;
+    let n_bags = buf.get_u64_le() as usize;
+    let mut bags = Vec::with_capacity(n_bags);
+    for _ in 0..n_bags {
+        bags.push(get_adam_state(buf)?);
+    }
+    let enc_bias = get_adam_state(buf)?;
+    need(buf, 8)?;
+    let n_extra = buf.get_u64_le() as usize;
+    let mut enc_extra = Vec::with_capacity(n_extra);
+    for _ in 0..n_extra {
+        enc_extra.push((get_adam_state(buf)?, get_adam_state(buf)?));
+    }
+    let enc_head = (get_adam_state(buf)?, get_adam_state(buf)?);
+    need(buf, 8)?;
+    let n_trunk = buf.get_u64_le() as usize;
+    let mut trunk = Vec::with_capacity(n_trunk);
+    for _ in 0..n_trunk {
+        trunk.push((get_adam_state(buf)?, get_adam_state(buf)?));
+    }
+    need(buf, 8)?;
+    let n_heads = buf.get_u64_le() as usize;
+    let mut heads_w = Vec::with_capacity(n_heads);
+    for _ in 0..n_heads {
+        heads_w.push(get_adam_state(buf)?);
+    }
+    let mut heads_b = Vec::with_capacity(n_heads);
+    for _ in 0..n_heads {
+        heads_b.push(get_adam_state(buf)?);
+    }
+    Ok(OptSnapshot { bags, enc_bias, enc_extra, enc_head, trunk, heads_w, heads_b })
+}
+
+fn put_progress(buf: &mut BytesMut, p: &TrainProgress) {
+    buf.put_u64_le(p.epoch);
+    buf.put_u64_le(p.step_in_epoch);
+    buf.put_u64_le(p.global_step);
+    buf.put_f64_le(p.recon_sum);
+    buf.put_f64_le(p.kl_sum);
+    buf.put_f64_le(p.cand_sum);
+    buf.put_f32_le(p.beta);
+    put_u64_slice(buf, &p.epoch_order);
+}
+
+fn get_progress(buf: &mut impl Buf) -> Result<TrainProgress, DecodeError> {
+    need(buf, 8 * 3 + 8 * 3 + 4)?;
+    let epoch = buf.get_u64_le();
+    let step_in_epoch = buf.get_u64_le();
+    let global_step = buf.get_u64_le();
+    let recon_sum = buf.get_f64_le();
+    let kl_sum = buf.get_f64_le();
+    let cand_sum = buf.get_f64_le();
+    let beta = buf.get_f32_le();
+    let epoch_order = get_u64_vec(buf)?;
+    Ok(TrainProgress {
+        epoch,
+        step_in_epoch,
+        global_step,
+        epoch_order,
+        recon_sum,
+        kl_sum,
+        cand_sum,
+        beta,
+    })
+}
+
+fn put_epoch_stats(buf: &mut BytesMut, s: &EpochStats) {
+    buf.put_f32_le(s.recon);
+    buf.put_f32_le(s.kl);
+    buf.put_f32_le(s.beta);
+    buf.put_u64_le(s.users as u64);
+    buf.put_f64_le(s.mean_candidates);
+    buf.put_u64_le(s.steps as u64);
+    buf.put_f64_le(s.wall_secs);
+    buf.put_f64_le(s.users_per_sec);
+}
+
+fn get_epoch_stats(buf: &mut impl Buf) -> Result<EpochStats, DecodeError> {
+    need(buf, 4 * 3 + 8 * 5)?;
+    Ok(EpochStats {
+        recon: buf.get_f32_le(),
+        kl: buf.get_f32_le(),
+        beta: buf.get_f32_le(),
+        users: buf.get_u64_le() as usize,
+        mean_candidates: buf.get_f64_le(),
+        steps: buf.get_u64_le() as usize,
+        wall_secs: buf.get_f64_le(),
+        users_per_sec: buf.get_f64_le(),
+    })
+}
+
+fn put_early_stop(buf: &mut BytesMut, es: &EarlyStopState) {
+    match &es.best {
+        Some((elbo, bytes, epoch)) => {
+            buf.put_u8(1);
+            buf.put_f32_le(*elbo);
+            buf.put_u64_le(*epoch);
+            buf.put_u64_le(bytes.len() as u64);
+            buf.put_slice(bytes);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64_le(es.strikes);
+    buf.put_u8(es.stopped_early as u8);
+    buf.put_u64_le(es.epochs.len() as u64);
+    for s in &es.epochs {
+        put_epoch_stats(buf, s);
+    }
+    buf.put_u64_le(es.validations.len() as u64);
+    for &(epoch, elbo) in &es.validations {
+        buf.put_u64_le(epoch);
+        buf.put_f32_le(elbo);
+    }
+}
+
+fn get_early_stop(buf: &mut impl Buf) -> Result<EarlyStopState, DecodeError> {
+    need(buf, 1)?;
+    let best = if buf.get_u8() != 0 {
+        need(buf, 4 + 8 + 8)?;
+        let elbo = buf.get_f32_le();
+        let epoch = buf.get_u64_le();
+        let len = buf.get_u64_le() as usize;
+        need(buf, len)?;
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        Some((elbo, bytes, epoch))
+    } else {
+        None
+    };
+    need(buf, 17)?;
+    let strikes = buf.get_u64_le();
+    let stopped_early = buf.get_u8() != 0;
+    let n_epochs = buf.get_u64_le() as usize;
+    let mut epochs = Vec::with_capacity(n_epochs);
+    for _ in 0..n_epochs {
+        epochs.push(get_epoch_stats(buf)?);
+    }
+    need(buf, 8)?;
+    let n_val = buf.get_u64_le() as usize;
+    need(buf, n_val * 12)?;
+    let mut validations = Vec::with_capacity(n_val);
+    for _ in 0..n_val {
+        let epoch = buf.get_u64_le();
+        validations.push((epoch, buf.get_f32_le()));
+    }
+    Ok(EarlyStopState { best, strikes, stopped_early, epochs, validations })
+}
+
+/// Encodes a complete snapshot (framing + section table + CRC).
+pub(crate) fn encode_snapshot(
+    model: &Fvae,
+    opt: &OptStates,
+    rng_state: [u64; 4],
+    progress: &TrainProgress,
+    early_stop: Option<&EarlyStopState>,
+) -> Bytes {
+    let model_bytes = model.to_bytes();
+    let mut optim = BytesMut::new();
+    put_opt(&mut optim, opt);
+    let mut rng_buf = BytesMut::with_capacity(32);
+    for w in rng_state {
+        rng_buf.put_u64_le(w);
+    }
+    let mut prog = BytesMut::new();
+    put_progress(&mut prog, progress);
+    let mut es_buf = BytesMut::new();
+    if let Some(es) = early_stop {
+        put_early_stop(&mut es_buf, es);
+    }
+    let mut sections: Vec<(u8, &[u8])> = vec![
+        (SEC_MODEL, model_bytes.as_ref()),
+        (SEC_OPTIM, optim.as_ref()),
+        (SEC_RNG, rng_buf.as_ref()),
+        (SEC_PROGRESS, prog.as_ref()),
+    ];
+    if early_stop.is_some() {
+        sections.push((SEC_EARLY_STOP, es_buf.as_ref()));
+    }
+
+    let payload: usize = sections.iter().map(|(_, p)| p.len()).sum();
+    let mut buf = Vec::with_capacity(7 + sections.len() * 9 + payload + 4);
+    buf.put_u32_le(SNAPSHOT_MAGIC);
+    buf.put_u16_le(SNAPSHOT_VERSION);
+    buf.put_u8(sections.len() as u8);
+    for (tag, p) in &sections {
+        buf.put_u8(*tag);
+        buf.put_u64_le(p.len() as u64);
+    }
+    for (_, p) in &sections {
+        buf.put_slice(p);
+    }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    Bytes::from(buf)
+}
+
+/// Decodes a snapshot, verifying framing and checksum.
+///
+/// Check order: magic and version first (friendly "this is not a snapshot"
+/// errors), then the whole-file CRC (any bit flip past the version field
+/// lands here), then the section table and payloads.
+pub fn decode_snapshot(data: &[u8]) -> Result<TrainSnapshot, SnapshotError> {
+    if data.len() < 7 + 4 {
+        return Err(DecodeError::Truncated.into());
+    }
+    let mut head = data;
+    if head.get_u32_le() != SNAPSHOT_MAGIC {
+        return Err(DecodeError::BadMagic.into());
+    }
+    let version = head.get_u16_le();
+    if version != SNAPSHOT_VERSION {
+        return Err(DecodeError::BadVersion(version).into());
+    }
+    let body = &data[..data.len() - 4];
+    let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(SnapshotError::CrcMismatch { stored, computed });
+    }
+
+    let n_sections = data[6] as usize;
+    let table_end = 7 + n_sections * 9;
+    if body.len() < table_end {
+        return Err(DecodeError::Truncated.into());
+    }
+    let mut table = &data[7..table_end];
+    let mut sections = Vec::with_capacity(n_sections);
+    let mut offset = table_end;
+    for _ in 0..n_sections {
+        let tag = table.get_u8();
+        let len = table.get_u64_le() as usize;
+        let end = offset.checked_add(len).ok_or(DecodeError::Truncated)?;
+        if end > body.len() {
+            return Err(DecodeError::Truncated.into());
+        }
+        sections.push((tag, &body[offset..end]));
+        offset = end;
+    }
+    if offset != body.len() {
+        return Err(DecodeError::Invalid(format!(
+            "section table covers {offset} bytes but payload has {}",
+            body.len()
+        ))
+        .into());
+    }
+
+    let find = |tag: u8| -> Result<&[u8], SnapshotError> {
+        sections
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, p)| p)
+            .ok_or(SnapshotError::MissingSection(tag))
+    };
+    let model = Fvae::from_bytes(find(SEC_MODEL)?).map_err(SnapshotError::Decode)?;
+    let opt = get_opt(&mut find(SEC_OPTIM)?)?;
+    let mut rng_buf = find(SEC_RNG)?;
+    need(&rng_buf, 32)?;
+    let rng_state = [
+        rng_buf.get_u64_le(),
+        rng_buf.get_u64_le(),
+        rng_buf.get_u64_le(),
+        rng_buf.get_u64_le(),
+    ];
+    let progress = get_progress(&mut find(SEC_PROGRESS)?)?;
+    let early_stop = match find(SEC_EARLY_STOP) {
+        Ok(mut p) => Some(get_early_stop(&mut p)?),
+        Err(SnapshotError::MissingSection(_)) => None,
+        Err(e) => return Err(e),
+    };
+    Ok(TrainSnapshot { model, opt, rng_state, progress, early_stop })
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+/// Writes `bytes` under `dir/name` atomically: temp file → fsync → rename →
+/// directory fsync. A crash at any point leaves either the old state or the
+/// complete new file, never a torn one.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+    let tmp = dir.join(format!(".{name}.tmp"));
+    let path = dir.join(name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    // Make the rename durable. Directory fsync is a Unix-ism; where opening
+    // a directory fails, the rename is still atomic, just not yet durable.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+struct CkptMetrics {
+    writes: fvae_obs::Counter,
+    bytes: fvae_obs::Counter,
+    last_step: fvae_obs::Gauge,
+    write_ns: fvae_obs::Histogram,
+    load_skipped: fvae_obs::Counter,
+}
+
+/// Periodic snapshot writer with retention.
+///
+/// Files are named `ckpt-<global step, zero-padded>.fvck`, so lexicographic
+/// and chronological order coincide and [`Checkpointer::load_latest`] can
+/// walk newest-first.
+pub struct Checkpointer {
+    dir: PathBuf,
+    every_steps: u64,
+    keep_last: usize,
+    metrics: Option<CkptMetrics>,
+}
+
+/// Result of [`Checkpointer::load_latest`]: the newest decodable snapshot
+/// plus every newer snapshot that was skipped as corrupt.
+pub struct LoadedSnapshot {
+    /// The decoded snapshot.
+    pub snapshot: TrainSnapshot,
+    /// Path it was loaded from.
+    pub path: PathBuf,
+    /// Newer snapshots that failed to load, newest first.
+    pub skipped: Vec<(PathBuf, SnapshotError)>,
+}
+
+impl Checkpointer {
+    /// Creates the checkpoint directory and a writer that snapshots every
+    /// `every_steps` optimizer steps (0 = only on explicit stop), keeping
+    /// the `keep_last` most recent files.
+    pub fn new(dir: impl Into<PathBuf>, every_steps: u64, keep_last: usize) -> io::Result<Self> {
+        assert!(keep_last >= 1, "retention must keep at least one snapshot");
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, every_steps, keep_last, metrics: None })
+    }
+
+    /// Registers the `fvae_checkpoint_*` metric family on `registry`.
+    pub fn with_registry(mut self, registry: &fvae_obs::Registry) -> Self {
+        self.metrics = Some(CkptMetrics {
+            writes: registry.counter("fvae_checkpoint_writes_total"),
+            bytes: registry.counter("fvae_checkpoint_bytes_total"),
+            last_step: registry.gauge("fvae_checkpoint_last_step"),
+            write_ns: registry.histogram("fvae_checkpoint_write_ns"),
+            load_skipped: registry.counter("fvae_checkpoint_load_skipped_total"),
+        });
+        self
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured step cadence.
+    pub fn every_steps(&self) -> u64 {
+        self.every_steps
+    }
+
+    /// True when a snapshot is due after `global_step` completed steps.
+    pub(crate) fn due(&self, global_step: u64) -> bool {
+        self.every_steps > 0 && global_step.is_multiple_of(self.every_steps)
+    }
+
+    /// Encodes and atomically writes one snapshot; prunes old ones.
+    pub(crate) fn save(
+        &self,
+        model: &Fvae,
+        opt: &OptStates,
+        rng_state: [u64; 4],
+        progress: &TrainProgress,
+        early_stop: Option<&EarlyStopState>,
+    ) -> Result<PathBuf, SnapshotError> {
+        let span = self.metrics.as_ref().map(|m| fvae_obs::Span::on(&m.write_ns));
+        let bytes = encode_snapshot(model, opt, rng_state, progress, early_stop);
+        let name = format!("ckpt-{:016}.{SNAPSHOT_EXT}", progress.global_step);
+        let path = write_atomic(&self.dir, &name, bytes.as_ref())?;
+        self.prune()?;
+        if let Some(m) = &self.metrics {
+            m.writes.inc();
+            m.bytes.add(bytes.len() as u64);
+            m.last_step.set(progress.global_step as f64);
+        }
+        drop(span);
+        Ok(path)
+    }
+
+    /// Snapshot files in `dir`, sorted by global step ascending.
+    fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            let Some(step) = name
+                .strip_prefix("ckpt-")
+                .and_then(|rest| rest.strip_suffix(&format!(".{SNAPSHOT_EXT}")))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push((step, path));
+        }
+        out.sort_unstable_by_key(|&(step, _)| step);
+        Ok(out)
+    }
+
+    fn prune(&self) -> Result<(), SnapshotError> {
+        let files = Self::list(&self.dir)?;
+        if files.len() > self.keep_last {
+            for (_, path) in &files[..files.len() - self.keep_last] {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the newest decodable snapshot in `dir`, walking backwards over
+    /// corrupt ones (recording them in [`LoadedSnapshot::skipped`]).
+    ///
+    /// Returns `Ok(None)` when the directory is absent or holds no
+    /// snapshots, and [`SnapshotError::NoUsableSnapshot`] when snapshots
+    /// exist but every one fails to decode.
+    pub fn load_latest(dir: &Path) -> Result<Option<LoadedSnapshot>, SnapshotError> {
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let mut files = Self::list(dir)?;
+        files.reverse(); // newest first
+        if files.is_empty() {
+            return Ok(None);
+        }
+        let mut skipped = Vec::new();
+        for (_, path) in files {
+            let result = fs::read(&path)
+                .map_err(SnapshotError::from)
+                .and_then(|data| decode_snapshot(&data));
+            match result {
+                Ok(snapshot) => {
+                    return Ok(Some(LoadedSnapshot { snapshot, path, skipped }));
+                }
+                Err(e) => skipped.push((path, e)),
+            }
+        }
+        let tried = skipped.len();
+        let newest = Box::new(skipped.swap_remove(0).1);
+        Err(SnapshotError::NoUsableSnapshot { tried, newest })
+    }
+
+    /// Records snapshots skipped as corrupt during a load (metrics hook for
+    /// the CLI's resume path).
+    pub fn record_skipped(&self, n: usize) {
+        if let Some(m) = &self.metrics {
+            m.load_skipped.add(n as u64);
+        }
+    }
+}
+
+/// Builds fresh (zero-moment) optimizer state for encoding a snapshot at a
+/// point where no live optimizer exists (the early-stopping trainer
+/// checkpoints at burst boundaries, where each burst builds its own state).
+pub(crate) fn fresh_opt(model: &Fvae) -> OptStates {
+    OptStates::new(model)
+}
+
+impl TrainProgress {
+    /// Progress at the start of epoch `epoch` with `global_step` steps done.
+    pub(crate) fn at_epoch_boundary(epoch: u64, global_step: u64) -> Self {
+        Self { epoch, global_step, ..Self::fresh() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FvaeConfig;
+    use fvae_data::{FieldSpec, MultiFieldDataset, TopicModelConfig};
+
+    fn tiny_ds() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 24,
+            n_topics: 2,
+            alpha: 0.2,
+            fields: vec![FieldSpec::new("ch", 8, 2, 1.0), FieldSpec::new("tag", 16, 3, 1.0)],
+            pair_prob: 0.0,
+            seed: 11,
+        }
+        .generate()
+    }
+
+    /// A model plus optimizer state that have seen a few real steps, so
+    /// every Adam moment buffer and hash-table slot is populated.
+    fn trained(ds: &MultiFieldDataset) -> (Fvae, OptStates) {
+        let mut cfg = FvaeConfig::for_dataset(ds);
+        cfg.latent_dim = 4;
+        cfg.enc_hidden = 8;
+        cfg.dec_hidden = vec![8];
+        cfg.batch_size = 8;
+        cfg.anneal_steps = 10;
+        let mut model = Fvae::new(cfg);
+        let mut opt = OptStates::new(&model);
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        for batch in users.chunks(8) {
+            model.train_batch(ds, batch, &mut opt);
+        }
+        (model, opt)
+    }
+
+    fn sample_progress() -> TrainProgress {
+        TrainProgress {
+            epoch: 2,
+            step_in_epoch: 3,
+            global_step: 13,
+            epoch_order: vec![5, 1, 4, 2, 0, 3],
+            recon_sum: 123.456,
+            kl_sum: 7.875,
+            cand_sum: 99.0,
+            beta: 0.125,
+        }
+    }
+
+    fn sample_early_stop() -> EarlyStopState {
+        EarlyStopState {
+            best: Some((-3.5, vec![1, 2, 3, 4, 5], 4)),
+            strikes: 2,
+            stopped_early: true,
+            epochs: vec![EpochStats { recon: 1.5, kl: 0.25, beta: 0.5, users: 24, mean_candidates: 12.0, steps: 3, wall_secs: 0.5, users_per_sec: 48.0 }],
+            validations: vec![(2, -4.0), (4, -3.5)],
+        }
+    }
+
+    #[test]
+    fn progress_codec_roundtrips() {
+        let p = sample_progress();
+        let mut buf = BytesMut::new();
+        put_progress(&mut buf, &p);
+        let got = get_progress(&mut buf.freeze()).expect("decodes");
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn early_stop_codec_roundtrips() {
+        let es = sample_early_stop();
+        let mut buf = BytesMut::new();
+        put_early_stop(&mut buf, &es);
+        let got = get_early_stop(&mut buf.freeze()).expect("decodes");
+        assert_eq!(got.best, es.best);
+        assert_eq!(got.strikes, es.strikes);
+        assert_eq!(got.stopped_early, es.stopped_early);
+        assert_eq!(got.epochs.len(), es.epochs.len());
+        assert_eq!(got.epochs[0].recon.to_bits(), es.epochs[0].recon.to_bits());
+        assert_eq!(got.validations, es.validations);
+    }
+
+    #[test]
+    fn opt_codec_roundtrips_every_moment_buffer() {
+        let ds = tiny_ds();
+        let (_, opt) = trained(&ds);
+        let mut buf = BytesMut::new();
+        put_opt(&mut buf, &opt);
+        let got = get_opt(&mut buf.freeze()).expect("decodes");
+        let eq = |a: &AdamState, b: &AdamState| {
+            let (am, av, at) = a.parts();
+            let (bm, bv, bt) = b.parts();
+            am == bm && av == bv && at == bt
+        };
+        assert_eq!(got.bags.len(), opt.bags.len());
+        assert!(got.bags.iter().zip(&opt.bags).all(|(a, b)| eq(a, b)));
+        assert!(eq(&got.enc_bias, &opt.enc_bias));
+        assert!(got
+            .enc_extra
+            .iter()
+            .zip(&opt.enc_extra)
+            .all(|(a, b)| eq(&a.0, &b.0) && eq(&a.1, &b.1)));
+        assert!(eq(&got.enc_head.0, &opt.enc_head.0) && eq(&got.enc_head.1, &opt.enc_head.1));
+        assert!(got
+            .trunk
+            .iter()
+            .zip(&opt.trunk)
+            .all(|(a, b)| eq(&a.0, &b.0) && eq(&a.1, &b.1)));
+        assert!(got.heads_w.iter().zip(&opt.heads_w).all(|(a, b)| eq(a, b)));
+        assert!(got.heads_b.iter().zip(&opt.heads_b).all(|(a, b)| eq(a, b)));
+        // Moments are non-trivial after real steps: at least one is non-zero.
+        assert!(opt.enc_head.0.parts().2 > 0, "steps must have advanced Adam's t");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_model_rng_progress_and_early_stop() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let rng_state = [1u64, 2, 3, 4];
+        let progress = sample_progress();
+        let es = sample_early_stop();
+        let bytes = encode_snapshot(&model, &opt, rng_state, &progress, Some(&es));
+        let snap = decode_snapshot(bytes.as_ref()).expect("decodes");
+        assert_eq!(snap.rng_state, rng_state);
+        assert_eq!(snap.progress, progress);
+        assert!(snap.is_early_stopping());
+        let got_es = snap.early_stop.as_ref().expect("present");
+        assert_eq!(got_es.best, es.best);
+        // The restored model serializes to the same bytes as the original.
+        assert_eq!(
+            snap.model.to_bytes().as_ref(),
+            model.to_bytes().as_ref(),
+            "model must round-trip bit-identically"
+        );
+    }
+
+    #[test]
+    fn snapshot_without_early_stop_section_decodes_to_none() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let bytes = encode_snapshot(&model, &opt, [9, 9, 9, 9], &sample_progress(), None);
+        let snap = decode_snapshot(bytes.as_ref()).expect("decodes");
+        assert!(!snap.is_early_stopping());
+    }
+
+    /// Any single flipped byte must make the snapshot unreadable — never a
+    /// silently different decode. Flips in the magic/version land as
+    /// BadMagic/BadVersion; everything else is caught by the whole-file CRC.
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let bytes = encode_snapshot(&model, &opt, [7, 7, 7, 7], &sample_progress(), None);
+        let data = bytes.to_vec();
+        // Exhaustive on small snapshots; strided (but still covering the
+        // framing, table, CRC, and a spread of payload offsets) on large.
+        let stride = (data.len() / 8192).max(1);
+        let mut flipped = data.clone();
+        let mut tried = 0usize;
+        for i in (0..data.len()).step_by(stride).chain(data.len() - 16..data.len()) {
+            flipped[i] ^= 0x40;
+            assert!(
+                decode_snapshot(&flipped).is_err(),
+                "flip at byte {i} of {} must be rejected",
+                data.len()
+            );
+            flipped[i] = data[i];
+            tried += 1;
+        }
+        assert!(tried > 100, "fuzz must cover a meaningful sample");
+        // Untouched data still decodes.
+        assert!(decode_snapshot(&flipped).is_ok());
+    }
+
+    #[test]
+    fn truncation_at_any_prefix_is_rejected() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let bytes = encode_snapshot(&model, &opt, [1, 1, 1, 1], &sample_progress(), None);
+        let data = bytes.as_ref();
+        for len in [0, 1, 6, 10, data.len() / 2, data.len() - 1] {
+            assert!(decode_snapshot(&data[..len]).is_err(), "prefix of {len} bytes must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped_for_forward_compat() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let bytes = encode_snapshot(&model, &opt, [3, 1, 4, 1], &sample_progress(), None);
+        let data = bytes.as_ref();
+        // Re-frame with one extra section of an unknown tag appended.
+        let n = data[6] as usize;
+        let table_end = 7 + n * 9;
+        let payload_end = data.len() - 4;
+        let extra = b"from-the-future";
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32_le(SNAPSHOT_MAGIC);
+        out.put_u16_le(SNAPSHOT_VERSION);
+        out.put_u8((n + 1) as u8);
+        out.put_slice(&data[7..table_end]); // existing table entries
+        out.put_u8(250); // unknown tag
+        out.put_u64_le(extra.len() as u64);
+        out.put_slice(&data[table_end..payload_end]);
+        out.put_slice(extra);
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
+        let snap = decode_snapshot(&out).expect("unknown sections must be skipped");
+        assert_eq!(snap.rng_state, [3, 1, 4, 1]);
+        assert_eq!(snap.model.to_bytes().as_ref(), model.to_bytes().as_ref());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let good = encode_snapshot(&model, &opt, [0, 1, 2, 3], &sample_progress(), None).to_vec();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_snapshot(&bad_magic),
+            Err(SnapshotError::Decode(DecodeError::BadMagic))
+        ));
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xEE;
+        assert!(matches!(
+            decode_snapshot(&bad_version),
+            Err(SnapshotError::Decode(DecodeError::BadVersion(_)))
+        ));
+        let mut bad_body = good;
+        let mid = bad_body.len() / 2;
+        bad_body[mid] ^= 0x01;
+        assert!(matches!(
+            decode_snapshot(&bad_body),
+            Err(SnapshotError::CrcMismatch { .. })
+        ));
+    }
+
+    fn fresh_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn retention_keeps_only_the_newest_snapshots() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let dir = fresh_dir("fvae_ckpt_retention_test");
+        let cp = Checkpointer::new(&dir, 1, 2).expect("create");
+        for step in 1..=5u64 {
+            let progress = TrainProgress { global_step: step, ..sample_progress() };
+            cp.save(&model, &opt, [step, 0, 0, 0], &progress, None).expect("save");
+        }
+        let names: Vec<u64> = Checkpointer::list(&dir)
+            .expect("list")
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(names, vec![4, 5], "only the two newest snapshots survive");
+        // Atomic writes never leave temp files behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_falls_back_over_corrupt_snapshots() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let dir = fresh_dir("fvae_ckpt_fallback_test");
+        let cp = Checkpointer::new(&dir, 1, 10).expect("create");
+        let mut paths = Vec::new();
+        for step in 1..=3u64 {
+            let progress = TrainProgress { global_step: step, ..sample_progress() };
+            paths.push(cp.save(&model, &opt, [step, 0, 0, 0], &progress, None).expect("save"));
+        }
+        // Corrupt the newest snapshot's payload.
+        let newest = paths.last().expect("non-empty");
+        let mut data = fs::read(newest).expect("read");
+        let mid = data.len() / 2;
+        data[mid] ^= 0x10;
+        fs::write(newest, &data).expect("write corrupt");
+
+        let loaded = Checkpointer::load_latest(&dir).expect("loads").expect("present");
+        assert_eq!(loaded.snapshot.rng_state, [2, 0, 0, 0], "fell back to step 2");
+        assert_eq!(loaded.skipped.len(), 1);
+        assert!(matches!(loaded.skipped[0].1, SnapshotError::CrcMismatch { .. }));
+
+        // Corrupt the remaining two as well: typed all-corrupt error.
+        for p in &paths[..2] {
+            let mut data = fs::read(p).expect("read");
+            let mid = data.len() / 2;
+            data[mid] ^= 0x10;
+            fs::write(p, &data).expect("write corrupt");
+        }
+        match Checkpointer::load_latest(&dir) {
+            Err(SnapshotError::NoUsableSnapshot { tried, .. }) => assert_eq!(tried, 3),
+            other => panic!("expected NoUsableSnapshot, got {:?}", other.map(|_| ())),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_on_missing_or_empty_dir_is_none() {
+        let dir = fresh_dir("fvae_ckpt_missing_test");
+        assert!(Checkpointer::load_latest(&dir).expect("ok").is_none());
+        fs::create_dir_all(&dir).expect("mkdir");
+        assert!(Checkpointer::load_latest(&dir).expect("ok").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn due_follows_the_step_cadence() {
+        let dir = fresh_dir("fvae_ckpt_due_test");
+        let cp = Checkpointer::new(&dir, 3, 1).expect("create");
+        assert!(!cp.due(1) && !cp.due(2) && cp.due(3) && !cp.due(4) && cp.due(6));
+        let zero = Checkpointer::new(&dir, 0, 1).expect("create");
+        assert!(!zero.due(1) && !zero.due(100));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The progress codec is the identity over arbitrary contents.
+            #[test]
+            fn progress_roundtrip(
+                epoch in 0u64..1000,
+                step_in_epoch in 0u64..1000,
+                global_step in 0u64..100_000,
+                order in proptest::collection::vec(0u64..10_000, 0..200),
+                recon in -1e9f64..1e9,
+                kl in -1e9f64..1e9,
+                cand in 0f64..1e9,
+                beta in 0f32..2.0,
+            ) {
+                let p = TrainProgress {
+                    epoch,
+                    step_in_epoch,
+                    global_step,
+                    epoch_order: order,
+                    recon_sum: recon,
+                    kl_sum: kl,
+                    cand_sum: cand,
+                    beta,
+                };
+                let mut buf = BytesMut::new();
+                put_progress(&mut buf, &p);
+                let got = get_progress(&mut buf.freeze()).expect("decodes");
+                prop_assert_eq!(got, p);
+            }
+
+            /// Decoding an arbitrary byte soup never panics and never
+            /// succeeds (the magic/CRC gate rejects it).
+            #[test]
+            fn arbitrary_bytes_never_decode(words in proptest::collection::vec(any::<u32>(), 0..512)) {
+                let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+                prop_assert!(decode_snapshot(&data).is_err());
+            }
+        }
+    }
+}

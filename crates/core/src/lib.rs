@@ -68,6 +68,7 @@
 //! assert_eq!(embeddings.rows(), dataset.n_users());
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod model;
 pub mod observe;
@@ -76,9 +77,12 @@ pub mod serialize;
 pub mod train;
 pub mod validate;
 
+pub use checkpoint::{
+    Checkpointer, LoadedSnapshot, ResumePoint, SnapshotError, TrainProgress, TrainSnapshot,
+};
 pub use config::{FvaeConfig, SamplingConfig};
 pub use model::Fvae;
 pub use observe::{NullObserver, PhaseNs, StepCtx, TelemetrySink, TrainObserver};
 pub use sampling::SamplingStrategy;
-pub use train::{EpochStats, StepStats};
+pub use train::{EpochStats, StepStats, TrainOutcome, TrainRun};
 pub use validate::{TrainHistory, TrainOptions};

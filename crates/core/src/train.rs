@@ -9,9 +9,37 @@ use fvae_nn::{
 use fvae_sparse::{FastHashMap, FastHashSet};
 use fvae_tensor::Matrix;
 
+use crate::checkpoint::{Checkpointer, ResumePoint, SnapshotError, TrainProgress};
 use crate::model::{BatchInput, Fvae};
 use crate::observe::{PhaseNs, StepCtx, TrainObserver};
 use crate::sampling::sample_candidates;
+
+/// Options for a crash-safe [`Fvae::train_checkpointed`] run.
+#[derive(Default)]
+pub struct TrainRun<'a> {
+    /// Periodic snapshot writer. `None` = plain training.
+    pub checkpointer: Option<&'a Checkpointer>,
+    /// State decoded from a snapshot to continue from (see
+    /// [`crate::checkpoint::TrainSnapshot::into_resume`]).
+    pub resume: Option<ResumePoint>,
+    /// Stop (with a final snapshot, when a checkpointer is set) once this
+    /// many global optimizer steps have completed — the deterministic "kill"
+    /// used by the fault-injection tests and the CI kill/resume smoke.
+    pub stop_after_steps: Option<u64>,
+}
+
+/// What a [`Fvae::train_checkpointed`] run produced.
+#[derive(Debug)]
+pub struct TrainOutcome {
+    /// Stats of the last *completed* epoch.
+    pub last_epoch: EpochStats,
+    /// False when `stop_after_steps` ended the run before `epochs` epochs.
+    pub completed: bool,
+    /// Global optimizer steps completed (cumulative across resumes).
+    pub global_step: u64,
+    /// Path of the most recent snapshot written during this call.
+    pub last_checkpoint: Option<std::path::PathBuf>,
+}
 
 /// Loss breakdown of one training step (all values are per-user means).
 #[derive(Clone, Copy, Debug, Default)]
@@ -187,22 +215,23 @@ fn for_each_dense_grad(sc: &mut TrainScratch, f: &mut impl FnMut(&mut [f32])) {
 }
 
 /// Adam moment state for every parameter group of the model, plus the
-/// reusable training scratch.
+/// reusable training scratch. Fields are crate-visible so the checkpoint
+/// module can capture and reinstall the moment buffers.
 pub(crate) struct OptStates {
     adam: Adam,
     clip: Option<GradClip>,
-    bags: Vec<AdamState>,
-    enc_bias: AdamState,
-    enc_extra: Vec<(AdamState, AdamState)>,
-    enc_head: (AdamState, AdamState),
-    trunk: Vec<(AdamState, AdamState)>,
-    heads_w: Vec<AdamState>,
-    heads_b: Vec<AdamState>,
+    pub(crate) bags: Vec<AdamState>,
+    pub(crate) enc_bias: AdamState,
+    pub(crate) enc_extra: Vec<(AdamState, AdamState)>,
+    pub(crate) enc_head: (AdamState, AdamState),
+    pub(crate) trunk: Vec<(AdamState, AdamState)>,
+    pub(crate) heads_w: Vec<AdamState>,
+    pub(crate) heads_b: Vec<AdamState>,
     scratch: TrainScratch,
 }
 
 impl OptStates {
-    fn new(model: &Fvae) -> Self {
+    pub(crate) fn new(model: &Fvae) -> Self {
         let cfg = &model.cfg;
         Self {
             adam: Adam::new(cfg.lr),
@@ -259,19 +288,83 @@ impl Fvae {
         epochs: usize,
         observer: &mut dyn TrainObserver,
     ) -> EpochStats {
-        let mut opt = OptStates::new(self);
-        let mut global_step = 0u64;
-        let mut last = EpochStats::default();
-        for epoch in 0..epochs {
-            let stats =
-                self.train_one_epoch(ds, users, &mut opt, epoch, &mut global_step, observer);
-            observer.on_epoch(epoch, &stats);
-            last = stats;
-        }
-        last
+        self.train_checkpointed(ds, users, epochs, observer, TrainRun::default())
+            .expect("training without a checkpointer performs no I/O")
+            .last_epoch
     }
 
-    fn train_one_epoch(
+    /// [`Fvae::train_observed`] with crash-safety: periodic snapshots via a
+    /// [`Checkpointer`], resume from a [`crate::checkpoint::TrainSnapshot`],
+    /// and a deterministic stop point for kill/resume testing.
+    ///
+    /// A resumed run is step-for-step **bit-identical** to an uninterrupted
+    /// one with the same seed: snapshots carry the weights and dynamic hash
+    /// tables, every Adam moment, the exact RNG state, the current epoch's
+    /// shuffled batch order, and the epoch's partial loss sums. Only
+    /// wall-clock fields (`wall_ns`, `wall_secs`, throughput) differ.
+    pub fn train_checkpointed(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        epochs: usize,
+        observer: &mut dyn TrainObserver,
+        mut run: TrainRun<'_>,
+    ) -> Result<TrainOutcome, SnapshotError> {
+        let mut opt = OptStates::new(self);
+        let (mut global_step, start_epoch, mut mid_epoch) = match run.resume.take() {
+            Some(rp) => {
+                rp.opt.install(&mut opt).map_err(SnapshotError::Decode)?;
+                self.rng = rand::rngs::StdRng::from_state(rp.rng_state);
+                let start_epoch = rp.progress.epoch as usize;
+                let resumes_mid = !rp.progress.epoch_order.is_empty();
+                (
+                    rp.progress.global_step,
+                    start_epoch,
+                    if resumes_mid { Some(rp.progress) } else { None },
+                )
+            }
+            None => (0, 0, None),
+        };
+        let mut outcome = TrainOutcome {
+            last_epoch: EpochStats::default(),
+            completed: true,
+            global_step,
+            last_checkpoint: None,
+        };
+        for epoch in start_epoch..epochs {
+            let (stats, epoch_complete) = self.train_one_epoch_run(
+                ds,
+                users,
+                &mut opt,
+                epoch,
+                &mut global_step,
+                observer,
+                mid_epoch.take(),
+                &run,
+                &mut outcome.last_checkpoint,
+            )?;
+            outcome.global_step = global_step;
+            if !epoch_complete {
+                outcome.completed = false;
+                return Ok(outcome);
+            }
+            observer.on_epoch(epoch, &stats);
+            outcome.last_epoch = stats;
+            let stop_hit = run.stop_after_steps.is_some_and(|m| global_step >= m);
+            if stop_hit && epoch + 1 < epochs {
+                outcome.completed = false;
+                return Ok(outcome);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// One epoch of the resumable trainer. `mid_epoch` carries a snapshot's
+    /// in-epoch position (batch order, partial sums) when resuming inside
+    /// this epoch. Returns the epoch stats and whether the epoch ran to its
+    /// last batch (false = stopped by `stop_after_steps`).
+    #[allow(clippy::too_many_arguments)]
+    fn train_one_epoch_run(
         &mut self,
         ds: &MultiFieldDataset,
         users: &[usize],
@@ -279,16 +372,33 @@ impl Fvae {
         epoch: usize,
         global_step: &mut u64,
         observer: &mut dyn TrainObserver,
-    ) -> EpochStats {
+        mid_epoch: Option<TrainProgress>,
+        run: &TrainRun<'_>,
+        last_checkpoint: &mut Option<std::path::PathBuf>,
+    ) -> Result<(EpochStats, bool), SnapshotError> {
         let epoch_start = std::time::Instant::now();
         let batch_size = self.cfg.batch_size;
-        let batches = shuffled_batches(users, batch_size, &mut self.rng);
-        let mut recon = 0.0f64;
-        let mut kl = 0.0f64;
-        let mut beta = 0.0;
-        let mut cand = 0.0f64;
-        let mut n_steps = 0usize;
-        for batch in &batches {
+        // The shuffle consumes RNG at epoch start, so a mid-epoch resume
+        // replays the recorded order instead of re-deriving it (the RNG has
+        // already advanced past the shuffle in the snapshot's state).
+        let (order, start_step, mut recon, mut kl, mut beta, mut cand) = match mid_epoch {
+            Some(p) => (
+                p.epoch_order.iter().map(|&u| u as usize).collect::<Vec<usize>>(),
+                p.step_in_epoch as usize,
+                p.recon_sum,
+                p.kl_sum,
+                p.beta,
+                p.cand_sum,
+            ),
+            None => {
+                let batches = shuffled_batches(users, batch_size, &mut self.rng);
+                let order: Vec<usize> = batches.into_iter().flatten().collect();
+                (order, 0, 0.0f64, 0.0f64, 0.0f32, 0.0f64)
+            }
+        };
+        let n_batches = order.len().div_ceil(batch_size);
+        let mut epoch_complete = true;
+        for (i, batch) in order.chunks(batch_size).enumerate().skip(start_step) {
             let s = self.train_batch(ds, batch, opt);
             recon += s.recon as f64 * s.batch_size as f64;
             kl += s.kl as f64 * s.batch_size as f64;
@@ -297,27 +407,48 @@ impl Fvae {
             let phases = opt.scratch.phases;
             observer.on_step(&StepCtx {
                 epoch,
-                step: n_steps,
+                step: i,
                 global_step: *global_step,
                 stats: &s,
                 phases: &phases,
                 scratch: opt.scratch.ws.stats(),
             });
             *global_step += 1;
-            n_steps += 1;
+            let stop_now = run.stop_after_steps.is_some_and(|m| *global_step >= m);
+            if let Some(cp) = run.checkpointer {
+                if cp.due(*global_step) || stop_now {
+                    let progress = TrainProgress {
+                        epoch: epoch as u64,
+                        step_in_epoch: (i + 1) as u64,
+                        global_step: *global_step,
+                        epoch_order: order.iter().map(|&u| u as u64).collect(),
+                        recon_sum: recon,
+                        kl_sum: kl,
+                        cand_sum: cand,
+                        beta,
+                    };
+                    let path = cp.save(self, opt, self.rng.state(), &progress, None)?;
+                    *last_checkpoint = Some(path);
+                }
+            }
+            if stop_now && i + 1 < n_batches {
+                epoch_complete = false;
+                break;
+            }
         }
         let n = users.len().max(1) as f64;
         let wall_secs = epoch_start.elapsed().as_secs_f64();
-        EpochStats {
+        let stats = EpochStats {
             recon: (recon / n) as f32,
             kl: (kl / n) as f32,
             beta,
             users: users.len(),
-            mean_candidates: if n_steps == 0 { 0.0 } else { cand / n_steps as f64 },
-            steps: n_steps,
+            mean_candidates: if n_batches == 0 { 0.0 } else { cand / n_batches as f64 },
+            steps: n_batches,
             wall_secs,
             users_per_sec: if wall_secs > 0.0 { users.len() as f64 / wall_secs } else { 0.0 },
-        }
+        };
+        Ok((stats, epoch_complete))
     }
 
     /// One optimizer step on one mini-batch (the body of Algorithm 1).

@@ -7,10 +7,13 @@
 //! validation ELBO stalls and restores the best snapshot (via the model's
 //! binary serialization).
 
+use bytes::Bytes;
 use fvae_data::MultiFieldDataset;
 use fvae_nn::SampledSoftmaxOutput;
 use fvae_sparse::FastHashMap;
+use rand::rngs::StdRng;
 
+use crate::checkpoint::{self, Checkpointer, EarlyStopState, ResumePoint, SnapshotError, TrainProgress};
 use crate::model::Fvae;
 use crate::observe::{NullObserver, StepCtx, TrainObserver};
 use crate::train::EpochStats;
@@ -110,17 +113,54 @@ impl Fvae {
         options: TrainOptions,
         observer: &mut dyn TrainObserver,
     ) -> TrainHistory {
+        self.train_until_checkpointed(ds, train_users, val_users, options, observer, None, None)
+            .expect("training without a checkpointer performs no I/O")
+    }
+
+    /// [`Fvae::train_until_observed`] with crash-safety: a snapshot is
+    /// written after every validation point (the early-stopping loop's
+    /// atomic unit — each burst rebuilds optimizer state, so burst
+    /// boundaries are exactly resumable), carrying the best-so-far model
+    /// bytes, strike count, and validation history. Resuming from such a
+    /// snapshot continues the run bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_until_checkpointed(
+        &mut self,
+        ds: &MultiFieldDataset,
+        train_users: &[usize],
+        val_users: &[usize],
+        options: TrainOptions,
+        observer: &mut dyn TrainObserver,
+        checkpointer: Option<&Checkpointer>,
+        resume: Option<ResumePoint>,
+    ) -> Result<TrainHistory, SnapshotError> {
         assert!(options.max_epochs > 0 && options.eval_every > 0);
         let mut history = TrainHistory::default();
-        let mut best: Option<(f32, bytes::Bytes, usize)> = None;
+        let mut global_step = 0u64;
+        let mut best: Option<(f32, Bytes, usize)> = None;
         let mut strikes = 0usize;
         let mut epoch = 0usize;
-        while epoch < options.max_epochs {
+        let mut already_stopped = false;
+        if let Some(rp) = resume {
+            self.rng = StdRng::from_state(rp.rng_state);
+            global_step = rp.progress.global_step;
+            epoch = rp.progress.epoch as usize;
+            let es = rp.early_stop.unwrap_or_default();
+            history.epochs = es.epochs;
+            history.validations =
+                es.validations.iter().map(|&(e, v)| (e as usize, v)).collect();
+            history.stopped_early = es.stopped_early;
+            best = es.best.map(|(elbo, bytes, ep)| (elbo, Bytes::from(bytes), ep as usize));
+            strikes = es.strikes as usize;
+            already_stopped = es.stopped_early;
+        }
+        while epoch < options.max_epochs && !already_stopped {
             let burst = options.eval_every.min(options.max_epochs - epoch);
             let mut burst_obs = BurstObserver {
                 inner: observer,
                 base: epoch,
                 epochs: &mut history.epochs,
+                steps: &mut global_step,
             };
             self.train_observed(ds, train_users, burst, &mut burst_obs);
             epoch += burst;
@@ -134,15 +174,35 @@ impl Fvae {
                 strikes += 1;
                 if strikes >= options.patience {
                     history.stopped_early = true;
-                    break;
                 }
+            }
+            if let Some(cp) = checkpointer {
+                let es = EarlyStopState {
+                    best: best
+                        .as_ref()
+                        .map(|(e, bytes, ep)| (*e, bytes.to_vec(), *ep as u64)),
+                    strikes: strikes as u64,
+                    stopped_early: history.stopped_early,
+                    epochs: history.epochs.clone(),
+                    validations: history
+                        .validations
+                        .iter()
+                        .map(|&(e, v)| (e as u64, v))
+                        .collect(),
+                };
+                let opt = checkpoint::fresh_opt(self);
+                let progress = TrainProgress::at_epoch_boundary(epoch as u64, global_step);
+                cp.save(self, &opt, self.rng.state(), &progress, Some(&es))?;
+            }
+            if history.stopped_early {
+                break;
             }
         }
         if let Some((_, snapshot, best_epoch)) = best {
             *self = Fvae::from_bytes(snapshot).expect("own snapshot decodes");
             history.best_epoch = best_epoch;
         }
-        history
+        Ok(history)
     }
 }
 
@@ -153,11 +213,15 @@ struct BurstObserver<'a> {
     inner: &'a mut dyn TrainObserver,
     base: usize,
     epochs: &'a mut Vec<EpochStats>,
+    /// Run-global optimizer step counter (each burst restarts its own at 0);
+    /// checkpoints at burst boundaries record the cumulative count.
+    steps: &'a mut u64,
 }
 
 impl TrainObserver for BurstObserver<'_> {
     fn on_step(&mut self, ctx: &StepCtx) {
         let rebased = StepCtx { epoch: self.base + ctx.epoch, ..*ctx };
+        *self.steps += 1;
         self.inner.on_step(&rebased);
     }
 

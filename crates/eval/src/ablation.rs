@@ -13,7 +13,7 @@ use crate::sweeps::SweepEnv;
 type Variant = (&'static str, fn(&mut fvae_core::FvaeConfig));
 
 /// Regenerates the ablation table. Writes `ablations.csv`.
-pub fn ablations(ctx: &EvalContext) -> String {
+pub fn ablations(ctx: &EvalContext) -> std::io::Result<String> {
     let env = SweepEnv::new(ctx);
     let variants: Vec<Variant> = vec![
         ("full model", |_| {}),
@@ -52,10 +52,10 @@ pub fn ablations(ctx: &EvalContext) -> String {
         ]);
     }
     let header = ["Variant", "AUC", "mAP", "seconds"];
-    ctx.write_csv("ablations.csv", &header, &rows);
-    render_table(
+    ctx.write_csv("ablations.csv", &header, &rows)?;
+    Ok(render_table(
         "Ablations: tag prediction on SC-small per disabled/swapped mechanism",
         &header,
         &rows,
-    )
+    ))
 }

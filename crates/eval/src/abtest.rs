@@ -68,7 +68,7 @@ pub fn run_table6_experiment(ctx: &EvalContext) -> AbTestReport {
 }
 
 /// Regenerates Table VI. Writes `table6.csv`.
-pub fn table6(ctx: &EvalContext) -> String {
+pub fn table6(ctx: &EvalContext) -> std::io::Result<String> {
     let report = run_table6_experiment(ctx);
     let rows: Vec<Vec<String>> = report
         .relative_changes()
@@ -78,7 +78,7 @@ pub fn table6(ctx: &EvalContext) -> String {
         })
         .collect();
     let header = ["Metric", "Change"];
-    ctx.write_csv("table6.csv", &header, &rows);
+    ctx.write_csv("table6.csv", &header, &rows)?;
     let mut out = render_table(
         "Table VI: relative changes in the simulated look-alike A/B test (FVAE vs skip-gram)",
         &header,
@@ -88,7 +88,7 @@ pub fn table6(ctx: &EvalContext) -> String {
         "control:   {:?}\ntreatment: {:?}\n",
         report.control, report.treatment
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -60,17 +60,26 @@ impl EvalContext {
     }
 
     /// Writes a CSV with a header row; returns the path.
-    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
-        fs::create_dir_all(&self.results_dir).expect("create results dir");
+    ///
+    /// Errors (unwritable results dir, full disk) propagate to the caller
+    /// instead of panicking — experiment drivers surface them as their own
+    /// `io::Result`, and the `fvae-bench` binaries exit non-zero.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(&self.results_dir)?;
         let path = self.results_dir.join(name);
-        let file = fs::File::create(&path).expect("create result file");
+        let file = fs::File::create(&path)?;
         let mut out = std::io::BufWriter::new(file);
-        writeln!(out, "{}", header.join(",")).expect("write header");
+        writeln!(out, "{}", header.join(","))?;
         for row in rows {
-            writeln!(out, "{}", row.join(",")).expect("write row");
+            writeln!(out, "{}", row.join(","))?;
         }
-        out.flush().expect("flush result file");
-        path
+        out.flush()?;
+        Ok(path)
     }
 }
 
@@ -140,13 +149,27 @@ mod tests {
     fn csv_writes_and_roundtrips() {
         let dir = std::env::temp_dir().join("fvae_eval_test");
         let ctx = EvalContext::at(&dir, Scale::Quick);
-        let path = ctx.write_csv(
-            "demo.csv",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
-        );
+        let path = ctx
+            .write_csv(
+                "demo.csv",
+                &["a", "b"],
+                &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+            )
+            .expect("write csv");
         let content = std::fs::read_to_string(path).expect("read back");
         assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_write_failure_is_an_error_not_a_panic() {
+        // A file where the results *directory* should be makes create_dir_all
+        // fail — the old code panicked here with "create results dir".
+        let blocker = std::env::temp_dir().join("fvae_eval_blocker_file");
+        std::fs::write(&blocker, b"not a directory").expect("set up blocker");
+        let ctx = EvalContext::at(&blocker, Scale::Quick);
+        let err = ctx.write_csv("demo.csv", &["a"], &[]);
+        assert!(err.is_err());
+        std::fs::remove_file(&blocker).ok();
     }
 
     #[test]

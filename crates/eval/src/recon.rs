@@ -86,7 +86,7 @@ pub fn evaluate_reconstruction(
 }
 
 /// Regenerates Table II. Returns the rendered table; writes `table2.csv`.
-pub fn table2(ctx: &EvalContext) -> String {
+pub fn table2(ctx: &EvalContext) -> std::io::Result<String> {
     let mut cfg = fvae_data::TopicModelConfig::sc();
     cfg.n_users = ctx.scale.users(cfg.n_users);
     let ds = cfg.generate();
@@ -117,12 +117,12 @@ pub fn table2(ctx: &EvalContext) -> String {
     header.push("mAP-Overall".into());
     header.extend(ds.field_names().iter().map(|f| format!("mAP-{f}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    ctx.write_csv("table2.csv", &header_refs, &rows);
-    render_table(
+    ctx.write_csv("table2.csv", &header_refs, &rows)?;
+    Ok(render_table(
         "Table II: AUC and mAP of the reconstruction task on Short Content (20% held out)",
         &header_refs,
         &rows,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub fn epoch_seconds(cfg: &BaConfig, batch_size: usize, max_batches: usize) -> f
 
 /// Fig. 9: per-epoch running time vs average feature size (max fixed) and
 /// vs max feature size (average fixed). Writes `fig9_scalability.csv`.
-pub fn fig9(ctx: &EvalContext) -> String {
+pub fn fig9(ctx: &EvalContext) -> std::io::Result<String> {
     let (n_users, max_batches) = match ctx.scale {
         Scale::Full => (2_000, 8),
         Scale::Quick => (600, 4),
@@ -74,17 +74,17 @@ pub fn fig9(ctx: &EvalContext) -> String {
         rows.push(vec!["max_sweep".into(), "200".into(), max.to_string(), format!("{secs:.3}")]);
     }
     let header = ["sweep", "avg_features", "max_features", "epoch_seconds"];
-    ctx.write_csv("fig9_scalability.csv", &header, &rows);
-    render_table(
+    ctx.write_csv("fig9_scalability.csv", &header, &rows)?;
+    Ok(render_table(
         "Fig. 9: FVAE per-epoch time vs average / max feature size (BA workloads)",
         &header,
         &rows,
-    )
+    ))
 }
 
 /// Fig. 10: distributed speedup vs number of servers on the KD preset.
 /// Writes `fig10_speedup.csv`.
-pub fn fig10(ctx: &EvalContext) -> String {
+pub fn fig10(ctx: &EvalContext) -> std::io::Result<String> {
     let mut ds_cfg = fvae_data::TopicModelConfig::kd();
     ds_cfg.n_users = ctx.scale.users(ds_cfg.n_users).min(10_000);
     let ds = ds_cfg.generate();
@@ -104,10 +104,10 @@ pub fn fig10(ctx: &EvalContext) -> String {
         })
         .collect();
     let header = ["servers", "epoch_seconds", "speedup"];
-    ctx.write_csv("fig10_speedup.csv", &header, &rows);
-    render_table(
+    ctx.write_csv("fig10_speedup.csv", &header, &rows)?;
+    Ok(render_table(
         "Fig. 10: speedup via distributed computing (measured shards + ring all-reduce model)",
         &header,
         &rows,
-    )
+    ))
 }

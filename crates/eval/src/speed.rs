@@ -96,7 +96,7 @@ pub fn multvae_throughput(
 }
 
 /// Regenerates Table V. Writes `table5.csv`.
-pub fn table5(ctx: &EvalContext) -> String {
+pub fn table5(ctx: &EvalContext) -> std::io::Result<String> {
     // Paper settings: batch 512, sampling r = 0.1 (our fvae_config default).
     let batch = 512;
     let (fvae_steps, mv_steps) = match ctx.scale {
@@ -122,12 +122,12 @@ pub fn table5(ctx: &EvalContext) -> String {
         ]);
     }
     let header = ["Dataset", "Mult-VAE users/s", "FVAE users/s", "Speedup"];
-    ctx.write_csv("table5.csv", &header, &rows);
-    render_table(
+    ctx.write_csv("table5.csv", &header, &rows)?;
+    Ok(render_table(
         "Table V: training throughput (batch 512, r = 0.1; Mult-VAE hashed to 14 bits on KD/QB)",
         &header,
         &rows,
-    )
+    ))
 }
 
 #[cfg(test)]

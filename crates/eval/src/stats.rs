@@ -6,7 +6,7 @@ use crate::context::{render_table, EvalContext};
 
 /// Regenerates Table I for the three dataset presets. Returns the rendered
 /// table and writes `table1.csv`.
-pub fn table1(ctx: &EvalContext) -> String {
+pub fn table1(ctx: &EvalContext) -> std::io::Result<String> {
     let presets = [
         ("KD", TopicModelConfig::kd()),
         ("QB", TopicModelConfig::qb()),
@@ -26,12 +26,12 @@ pub fn table1(ctx: &EvalContext) -> String {
         ]);
     }
     let header = ["Dataset", "#Users", "#Fields", "N", "J"];
-    ctx.write_csv("table1.csv", &header, &rows);
-    render_table(
+    ctx.write_csv("table1.csv", &header, &rows)?;
+    Ok(render_table(
         "Table I: statistics of datasets (scaled presets; see DESIGN.md)",
         &header,
         &rows,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -43,7 +43,7 @@ mod tests {
     fn table1_lists_three_datasets() {
         let dir = std::env::temp_dir().join("fvae_table1_test");
         let ctx = EvalContext::at(&dir, Scale::Quick);
-        let out = table1(&ctx);
+        let out = table1(&ctx).expect("table1 writes");
         for name in ["KD", "QB", "SC"] {
             assert!(out.contains(name), "missing {name} in\n{out}");
         }

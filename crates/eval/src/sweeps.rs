@@ -116,7 +116,7 @@ impl SweepEnv {
 
 /// Fig. 5: sampling strategies (Uniform / Frequency / Zipfian) × r ∈
 /// {0.2, 0.4, 0.6, 0.8}. Writes `fig5_sampling.csv`.
-pub fn fig5(ctx: &EvalContext) -> String {
+pub fn fig5(ctx: &EvalContext) -> std::io::Result<String> {
     let env = SweepEnv::new(ctx);
     let mut rows = Vec::new();
     for strategy in SamplingStrategy::all() {
@@ -135,13 +135,13 @@ pub fn fig5(ctx: &EvalContext) -> String {
         }
     }
     let header = ["Strategy", "r", "AUC", "mAP"];
-    ctx.write_csv("fig5_sampling.csv", &header, &rows);
-    render_table("Fig. 5: effect of sampling strategy and rate", &header, &rows)
+    ctx.write_csv("fig5_sampling.csv", &header, &rows)?;
+    Ok(render_table("Fig. 5: effect of sampling strategy and rate", &header, &rows))
 }
 
 /// Fig. 6: validation AUC vs wall-clock training time for r ∈
 /// {0.01, 0.1, 0.2}. Writes `fig6_auc_vs_time.csv`.
-pub fn fig6(ctx: &EvalContext) -> String {
+pub fn fig6(ctx: &EvalContext) -> std::io::Result<String> {
     let env = SweepEnv::new(ctx);
     let epochs = env.epochs * 3;
     let mut rows = Vec::new();
@@ -165,14 +165,14 @@ pub fn fig6(ctx: &EvalContext) -> String {
         }
     }
     let header = ["r", "epoch", "train_seconds", "val_AUC"];
-    ctx.write_csv("fig6_auc_vs_time.csv", &header, &rows);
-    render_table("Fig. 6: validation AUC vs training time per sampling rate", &header, &rows)
+    ctx.write_csv("fig6_auc_vs_time.csv", &header, &rows)?;
+    Ok(render_table("Fig. 6: validation AUC vs training time per sampling rate", &header, &rows))
 }
 
 /// Fig. 7: α sensitivity — sweep one field's α over
 /// {0.001, 0.01, 0.1, 1, 10} with the others pinned at 1. Writes
 /// `fig7_alpha.csv`.
-pub fn fig7(ctx: &EvalContext) -> String {
+pub fn fig7(ctx: &EvalContext) -> std::io::Result<String> {
     let env = SweepEnv::new(ctx);
     let mut rows = Vec::new();
     for field in 0..env.ds.n_fields() {
@@ -187,13 +187,13 @@ pub fn fig7(ctx: &EvalContext) -> String {
         }
     }
     let header = ["field", "alpha", "AUC", "mAP"];
-    ctx.write_csv("fig7_alpha.csv", &header, &rows);
-    render_table("Fig. 7: AUC and mAP vs per-field alpha (others fixed at 1)", &header, &rows)
+    ctx.write_csv("fig7_alpha.csv", &header, &rows)?;
+    Ok(render_table("Fig. 7: AUC and mAP vs per-field alpha (others fixed at 1)", &header, &rows))
 }
 
 /// Fig. 8: β sensitivity over {0, 0.1, 0.3, 0.5, 0.7, 0.9, 1}. Writes
 /// `fig8_beta.csv`.
-pub fn fig8(ctx: &EvalContext) -> String {
+pub fn fig8(ctx: &EvalContext) -> std::io::Result<String> {
     let env = SweepEnv::new(ctx);
     let mut rows = Vec::new();
     for beta in [0.0f32, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
@@ -209,6 +209,6 @@ pub fn fig8(ctx: &EvalContext) -> String {
         rows.push(vec![format!("{beta}"), fmt_metric(a), fmt_metric(m)]);
     }
     let header = ["beta", "AUC", "mAP"];
-    ctx.write_csv("fig8_beta.csv", &header, &rows);
-    render_table("Fig. 8: AUC and mAP vs the KL annealing cap beta", &header, &rows)
+    ctx.write_csv("fig8_beta.csv", &header, &rows)?;
+    Ok(render_table("Fig. 8: AUC and mAP vs the KL annealing cap beta", &header, &rows))
 }

@@ -54,7 +54,7 @@ fn run_tag_prediction(
 
 /// Regenerates Table III (tag prediction on SC, all methods). Writes
 /// `table3.csv`.
-pub fn table3(ctx: &EvalContext) -> String {
+pub fn table3(ctx: &EvalContext) -> std::io::Result<String> {
     let mut cfg = fvae_data::TopicModelConfig::sc();
     cfg.n_users = ctx.scale.users(cfg.n_users);
     let ds = cfg.generate();
@@ -73,18 +73,18 @@ pub fn table3(ctx: &EvalContext) -> String {
         .map(|(n, a, m)| vec![n.clone(), fmt_metric(*a), fmt_metric(*m)])
         .collect();
     let header = ["Model", "AUC", "mAP"];
-    ctx.write_csv("table3.csv", &header, &csv_rows);
-    render_table(
+    ctx.write_csv("table3.csv", &header, &csv_rows)?;
+    Ok(render_table(
         "Table III: AUC and mAP of tag prediction on Short Content",
         &header,
         &csv_rows,
-    )
+    ))
 }
 
 /// Regenerates Table IV (tag prediction on the billion-scale KD and QB
 /// presets with the scalable methods plus FVAE at r = 0.05 / 0.1). Writes
 /// `table4.csv`.
-pub fn table4(ctx: &EvalContext) -> String {
+pub fn table4(ctx: &EvalContext) -> std::io::Result<String> {
     let mut all_rows: Vec<Vec<String>> = Vec::new();
     for (name, mut ds_cfg) in [
         ("KD", fvae_data::TopicModelConfig::kd()),
@@ -111,12 +111,12 @@ pub fn table4(ctx: &EvalContext) -> String {
         }
     }
     let header = ["Dataset", "Model", "AUC", "mAP"];
-    ctx.write_csv("table4.csv", &header, &all_rows);
-    render_table(
+    ctx.write_csv("table4.csv", &header, &all_rows)?;
+    Ok(render_table(
         "Table IV: AUC and mAP of tag prediction on the billion-scale presets",
         &header,
         &all_rows,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -82,7 +82,7 @@ pub fn run_fig4(ctx: &EvalContext) -> VizResult {
 }
 
 /// Regenerates Fig. 4 (coordinates CSV + cluster-quality summary).
-pub fn fig4(ctx: &EvalContext) -> String {
+pub fn fig4(ctx: &EvalContext) -> std::io::Result<String> {
     let result = run_fig4(ctx);
     let rows: Vec<Vec<String>> = (0..result.layout.rows())
         .map(|r| {
@@ -93,16 +93,16 @@ pub fn fig4(ctx: &EvalContext) -> String {
             ]
         })
         .collect();
-    ctx.write_csv("fig4_tsne.csv", &["x", "y", "topic"], &rows);
+    ctx.write_csv("fig4_tsne.csv", &["x", "y", "topic"], &rows)?;
     let summary = vec![vec![
         result.layout.rows().to_string(),
         "3".to_string(),
         format!("{:.4}", result.knn_agreement),
     ]];
-    ctx.write_csv("fig4_summary.csv", &["points", "topics", "knn10_agreement"], &summary);
-    render_table(
+    ctx.write_csv("fig4_summary.csv", &["points", "topics", "knn10_agreement"], &summary)?;
+    Ok(render_table(
         "Fig. 4: t-SNE of FVAE embeddings (coordinates in fig4_tsne.csv)",
         &["points", "topics", "knn10 label agreement"],
         &summary,
-    )
+    ))
 }

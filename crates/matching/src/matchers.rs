@@ -87,7 +87,7 @@ impl Matcher for TagMatcher {
             }
         }
         let mut ranked: Vec<(u32, f32)> = scores.into_iter().collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| fvae_tensor::ops::nan_last_desc(a.1, b.1));
         ranked.truncate(k);
         ranked
     }
@@ -132,7 +132,7 @@ impl Matcher for EmbeddingMatcher<'_> {
                 (item.id, s)
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| fvae_tensor::ops::nan_last_desc(a.1, b.1));
         ranked.truncate(k);
         ranked
     }
@@ -185,5 +185,23 @@ mod tests {
         let matcher = TagMatcher::new(&catalog);
         assert_eq!(matcher.recall(&query(&[(2, 1.0)]), 1).len(), 1);
         assert!(matcher.recall(&query(&[(9, 1.0)]), 5).is_empty());
+    }
+
+    #[test]
+    fn nan_tag_score_cannot_win_the_ranking() {
+        // A NaN predicted-tag score poisons every item carrying that tag; the
+        // poisoned candidates must sink below finitely-scored ones instead of
+        // riding wherever the sort drops them.
+        let catalog = toy_catalog();
+        let matcher = TagMatcher::new(&catalog);
+        // Tag 7 → item 2 gets a NaN score; tag 2 → items 0 and 1 stay finite.
+        let out = matcher.recall(&query(&[(7, f32::NAN), (2, 1.0)]), 10);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].1.is_finite() && out[1].1.is_finite());
+        assert_eq!(out[2].0, 2);
+        assert!(out[2].1.is_nan());
+        // And with k = 2 the NaN candidate is cut, not a finite one.
+        let top2 = matcher.recall(&query(&[(7, f32::NAN), (2, 1.0)]), 2);
+        assert!(top2.iter().all(|&(_, s)| s.is_finite()));
     }
 }

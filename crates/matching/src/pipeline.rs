@@ -63,10 +63,7 @@ impl<'a> MatchingPipeline<'a> {
             .map(|(item, (score, sources))| RankedCandidate { item, score, sources })
             .collect();
         out.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.item.cmp(&b.item))
+            fvae_tensor::ops::nan_last_desc(a.score, b.score).then(a.item.cmp(&b.item))
         });
         out.truncate(self.output_k);
         out
@@ -155,6 +152,24 @@ mod tests {
         // No duplicates leave the pipeline.
         let distinct: std::collections::HashSet<u32> = out.iter().map(|c| c.item).collect();
         assert_eq!(distinct.len(), out.len());
+    }
+
+    #[test]
+    fn nan_fused_scores_sort_last() {
+        // RRF contributions are always finite, so force NaN through the sort
+        // directly: it must land after every finite score and before nothing.
+        let mut out = [
+            RankedCandidate { item: 1, score: f32::NAN, sources: vec!["a"] },
+            RankedCandidate { item: 2, score: 0.1, sources: vec!["a"] },
+            RankedCandidate { item: 3, score: f32::NAN, sources: vec!["a"] },
+            RankedCandidate { item: 4, score: 0.9, sources: vec!["a"] },
+        ];
+        out.sort_by(|a, b| {
+            fvae_tensor::ops::nan_last_desc(a.score, b.score).then(a.item.cmp(&b.item))
+        });
+        let items: Vec<u32> = out.iter().map(|c| c.item).collect();
+        // Finite descending first, then NaN entries ordered by the id tiebreak.
+        assert_eq!(items, vec![4, 2, 1, 3]);
     }
 
     #[test]

@@ -13,9 +13,9 @@ pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
         return f64::NAN;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_unstable_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // NaN scores rank strictly worst (ascending: first), so a broken score
+    // earns the lowest ranks instead of whatever position the sort leaves it.
+    order.sort_unstable_by(|&a, &b| fvae_tensor::ops::nan_first_asc(scores[a], scores[b]));
     // Average ranks over tied groups, accumulate the rank sum of positives.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -48,9 +48,7 @@ pub fn average_precision(scores: &[f32], labels: &[bool]) -> f64 {
         return f64::NAN;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| fvae_tensor::ops::nan_last_desc(scores[a], scores[b]));
     let mut hits = 0u64;
     let mut ap = 0.0f64;
     for (k, &idx) in order.iter().enumerate() {
@@ -112,7 +110,7 @@ pub fn hit_at_k(scores: &[f32], labels: &[bool], k: usize) -> f64 {
 
 fn fvae_top_k(scores: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| fvae_tensor::ops::nan_last_desc(scores[a], scores[b]));
     idx.truncate(k);
     idx
 }
@@ -217,6 +215,38 @@ mod tests {
         assert_eq!(hit_at_k(&scores, &[false, false, true], 1), 0.0);
         assert_eq!(hit_at_k(&scores, &[false, false, true], 3), 1.0);
         assert!(hit_at_k(&scores, &[false, false, false], 2).is_nan());
+    }
+
+    #[test]
+    fn nan_scores_rank_strictly_worst() {
+        // A NaN score must behave as "worse than everything", not silently
+        // keep its input position (the old unwrap_or(Equal) comparators left
+        // NaN wherever the sort happened to put it).
+        // AUC: positive with NaN ranks below the negative, positive with 0.8
+        // above it → exactly one of two pos/neg pairs won → 0.5.
+        let auc_v = auc(&[f32::NAN, 0.8, 0.2], &[true, true, false]);
+        assert!((auc_v - 0.5).abs() < 1e-12);
+        // AP: the NaN-scored positive drops to the last rank (neg 0.9 first,
+        // pos NaN second) → AP = 1/2.
+        let ap = average_precision(&[f32::NAN, 0.9], &[true, false]);
+        assert!((ap - 0.5).abs() < 1e-12);
+        // recall@1: the NaN positive must not make the top-1 cut.
+        let r = recall_at_k(&[f32::NAN, 0.5], &[true, false], 1);
+        assert_eq!(r, 0.0);
+        // hit@1 and ndcg@1 agree: the only positive is NaN-scored.
+        assert_eq!(hit_at_k(&[f32::NAN, 0.5], &[true, false], 1), 0.0);
+        assert_eq!(ndcg_at_k(&[f32::NAN, 0.5], &[true, false], 1), 0.0);
+    }
+
+    #[test]
+    fn all_nan_scores_still_terminate_and_bound() {
+        let scores = [f32::NAN, f32::NAN, f32::NAN];
+        let labels = [true, false, true];
+        let a = auc(&scores, &labels);
+        assert!((0.0..=1.0).contains(&a));
+        let ap = average_precision(&scores, &labels);
+        assert!(ap > 0.0 && ap <= 1.0);
+        assert!((recall_at_k(&scores, &labels, 3) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -78,6 +78,23 @@ impl AdamState {
         self.t
     }
 
+    /// Borrows the raw `(m, v, t)` parts for checkpoint serialization.
+    pub fn parts(&self) -> (&[f32], &[f32], u64) {
+        (&self.m, &self.v, self.t)
+    }
+
+    /// Rebuilds state from checkpointed `(m, v, t)` parts.
+    ///
+    /// `m` and `v` must be the same length (they always are for states this
+    /// crate produced); mismatched buffers would silently desynchronize the
+    /// moments, so they are rejected here.
+    pub fn from_parts(m: Vec<f32>, v: Vec<f32>, t: u64) -> Result<Self, String> {
+        if m.len() != v.len() {
+            return Err(format!("adam moment length mismatch: m={} v={}", m.len(), v.len()));
+        }
+        Ok(Self { m, v, t })
+    }
+
     fn ensure_len(&mut self, len: usize) {
         if self.m.len() < len {
             self.m.resize(len, 0.0);

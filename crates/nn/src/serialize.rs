@@ -153,6 +153,24 @@ pub fn get_softmax_head(
     Ok(head)
 }
 
+/// Serializes Adam moment buffers (checkpoints carry optimizer state so a
+/// resumed run continues with identical update dynamics).
+pub fn put_adam_state(buf: &mut BytesMut, state: &crate::optim::AdamState) {
+    let (m, v, t) = state.parts();
+    buf.put_u64_le(t);
+    put_f32_slice(buf, m);
+    put_f32_slice(buf, v);
+}
+
+/// Deserializes Adam moment buffers written by [`put_adam_state`].
+pub fn get_adam_state(buf: &mut impl Buf) -> Result<crate::optim::AdamState, DecodeError> {
+    need(buf, 8)?;
+    let t = buf.get_u64_le();
+    let m = get_f32_vec(buf)?;
+    let v = get_f32_vec(buf)?;
+    crate::optim::AdamState::from_parts(m, v, t).map_err(DecodeError::Invalid)
+}
+
 /// A deterministic "RNG" for deserialization paths where every row is
 /// overwritten immediately after insertion, so random init must never run.
 struct NoRng;
@@ -234,6 +252,29 @@ mod tests {
             back.logits_for_ids(h.row(0), &cand),
             head.logits_for_ids(h.row(0), &cand)
         );
+    }
+
+    #[test]
+    fn adam_state_roundtrip() {
+        let adam = crate::optim::Adam::new(0.05);
+        let mut state = crate::optim::AdamState::new(3);
+        let mut p = vec![0.5f32, -0.5, 2.0];
+        for i in 0..7 {
+            adam.step_slice(&mut state, &mut p, &[0.1 * i as f32, -0.2, 0.3]);
+        }
+        let mut buf = BytesMut::new();
+        put_adam_state(&mut buf, &state);
+        let back = get_adam_state(&mut buf.freeze()).expect("decode");
+        assert_eq!(back.parts(), state.parts());
+    }
+
+    #[test]
+    fn adam_state_moment_mismatch_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(3);
+        put_f32_slice(&mut buf, &[1.0, 2.0]);
+        put_f32_slice(&mut buf, &[1.0]);
+        assert!(matches!(get_adam_state(&mut buf.freeze()), Err(DecodeError::Invalid(_))));
     }
 
     #[test]

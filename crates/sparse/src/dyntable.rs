@@ -53,13 +53,29 @@ impl DynamicHashTable {
         self.forward.get(&id).map(|&s| s as usize)
     }
 
+    /// Converts a table length to the next slot index, refusing to wrap.
+    ///
+    /// Slots are stored as `u32`; a plain `as u32` cast at 2³² entries would
+    /// silently wrap to slot 0 and alias the first weight row. The paper's
+    /// per-field vocabularies stay far below that, so running into the limit
+    /// means a corrupt ID stream — panicking with a capacity message beats
+    /// silently training aliased embeddings.
+    #[inline]
+    fn next_slot(len: usize) -> u32 {
+        u32::try_from(len).unwrap_or_else(|_| {
+            panic!("DynamicHashTable capacity exceeded: {len} slots (max {})", u32::MAX)
+        })
+    }
+
     /// Returns the slot of `id`, assigning the next free slot when the ID is
     /// new. `on_insert(slot)` fires exactly once per new ID so callers can
     /// grow parallel weight storage (the paper randomly initializes the new
     /// embedding row at this point).
+    ///
+    /// Panics once the table holds 2³² entries (slots are `u32`).
     #[inline]
     pub fn slot_or_insert(&mut self, id: u64, mut on_insert: impl FnMut(usize)) -> usize {
-        let next = self.reverse.len() as u32;
+        let next = Self::next_slot(self.reverse.len());
         let entry = self.forward.entry(id).or_insert(next);
         let slot = *entry as usize;
         if *entry == next {
@@ -136,6 +152,20 @@ mod tests {
             assert_eq!(t.slot_of(id), Some(slot));
         }
         assert_eq!(t.ids(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn next_slot_accepts_the_full_u32_range() {
+        assert_eq!(DynamicHashTable::next_slot(0), 0);
+        assert_eq!(DynamicHashTable::next_slot(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exceeded")]
+    fn next_slot_panics_instead_of_wrapping() {
+        // 2^32 entries would wrap to slot 0 under the old `as u32` cast,
+        // aliasing weight rows; the guard must refuse instead.
+        DynamicHashTable::next_slot(1usize << 32);
     }
 
     #[test]

@@ -46,6 +46,36 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// 256-entry lookup table for the reflected CRC-32/IEEE polynomial
+/// (0xEDB88320), built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG variant) of `data`.
+///
+/// Used to checksum on-disk artifacts; the approved dependency list has no
+/// checksum crate, so the classic reflected table-driven form lives here.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::Truncated)
@@ -248,6 +278,27 @@ mod tests {
         assert_eq!(get_u64_vec(&mut bytes).expect("u64"), vec![7, u64::MAX]);
         assert_eq!(get_string(&mut bytes).expect("string"), "kandian");
         assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from the CRC-32/IEEE check suite (zlib's crc32).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_every_single_byte_flip() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32(&data);
+        for pos in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip at {pos}:{bit} undetected");
+            }
+        }
     }
 
     #[test]

@@ -117,6 +117,29 @@ pub fn log_softmax_in_place(logits: &mut [f32]) {
     }
 }
 
+/// Total-order comparator for descending score sorts (best first) that
+/// ranks NaN strictly worse than every real score, so a broken score sinks
+/// to the end of a ranked list. The common
+/// `partial_cmp(..).unwrap_or(Equal)` idiom instead makes NaN compare equal
+/// to *everything*, which strands it at an arbitrary position — and with
+/// `total_cmp` alone, positive NaN sorts *first* in a descending sort.
+#[inline]
+pub fn nan_last_desc(a: f32, b: f32) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
+/// The same total order as [`nan_last_desc`], ascending (worst score
+/// first): NaN sorts before every real score.
+#[inline]
+pub fn nan_first_asc(a: f32, b: f32) -> std::cmp::Ordering {
+    nan_last_desc(b, a)
+}
+
 /// Index of the largest element; `None` for an empty slice.
 pub fn argmax(a: &[f32]) -> Option<usize> {
     a.iter()
@@ -286,5 +309,40 @@ mod tests {
         assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
         assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
         assert_eq!(top_k_indices(&scores, 99).len(), 5);
+    }
+
+    #[test]
+    fn nan_last_desc_sorts_nan_to_the_bottom() {
+        let mut v = [f32::NAN, 1.0, f32::NAN, 3.0, 2.0];
+        v.sort_by(|a, b| nan_last_desc(*a, *b));
+        assert_eq!(&v[..3], &[3.0, 2.0, 1.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+        // Negative NaN must not sneak to the top the way total_cmp alone allows.
+        let mut w = [-f32::NAN, 5.0, f32::NAN, -5.0];
+        w.sort_by(|a, b| nan_last_desc(*a, *b));
+        assert_eq!(&w[..2], &[5.0, -5.0]);
+        assert!(w[2].is_nan() && w[3].is_nan());
+    }
+
+    #[test]
+    fn nan_first_asc_sorts_nan_to_the_top() {
+        let mut v = [2.0, f32::NAN, 1.0, 3.0, f32::NAN];
+        v.sort_by(|a, b| nan_first_asc(*a, *b));
+        assert!(v[0].is_nan() && v[1].is_nan());
+        assert_eq!(&v[2..], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nan_comparators_are_total_orders() {
+        // Antisymmetry + consistency over a mixed sample — sort_by panics on
+        // comparators violating strict weak ordering, so a full sort is itself
+        // the strongest available check; here we verify pairwise reversal.
+        let sample = [f32::NAN, -f32::NAN, f32::INFINITY, -1.0, 0.0, 7.5];
+        for &a in &sample {
+            for &b in &sample {
+                assert_eq!(nan_last_desc(a, b), nan_last_desc(b, a).reverse());
+                assert_eq!(nan_first_asc(a, b), nan_last_desc(b, a));
+            }
+        }
     }
 }

@@ -90,6 +90,18 @@ pub trait BufMut {
     }
 }
 
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "slice underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
 impl<B: BufMut + ?Sized> BufMut for &mut B {
     fn put_slice(&mut self, src: &[u8]) {
         (**self).put_slice(src)
@@ -125,6 +137,11 @@ impl Bytes {
     /// The unread tail as a slice.
     pub fn as_ref_slice(&self) -> &[u8] {
         &self.data[self.pos..self.end]
+    }
+
+    /// Copies the unread tail into an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref_slice().to_vec()
     }
 
     /// A new `Bytes` over a sub-range of the unread tail, sharing the
@@ -215,6 +232,12 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
     }
 }
 
