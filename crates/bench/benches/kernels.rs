@@ -157,5 +157,38 @@ fn bench_vector_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_backward_gemms, bench_vector_kernels);
+/// The same GEMM shapes through the worker pool at 1/2/4 threads. The
+/// 1-thread entry runs the identical sharded code path serially (the pool
+/// inlines single-shard jobs), so it doubles as the no-regression baseline
+/// for the serial kernels above.
+fn bench_pooled_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_pooled");
+    group.sample_size(20);
+    for (m, k, n) in GEMM_SHAPES {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::gaussian(m, k, 0.5, &mut rng);
+        let b = Matrix::gaussian(k, n, 0.5, &mut rng);
+        for threads in [1usize, 2, 4] {
+            let label = format!("{m}x{k}x{n}/t{threads}");
+            group.bench_with_input(BenchmarkId::new("matmul_pooled", &label), &(), |bch, _| {
+                fvae_pool::set_parallelism(threads);
+                let mut out = Matrix::zeros(m, n);
+                bch.iter(|| {
+                    a.matmul_into_with(&b, &mut out, fvae_pool::global());
+                    black_box(out.get(0, 0))
+                })
+            });
+        }
+    }
+    fvae_pool::set_parallelism(1);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_backward_gemms,
+    bench_vector_kernels,
+    bench_pooled_gemm
+);
 criterion_main!(benches);

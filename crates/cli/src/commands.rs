@@ -3,8 +3,8 @@
 
 use bytes::Bytes;
 use fvae_core::{
-    Checkpointer, EpochStats, Fvae, FvaeConfig, StepCtx, TelemetrySink, TrainObserver,
-    TrainOptions, TrainRun,
+    normalized_snapshot_bytes, Checkpointer, EpochStats, Fvae, FvaeConfig, StepCtx,
+    TelemetrySink, TrainObserver, TrainOptions, TrainRun,
 };
 use fvae_data::{tag_prediction_cases, MultiFieldDataset, SplitIndices, TopicModelConfig};
 use fvae_lookalike::EmbeddingStore;
@@ -21,6 +21,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "embed" => embed(args),
         "evaluate" => evaluate(args),
         "similar" => similar(args),
+        "ckpt-diff" => ckpt_diff(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
     }
@@ -36,13 +37,17 @@ pub fn usage() -> String {
      \x20 generate  --preset sc|sc-small|kd|qb --out DS [--users N] [--seed S]\n\
      \x20 stats     --data DS\n\
      \x20 train     --data DS --out MODEL [--epochs N] [--rate R] [--latent D]\n\
-     \x20           [--batch B] [--lr LR] [--early-stop true]\n\
+     \x20           [--batch B] [--lr LR] [--threads T] [--early-stop true]\n\
      \x20           [--checkpoint-dir DIR] [--checkpoint-every STEPS] [--keep N]\n\
      \x20           [--resume true] [--stop-after STEPS]\n\
      \x20           [--obs-jsonl RUN.jsonl] [--obs-stderr true] [--quiet true]\n\
      \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
      \x20 evaluate  --data DS --model MODEL [--seed S]\n\
-     \x20 similar   --store STORE --user ID [--k K]\n"
+     \x20 similar   --store STORE --user ID [--k K]\n\
+     \x20 ckpt-diff --a SNAP.fvck --b SNAP.fvck\n\
+     \n\
+     --threads (or FVAE_THREADS) sets the worker pool size; results are\n\
+     bit-identical at any thread count.\n"
         .to_string()
 }
 
@@ -120,10 +125,18 @@ impl TrainObserver for CliObserver<'_> {
 
 fn train(args: &Args) -> Result<String, String> {
     args.expect_only(&[
-        "data", "out", "epochs", "rate", "latent", "batch", "lr", "early-stop", "seed",
-        "checkpoint-dir", "checkpoint-every", "keep", "resume", "stop-after",
+        "data", "out", "epochs", "rate", "latent", "batch", "lr", "threads", "early-stop",
+        "seed", "checkpoint-dir", "checkpoint-every", "keep", "resume", "stop-after",
         "obs-jsonl", "obs-stderr", "quiet",
     ])?;
+    if let Some(raw) = args.optional("threads") {
+        let threads: usize = raw
+            .parse()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| format!("flag --threads: expected a positive count, got '{raw}'"))?;
+        fvae_pool::set_parallelism(threads);
+    }
     let early_stop: bool = args.get_or("early-stop", false)?;
     let quiet: bool = args.get_or("quiet", false)?;
     let step_lines: bool = args.get_or("obs-stderr", false)?;
@@ -343,6 +356,30 @@ fn similar(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// Compares two checkpoint snapshots after erasing wall-clock fields (the
+/// only bytes legitimately allowed to differ between otherwise identical
+/// runs). Used by CI to prove 1-thread and N-thread training agree.
+fn ckpt_diff(args: &Args) -> Result<String, String> {
+    args.expect_only(&["a", "b"])?;
+    let path_a = args.required("a")?;
+    let path_b = args.required("b")?;
+    let read_normalized = |path: &str| -> Result<Vec<u8>, String> {
+        let raw = std::fs::read(path).map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+        normalized_snapshot_bytes(&raw).map_err(|e| format!("cannot decode snapshot {path}: {e}"))
+    };
+    let a = read_normalized(path_a)?;
+    let b = read_normalized(path_b)?;
+    if a == b {
+        return Ok(format!("identical: {path_a} == {path_b} ({} bytes, wall-clock erased)\n", a.len()));
+    }
+    let first = a.iter().zip(&b).position(|(x, y)| x != y).unwrap_or(a.len().min(b.len()));
+    Err(format!(
+        "snapshots differ: {path_a} ({} bytes) vs {path_b} ({} bytes), first divergence at byte {first}",
+        a.len(),
+        b.len()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -526,6 +563,64 @@ mod tests {
         let err =
             run(&args("train --data x --out y --stop-after 3")).expect_err("rejected");
         assert!(err.contains("--checkpoint-dir"), "got: {err}");
+    }
+
+    #[test]
+    fn threads_flag_trains_identically_and_ckpt_diff_agrees() {
+        let ds_path = tmp("thr_ds.bin");
+        let model_1 = tmp("thr_model_1.bin");
+        let model_4 = tmp("thr_model_4.bin");
+        let dir_1 = tmp("thr_ckpt_1");
+        let dir_4 = tmp("thr_ckpt_4");
+        let _ = std::fs::remove_dir_all(&dir_1);
+        let _ = std::fs::remove_dir_all(&dir_4);
+        run(&args(&format!(
+            "generate --preset sc-small --users 256 --seed 9 --out {ds_path}"
+        )))
+        .expect("generate");
+
+        for (threads, model, dir) in [(1, &model_1, &dir_1), (4, &model_4, &dir_4)] {
+            run(&args(&format!(
+                "train --data {ds_path} --out {model} --epochs 2 --batch 64 --latent 8 \
+                 --quiet true --threads {threads} --checkpoint-dir {dir} --checkpoint-every 4"
+            )))
+            .expect("train");
+        }
+        let m1 = std::fs::read(&model_1).expect("model at 1 thread");
+        let m4 = std::fs::read(&model_4).expect("model at 4 threads");
+        assert_eq!(m1, m4, "--threads must not change a single output bit");
+
+        // The snapshots agree too, which is exactly what CI's parity smoke
+        // checks through this subcommand.
+        let pick = |dir: &str| {
+            let mut names: Vec<_> = std::fs::read_dir(dir)
+                .expect("ckpt dir")
+                .map(|e| e.expect("entry").path())
+                .filter(|p| p.extension().is_some_and(|x| x == "fvck"))
+                .collect();
+            names.sort();
+            names.last().expect("snapshot written").to_string_lossy().into_owned()
+        };
+        let (snap_1, snap_4) = (pick(&dir_1), pick(&dir_4));
+        let out = run(&args(&format!("ckpt-diff --a {snap_1} --b {snap_4}")))
+            .expect("snapshots must normalize to identical bytes");
+        assert!(out.contains("identical"), "got: {out}");
+
+        // Different snapshots (other step counts) must be flagged.
+        let earlier = {
+            let mut names: Vec<_> = std::fs::read_dir(&dir_1)
+                .expect("ckpt dir")
+                .map(|e| e.expect("entry").path())
+                .filter(|p| p.extension().is_some_and(|x| x == "fvck"))
+                .collect();
+            names.sort();
+            names.first().expect("snapshot").to_string_lossy().into_owned()
+        };
+        let err = run(&args(&format!("ckpt-diff --a {snap_1} --b {earlier}")))
+            .expect_err("different steps must differ");
+        assert!(err.contains("snapshots differ"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir_1);
+        let _ = std::fs::remove_dir_all(&dir_4);
     }
 
     #[test]

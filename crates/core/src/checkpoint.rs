@@ -579,6 +579,47 @@ pub fn decode_snapshot(data: &[u8]) -> Result<TrainSnapshot, SnapshotError> {
     Ok(TrainSnapshot { model, opt, rng_state, progress, early_stop })
 }
 
+/// Snapshot bytes with wall-clock telemetry zeroed, for byte comparison of
+/// runs that should be numerically identical (e.g. the same seeded run at
+/// different thread counts).
+///
+/// Every section of a snapshot is a pure function of the training
+/// computation *except* the per-epoch `wall_secs` / `users_per_sec` stats
+/// inside the early-stopping section. Plain checkpointed runs carry no such
+/// section and pass through unchanged; early-stopping snapshots get that one
+/// section re-encoded with the wall fields zeroed (same length — only f64
+/// values change) and the trailing CRC recomputed.
+pub fn normalized_snapshot_bytes(data: &[u8]) -> Result<Vec<u8>, SnapshotError> {
+    let snap = decode_snapshot(data)?; // validates framing + CRC first
+    let Some(mut es) = snap.early_stop else {
+        return Ok(data.to_vec());
+    };
+    for e in &mut es.epochs {
+        e.wall_secs = 0.0;
+        e.users_per_sec = 0.0;
+    }
+    let n_sections = data[6] as usize;
+    let table_end = 7 + n_sections * 9;
+    let mut table = &data[7..table_end];
+    let mut offset = table_end;
+    let mut out = data.to_vec();
+    for _ in 0..n_sections {
+        let tag = table.get_u8();
+        let len = table.get_u64_le() as usize;
+        if tag == SEC_EARLY_STOP {
+            let mut buf = BytesMut::new();
+            put_early_stop(&mut buf, &es);
+            assert_eq!(buf.len(), len, "normalization must not change the section length");
+            out[offset..offset + len].copy_from_slice(buf.as_ref());
+        }
+        offset += len;
+    }
+    let body_end = out.len() - 4;
+    let crc = crc32(&out[..body_end]);
+    out[body_end..].copy_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Persistence
 // ---------------------------------------------------------------------------
@@ -913,6 +954,37 @@ mod tests {
             model.to_bytes().as_ref(),
             "model must round-trip bit-identically"
         );
+    }
+
+    #[test]
+    fn normalization_erases_only_wall_clock_fields() {
+        let ds = tiny_ds();
+        let (model, opt) = trained(&ds);
+        let progress = sample_progress();
+        let mut es_a = sample_early_stop();
+        let mut es_b = sample_early_stop();
+        es_a.epochs[0].wall_secs = 0.5;
+        es_a.epochs[0].users_per_sec = 48.0;
+        es_b.epochs[0].wall_secs = 7.25;
+        es_b.epochs[0].users_per_sec = 3.125;
+        let a = encode_snapshot(&model, &opt, [1, 2, 3, 4], &progress, Some(&es_a));
+        let b = encode_snapshot(&model, &opt, [1, 2, 3, 4], &progress, Some(&es_b));
+        assert_ne!(a.as_ref(), b.as_ref(), "wall clock must make raw bytes differ");
+        let na = normalized_snapshot_bytes(a.as_ref()).expect("normalizes");
+        let nb = normalized_snapshot_bytes(b.as_ref()).expect("normalizes");
+        assert_eq!(na, nb, "runs differing only in wall clock must normalize equal");
+        // Normalized bytes are still a valid snapshot, and non-telemetry
+        // content survived.
+        let snap = decode_snapshot(&na).expect("still decodes");
+        assert_eq!(snap.progress, progress);
+        assert_eq!(snap.early_stop.as_ref().expect("present").epochs[0].wall_secs, 0.0);
+        assert_eq!(
+            snap.early_stop.as_ref().expect("present").epochs[0].recon.to_bits(),
+            es_a.epochs[0].recon.to_bits()
+        );
+        // No early-stop section → bytes pass through untouched.
+        let plain = encode_snapshot(&model, &opt, [1, 2, 3, 4], &progress, None);
+        assert_eq!(normalized_snapshot_bytes(plain.as_ref()).expect("ok"), plain.as_ref());
     }
 
     #[test]

@@ -78,7 +78,8 @@ pub mod train;
 pub mod validate;
 
 pub use checkpoint::{
-    Checkpointer, LoadedSnapshot, ResumePoint, SnapshotError, TrainProgress, TrainSnapshot,
+    normalized_snapshot_bytes, Checkpointer, LoadedSnapshot, ResumePoint, SnapshotError,
+    TrainProgress, TrainSnapshot,
 };
 pub use config::{FvaeConfig, SamplingConfig};
 pub use model::Fvae;

@@ -198,16 +198,11 @@ impl Fvae {
         slots.resize_with(self.cfg.n_fields, Vec::new);
         slots.truncate(self.cfg.n_fields);
         let rng = &mut self.rng;
+        let pool = fvae_pool::global();
         for (k, bag) in self.bags.iter_mut().enumerate() {
-            bag.accumulate_batch_into(
-                input.ids[k]
-                    .iter()
-                    .zip(input.vals[k].iter())
-                    .map(|(i, v)| (i.as_slice(), v.as_slice())),
-                rng,
-                x0,
-                &mut slots[k],
-            );
+            // Serial ID insertion (RNG order preserved) + pooled row
+            // accumulation — bit-identical to the serial path.
+            bag.accumulate_batch_sharded(&input.ids[k], &input.vals[k], rng, x0, &mut slots[k], pool);
         }
         for r in 0..batch {
             let row = x0.row_mut(r);
@@ -505,28 +500,37 @@ impl Fvae {
     }
 
     /// [`Fvae::kl_and_grads`] writing into caller-owned buffers.
+    ///
+    /// The `f64` KL sum crosses the whole batch, so it accumulates into
+    /// [`fvae_pool::REDUCE_SHARDS`] **fixed** per-shard partials (serial
+    /// element order within each shard) combined in fixed shard order — the
+    /// bits depend only on the batch, never on the thread count.
     pub(crate) fn kl_and_grads_into(
         mu: &Matrix,
         logvar: &Matrix,
         dmu: &mut Matrix,
         dlogvar: &mut Matrix,
     ) -> f32 {
-        let mut kl = 0.0f64;
+        use fvae_pool::{SendPtr, REDUCE_SHARDS};
         // dKL/dμ = μ.
         dmu.resize_zeroed(mu.rows(), mu.cols());
         dmu.as_mut_slice().copy_from_slice(mu.as_slice());
         dlogvar.resize_zeroed(logvar.rows(), logvar.cols());
-        for ((&m, &lv), dl) in mu
-            .as_slice()
-            .iter()
-            .zip(logvar.as_slice())
-            .zip(dlogvar.as_mut_slice().iter_mut())
-        {
-            let var = lv.exp();
-            kl += 0.5 * ((m * m + var - 1.0 - lv) as f64);
-            *dl = 0.5 * (var - 1.0);
-        }
-        kl as f32
+        let mus = mu.as_slice();
+        let lvs = logvar.as_slice();
+        let n = mus.len();
+        let mut partials = [0.0f64; REDUCE_SHARDS];
+        let base_dl = SendPtr::new(dlogvar.as_mut_slice().as_mut_ptr());
+        fvae_pool::global().run_sharded(&mut partials, |s, part| {
+            for i in fvae_pool::shard_range(n, REDUCE_SHARDS, s, 1) {
+                let (m, lv) = (mus[i], lvs[i]);
+                let var = lv.exp();
+                *part += 0.5 * ((m * m + var - 1.0 - lv) as f64);
+                // Element ranges are shard-disjoint.
+                unsafe { *base_dl.get().add(i) = 0.5 * (var - 1.0) };
+            }
+        });
+        partials.iter().sum::<f64>() as f32
     }
 }
 

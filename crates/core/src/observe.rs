@@ -146,6 +146,10 @@ pub struct TelemetrySink {
     scratch_takes_gauge: Gauge,
     scratch_recycles_gauge: Gauge,
     scratch_pooled_gauge: Gauge,
+    pool_parallelism_gauge: Gauge,
+    pool_parallel_jobs_gauge: Gauge,
+    pool_serial_jobs_gauge: Gauge,
+    pool_shards_gauge: Gauge,
     jsonl: Option<JsonlSink>,
     heartbeat: bool,
     step_lines: bool,
@@ -179,6 +183,10 @@ impl TelemetrySink {
             scratch_takes_gauge: registry.gauge("fvae_nn_scratch_takes"),
             scratch_recycles_gauge: registry.gauge("fvae_nn_scratch_recycles"),
             scratch_pooled_gauge: registry.gauge("fvae_nn_scratch_pooled"),
+            pool_parallelism_gauge: registry.gauge("fvae_pool_parallelism"),
+            pool_parallel_jobs_gauge: registry.gauge("fvae_pool_parallel_jobs_total"),
+            pool_serial_jobs_gauge: registry.gauge("fvae_pool_serial_jobs_total"),
+            pool_shards_gauge: registry.gauge("fvae_pool_shards_total"),
             registry,
             jsonl: None,
             heartbeat: false,
@@ -261,6 +269,11 @@ impl TrainObserver for TelemetrySink {
         self.scratch_takes_gauge.set(ctx.scratch.takes as f64);
         self.scratch_recycles_gauge.set(ctx.scratch.recycles as f64);
         self.scratch_pooled_gauge.set(ctx.scratch.pooled as f64);
+        let pool = fvae_pool::stats();
+        self.pool_parallelism_gauge.set(pool.parallelism as f64);
+        self.pool_parallel_jobs_gauge.set(pool.parallel_jobs as f64);
+        self.pool_serial_jobs_gauge.set(pool.serial_jobs as f64);
+        self.pool_shards_gauge.set(pool.shards as f64);
         if let Some(sink) = &mut self.jsonl {
             let mut o = JsonObj::new();
             o.str("type", "step")
@@ -271,7 +284,10 @@ impl TrainObserver for TelemetrySink {
             ctx.phases.write_json(&mut o, "phase_ns");
             o.u64("scratch_allocs", ctx.scratch.allocs)
                 .u64("scratch_takes", ctx.scratch.takes)
-                .usize("scratch_pooled", ctx.scratch.pooled);
+                .usize("scratch_pooled", ctx.scratch.pooled)
+                .usize("pool_parallelism", pool.parallelism)
+                .u64("pool_parallel_jobs", pool.parallel_jobs)
+                .u64("pool_serial_jobs", pool.serial_jobs);
             let _ = sink.write_record(&o.finish());
         }
         if self.step_lines {

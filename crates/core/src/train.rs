@@ -3,7 +3,7 @@
 
 use fvae_data::{split::shuffled_batches, MultiFieldDataset};
 use fvae_nn::{
-    Adam, AdamState, DenseGrads, GradClip, MlpGrads, RowGrads, SampledSoftmaxOutput,
+    Adam, AdamState, DenseGrads, GradClip, MlpGrads, SampledSoftmaxOutput, ShardedRowGrads,
     SoftmaxBatch, Workspace,
 };
 use fvae_sparse::{FastHashMap, FastHashSet};
@@ -175,7 +175,7 @@ pub(crate) struct TrainScratch {
     dlogits: Matrix,
     dh_k: Matrix,
     db_dense: Vec<f32>,
-    head_dw: Vec<RowGrads>,
+    head_dw: Vec<ShardedRowGrads>,
     head_db: Vec<Vec<(usize, f32)>>,
     head_active: Vec<bool>,
     // KL / latent backward.
@@ -192,7 +192,7 @@ pub(crate) struct TrainScratch {
     extra_grads: MlpGrads,
     dx0: Matrix,
     bias_grad: Vec<f32>,
-    bag_grads: Vec<RowGrads>,
+    bag_grads: Vec<ShardedRowGrads>,
     /// Per-phase wall time of the most recent step (observability timeline).
     phases: PhaseNs,
 }
@@ -496,7 +496,7 @@ impl Fvae {
         let mut total_candidates = 0usize;
         sc.head_active.clear();
         sc.head_active.resize(n_fields, false);
-        sc.head_dw.resize_with(n_fields, RowGrads::default);
+        sc.head_dw.resize_with(n_fields, ShardedRowGrads::default);
         sc.head_db.resize_with(n_fields, Vec::new);
         for k in 0..n_fields {
             // Batch-unique features with in-batch frequencies (the batched
@@ -589,7 +589,7 @@ impl Fvae {
             let scale = self.cfg.alpha[k] / alpha_norm;
             recon += scale * loss_k * inv_b;
             sc.dlogits.scale(scale * inv_b);
-            self.heads[k].backward_into(
+            self.heads[k].backward_sharded_into(
                 sc.trunk_acts.last().expect("non-empty"),
                 &sc.sm,
                 &sc.dlogits,
@@ -597,7 +597,7 @@ impl Fvae {
                 &mut sc.head_dw[k],
                 &mut sc.head_db[k],
                 &mut sc.db_dense,
-                &mut sc.ws,
+                fvae_pool::global(),
             );
             sc.dh_dec.add_assign(&sc.dh_k);
             sc.head_active[k] = true;
@@ -686,14 +686,14 @@ impl Fvae {
             *dv *= 1.0 - y * y;
         }
         sc.dx0.col_sums_into(&mut sc.bias_grad);
-        sc.bag_grads.resize_with(n_fields, RowGrads::default);
+        sc.bag_grads.resize_with(n_fields, ShardedRowGrads::default);
         for k in 0..n_fields {
-            self.bags[k].backward_into(
+            self.bags[k].backward_sharded_into(
                 &sc.slots[k],
-                sc.input.vals[k].iter().map(|v| v.as_slice()),
+                &sc.input.vals[k],
                 &sc.dx0,
                 &mut sc.bag_grads[k],
-                &mut sc.ws,
+                fvae_pool::global(),
             );
         }
 
@@ -751,7 +751,7 @@ impl Fvae {
         let adam = *adam;
         for (k, grads) in sc.bag_grads.iter().enumerate() {
             let dim = self.bags[k].dim();
-            adam.step_rows(&mut opt_bags[k], self.bags[k].weights_mut(), dim, grads);
+            adam.step_rows(&mut opt_bags[k], self.bags[k].weights_mut(), dim, grads.merged());
         }
         adam.step_slice(opt_enc_bias, &mut self.enc_bias, &sc.bias_grad);
         if let Some(mlp) = self.enc_extra.as_mut() {
@@ -782,7 +782,14 @@ impl Fvae {
         for k in 0..self.cfg.n_fields {
             if sc.head_active[k] {
                 let dim = self.heads[k].dim();
-                adam.step_rows(&mut heads_w[k], self.heads[k].weights_mut(), dim, &sc.head_dw[k]);
+                // Candidate columns are batch-unique, so head shard maps
+                // hold disjoint slots — no merge, walk them in fixed order.
+                adam.step_rows_multi(
+                    &mut heads_w[k],
+                    self.heads[k].weights_mut(),
+                    dim,
+                    sc.head_dw[k].shard_maps(),
+                );
                 adam.step_scalars(&mut heads_b[k], self.heads[k].bias_mut(), &sc.head_db[k]);
             }
         }
@@ -818,7 +825,10 @@ impl FvaeOptHandle {
     /// from pooled capacity. Flat across steps ⇒ the hot path is
     /// allocation-free in steady state.
     pub fn scratch_allocs(&self) -> u64 {
-        self.0.scratch.ws.allocs()
+        let sc = &self.0.scratch;
+        sc.ws.allocs()
+            + sc.head_dw.iter().map(ShardedRowGrads::allocs).sum::<u64>()
+            + sc.bag_grads.iter().map(ShardedRowGrads::allocs).sum::<u64>()
     }
 
     /// Full scratch-arena counters after the most recent step.

@@ -116,6 +116,80 @@ fn killed_and_resumed_run_is_bit_identical() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Checkpointing composed with the thread pool: a 4-thread run that is
+/// killed mid-epoch and resumed must be byte-identical to the uninterrupted
+/// run AND to a 1-thread run — snapshots taken on one thread count must
+/// restore losslessly under another.
+#[test]
+fn threaded_kill_and_resume_matches_one_thread_byte_for_byte() {
+    fvae_pool::set_parallelism(1);
+    let (ref_bytes, ref_recon, ref_kl) = uninterrupted();
+
+    let ds = dataset();
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    let dir = fresh_dir("fvae_ckpt_threaded_resume_test");
+    let cp = Checkpointer::new(&dir, 3, 5).expect("create checkpointer");
+
+    // Kill a 4-thread run after 7 of 15 steps.
+    fvae_pool::set_parallelism(4);
+    assert_eq!(fvae_pool::parallelism(), 4, "global pool must accept 4 threads");
+    let mut killed = Fvae::new(config(&ds));
+    let outcome = killed
+        .train_checkpointed(
+            &ds,
+            &users,
+            3,
+            &mut NullObserver,
+            TrainRun { checkpointer: Some(&cp), resume: None, stop_after_steps: Some(7) },
+        )
+        .expect("checkpointed run");
+    assert!(!outcome.completed);
+
+    // Resume on 1 thread: the snapshot must not care who wrote it.
+    fvae_pool::set_parallelism(1);
+    let loaded = Checkpointer::load_latest(&dir).expect("load").expect("snapshot present");
+    assert_eq!(loaded.snapshot.progress().global_step, 7);
+    let (mut resumed, rp) = loaded.snapshot.into_resume();
+    let outcome = resumed
+        .train_checkpointed(
+            &ds,
+            &users,
+            3,
+            &mut NullObserver,
+            TrainRun { checkpointer: None, resume: Some(rp), stop_after_steps: None },
+        )
+        .expect("resumed run");
+    assert!(outcome.completed);
+    assert_eq!(
+        resumed.to_bytes().to_vec(),
+        ref_bytes,
+        "4-thread kill + 1-thread resume must match the uninterrupted reference"
+    );
+    assert_eq!(outcome.last_epoch.recon.to_bits(), ref_recon);
+    assert_eq!(outcome.last_epoch.kl.to_bits(), ref_kl);
+
+    // And the fully-threaded variant: 4-thread resume of the same snapshot.
+    fvae_pool::set_parallelism(4);
+    let loaded = Checkpointer::load_latest(&dir).expect("load").expect("snapshot present");
+    let (mut resumed4, rp) = loaded.snapshot.into_resume();
+    let outcome = resumed4
+        .train_checkpointed(
+            &ds,
+            &users,
+            3,
+            &mut NullObserver,
+            TrainRun { checkpointer: None, resume: Some(rp), stop_after_steps: None },
+        )
+        .expect("resumed run");
+    assert!(outcome.completed);
+    assert_eq!(
+        resumed4.to_bytes().to_vec(),
+        ref_bytes,
+        "4-thread resume must also match the uninterrupted reference"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn resume_falls_back_over_a_corrupt_snapshot_and_stays_bit_identical() {
     let (ref_bytes, _, _) = uninterrupted();

@@ -1,0 +1,141 @@
+//! Thread-count invisibility: the same seeded training run must produce
+//! **bit-identical** results at 1, 2, and 4 threads — final weights, Adam
+//! moments, RNG state, loss accounting, and every checkpoint byte.
+//!
+//! This holds because the pooled hot path never lets summation order depend
+//! on scheduling: output-disjoint kernels replay the serial operation
+//! sequence inside each shard, and every cross-sample reduction (multinomial
+//! loss, KL, embedding gradients) accumulates into a *fixed* number of
+//! shards combined in fixed order ([`fvae_pool::REDUCE_SHARDS`]), no matter
+//! how many workers ran them.
+
+use std::fs;
+use std::path::PathBuf;
+
+use fvae_core::{
+    normalized_snapshot_bytes, Checkpointer, Fvae, FvaeConfig, NullObserver, TrainRun,
+};
+use fvae_data::{FieldSpec, MultiFieldDataset, TopicModelConfig};
+
+fn dataset() -> MultiFieldDataset {
+    TopicModelConfig {
+        n_users: 120,
+        n_topics: 3,
+        alpha: 0.15,
+        fields: vec![FieldSpec::new("ch", 12, 3, 1.0), FieldSpec::new("tag", 48, 5, 1.0)],
+        pair_prob: 0.0,
+        seed: 33,
+    }
+    .generate()
+}
+
+/// Exercises every RNG consumer on the training path (dropout,
+/// reparametrization, feature sampling, negative padding) plus every pooled
+/// kernel, so parity here covers the whole hot path.
+fn config(ds: &MultiFieldDataset) -> FvaeConfig {
+    let mut cfg = FvaeConfig::for_dataset(ds);
+    cfg.latent_dim = 8;
+    cfg.enc_hidden = 16;
+    cfg.dec_hidden = vec![16];
+    cfg.batch_size = 24;
+    cfg.dropout = 0.1;
+    cfg.anneal_steps = 20;
+    cfg.sampling.rate = 0.6;
+    cfg.sampling.sampled_fields = vec![false, true];
+    cfg
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+struct RunArtifacts {
+    model_bytes: Vec<u8>,
+    recon_bits: u32,
+    kl_bits: u32,
+    /// `(file name, raw bytes, wall-clock-normalized bytes)` per snapshot.
+    snapshots: Vec<(String, Vec<u8>, Vec<u8>)>,
+}
+
+fn train_at(threads: usize, dir_name: &str) -> RunArtifacts {
+    fvae_pool::set_parallelism(threads);
+    // The global pool's capacity floor (MIN_GLOBAL_CAPACITY = 4) guarantees
+    // these thread counts are honored even on small CI runners.
+    assert_eq!(fvae_pool::parallelism(), threads, "global pool must accept {threads} threads");
+    let ds = dataset();
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    let dir = fresh_dir(dir_name);
+    let cp = Checkpointer::new(&dir, 3, 10).expect("create checkpointer");
+    let mut model = Fvae::new(config(&ds));
+    let outcome = model
+        .train_checkpointed(
+            &ds,
+            &users,
+            3,
+            &mut NullObserver,
+            TrainRun { checkpointer: Some(&cp), resume: None, stop_after_steps: None },
+        )
+        .expect("checkpointed run");
+    assert!(outcome.completed);
+    assert_eq!(outcome.global_step, 15, "120 users / batch 24 = 5 steps x 3 epochs");
+
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("read checkpoint dir")
+        .map(|e| e.expect("dir entry").file_name().into_string().expect("utf-8 name"))
+        .filter(|n| n.ends_with(".fvck"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 4, "periodic snapshots expected, got {names:?}");
+    let snapshots = names
+        .into_iter()
+        .map(|n| {
+            let raw = fs::read(dir.join(&n)).expect("read snapshot");
+            let norm = normalized_snapshot_bytes(&raw).expect("valid snapshot");
+            (n, raw, norm)
+        })
+        .collect();
+    let _ = fs::remove_dir_all(&dir);
+    RunArtifacts {
+        model_bytes: model.to_bytes().to_vec(),
+        recon_bits: outcome.last_epoch.recon.to_bits(),
+        kl_bits: outcome.last_epoch.kl.to_bits(),
+        snapshots,
+    }
+}
+
+#[test]
+fn training_is_bit_identical_at_1_2_and_4_threads() {
+    let reference = train_at(1, "fvae_parity_t1");
+    for threads in [2usize, 4] {
+        let got = train_at(threads, &format!("fvae_parity_t{threads}"));
+        assert_eq!(
+            got.model_bytes, reference.model_bytes,
+            "weights + hash tables + anneal state must be bit-identical at {threads} threads"
+        );
+        assert_eq!(
+            got.recon_bits, reference.recon_bits,
+            "epoch recon accounting must match at {threads} threads"
+        );
+        assert_eq!(got.kl_bits, reference.kl_bits, "epoch KL must match at {threads} threads");
+        assert_eq!(
+            got.snapshots.len(),
+            reference.snapshots.len(),
+            "same snapshot schedule at {threads} threads"
+        );
+        for ((name_a, raw_a, norm_a), (name_b, raw_b, norm_b)) in
+            got.snapshots.iter().zip(&reference.snapshots)
+        {
+            assert_eq!(name_a, name_b, "snapshot file names must match");
+            // A snapshot bundles model, Adam moments, RNG state, and
+            // progress; plain training writes no wall-clock section, so even
+            // the *raw* files must be byte-equal across thread counts.
+            assert_eq!(
+                raw_a, raw_b,
+                "checkpoint {name_a} must be byte-identical at {threads} threads"
+            );
+            assert_eq!(norm_a, norm_b, "normalized bytes must also agree ({name_a})");
+        }
+    }
+}

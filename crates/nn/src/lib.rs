@@ -25,6 +25,7 @@ pub mod embedding;
 pub mod mlp;
 pub mod optim;
 pub mod serialize;
+pub mod sharded;
 pub mod softmax_out;
 pub mod workspace;
 
@@ -34,5 +35,6 @@ pub use dropout::Dropout;
 pub use embedding::{EmbeddingBag, RowGrads};
 pub use mlp::{Mlp, MlpGrads};
 pub use optim::{Adam, AdamState, GradClip, Sgd};
+pub use sharded::ShardedRowGrads;
 pub use softmax_out::{SampledSoftmaxOutput, SoftmaxBatch};
 pub use workspace::{Workspace, WorkspaceStats};

@@ -161,6 +161,41 @@ impl Adam {
         }
     }
 
+    /// [`Adam::step_rows`] over several gradient maps holding **disjoint**
+    /// slot sets (the fixed-shard maps of a column-sharded backward pass).
+    /// The bias-correction step `t` advances once for the whole group, and
+    /// per-slot updates are independent, so walking the maps in any order
+    /// yields the same bits as a single combined map.
+    pub fn step_rows_multi<'a>(
+        &self,
+        state: &mut AdamState,
+        param: &mut [f32],
+        dim: usize,
+        grad_maps: impl Iterator<Item = &'a RowGrads>,
+    ) {
+        state.ensure_len(param.len());
+        state.t += 1;
+        let corr1 = 1.0 - self.beta1.powi(state.t as i32);
+        let corr2 = 1.0 - self.beta2.powi(state.t as i32);
+        for row_grads in grad_maps {
+            for (&slot, grad) in row_grads {
+                let start = slot * dim;
+                debug_assert!(start + dim <= param.len(), "slot beyond parameter buffer");
+                for (d, &g) in grad.iter().enumerate().take(dim) {
+                    let i = start + d;
+                    self.apply_one(
+                        &mut param[i],
+                        g,
+                        &mut state.m[i],
+                        &mut state.v[i],
+                        corr1,
+                        corr2,
+                    );
+                }
+            }
+        }
+    }
+
     /// Lazy sparse update of scalar-per-slot parameters (output biases).
     pub fn step_scalars(
         &self,

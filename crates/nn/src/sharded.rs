@@ -1,0 +1,170 @@
+//! Fixed-shard sparse gradient accumulation.
+//!
+//! Parallel backward passes cannot scatter into one shared [`RowGrads`] map
+//! without locks — and locked accumulation would make summation order (and
+//! therefore bits) depend on thread scheduling. [`ShardedRowGrads`] is the
+//! deterministic alternative: a **fixed** number of per-shard maps
+//! ([`fvae_pool::REDUCE_SHARDS`], independent of the thread count), each
+//! paired with its own [`Workspace`] so gradient rows recycle within their
+//! shard and the zero-steady-state-allocation invariant holds per shard.
+//!
+//! Two consumption modes, matching the two sharding geometries:
+//!
+//! * **Disjoint keys** (sampled-softmax weight grads, sharded over candidate
+//!   *columns*): every slot lives in exactly one shard map, so the optimizer
+//!   walks the maps directly via [`Adam::step_rows_multi`] — no merge.
+//! * **Overlapping keys** (embedding-bag grads, sharded over batch *rows*
+//!   where samples share features): [`ShardedRowGrads::merge`] combines the
+//!   shard maps into one in **fixed shard order**, so a slot touched by
+//!   several shards always sums its partials in the same sequence no matter
+//!   how many threads ran the backward pass.
+//!
+//! [`Adam::step_rows_multi`]: crate::Adam::step_rows_multi
+
+use fvae_pool::REDUCE_SHARDS;
+
+use crate::embedding::RowGrads;
+use crate::workspace::Workspace;
+
+/// Sparse gradients accumulated into a fixed number of per-shard maps.
+#[derive(Default)]
+pub struct ShardedRowGrads {
+    /// One `(map, scratch)` pair per reduction shard. Boxed in a `Vec` so
+    /// the pool can hand each shard a disjoint `&mut`.
+    shards: Vec<(RowGrads, Workspace)>,
+    /// Shard-order combination of the shard maps (see [`Self::merge`]).
+    merged: RowGrads,
+    merged_ws: Workspace,
+}
+
+impl ShardedRowGrads {
+    /// Drains every shard map (and the merged map) back into its paired
+    /// workspace, readying the accumulator for a new backward pass. Grows
+    /// the shard list to [`REDUCE_SHARDS`] on first use.
+    pub fn reset(&mut self) {
+        if self.shards.len() < REDUCE_SHARDS {
+            self.shards.resize_with(REDUCE_SHARDS, Default::default);
+        }
+        for (map, ws) in &mut self.shards {
+            for (_, g) in map.drain() {
+                ws.recycle_vec(g);
+            }
+        }
+        for (_, g) in self.merged.drain() {
+            self.merged_ws.recycle_vec(g);
+        }
+    }
+
+    /// The per-shard `(map, workspace)` slots, for
+    /// [`fvae_pool::ThreadPool::run_sharded`]. Call [`Self::reset`] first.
+    pub fn shard_slots(&mut self) -> &mut [(RowGrads, Workspace)] {
+        &mut self.shards
+    }
+
+    /// The shard maps, in fixed shard order.
+    pub fn shard_maps(&self) -> impl Iterator<Item = &RowGrads> {
+        self.shards.iter().map(|(m, _)| m)
+    }
+
+    /// Combines the shard maps into [`Self::merged`], visiting shards in
+    /// fixed order so overlapping slots always sum their per-shard partials
+    /// in the same sequence. Shard rows recycle into their own workspaces.
+    pub fn merge(&mut self, dim: usize) {
+        for (map, ws) in &mut self.shards {
+            for (slot, g) in map.drain() {
+                let acc =
+                    self.merged.entry(slot).or_insert_with(|| self.merged_ws.take_vec(dim));
+                for (a, &v) in acc.iter_mut().zip(g.iter()) {
+                    *a += v;
+                }
+                ws.recycle_vec(g);
+            }
+        }
+    }
+
+    /// The merged map ([`Self::merge`] must have run since the last
+    /// [`Self::reset`]).
+    pub fn merged(&self) -> &RowGrads {
+        &self.merged
+    }
+
+    /// Total slots across shard maps plus the merged map (a backward pass
+    /// populates one or the other, never both).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|(m, _)| m.len()).sum::<usize>() + self.merged.len()
+    }
+
+    /// True when no gradients are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates every `(slot, row)` pair across shard maps and the merged
+    /// map (test/diagnostic use; order follows map iteration).
+    pub fn iter(&self) -> impl Iterator<Item = (&usize, &Vec<f32>)> {
+        self.shards.iter().flat_map(|(m, _)| m.iter()).chain(self.merged.iter())
+    }
+
+    /// Cumulative allocation count across every internal workspace. Flat
+    /// across steps ⇒ sharded accumulation is allocation-free in steady
+    /// state.
+    pub fn allocs(&self) -> u64 {
+        self.shards.iter().map(|(_, ws)| ws.allocs()).sum::<u64>() + self.merged_ws.allocs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(sharded: &mut ShardedRowGrads, contributions: &[(usize, usize, f32)]) {
+        // (shard, slot, value): accumulate value into the slot's row.
+        sharded.reset();
+        for &(shard, slot, v) in contributions {
+            let (map, ws) = &mut sharded.shard_slots()[shard];
+            let g = map.entry(slot).or_insert_with(|| ws.take_vec(2));
+            g[0] += v;
+            g[1] += 2.0 * v;
+        }
+    }
+
+    #[test]
+    fn merge_sums_overlapping_slots_in_shard_order() {
+        let mut sharded = ShardedRowGrads::default();
+        fill(&mut sharded, &[(0, 5, 1.0), (3, 5, 10.0), (7, 5, 100.0), (1, 2, 4.0)]);
+        sharded.merge(2);
+        let merged = sharded.merged();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[&5][0], 111.0);
+        assert_eq!(merged[&5][1], 222.0);
+        assert_eq!(merged[&2][0], 4.0);
+    }
+
+    #[test]
+    fn reset_recycles_and_allocs_stay_flat() {
+        let mut sharded = ShardedRowGrads::default();
+        for _ in 0..3 {
+            fill(&mut sharded, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+            sharded.merge(2);
+        }
+        let warm = sharded.allocs();
+        for _ in 0..10 {
+            fill(&mut sharded, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+            sharded.merge(2);
+        }
+        assert_eq!(sharded.allocs(), warm, "steady-state sharded accumulation must not allocate");
+    }
+
+    #[test]
+    fn merge_is_identical_regardless_of_fill_interleaving() {
+        // The guarantee the trainer relies on: only (shard, slot) totals
+        // matter, not which worker/when wrote them.
+        let mut a = ShardedRowGrads::default();
+        fill(&mut a, &[(0, 9, 0.1), (4, 9, 0.3), (6, 9, 0.7)]);
+        a.merge(2);
+        let mut b = ShardedRowGrads::default();
+        fill(&mut b, &[(6, 9, 0.7), (0, 9, 0.1), (4, 9, 0.3)]);
+        b.merge(2);
+        assert_eq!(a.merged()[&9][0].to_bits(), b.merged()[&9][0].to_bits());
+    }
+}

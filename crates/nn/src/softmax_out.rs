@@ -12,12 +12,14 @@
 //! dynamic hash table as the input embeddings, so the output vocabulary also
 //! grows on demand.
 
+use fvae_pool::{SendPtr, ThreadPool, REDUCE_SHARDS};
 use fvae_sparse::DynamicHashTable;
 use fvae_tensor::dist::Gaussian;
 use fvae_tensor::Matrix;
 use rand::Rng;
 
 use crate::embedding::RowGrads;
+use crate::sharded::ShardedRowGrads;
 use crate::workspace::Workspace;
 
 /// Cached state of one batched-softmax forward pass.
@@ -132,6 +134,12 @@ impl SampledSoftmaxOutput {
 
     /// [`SampledSoftmaxOutput::forward`] writing into a caller-owned batch
     /// cache whose probability matrix and slot list are reused across steps.
+    ///
+    /// Candidate insertion stays serial (it consumes the RNG, so its order is
+    /// part of the determinism contract); the per-row logit + softmax work
+    /// then fans out across the global pool. Each shard owns disjoint output
+    /// rows and the per-row candidate walk matches the serial kernel, so the
+    /// probabilities are bit-identical at every thread count.
     pub fn forward_into(
         &mut self,
         h: &Matrix,
@@ -146,17 +154,27 @@ impl SampledSoftmaxOutput {
             let slot = self.slot_or_insert(id, rng) as u32;
             out.slots.push(slot);
         }
-        out.probs.resize_zeroed(h.rows(), out.slots.len());
-        for r in 0..h.rows() {
-            let h_row = h.row(r);
-            let row = out.probs.row_mut(r);
-            for (o, &slot) in row.iter_mut().zip(out.slots.iter()) {
-                let slot = slot as usize;
-                let w = &self.weights[slot * self.dim..(slot + 1) * self.dim];
-                *o = fvae_tensor::ops::dot(h_row, w) + self.bias[slot];
+        let SoftmaxBatch { probs, slots } = out;
+        let rows = h.rows();
+        let c = slots.len();
+        let dim = self.dim;
+        let (weights, bias) = (&self.weights, &self.bias);
+        probs.resize_zeroed(rows, c);
+        let pool = fvae_pool::global();
+        let n_shards = fvae_pool::balanced_shards(rows, pool.parallelism());
+        let base = SendPtr::new(probs.as_mut_slice().as_mut_ptr());
+        pool.run(n_shards, |s| {
+            for r in fvae_pool::shard_range(rows, n_shards, s, 1) {
+                let h_row = h.row(r);
+                let row = unsafe { std::slice::from_raw_parts_mut(base.get().add(r * c), c) };
+                for (o, &slot) in row.iter_mut().zip(slots.iter()) {
+                    let slot = slot as usize;
+                    let w = &weights[slot * dim..(slot + 1) * dim];
+                    *o = fvae_tensor::ops::dot(h_row, w) + bias[slot];
+                }
+                fvae_tensor::ops::softmax_in_place(row);
             }
-            fvae_tensor::ops::softmax_in_place(row);
-        }
+        });
     }
 
     /// Multinomial negative log-likelihood and its logit gradient.
@@ -175,32 +193,56 @@ impl SampledSoftmaxOutput {
     }
 
     /// [`SampledSoftmaxOutput::multinomial_loss`] writing the logit gradient
-    /// into a caller-owned buffer, reshaped in place.
+    /// into a caller-owned buffer, reshaped in place. Runs on the global
+    /// thread pool.
     pub fn multinomial_loss_into(
         batch: &SoftmaxBatch,
         targets: &[Vec<(u32, f32)>],
         dlogits: &mut Matrix,
     ) -> f32 {
+        Self::multinomial_loss_into_with(batch, targets, dlogits, fvae_pool::global())
+    }
+
+    /// [`SampledSoftmaxOutput::multinomial_loss_into`] on an explicit pool.
+    ///
+    /// The batch is cut into [`REDUCE_SHARDS`] **fixed** row shards (the
+    /// shard count never follows the thread count). Each shard accumulates
+    /// its rows' loss into its own `f64` partial in serial row order, and the
+    /// partials combine on the caller in fixed shard order — so the loss bits
+    /// depend only on the batch, never on how many threads ran. `dlogits`
+    /// rows are written by exactly one shard each.
+    pub fn multinomial_loss_into_with(
+        batch: &SoftmaxBatch,
+        targets: &[Vec<(u32, f32)>],
+        dlogits: &mut Matrix,
+        pool: &ThreadPool,
+    ) -> f32 {
         assert_eq!(batch.probs.rows(), targets.len(), "target batch mismatch");
         let c = batch.probs.cols();
-        let mut loss = 0.0f64;
-        dlogits.resize_zeroed(targets.len(), c);
-        for (r, row_targets) in targets.iter().enumerate() {
-            let probs = batch.probs.row(r);
-            let n_i: f32 = row_targets.iter().map(|&(_, v)| v).sum();
-            let drow = dlogits.row_mut(r);
-            // d/dlogit_j of −Σ_t v_t log π_t = N_i·π_j − v_j
-            for (d, &p) in drow.iter_mut().zip(probs.iter()) {
-                *d = n_i * p;
+        let rows = targets.len();
+        dlogits.resize_zeroed(rows, c);
+        let mut partials = [0.0f64; REDUCE_SHARDS];
+        let base = SendPtr::new(dlogits.as_mut_slice().as_mut_ptr());
+        pool.run_sharded(&mut partials, |s, part| {
+            for r in fvae_pool::shard_range(rows, REDUCE_SHARDS, s, 1) {
+                let row_targets = &targets[r];
+                let probs = batch.probs.row(r);
+                let n_i: f32 = row_targets.iter().map(|&(_, v)| v).sum();
+                let drow = unsafe { std::slice::from_raw_parts_mut(base.get().add(r * c), c) };
+                // d/dlogit_j of −Σ_t v_t log π_t = N_i·π_j − v_j
+                for (d, &p) in drow.iter_mut().zip(probs.iter()) {
+                    *d = n_i * p;
+                }
+                for &(col, v) in row_targets {
+                    let col = col as usize;
+                    debug_assert!(col < c, "target column out of candidate range");
+                    *part -= (v as f64) * (probs[col].max(1e-12) as f64).ln();
+                    drow[col] -= v;
+                }
             }
-            for &(col, v) in row_targets {
-                let col = col as usize;
-                debug_assert!(col < c, "target column out of candidate range");
-                loss -= (v as f64) * (probs[col].max(1e-12) as f64).ln();
-                drow[col] -= v;
-            }
-        }
-        loss as f32
+        });
+        // Fixed-order tree: shard partials always combine in slot order.
+        partials.iter().sum::<f64>() as f32
     }
 
     /// Backward pass from logit gradients.
@@ -272,6 +314,87 @@ impl SampledSoftmaxOutput {
                 *acc += d;
             }
         }
+        db.clear();
+        db.extend(
+            batch
+                .slots
+                .iter()
+                .zip(db_dense.iter())
+                .filter(|&(_, &g)| g != 0.0)
+                .map(|(&slot, &g)| (slot as usize, g)),
+        );
+    }
+
+    /// Parallel [`SampledSoftmaxOutput::backward_into`] producing **the same
+    /// bits** as the serial kernel, in two output-disjoint passes:
+    ///
+    /// 1. **Row pass** (`∂L/∂h`): batch rows shard across the pool; within a
+    ///    row the candidate walk is the serial sequence.
+    /// 2. **Column pass** (`∂L/∂W`, bias accumulator): candidate *columns*
+    ///    cut into [`REDUCE_SHARDS`] fixed shards. Candidates are unique
+    ///    within a batch, so each slot's gradient lives in exactly one shard
+    ///    map — the optimizer consumes the maps directly via
+    ///    [`crate::Adam::step_rows_multi`], no merge — and for a fixed column
+    ///    the rows accumulate in ascending order, which is exactly the serial
+    ///    per-slot summation sequence.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_sharded_into(
+        &self,
+        h: &Matrix,
+        batch: &SoftmaxBatch,
+        dlogits: &Matrix,
+        dh: &mut Matrix,
+        dw: &mut ShardedRowGrads,
+        db: &mut Vec<(usize, f32)>,
+        db_dense: &mut Vec<f32>,
+        pool: &ThreadPool,
+    ) {
+        assert_eq!(dlogits.shape(), batch.probs.shape(), "dlogits shape mismatch");
+        let rows = h.rows();
+        let dim = self.dim;
+        let ncand = batch.slots.len();
+        dh.resize_zeroed(rows, dim);
+        dw.reset();
+        db_dense.clear();
+        db_dense.resize(ncand, 0.0);
+
+        let n_shards = fvae_pool::balanced_shards(rows, pool.parallelism());
+        let base_dh = SendPtr::new(dh.as_mut_slice().as_mut_ptr());
+        pool.run(n_shards, |s| {
+            for r in fvae_pool::shard_range(rows, n_shards, s, 1) {
+                let d_row = dlogits.row(r);
+                let dh_row =
+                    unsafe { std::slice::from_raw_parts_mut(base_dh.get().add(r * dim), dim) };
+                for (&slot, &d) in batch.slots.iter().zip(d_row.iter()) {
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let slot = slot as usize;
+                    let w = &self.weights[slot * dim..(slot + 1) * dim];
+                    fvae_tensor::ops::axpy(d, w, dh_row);
+                }
+            }
+        });
+
+        let base_db = SendPtr::new(db_dense.as_mut_slice().as_mut_ptr());
+        pool.run_sharded(dw.shard_slots(), |s, (map, ws)| {
+            for col in fvae_pool::shard_range(ncand, REDUCE_SHARDS, s, 1) {
+                let slot = batch.slots[col] as usize;
+                let mut acc = 0.0f32;
+                for r in 0..rows {
+                    let d = dlogits.get(r, col);
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let g = map.entry(slot).or_insert_with(|| ws.take_vec(dim));
+                    fvae_tensor::ops::axpy(d, h.row(r), g);
+                    acc += d;
+                }
+                // Columns are shard-disjoint, so this write races nothing.
+                unsafe { *base_db.get().add(col) = acc };
+            }
+        });
+
         db.clear();
         db.extend(
             batch
@@ -430,6 +553,58 @@ mod tests {
         head.bias[slot] = orig;
         let numeric = (hi - lo) / (2.0 * eps);
         assert!((numeric - g).abs() < 5e-2 * numeric.abs().max(1.0), "db[{slot}]: {g} vs {numeric}");
+    }
+
+    #[test]
+    fn sharded_backward_and_loss_match_serial_bits() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = SampledSoftmaxOutput::new(6, 0.3);
+        let h = Matrix::glorot_uniform(9, 6, &mut rng);
+        let ids: Vec<u64> = (0..17).map(|i| 1000 + i * 7).collect();
+        let batch = head.forward(&h, &ids, &mut rng);
+        let targets: Vec<Vec<(u32, f32)>> = (0..9)
+            .map(|r| (0..(r % 3 + 1)).map(|j| (((r * 5 + j * 3) % 17) as u32, 1.0 + j as f32)).collect())
+            .collect();
+
+        // Serial references.
+        let mut dlogits_ref = Matrix::default();
+        let serial_pool = ThreadPool::new(1);
+        let loss_ref = SampledSoftmaxOutput::multinomial_loss_into_with(
+            &batch, &targets, &mut dlogits_ref, &serial_pool,
+        );
+        let (dh_ref, dw_ref, db_ref) = head.backward(&h, &batch, &dlogits_ref);
+
+        for threads in [2usize, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut dlogits = Matrix::full(2, 3, 9.0);
+            let loss =
+                SampledSoftmaxOutput::multinomial_loss_into_with(&batch, &targets, &mut dlogits, &pool);
+            assert_eq!(loss.to_bits(), loss_ref.to_bits(), "loss differs at {threads} threads");
+            for (a, b) in dlogits.as_slice().iter().zip(dlogits_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dlogits differ at {threads} threads");
+            }
+
+            let mut dh = Matrix::default();
+            let mut dw = ShardedRowGrads::default();
+            let mut db = Vec::new();
+            let mut db_dense = Vec::new();
+            head.backward_sharded_into(&h, &batch, &dlogits, &mut dh, &mut dw, &mut db, &mut db_dense, &pool);
+            for (a, b) in dh.as_slice().iter().zip(dh_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "dh differs at {threads} threads");
+            }
+            assert_eq!(db, db_ref, "db differs at {threads} threads");
+            assert_eq!(dw.len(), dw_ref.len(), "dw slot count differs at {threads} threads");
+            for (slot, row_ref) in &dw_ref {
+                let row = dw
+                    .iter()
+                    .find(|(s, _)| *s == slot)
+                    .map(|(_, r)| r)
+                    .unwrap_or_else(|| panic!("slot {slot} missing at {threads} threads"));
+                for (a, b) in row.iter().zip(row_ref.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "dw[{slot}] differs at {threads} threads");
+                }
+            }
+        }
     }
 
     #[test]

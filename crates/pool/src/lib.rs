@@ -1,0 +1,569 @@
+//! Persistent thread pool for deterministic intra-step parallelism.
+//!
+//! The FVAE training step (Algorithm 1) is dominated by dense GEMMs and
+//! per-sample sampled-softmax work that shards trivially across cores. This
+//! crate supplies the execution substrate: a std-only pool of workers that
+//! park between jobs, a work-stealing shard counter, and the two helpers the
+//! kernels build their determinism guarantee on — [`shard_range`] (aligned,
+//! contiguous, exhaustive shard boundaries) and [`ThreadPool::run_sharded`]
+//! (one mutable slot per shard, so reductions land in per-shard accumulators
+//! that are later merged in a **fixed** order).
+//!
+//! # Determinism contract
+//!
+//! The pool itself never promises anything about *which* worker runs a
+//! shard — shards are claimed dynamically from an atomic counter so a slow
+//! core cannot stall the step. Bit-determinism is instead a property of how
+//! callers shape the work:
+//!
+//! * **Output-disjoint sharding** (GEMM row blocks, per-sample rows): every
+//!   shard writes its own region and performs the same float operations in
+//!   the same order as the serial kernel, so the result is bit-identical to
+//!   serial no matter how many workers participate.
+//! * **Fixed-shard reduction** (loss/KL sums, shared-slot gradients): the
+//!   shard *count* is a compile-time constant independent of the thread
+//!   count, each shard accumulates serially in-order into its own slot, and
+//!   the slots are combined on the caller thread in fixed shard order.
+//!   Thread count then only decides how many shards run concurrently —
+//!   never the summation order, so never the bits.
+//!
+//! # Sizing and control
+//!
+//! The [`global`] pool is created on first use with enough capacity for the
+//! machine (and always at least [`MIN_GLOBAL_CAPACITY`], so parity tests can
+//! exercise multi-way sharding even on small CI runners). The *effective*
+//! parallelism is a runtime clamp: `FVAE_THREADS` seeds it, and
+//! [`set_parallelism`] (the CLI's `--threads`) adjusts it at any time.
+//! Excess workers simply stay parked.
+//!
+//! [`ThreadPool::run`] performs no heap allocation: the job descriptor lives
+//! on the caller's stack and shard ranges are computed arithmetically, so
+//! pooled kernels preserve the workspace crates' zero-steady-state-allocation
+//! invariant.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// The global pool is always built with at least this much capacity, so the
+/// 1/2/4-thread parity harness is meaningful even on a single-core runner.
+pub const MIN_GLOBAL_CAPACITY: usize = 4;
+
+/// Hard cap on global pool capacity (a 256-core box does not need 256
+/// workers for batch-sized shard counts).
+const MAX_GLOBAL_CAPACITY: usize = 64;
+
+/// Number of fixed reduction shards used by deterministic accumulations
+/// (loss sums, KL, shared-slot sparse gradients). Constant by design: the
+/// reduction tree must not depend on the thread count. 8 saturates the
+/// useful parallelism of batch-sized reductions while keeping the serial
+/// merge negligible.
+pub const REDUCE_SHARDS: usize = 8;
+
+thread_local! {
+    // True while this thread is executing a pooled shard (worker or caller).
+    // Nested `run` calls fall back to inline execution instead of
+    // deadlocking on their own pool.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A raw pointer that may cross threads. Used by kernels that hand each
+/// shard a disjoint region of one output buffer; the caller is responsible
+/// for the disjointness that makes this sound.
+pub struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a raw pointer for cross-thread use.
+    pub fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    /// The wrapped pointer.
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Contiguous, exhaustive, aligned shard boundaries.
+///
+/// Splits `0..n` into `n_shards` ranges whose starts are multiples of
+/// `align` (the last range absorbs the remainder). Alignment lets callers
+/// preserve register-tile pairing: a kernel that processes rows in pairs
+/// stays bit-identical to serial only if no shard boundary splits a pair.
+pub fn shard_range(n: usize, n_shards: usize, shard: usize, align: usize) -> std::ops::Range<usize> {
+    debug_assert!(shard < n_shards.max(1));
+    let align = align.max(1);
+    let blocks = n.div_ceil(align);
+    let per = blocks / n_shards.max(1);
+    let rem = blocks % n_shards.max(1);
+    let b0 = shard * per + shard.min(rem);
+    let b1 = b0 + per + usize::from(shard < rem);
+    (b0 * align).min(n)..(b1 * align).min(n)
+}
+
+/// Shard count for dynamically balanced, output-disjoint work: a few shards
+/// per active thread so a slow core sheds load, capped by the number of
+/// work units. Any value is bit-equivalent for disjoint writes; this only
+/// tunes balance.
+pub fn balanced_shards(units: usize, parallelism: usize) -> usize {
+    (parallelism * 4).min(units).max(1)
+}
+
+/// Aggregate counters of a pool since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool was built with (including the caller seat).
+    pub capacity: usize,
+    /// Current effective parallelism (the runtime clamp).
+    pub parallelism: usize,
+    /// Jobs dispatched to workers.
+    pub parallel_jobs: u64,
+    /// Jobs executed inline (parallelism 1, single shard, or nested call).
+    pub serial_jobs: u64,
+    /// Total shards executed across all jobs.
+    pub shards: u64,
+}
+
+// The published-job slot. Workers adopt the current job under this mutex,
+// which is what makes the stack-borrowed job pointer sound: the caller
+// clears the slot (under the same mutex) and then waits for every adopted
+// worker to leave before its stack frame — and the job with it — goes away.
+struct Slot {
+    job: Option<JobRef>,
+    /// Worker seats remaining for the current job.
+    seats: usize,
+    shutdown: bool,
+}
+
+#[derive(Clone, Copy)]
+struct JobRef(*const Job<'static>);
+
+// The pointer is only dereferenced while the caller blocks in `run`, which
+// outlives every adoption (see the protocol on `Slot`).
+unsafe impl Send for JobRef {}
+
+struct Job<'a> {
+    func: &'a (dyn Fn(usize) + Sync),
+    n_shards: usize,
+    /// Next unclaimed shard.
+    next: AtomicUsize,
+    /// Shards fully executed.
+    completed: AtomicUsize,
+    /// Workers currently inside the job (adopted, not yet exited).
+    active: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+impl Job<'_> {
+    /// Claims and executes shards until the counter runs dry. Runs on the
+    /// caller *and* every adopted worker.
+    fn execute_shards(&self) {
+        loop {
+            let s = self.next.fetch_add(1, Ordering::Relaxed);
+            if s >= self.n_shards {
+                break;
+            }
+            // A panicking shard must still count as completed or the caller
+            // would wait forever; the panic is re-raised on the caller.
+            if catch_unwind(AssertUnwindSafe(|| (self.func)(s))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            self.completed.fetch_add(1, Ordering::Release);
+        }
+    }
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    work_cv: Condvar,
+    // Completion handshake: workers notify under this lock after leaving a
+    // job; the caller waits here for `completed == n_shards && active == 0`.
+    done: Mutex<()>,
+    done_cv: Condvar,
+    parallel_jobs: AtomicU64,
+    serial_jobs: AtomicU64,
+    shards: AtomicU64,
+}
+
+/// A persistent pool of parked worker threads. See the crate docs for the
+/// determinism contract.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+    clamp: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// Builds a pool with `capacity` total execution seats (the caller
+    /// thread plus `capacity - 1` spawned workers). Effective parallelism
+    /// starts at `capacity` and can be lowered with
+    /// [`ThreadPool::set_parallelism`].
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot { job: None, seats: 0, shutdown: false }),
+            work_cv: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            parallel_jobs: AtomicU64::new(0),
+            serial_jobs: AtomicU64::new(0),
+            shards: AtomicU64::new(0),
+        });
+        let workers = (1..capacity)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fvae-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers, capacity, clamp: AtomicUsize::new(capacity) }
+    }
+
+    /// Total execution seats (caller + workers).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current effective parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.clamp.load(Ordering::Relaxed)
+    }
+
+    /// Sets the effective parallelism, clamped to `1..=capacity`. Changing
+    /// it never changes computed bits — only how many shards run at once.
+    pub fn set_parallelism(&self, n: usize) {
+        self.clamp.store(n.clamp(1, self.capacity), Ordering::Relaxed);
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            capacity: self.capacity,
+            parallelism: self.parallelism(),
+            parallel_jobs: self.shared.parallel_jobs.load(Ordering::Relaxed),
+            serial_jobs: self.shared.serial_jobs.load(Ordering::Relaxed),
+            shards: self.shared.shards.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `f(shard)` for every shard in `0..n_shards`, spreading the
+    /// shards across the caller and up to `parallelism() - 1` workers.
+    ///
+    /// Blocks until every shard has finished. Performs no heap allocation.
+    /// Falls back to an inline serial loop (identical call sequence) when
+    /// parallelism is 1, there is a single shard, or the calling thread is
+    /// itself executing a pooled shard. Panics from shards are re-raised
+    /// here after all shards complete.
+    pub fn run<F: Fn(usize) + Sync>(&self, n_shards: usize, f: F) {
+        self.run_dyn(n_shards, &f);
+    }
+
+    fn run_dyn(&self, n_shards: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_shards == 0 {
+            return;
+        }
+        self.shared.shards.fetch_add(n_shards as u64, Ordering::Relaxed);
+        let par = self.parallelism().min(n_shards);
+        if par <= 1 || self.workers.is_empty() || IN_POOL_JOB.with(Cell::get) {
+            self.shared.serial_jobs.fetch_add(1, Ordering::Relaxed);
+            for s in 0..n_shards {
+                f(s);
+            }
+            return;
+        }
+        self.shared.parallel_jobs.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            // Erase the borrow lifetime: `run` does not return until the
+            // slot is cleared and every adopted worker has exited, so no
+            // worker can observe the job after this frame unwinds.
+            func: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+            },
+            n_shards,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        };
+        {
+            let mut slot = self.shared.slot.lock().expect("pool mutex");
+            slot.job = Some(JobRef(std::ptr::from_ref(&job).cast::<Job<'static>>()));
+            slot.seats = (par - 1).min(n_shards - 1);
+            self.shared.work_cv.notify_all();
+        }
+        // The caller is a full participant; mark it in-job so the kernels it
+        // calls inside its shards do not try to re-enter the pool.
+        IN_POOL_JOB.with(|c| c.set(true));
+        job.execute_shards();
+        IN_POOL_JOB.with(|c| c.set(false));
+        {
+            // Close the slot: late-waking workers must not adopt a job whose
+            // caller is about to leave.
+            let mut slot = self.shared.slot.lock().expect("pool mutex");
+            slot.job = None;
+            slot.seats = 0;
+        }
+        {
+            let mut g = self.shared.done.lock().expect("pool done mutex");
+            while job.completed.load(Ordering::Acquire) != n_shards
+                || job.active.load(Ordering::Acquire) != 0
+            {
+                g = self.shared.done_cv.wait(g).expect("pool done mutex");
+            }
+        }
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("fvae-pool: a shard panicked inside a pooled job");
+        }
+    }
+
+    /// [`ThreadPool::run`] over one mutable slot per shard: shard `s`
+    /// receives `&mut slots[s]`. This is the fixed-shard reduction
+    /// primitive — accumulate into per-shard slots here, then combine them
+    /// on the calling thread in slot order.
+    pub fn run_sharded<T: Send, F: Fn(usize, &mut T) + Sync>(&self, slots: &mut [T], f: F) {
+        let base = SendPtr::new(slots.as_mut_ptr());
+        let n = slots.len();
+        self.run(n, move |s| {
+            debug_assert!(s < n);
+            // Sound: each shard index is claimed exactly once, so every
+            // `&mut` handed out aliases a distinct element.
+            let item = unsafe { &mut *base.get().add(s) };
+            f(s, item);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("pool mutex");
+            slot.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let jr = {
+            let mut slot = shared.slot.lock().expect("pool mutex");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.seats > 0 {
+                    if let Some(jr) = slot.job {
+                        slot.seats -= 1;
+                        // Adopt under the mutex: the caller cannot observe
+                        // `active == 0` and free the job between our check
+                        // and this increment.
+                        unsafe { &*jr.0 }.active.fetch_add(1, Ordering::Relaxed);
+                        break jr;
+                    }
+                }
+                slot = shared.work_cv.wait(slot).expect("pool mutex");
+            }
+        };
+        let job = unsafe { &*jr.0 };
+        IN_POOL_JOB.with(|c| c.set(true));
+        job.execute_shards();
+        IN_POOL_JOB.with(|c| c.set(false));
+        job.active.fetch_sub(1, Ordering::Release);
+        // Lock-then-notify so the caller cannot miss the wakeup between its
+        // predicate check and its wait.
+        let _g = shared.done.lock().expect("pool done mutex");
+        shared.done_cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+fn env_threads() -> Option<usize> {
+    std::env::var("FVAE_THREADS").ok()?.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// The process-wide pool used by the default `*_into` kernel entry points.
+///
+/// Built on first use. Capacity is `max(hardware, FVAE_THREADS,`
+/// [`MIN_GLOBAL_CAPACITY`]`)` (capped at 64); the initial *effective*
+/// parallelism is `FVAE_THREADS` when set, else the hardware parallelism.
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let initial = env_threads().unwrap_or(hw);
+        let capacity = initial.max(hw).clamp(MIN_GLOBAL_CAPACITY, MAX_GLOBAL_CAPACITY);
+        let pool = ThreadPool::new(capacity);
+        pool.set_parallelism(initial);
+        pool
+    })
+}
+
+/// Effective parallelism of the [`global`] pool.
+pub fn parallelism() -> usize {
+    global().parallelism()
+}
+
+/// Sets the [`global`] pool's effective parallelism (the CLI's `--threads`).
+pub fn set_parallelism(n: usize) {
+    global().set_parallelism(n);
+}
+
+/// Counters of the [`global`] pool.
+pub fn stats() -> PoolStats {
+    global().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_shard_runs_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for n_shards in [1usize, 2, 3, 7, 16, 61] {
+            let hits: Vec<AtomicU64> = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+            pool.run(n_shards, |s| {
+                hits[s].fetch_add(1, Ordering::Relaxed);
+            });
+            for (s, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "shard {s} of {n_shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.run(5, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 1000);
+        let stats = pool.stats();
+        assert_eq!(stats.shards, 1000);
+        assert_eq!(stats.parallel_jobs + stats.serial_jobs, 200);
+    }
+
+    #[test]
+    fn parallelism_clamp_controls_dispatch() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.parallelism(), 4);
+        pool.set_parallelism(1);
+        let before = pool.stats().serial_jobs;
+        pool.run(8, |_| {});
+        assert_eq!(pool.stats().serial_jobs, before + 1, "parallelism 1 must run inline");
+        pool.set_parallelism(99);
+        assert_eq!(pool.parallelism(), 4, "clamped to capacity");
+        pool.set_parallelism(0);
+        assert_eq!(pool.parallelism(), 1, "clamped to at least 1");
+    }
+
+    #[test]
+    fn nested_run_falls_back_to_serial() {
+        let pool = ThreadPool::new(4);
+        let inner_serial = AtomicU64::new(0);
+        let before = pool.stats().serial_jobs;
+        pool.run(4, |_| {
+            pool.run(3, |_| {
+                inner_serial.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_serial.load(Ordering::Relaxed), 12);
+        assert_eq!(
+            pool.stats().serial_jobs,
+            before + 4,
+            "each nested call must execute inline on its shard's thread"
+        );
+    }
+
+    #[test]
+    fn run_sharded_hands_out_disjoint_slots() {
+        let pool = ThreadPool::new(4);
+        let mut slots = vec![0u64; REDUCE_SHARDS];
+        pool.run_sharded(&mut slots, |s, slot| {
+            *slot = s as u64 + 1;
+        });
+        for (s, v) in slots.iter().enumerate() {
+            assert_eq!(*v, s as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_all_shards_complete() {
+        let pool = ThreadPool::new(4);
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, |s| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(s != 3, "deliberate shard failure");
+            });
+        }));
+        assert!(result.is_err(), "the shard panic must surface on the caller");
+        assert_eq!(ran.load(Ordering::Relaxed), 8, "remaining shards still run");
+        // The pool survives the panic and keeps working.
+        let after = AtomicU64::new(0);
+        pool.run(4, |_| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn shard_range_is_exhaustive_disjoint_and_aligned() {
+        for n in [0usize, 1, 2, 3, 5, 8, 17, 64, 101] {
+            for n_shards in [1usize, 2, 3, 4, 7, 8] {
+                for align in [1usize, 2, 4] {
+                    let mut covered = 0;
+                    for s in 0..n_shards {
+                        let r = shard_range(n, n_shards, s, align);
+                        assert_eq!(r.start, covered, "contiguous: n={n} shards={n_shards}");
+                        assert!(
+                            r.start.is_multiple_of(align) || r.start == n,
+                            "aligned start: n={n} shards={n_shards} align={align}"
+                        );
+                        covered = r.end;
+                    }
+                    assert_eq!(covered, n, "exhaustive: n={n} shards={n_shards} align={align}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_pool_reads_env_and_clamps() {
+        // Can't control the env var from inside the test process reliably
+        // (the pool may already be initialized); just exercise the API.
+        let p = global();
+        assert!(p.capacity() >= MIN_GLOBAL_CAPACITY);
+        let before = parallelism();
+        set_parallelism(2);
+        assert_eq!(parallelism(), 2);
+        set_parallelism(before);
+    }
+}

@@ -1,0 +1,59 @@
+//! Read-only thread safety of [`DynamicHashTable`].
+//!
+//! The pooled forward/backward kernels hand `&DynamicHashTable` to worker
+//! threads for concurrent `slot_of` lookups (insertion stays on the caller).
+//! That is only sound because the table has no interior mutability — which
+//! this file pins down twice: once at compile time (the `Sync + Send`
+//! assertion below stops compiling if a `Cell`/`RefCell` ever sneaks into
+//! the struct) and once at runtime (a many-thread lookup storm whose every
+//! answer must match the serial truth).
+
+use fvae_sparse::DynamicHashTable;
+
+/// Compile-time proof: a type with interior mutability (e.g. `RefCell`)
+/// would fail this bound and break the build, not just a test.
+const _: fn() = || {
+    fn assert_shareable<T: Sync + Send>() {}
+    assert_shareable::<DynamicHashTable>();
+};
+
+#[test]
+fn concurrent_readonly_lookups_match_serial_answers() {
+    const IDS: u64 = 10_000;
+    const THREADS: usize = 8;
+
+    let mut table = DynamicHashTable::new();
+    // Non-contiguous IDs so hash distribution is exercised; every third ID
+    // is left out to cover the `None` path.
+    for i in 0..IDS {
+        if i % 3 != 0 {
+            table.slot_or_insert(i * 2654435761 % (IDS * 4), |_| {});
+        }
+    }
+    let expected: Vec<Option<usize>> =
+        (0..IDS * 4).map(|id| table.slot_of(id)).collect();
+
+    let table = &table;
+    let expected = &expected;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                // Each thread walks the whole key space from a different
+                // starting offset so accesses interleave maximally.
+                for i in 0..IDS * 4 {
+                    let id = (i + t as u64 * 997) % (IDS * 4);
+                    assert_eq!(
+                        table.slot_of(id),
+                        expected[id as usize],
+                        "thread {t}: lookup of {id} diverged under sharing"
+                    );
+                }
+            });
+        }
+    });
+
+    // The storm must not have perturbed the table.
+    for (id, want) in expected.iter().enumerate() {
+        assert_eq!(table.slot_of(id as u64), *want);
+    }
+}

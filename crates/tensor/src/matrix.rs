@@ -4,9 +4,16 @@
 //! mini-batches as `batch × dim` matrices, so row-major storage keeps each
 //! sample contiguous and lets the GEMM kernels below run down cache lines.
 
+use fvae_pool::{SendPtr, ThreadPool};
 use rand::{Rng, RngExt};
 
 use crate::dist::Gaussian;
+
+/// Below this many multiply-adds a GEMM runs serially on the calling
+/// thread: dispatch overhead would swamp the kernel. Purely a performance
+/// threshold — the sharded kernels are bit-identical to the serial ones, so
+/// crossing it never changes results.
+const PAR_MIN_FLOPS: usize = 32 * 1024;
 
 /// A dense, row-major `f32` matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -262,11 +269,57 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         out.resize_zeroed(m, n);
-        let mut i = 0;
+        if m * k * n < PAR_MIN_FLOPS {
+            self.matmul_range(other, &mut out.data, 0, m);
+        } else {
+            self.matmul_pooled(other, out, fvae_pool::global());
+        }
+    }
+
+    /// [`Matrix::matmul_into`] on an explicit pool, always dispatching
+    /// through it (no serial-size shortcut). The parity proptests use this
+    /// to pin the sharded path against the serial kernel at arbitrary
+    /// thread counts.
+    pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        out.resize_zeroed(self.rows, other.cols);
+        self.matmul_pooled(other, out, pool);
+    }
+
+    /// Row-sharded dispatch. Shard boundaries are aligned to the 2-row
+    /// output tile, so every shard reproduces the serial kernel's tile
+    /// pairing — and with it the all-zero-tile skip decisions — exactly:
+    /// the result is bit-identical to serial for any shard count.
+    fn matmul_pooled(&self, other: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        let (m, n) = (self.rows, other.cols);
+        let n_shards = fvae_pool::balanced_shards(m.div_ceil(2), pool.parallelism());
+        let base = SendPtr::new(out.data.as_mut_ptr());
+        pool.run(n_shards, |s| {
+            let r = fvae_pool::shard_range(m, n_shards, s, 2);
+            if r.is_empty() {
+                return;
+            }
+            // Shards own disjoint row ranges of the output.
+            let rows = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(r.start * n), (r.end - r.start) * n)
+            };
+            self.matmul_range(other, rows, r.start, r.end);
+        });
+    }
+
+    /// Output rows `i0..i1` of `self · other`, written into `out_rows` (the
+    /// pre-zeroed slice covering exactly those rows). `i0` must be even (a
+    /// tile boundary); only the final range may end off-tile, mirroring the
+    /// serial remainder row.
+    fn matmul_range(&self, other: &Matrix, out_rows: &mut [f32], i0: usize, i1: usize) {
+        let (k, n) = (self.cols, other.cols);
+        debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
+        debug_assert_eq!(i0 % 2, 0, "shard start must preserve 2-row tile pairing");
+        let mut i = i0;
         // 2-row output tiles: both rows consume the same B panel.
-        while i + 2 <= m {
+        while i + 2 <= i1 {
             let (out0, out1) = {
-                let pair = &mut out.data[i * n..(i + 2) * n];
+                let pair = &mut out_rows[(i - i0) * n..(i + 2 - i0) * n];
                 pair.split_at_mut(n)
             };
             let a0 = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -320,8 +373,8 @@ impl Matrix {
             i += 2;
         }
         // m remainder: one output row, still 4-wide over k.
-        if i < m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
+        if i < i1 {
+            let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut p = 0;
             while p + 4 <= k {
@@ -372,9 +425,47 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transb inner dimension mismatch");
         let (m, n) = (self.rows, other.rows);
         out.resize_zeroed(m, n);
-        for i in 0..m {
+        if m * self.cols * n < PAR_MIN_FLOPS {
+            self.matmul_transb_range(other, &mut out.data, 0, m);
+        } else {
+            self.matmul_transb_pooled(other, out, fvae_pool::global());
+        }
+    }
+
+    /// [`Matrix::matmul_transb_into`] on an explicit pool (no serial-size
+    /// shortcut); see [`Matrix::matmul_into_with`].
+    pub fn matmul_transb_into_with(&self, other: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        assert_eq!(self.cols, other.cols, "matmul_transb inner dimension mismatch");
+        out.resize_zeroed(self.rows, other.rows);
+        self.matmul_transb_pooled(other, out, pool);
+    }
+
+    /// Row-sharded dispatch. Every output element is one independent dot
+    /// product, so any row partition is bit-identical to serial.
+    fn matmul_transb_pooled(&self, other: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        let (m, n) = (self.rows, other.rows);
+        let n_shards = fvae_pool::balanced_shards(m, pool.parallelism());
+        let base = SendPtr::new(out.data.as_mut_ptr());
+        pool.run(n_shards, |s| {
+            let r = fvae_pool::shard_range(m, n_shards, s, 1);
+            if r.is_empty() {
+                return;
+            }
+            let rows = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(r.start * n), (r.end - r.start) * n)
+            };
+            self.matmul_transb_range(other, rows, r.start, r.end);
+        });
+    }
+
+    /// Output rows `i0..i1` of `self · otherᵀ` into the slice covering
+    /// exactly those rows.
+    fn matmul_transb_range(&self, other: &Matrix, out_rows: &mut [f32], i0: usize, i1: usize) {
+        let n = other.rows;
+        debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
+        for i in i0..i1 {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
             for (j, o) in out_row.iter_mut().enumerate() {
                 *o = crate::ops::dot(a_row, other.row(j));
             }
@@ -401,18 +492,58 @@ impl Matrix {
         assert_eq!(self.rows, other.rows, "matmul_transa inner dimension mismatch");
         let (m, n) = (self.cols, other.cols);
         out.resize_zeroed(m, n);
+        if self.rows * m * n < PAR_MIN_FLOPS {
+            self.matmul_transa_range(other, &mut out.data, 0, m);
+        } else {
+            self.matmul_transa_pooled(other, out, fvae_pool::global());
+        }
+    }
+
+    /// [`Matrix::matmul_transa_into`] on an explicit pool (no serial-size
+    /// shortcut); see [`Matrix::matmul_into_with`].
+    pub fn matmul_transa_into_with(&self, other: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        assert_eq!(self.rows, other.rows, "matmul_transa inner dimension mismatch");
+        out.resize_zeroed(self.cols, other.cols);
+        self.matmul_transa_pooled(other, out, pool);
+    }
+
+    /// Sharded over *output* rows: every shard streams all batch-row pairs
+    /// in the same serial order, so each output element accumulates its
+    /// rank-2 updates in exactly the serial sequence — bit-identical for
+    /// any shard count.
+    fn matmul_transa_pooled(&self, other: &Matrix, out: &mut Matrix, pool: &ThreadPool) {
+        let (m, n) = (self.cols, other.cols);
+        let n_shards = fvae_pool::balanced_shards(m, pool.parallelism());
+        let base = SendPtr::new(out.data.as_mut_ptr());
+        pool.run(n_shards, |s| {
+            let r = fvae_pool::shard_range(m, n_shards, s, 1);
+            if r.is_empty() {
+                return;
+            }
+            let rows = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(r.start * n), (r.end - r.start) * n)
+            };
+            self.matmul_transa_range(other, rows, r.start, r.end);
+        });
+    }
+
+    /// Output rows `i0..i1` of `selfᵀ · other` into the slice covering
+    /// exactly those rows.
+    fn matmul_transa_range(&self, other: &Matrix, out_rows: &mut [f32], i0: usize, i1: usize) {
+        let n = other.cols;
+        debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
         let mut p = 0;
         while p + 2 <= self.rows {
             let a0 = &self.data[p * self.cols..(p + 1) * self.cols];
             let a1 = &self.data[(p + 1) * self.cols..(p + 2) * self.cols];
             let b0 = &other.data[p * n..(p + 1) * n];
             let b1 = &other.data[(p + 1) * n..(p + 2) * n];
-            for i in 0..m {
+            for i in i0..i1 {
                 let (c0, c1) = (a0[i], a1[i]);
                 if c0 == 0.0 && c1 == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
                 for ((o, &x0), &x1) in out_row.iter_mut().zip(b0).zip(b1) {
                     *o += c0 * x0 + c1 * x1;
                 }
@@ -422,11 +553,12 @@ impl Matrix {
         if p < self.rows {
             let a_row = &self.data[p * self.cols..(p + 1) * self.cols];
             let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
+            for i in i0..i1 {
+                let a = a_row[i];
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
@@ -449,8 +581,44 @@ impl Matrix {
         // resize-then-fill (not extend) so an `m × 0` matrix still yields
         // `m` zeros even though its row iterator is empty.
         out.resize(self.rows, 0.0);
-        for (o, row) in out.iter_mut().zip(self.rows_iter()) {
-            *o = crate::ops::dot(row, v);
+        if self.rows * self.cols < PAR_MIN_FLOPS {
+            self.matvec_range(v, out, 0, self.rows);
+        } else {
+            self.matvec_pooled(v, out, fvae_pool::global());
+        }
+    }
+
+    /// [`Matrix::matvec_into`] on an explicit pool (no serial-size
+    /// shortcut); see [`Matrix::matmul_into_with`].
+    pub fn matvec_into_with(&self, v: &[f32], out: &mut Vec<f32>, pool: &ThreadPool) {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        out.clear();
+        out.resize(self.rows, 0.0);
+        self.matvec_pooled(v, out, pool);
+    }
+
+    /// Row-sharded dispatch: one independent dot per output element.
+    fn matvec_pooled(&self, v: &[f32], out: &mut [f32], pool: &ThreadPool) {
+        let m = self.rows;
+        let n_shards = fvae_pool::balanced_shards(m, pool.parallelism());
+        let base = SendPtr::new(out.as_mut_ptr());
+        pool.run(n_shards, |s| {
+            let r = fvae_pool::shard_range(m, n_shards, s, 1);
+            if r.is_empty() {
+                return;
+            }
+            let rows =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.end - r.start) };
+            self.matvec_range(v, rows, r.start, r.end);
+        });
+    }
+
+    /// Output elements `i0..i1` of `self · v` into the slice covering
+    /// exactly those elements.
+    fn matvec_range(&self, v: &[f32], out: &mut [f32], i0: usize, i1: usize) {
+        debug_assert_eq!(out.len(), i1 - i0);
+        for i in i0..i1 {
+            out[i - i0] = crate::ops::dot(&self.data[i * self.cols..(i + 1) * self.cols], v);
         }
     }
 
