@@ -3,8 +3,8 @@
 
 use bytes::Bytes;
 use fvae_core::{
-    normalized_snapshot_bytes, Checkpointer, EpochStats, Fvae, FvaeConfig, StepCtx,
-    TelemetrySink, TrainObserver, TrainOptions, TrainRun,
+    normalized_snapshot_bytes, Checkpointer, EncoderScratch, EpochStats, Fvae, FvaeConfig,
+    InputRows, StepCtx, TelemetrySink, TrainObserver, TrainOptions, TrainRun,
 };
 use fvae_data::{tag_prediction_cases, MultiFieldDataset, SplitIndices, TopicModelConfig};
 use fvae_lookalike::EmbeddingStore;
@@ -21,6 +21,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "embed" => embed(args),
         "evaluate" => evaluate(args),
         "similar" => similar(args),
+        "serve" => serve(args),
+        "embed-client" => embed_client(args),
         "ckpt-diff" => ckpt_diff(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -44,6 +46,12 @@ pub fn usage() -> String {
      \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
      \x20 evaluate  --data DS --model MODEL [--seed S]\n\
      \x20 similar   --store STORE --user ID [--k K]\n\
+     \x20 serve     --checkpoint-dir DIR [--port P] [--host H] [--threads T]\n\
+     \x20           [--batch-size N] [--max-wait-us U] [--queue-capacity Q]\n\
+     \x20           [--cache-capacity C] [--port-file F]\n\
+     \x20 embed-client --addr HOST:PORT [--rows SPEC] [--ping true]\n\
+     \x20           [--metrics true] [--reload true] [--shutdown true]\n\
+     \x20           (SPEC: fields split by '|', entries by ',', each ID:WEIGHT)\n\
      \x20 ckpt-diff --a SNAP.fvck --b SNAP.fvck\n\
      \n\
      --threads (or FVAE_THREADS) sets the worker pool size; results are\n\
@@ -287,7 +295,14 @@ fn embed(args: &Args) -> Result<String, String> {
     let out = args.required("out")?;
     let fields = args.get_usize_list("fields")?;
     let users: Vec<usize> = (0..ds.n_users()).collect();
-    let embeddings = model.embed_users(&ds, &users, fields.as_deref());
+    // The store fill goes through the serving-side `Encoder` — the same
+    // frozen forward `fvae serve` runs — so offline artifacts and online
+    // replies come from one code path.
+    let encoder = model.encoder();
+    let mut input = InputRows::default();
+    let mut scratch = EncoderScratch::default();
+    let mut embeddings = fvae_tensor::Matrix::default();
+    encoder.embed_users_into(&ds, &users, fields.as_deref(), &mut input, &mut scratch, &mut embeddings);
     let store = EmbeddingStore::new(embeddings.cols());
     for u in 0..embeddings.rows() {
         store.put(u as u64, embeddings.row(u).to_vec());
@@ -310,8 +325,13 @@ fn evaluate(args: &Args) -> Result<String, String> {
     let mut auc_mean = Mean::new();
     let mut map_mean = Mean::new();
     let mut ndcg_mean = Mean::new();
+    // One encoder + reusable forward buffers across the whole case loop.
+    let encoder = model.encoder();
+    let mut input = InputRows::default();
+    let mut scratch = EncoderScratch::default();
+    let mut z = fvae_tensor::Matrix::default();
     for case in &cases {
-        let z = model.embed_users(&ds, &[case.user], Some(&channels));
+        encoder.embed_users_into(&ds, &[case.user], Some(&channels), &mut input, &mut scratch, &mut z);
         let scores = model.field_logits_one(z.row(0), tag_field, &case.candidates);
         auc_mean.push(auc(&scores, &case.labels));
         map_mean.push(average_precision(&scores, &case.labels));
@@ -352,6 +372,118 @@ fn similar(args: &Args) -> Result<String, String> {
     let mut out = format!("top-{k} look-alike users for user {user}:\n");
     for (score, candidate) in scored.into_iter().take(k) {
         out.push_str(&format!("  user {candidate:<8} distance² {:.4}\n", -score));
+    }
+    Ok(out)
+}
+
+/// Serves online embeddings from the newest checkpoint in a directory,
+/// blocking until a client sends a `Shutdown` frame.
+fn serve(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "checkpoint-dir", "host", "port", "threads", "batch-size", "max-wait-us",
+        "queue-capacity", "cache-capacity", "port-file",
+    ])?;
+    if let Some(raw) = args.optional("threads") {
+        let threads: usize = raw
+            .parse()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| format!("flag --threads: expected a positive count, got '{raw}'"))?;
+        fvae_pool::set_parallelism(threads);
+    }
+    let mut cfg = fvae_serve::ServeConfig::new(args.required("checkpoint-dir")?);
+    cfg.host = args.optional("host").unwrap_or("127.0.0.1").to_string();
+    cfg.port = args.get_or("port", 0u16)?;
+    cfg.batch_size = args.get_or("batch-size", cfg.batch_size)?;
+    cfg.max_wait = std::time::Duration::from_micros(args.get_or("max-wait-us", 500u64)?);
+    cfg.queue_capacity = args.get_or("queue-capacity", cfg.queue_capacity)?;
+    cfg.cache_capacity = args.get_or("cache-capacity", cfg.cache_capacity)?;
+    let mut server = fvae_serve::Server::start(cfg).map_err(|e| format!("cannot serve: {e}"))?;
+    let addr = server.addr();
+    eprintln!("fvae-serve listening on {addr} (checkpoint {:#018x})", server.ckpt_id());
+    // The ephemeral-port handshake for scripts and CI: the actual address
+    // lands in a file the caller can poll.
+    if let Some(path) = args.optional("port-file") {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    server.wait();
+    server.shutdown();
+    let metrics = server.metrics_text();
+    let served = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("fvae_serve_requests ").map(str::trim))
+        .unwrap_or("0")
+        .to_string();
+    Ok(format!("shut down after {served} embed requests on {addr}\n"))
+}
+
+/// Parses an embed-client row spec: fields split by `|`, entries by `,`,
+/// each entry `ID:WEIGHT`. An empty field segment is an empty row.
+fn parse_rows(spec: &str) -> Result<Vec<fvae_serve::FieldRow>, String> {
+    spec.split('|')
+        .map(|field| {
+            let mut ids = Vec::new();
+            let mut vals = Vec::new();
+            for entry in field.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+                let (id, val) = entry
+                    .split_once(':')
+                    .ok_or_else(|| format!("row entry '{entry}' is not ID:WEIGHT"))?;
+                ids.push(id.trim().parse::<u64>().map_err(|_| format!("bad id '{id}'"))?);
+                vals.push(val.trim().parse::<f32>().map_err(|_| format!("bad weight '{val}'"))?);
+            }
+            Ok((ids, vals))
+        })
+        .collect()
+}
+
+/// One-shot client for a running `fvae serve` instance: embed a row spec,
+/// ping, fetch metrics, trigger a reload, or request shutdown.
+fn embed_client(args: &Args) -> Result<String, String> {
+    args.expect_only(&["addr", "rows", "ping", "metrics", "reload", "shutdown"])?;
+    let addr = args.required("addr")?;
+    let rows = args.optional("rows").map(parse_rows).transpose()?;
+    let mut client = fvae_serve::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut out = String::new();
+    if args.get_or("ping", false)? {
+        client.ping(1).map_err(|e| format!("ping failed: {e}"))?;
+        out.push_str("pong\n");
+    }
+    if let Some(fields) = rows {
+        match client.embed(&fields).map_err(|e| format!("embed failed: {e}"))? {
+            fvae_serve::EmbedOutcome::Embedding { ckpt_id, values } => {
+                out.push_str(&format!("checkpoint {ckpt_id:#018x}\n"));
+                let rendered: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+                out.push_str(&rendered.join(" "));
+                out.push('\n');
+            }
+            fvae_serve::EmbedOutcome::Overloaded => out.push_str("overloaded (retry)\n"),
+            fvae_serve::EmbedOutcome::Error { code, msg } => {
+                return Err(format!("server rejected the request ({code}): {msg}"))
+            }
+        }
+    }
+    if args.get_or("reload", false)? {
+        let report = client.reload().map_err(|e| format!("reload failed: {e}"))?;
+        if !report.ok {
+            return Err(format!("reload rejected: {}", report.detail));
+        }
+        out.push_str(&format!(
+            "reload {} (checkpoint {:#018x}: {})\n",
+            if report.changed { "swapped" } else { "no-op" },
+            report.ckpt_id,
+            report.detail
+        ));
+    }
+    if args.get_or("metrics", false)? {
+        out.push_str(&client.metrics().map_err(|e| format!("metrics failed: {e}"))?);
+    }
+    if args.get_or("shutdown", false)? {
+        client.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+        out.push_str("server shutting down\n");
+    }
+    if out.is_empty() {
+        return Err("nothing to do: pass --rows/--ping/--metrics/--reload/--shutdown".to_string());
     }
     Ok(out)
 }
@@ -621,6 +753,138 @@ mod tests {
         assert!(err.contains("snapshots differ"), "got: {err}");
         let _ = std::fs::remove_dir_all(&dir_1);
         let _ = std::fs::remove_dir_all(&dir_4);
+    }
+
+    #[test]
+    fn store_fill_through_encoder_preserves_topk_neighbors() {
+        let ds_path = tmp("topk_ds.bin");
+        let model_path = tmp("topk_model.bin");
+        let store_path = tmp("topk_store.bin");
+        run(&args(&format!(
+            "generate --preset sc-small --users 200 --seed 12 --out {ds_path}"
+        )))
+        .expect("generate");
+        run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 2 --latent 8 --batch 64 \
+             --quiet true"
+        )))
+        .expect("train");
+        run(&args(&format!(
+            "embed --data {ds_path} --model {model_path} --out {store_path}"
+        )))
+        .expect("embed");
+
+        // The store is now filled via the serving-side Encoder; it must hold
+        // bit-identical embeddings to the model's own embed_users.
+        let ds = load_dataset(&ds_path).expect("ds");
+        let model = load_model(&model_path).expect("model");
+        let users: Vec<usize> = (0..ds.n_users()).collect();
+        let offline = model.embed_users(&ds, &users, None);
+        let bytes = std::fs::read(&store_path).expect("store bytes");
+        let store = EmbeddingStore::from_bytes(Bytes::from(bytes)).expect("store");
+        for &u in &users {
+            let e = store.get(u as u64).expect("user present");
+            for (a, b) in e.iter().zip(offline.row(u)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "user {u} embedding drifted");
+            }
+        }
+
+        // Therefore the store's top-k look-alike neighbors are unchanged:
+        // brute-force them from the offline matrix and compare.
+        let out =
+            run(&args(&format!("similar --store {store_path} --user 7 --k 5"))).expect("similar");
+        let got: Vec<u64> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(1).expect("user column").parse().expect("id"))
+            .collect();
+        let q = offline.row(7);
+        let mut scored: Vec<(f32, u64)> = users
+            .iter()
+            .filter(|&&u| u != 7)
+            .map(|&u| (-fvae_tensor::ops::squared_distance(q, offline.row(u)), u as u64))
+            .collect();
+        scored.sort_by(|a, b| fvae_tensor::ops::nan_last_desc(a.0, b.0));
+        let want: Vec<u64> = scored.iter().take(5).map(|&(_, u)| u).collect();
+        assert_eq!(got, want, "top-k neighbors changed by the encoder routing");
+    }
+
+    #[test]
+    fn serve_round_trip_over_tcp() {
+        use std::time::{Duration, Instant};
+        let ds_path = tmp("serve_ds.bin");
+        let model_path = tmp("serve_model.bin");
+        let ckpt_dir = tmp("serve_ckpt");
+        let port_file = tmp("serve_port");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let _ = std::fs::remove_file(&port_file);
+        run(&args(&format!(
+            "generate --preset sc-small --users 128 --seed 11 --out {ds_path}"
+        )))
+        .expect("generate");
+        run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 1 --batch 64 --latent 8 \
+             --quiet true --checkpoint-dir {ckpt_dir} --checkpoint-every 2"
+        )))
+        .expect("train");
+
+        // The server blocks inside run() until a client asks it to stop, so
+        // it gets its own thread; the ephemeral port comes back via file.
+        let server = {
+            let line = format!(
+                "serve --checkpoint-dir {ckpt_dir} --port 0 --port-file {port_file} \
+                 --batch-size 4 --max-wait-us 500"
+            );
+            std::thread::spawn(move || run(&args(&line)))
+        };
+        let addr = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&port_file) {
+                    if text.trim().contains(':') {
+                        break text.trim().to_string();
+                    }
+                }
+                assert!(Instant::now() < deadline, "server never published its port");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+
+        let out = run(&args(&format!("embed-client --addr {addr} --ping true"))).expect("ping");
+        assert!(out.contains("pong"));
+
+        let spec = "1:1.0,2:0.5|3:1.0|4:2.0|5:1.5"; // 4 fields, like sc-small
+        let out = run(&args(&format!("embed-client --addr {addr} --rows {spec}")))
+            .expect("embed");
+        assert!(out.contains("checkpoint 0x"), "got: {out}");
+        assert_eq!(out.lines().nth(1).expect("values").split_whitespace().count(), 8);
+
+        // The same spec again must serve identical bytes (cache or not).
+        let again = run(&args(&format!("embed-client --addr {addr} --rows {spec}")))
+            .expect("embed again");
+        assert_eq!(out, again, "repeat request must serve identical bytes");
+
+        let out = run(&args(&format!("embed-client --addr {addr} --metrics true")))
+            .expect("metrics");
+        assert!(out.contains("fvae_serve_requests"), "got: {out}");
+
+        let out = run(&args(&format!("embed-client --addr {addr} --reload true")))
+            .expect("reload");
+        assert!(out.contains("no-op"), "nothing new on disk: {out}");
+
+        let out = run(&args(&format!("embed-client --addr {addr} --shutdown true")))
+            .expect("shutdown");
+        assert!(out.contains("shutting down"));
+        let out = server.join().expect("server thread").expect("serve result");
+        assert!(out.contains("shut down after"), "got: {out}");
+
+        let err = run(&args("embed-client --addr 127.0.0.1:1")).expect_err("no action");
+        assert!(err.contains("cannot connect") || err.contains("nothing to do"));
+        let err = run(&args("serve --checkpoint-dir /definitely/missing")).expect_err("bad dir");
+        assert!(err.contains("cannot serve"), "got: {err}");
+        let err = run(&args("embed-client --addr x --rows 1:1.0|oops")).expect_err("bad spec");
+        assert!(err.contains("ID:WEIGHT"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     #[test]

@@ -627,6 +627,23 @@ pub fn normalized_snapshot_bytes(data: &[u8]) -> Result<Vec<u8>, SnapshotError> 
 /// Writes `bytes` under `dir/name` atomically: temp file → fsync → rename →
 /// directory fsync. A crash at any point leaves either the old state or the
 /// complete new file, never a torn one.
+/// Atomically writes a standalone snapshot of `model` into `dir`, named by
+/// the model's global step like the trainer's own checkpoints — the export
+/// path for handing a trained model to the serving side (`fvae-serve`
+/// fixtures, hot-reload tests) without running a checkpointed training
+/// loop. Optimizer moments are zeroed and the RNG state is re-derived from
+/// the config seed and step, so exporting the same model twice produces
+/// byte-identical files.
+pub fn export_model_snapshot(dir: &Path, model: &Fvae) -> Result<PathBuf, SnapshotError> {
+    fs::create_dir_all(dir).map_err(SnapshotError::Io)?;
+    let seed = model.cfg.seed ^ model.step.wrapping_mul(0x9e3779b9);
+    let rng_state = [seed, seed.rotate_left(17), seed.rotate_left(31), seed.rotate_left(47)];
+    let progress = TrainProgress::at_epoch_boundary(0, model.step);
+    let bytes = encode_snapshot(model, &fresh_opt(model), rng_state, &progress, None);
+    let name = format!("ckpt-{:016}.{SNAPSHOT_EXT}", model.step);
+    Ok(write_atomic(dir, &name, bytes.as_ref())?)
+}
+
 fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<PathBuf> {
     let tmp = dir.join(format!(".{name}.tmp"));
     let path = dir.join(name);

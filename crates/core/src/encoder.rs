@@ -1,0 +1,417 @@
+//! Inference-only encoder split out of the full model.
+//!
+//! Online serving (and the offline evaluation drivers) only ever need the
+//! encoder half of the FVAE: per-field embedding bags, the first-layer bias
+//! and tanh, the optional extra MLP, and the `(μ, log σ²)` head. [`Encoder`]
+//! carries exactly those parameters — no decoder trunk, no softmax heads, no
+//! optimizer or gradient buffers — together with a reusable forward scratch,
+//! so a long-running server (or a loop that embeds one user per call) pays
+//! zero steady-state allocations.
+//!
+//! Every float operation replays the [`Fvae::embed_users`] sequence exactly,
+//! so encoder output is bit-identical to the offline path at any thread
+//! count (the PR-4 determinism contract extended across serving).
+
+use fvae_data::MultiFieldDataset;
+use fvae_nn::{Dense, EmbeddingBag, Mlp};
+use fvae_tensor::Matrix;
+
+use crate::model::{Fvae, LOGVAR_CLAMP};
+
+/// Inference-only encoder: the parameters of the `q(z|x)` half of an
+/// [`Fvae`], detached from training state.
+pub struct Encoder {
+    n_fields: usize,
+    latent_dim: usize,
+    enc_hidden: usize,
+    bags: Vec<EmbeddingBag>,
+    enc_bias: Vec<f32>,
+    enc_extra: Option<Mlp>,
+    enc_head: Dense,
+}
+
+/// Reusable forward buffers for [`Encoder::encode_into`]. All matrices are
+/// reshaped in place, so after one warm-up batch at the largest batch size
+/// the forward pass allocates nothing.
+#[derive(Default)]
+pub struct EncoderScratch {
+    field_out: Matrix,
+    x0: Matrix,
+    acts: Vec<Matrix>,
+    stats: Matrix,
+    logvar: Matrix,
+}
+
+/// Batched sparse encoder input: per field, one `(ids, vals)` row per user,
+/// already L2-normalized across fields. Nested vectors are reused across
+/// batches (reshaped in place), mirroring the training-side `BatchInput`.
+#[derive(Default)]
+pub struct InputRows {
+    n_fields: usize,
+    rows: usize,
+    ids: Vec<Vec<Vec<u64>>>,
+    vals: Vec<Vec<Vec<f32>>>,
+}
+
+impl InputRows {
+    /// Empties the batch (keeping all nested capacity) and fixes the field
+    /// count subsequent [`InputRows::push_row`] calls must supply.
+    pub fn reset(&mut self, n_fields: usize) {
+        self.n_fields = n_fields;
+        self.rows = 0;
+        self.ids.resize_with(n_fields, Vec::new);
+        self.ids.truncate(n_fields);
+        self.vals.resize_with(n_fields, Vec::new);
+        self.vals.truncate(n_fields);
+    }
+
+    /// Number of user rows currently in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Field count the batch was reset with.
+    pub fn n_fields(&self) -> usize {
+        self.n_fields
+    }
+
+    /// Appends one user's raw per-field `(ids, weights)` rows, applying the
+    /// same L2 normalization over all fields as the offline input builder
+    /// (fields are visited in index order, per-field squared sums are added
+    /// in that order — the exact float sequence of `embed_users`).
+    pub fn push_row<'a>(&mut self, mut field: impl FnMut(usize) -> (&'a [u64], &'a [f32])) {
+        let r = self.rows;
+        let mut sq = 0.0f32;
+        for k in 0..self.n_fields {
+            let (_, vs) = field(k);
+            sq += vs.iter().map(|v| v * v).sum::<f32>();
+        }
+        let inv_norm = if sq > 0.0 { 1.0 / sq.sqrt() } else { 0.0 };
+        for k in 0..self.n_fields {
+            if self.ids[k].len() <= r {
+                self.ids[k].push(Vec::new());
+                self.vals[k].push(Vec::new());
+            }
+            let (ids, vals) = field(k);
+            let id_row = &mut self.ids[k][r];
+            id_row.clear();
+            id_row.extend_from_slice(ids);
+            let val_row = &mut self.vals[k][r];
+            val_row.clear();
+            val_row.extend(vals.iter().map(|&v| v * inv_norm));
+        }
+        self.rows += 1;
+    }
+
+    /// Fills the batch from dataset users, replaying the offline frozen
+    /// input builder exactly: the L2 norm runs over `fields` in the order
+    /// given (all fields when `None`), unpicked fields contribute empty
+    /// rows.
+    pub fn fill_from_dataset(
+        &mut self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        fields: Option<&[usize]>,
+        n_fields: usize,
+    ) {
+        self.reset(n_fields);
+        let all: Vec<usize> = (0..n_fields).collect();
+        let picks: &[usize] = fields.unwrap_or(&all);
+        for &u in users {
+            let r = self.rows;
+            let mut sq = 0.0f32;
+            for &k in picks {
+                let (_, vs) = ds.user_field(u, k);
+                sq += vs.iter().map(|v| v * v).sum::<f32>();
+            }
+            let inv_norm = if sq > 0.0 { 1.0 / sq.sqrt() } else { 0.0 };
+            for k in 0..n_fields {
+                if self.ids[k].len() <= r {
+                    self.ids[k].push(Vec::new());
+                    self.vals[k].push(Vec::new());
+                }
+                let id_row = &mut self.ids[k][r];
+                let val_row = &mut self.vals[k][r];
+                id_row.clear();
+                val_row.clear();
+                if !picks.contains(&k) {
+                    continue;
+                }
+                let (ix, vs) = ds.user_field(u, k);
+                id_row.extend(ix.iter().map(|&i| u64::from(i)));
+                val_row.extend(vs.iter().map(|&v| v * inv_norm));
+            }
+            self.rows += 1;
+        }
+    }
+}
+
+impl Encoder {
+    /// Builds an encoder by cloning the inference parameters out of a model
+    /// (the model stays usable — the evaluation drivers keep it around for
+    /// the decoder).
+    pub fn from_model(model: &Fvae) -> Self {
+        Self {
+            n_fields: model.cfg.n_fields,
+            latent_dim: model.cfg.latent_dim,
+            enc_hidden: model.cfg.enc_hidden,
+            bags: model.bags.clone(),
+            enc_bias: model.enc_bias.clone(),
+            enc_extra: model.enc_extra.clone(),
+            enc_head: model.enc_head.clone(),
+        }
+    }
+
+    /// Number of input fields the encoder expects per request.
+    pub fn n_fields(&self) -> usize {
+        self.n_fields
+    }
+
+    /// Latent dimensionality `D` of the served embedding.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Total features tracked by the input hash tables.
+    pub fn input_vocab_len(&self) -> usize {
+        self.bags.iter().map(EmbeddingBag::vocab_len).sum()
+    }
+
+    /// Encodes a batch to `(μ, clamped log σ²)`, reusing `scratch` across
+    /// calls. Bit-identical to [`Fvae::encode`] on the same input.
+    pub fn encode_into(
+        &self,
+        input: &InputRows,
+        scratch: &mut EncoderScratch,
+        mu: &mut Matrix,
+        logvar: &mut Matrix,
+    ) {
+        assert_eq!(input.n_fields, self.n_fields, "field count mismatch");
+        let batch = input.rows;
+        scratch.x0.resize_zeroed(batch, self.enc_hidden);
+        for (k, bag) in self.bags.iter().enumerate() {
+            bag.forward_batch_frozen_into(
+                &input.ids[k][..batch],
+                &input.vals[k][..batch],
+                &mut scratch.field_out,
+            );
+            scratch.x0.add_assign(&scratch.field_out);
+        }
+        for r in 0..batch {
+            let row = scratch.x0.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.enc_bias.iter()) {
+                *v += b;
+            }
+        }
+        scratch.x0.map_inplace(f32::tanh);
+        let h: &Matrix = match &self.enc_extra {
+            Some(mlp) => {
+                mlp.forward_cached_into(&scratch.x0, &mut scratch.acts);
+                scratch.acts.last().expect("non-empty MLP")
+            }
+            None => &scratch.x0,
+        };
+        self.enc_head.forward_into(h, &mut scratch.stats);
+        let d = self.latent_dim;
+        mu.resize_zeroed(batch, d);
+        logvar.resize_zeroed(batch, d);
+        for r in 0..batch {
+            let row = scratch.stats.row(r);
+            mu.row_mut(r).copy_from_slice(&row[..d]);
+            for (lv, &s) in logvar.row_mut(r).iter_mut().zip(row[d..].iter()) {
+                *lv = s.clamp(-LOGVAR_CLAMP, LOGVAR_CLAMP);
+            }
+        }
+    }
+
+    /// The served representation: the posterior mean `μ` only (log σ² lands
+    /// in an internal scratch buffer).
+    pub fn embed_into(&self, input: &InputRows, scratch: &mut EncoderScratch, mu: &mut Matrix) {
+        let mut logvar = std::mem::take(&mut scratch.logvar);
+        self.encode_into(input, scratch, mu, &mut logvar);
+        scratch.logvar = logvar;
+    }
+
+    /// Drop-in replacement for [`Fvae::embed_users`] with reusable buffers:
+    /// fills `input` from the dataset and writes `μ` into `out`.
+    pub fn embed_users_into(
+        &self,
+        ds: &MultiFieldDataset,
+        users: &[usize],
+        fields: Option<&[usize]>,
+        input: &mut InputRows,
+        scratch: &mut EncoderScratch,
+        out: &mut Matrix,
+    ) {
+        input.fill_from_dataset(ds, users, fields, self.n_fields);
+        self.embed_into(input, scratch, out);
+    }
+}
+
+/// Moves the encoder half out of a trained model, dropping the decoder and
+/// training state — the serving-side constructor.
+impl From<Fvae> for Encoder {
+    fn from(model: Fvae) -> Self {
+        Self {
+            n_fields: model.cfg.n_fields,
+            latent_dim: model.cfg.latent_dim,
+            enc_hidden: model.cfg.enc_hidden,
+            bags: model.bags,
+            enc_bias: model.enc_bias,
+            enc_extra: model.enc_extra,
+            enc_head: model.enc_head,
+        }
+    }
+}
+
+impl Fvae {
+    /// Clones this model's inference parameters into an [`Encoder`].
+    pub fn encoder(&self) -> Encoder {
+        Encoder::from_model(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FvaeConfig;
+    use fvae_data::TopicModelConfig;
+
+    fn tiny_ds() -> MultiFieldDataset {
+        TopicModelConfig {
+            n_users: 50,
+            n_topics: 3,
+            alpha: 0.2,
+            fields: vec![
+                fvae_data::FieldSpec::new("ch", 12, 3, 1.0),
+                fvae_data::FieldSpec::new("tag", 30, 5, 1.0),
+            ],
+            pair_prob: 0.0,
+            seed: 17,
+        }
+        .generate()
+    }
+
+    fn trained_model(ds: &MultiFieldDataset) -> Fvae {
+        let mut cfg = FvaeConfig::for_dataset(ds);
+        cfg.latent_dim = 8;
+        cfg.enc_hidden = 16;
+        cfg.enc_extra_hidden = vec![12];
+        cfg.dec_hidden = vec![16];
+        cfg.batch_size = 16;
+        let mut model = Fvae::new(cfg);
+        let users: Vec<usize> = (0..40).collect();
+        model.train_epochs(ds, &users, 1, |_, _| {});
+        model
+    }
+
+    #[test]
+    fn encoder_embeds_bit_identical_to_model() {
+        let ds = tiny_ds();
+        let model = trained_model(&ds);
+        let enc = model.encoder();
+        let users: Vec<usize> = (0..20).collect();
+        for fields in [None, Some(&[0usize][..]), Some(&[1usize, 0][..])] {
+            let offline = model.embed_users(&ds, &users, fields);
+            let mut input = InputRows::default();
+            let mut scratch = EncoderScratch::default();
+            let mut mu = Matrix::default();
+            enc.embed_users_into(&ds, &users, fields, &mut input, &mut scratch, &mut mu);
+            assert_eq!(mu.shape(), offline.shape());
+            for (a, b) in mu.as_slice().iter().zip(offline.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fields {fields:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn moved_encoder_matches_cloned_encoder() {
+        let ds = tiny_ds();
+        let model = trained_model(&ds);
+        let cloned = model.encoder();
+        let users: Vec<usize> = (5..15).collect();
+        let offline = model.embed_users(&ds, &users, None);
+        let moved: Encoder = model.into();
+        for enc in [&cloned, &moved] {
+            let mut input = InputRows::default();
+            let mut scratch = EncoderScratch::default();
+            let mut mu = Matrix::default();
+            enc.embed_users_into(&ds, &users, None, &mut input, &mut scratch, &mut mu);
+            assert_eq!(mu.as_slice(), offline.as_slice());
+        }
+    }
+
+    #[test]
+    fn push_row_matches_dataset_fill() {
+        // Serving receives raw rows over the wire; pushing the same slices
+        // one user at a time must reproduce the dataset path bit-for-bit.
+        let ds = tiny_ds();
+        let model = trained_model(&ds);
+        let enc = model.encoder();
+        let users: Vec<usize> = (0..12).collect();
+        let mut input = InputRows::default();
+        let mut scratch = EncoderScratch::default();
+        let mut expect = Matrix::default();
+        enc.embed_users_into(&ds, &users, None, &mut input, &mut scratch, &mut expect);
+
+        // Raw u64 copies of the same rows, as a client would send them.
+        let raw: Vec<Vec<(Vec<u64>, Vec<f32>)>> = users
+            .iter()
+            .map(|&u| {
+                (0..enc.n_fields())
+                    .map(|k| {
+                        let (ix, vs) = ds.user_field(u, k);
+                        (ix.iter().map(|&i| u64::from(i)).collect(), vs.to_vec())
+                    })
+                    .collect()
+            })
+            .collect();
+        input.reset(enc.n_fields());
+        for row in &raw {
+            input.push_row(|k| (row[k].0.as_slice(), row[k].1.as_slice()));
+        }
+        let mut mu = Matrix::default();
+        enc.embed_into(&input, &mut scratch, &mut mu);
+        for (a, b) in mu.as_slice().iter().zip(expect.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_varying_batch_sizes_is_stable() {
+        let ds = tiny_ds();
+        let model = trained_model(&ds);
+        let enc = model.encoder();
+        let mut input = InputRows::default();
+        let mut scratch = EncoderScratch::default();
+        let mut mu = Matrix::default();
+        // Big batch first (warms capacity), then single rows must still
+        // match the offline per-user embedding exactly.
+        let all: Vec<usize> = (0..30).collect();
+        enc.embed_users_into(&ds, &all, None, &mut input, &mut scratch, &mut mu);
+        let offline = model.embed_users(&ds, &all, None);
+        for &u in &[3usize, 17, 29] {
+            enc.embed_users_into(&ds, &[u], None, &mut input, &mut scratch, &mut mu);
+            assert_eq!(mu.shape(), (1, enc.latent_dim()));
+            for (a, b) in mu.as_slice().iter().zip(offline.row(u)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "user {u} after scratch reuse");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_encode_like_featureless_users() {
+        let ds = tiny_ds();
+        let model = trained_model(&ds);
+        let enc = model.encoder();
+        let mut input = InputRows::default();
+        input.reset(enc.n_fields());
+        input.push_row(|_| (&[][..], &[][..]));
+        let mut scratch = EncoderScratch::default();
+        let (mut mu, mut logvar) = (Matrix::default(), Matrix::default());
+        enc.encode_into(&input, &mut scratch, &mut mu, &mut logvar);
+        assert_eq!(mu.shape(), (1, enc.latent_dim()));
+        assert!(mu.is_finite() && logvar.is_finite());
+        assert!(logvar.as_slice().iter().all(|&v| v.abs() <= LOGVAR_CLAMP));
+    }
+}

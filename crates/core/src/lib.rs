@@ -70,6 +70,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod encoder;
 pub mod model;
 pub mod observe;
 pub mod sampling;
@@ -78,10 +79,11 @@ pub mod train;
 pub mod validate;
 
 pub use checkpoint::{
-    normalized_snapshot_bytes, Checkpointer, LoadedSnapshot, ResumePoint, SnapshotError,
-    TrainProgress, TrainSnapshot,
+    export_model_snapshot, normalized_snapshot_bytes, Checkpointer, LoadedSnapshot, ResumePoint,
+    SnapshotError, TrainProgress, TrainSnapshot,
 };
 pub use config::{FvaeConfig, SamplingConfig};
+pub use encoder::{Encoder, EncoderScratch, InputRows};
 pub use model::Fvae;
 pub use observe::{NullObserver, PhaseNs, StepCtx, TelemetrySink, TrainObserver};
 pub use sampling::SamplingStrategy;

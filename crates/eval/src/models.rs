@@ -4,9 +4,20 @@
 use fvae_baselines::{
     Item2Vec, Job2Vec, Lda, MultDae, MultVae, Pca, RecVae, RepresentationModel,
 };
-use fvae_core::{Fvae, FvaeConfig};
+use fvae_core::{Encoder, EncoderScratch, Fvae, FvaeConfig, InputRows};
 use fvae_data::MultiFieldDataset;
 use fvae_tensor::Matrix;
+use std::cell::RefCell;
+
+/// Reusable inference buffers: the evaluation drivers call
+/// [`RepresentationModel::embed`] / [`RepresentationModel::score_field`] once
+/// per held-out case, so per-call scratch allocation dominated the sweeps.
+#[derive(Default)]
+struct EmbedBuffers {
+    input: InputRows,
+    scratch: EncoderScratch,
+    z: Matrix,
+}
 
 /// FVAE wrapped as a [`RepresentationModel`].
 pub struct FvaeModel {
@@ -15,17 +26,19 @@ pub struct FvaeModel {
     /// Configuration used at fit time.
     pub cfg: FvaeConfig,
     model: Option<Fvae>,
+    encoder: Option<Encoder>,
+    buffers: RefCell<EmbedBuffers>,
 }
 
 impl FvaeModel {
     /// Wraps a configuration.
     pub fn new(cfg: FvaeConfig) -> Self {
-        Self { label: "FVAE", cfg, model: None }
+        Self::labeled("FVAE", cfg)
     }
 
     /// Wraps with an explicit label.
     pub fn labeled(label: &'static str, cfg: FvaeConfig) -> Self {
-        Self { label, cfg, model: None }
+        Self { label, cfg, model: None, encoder: None, buffers: RefCell::default() }
     }
 
     /// The trained model, if fitted.
@@ -42,6 +55,7 @@ impl RepresentationModel for FvaeModel {
     fn fit(&mut self, ds: &MultiFieldDataset, users: &[usize]) {
         let mut model = Fvae::new(self.cfg.clone());
         model.train(ds, users, |_, _| {});
+        self.encoder = Some(model.encoder());
         self.model = Some(model);
     }
 
@@ -51,7 +65,12 @@ impl RepresentationModel for FvaeModel {
         users: &[usize],
         input_fields: Option<&[usize]>,
     ) -> Matrix {
-        self.model.as_ref().expect("fitted").embed_users(ds, users, input_fields)
+        let enc = self.encoder.as_ref().expect("fitted");
+        let mut buf = self.buffers.borrow_mut();
+        let EmbedBuffers { input, scratch, .. } = &mut *buf;
+        let mut out = Matrix::default();
+        enc.embed_users_into(ds, users, input_fields, input, scratch, &mut out);
+        out
     }
 
     fn score_field(
@@ -63,7 +82,10 @@ impl RepresentationModel for FvaeModel {
         candidates: &[u32],
     ) -> Matrix {
         let model = self.model.as_ref().expect("fitted");
-        let z = model.embed_users(ds, users, input_fields);
+        let enc = self.encoder.as_ref().expect("fitted");
+        let mut buf = self.buffers.borrow_mut();
+        let EmbedBuffers { input, scratch, z } = &mut *buf;
+        enc.embed_users_into(ds, users, input_fields, input, scratch, z);
         let mut out = Matrix::zeros(users.len(), candidates.len());
         for r in 0..users.len() {
             let scores = model.field_logits_one(z.row(r), field, candidates);
@@ -161,6 +183,12 @@ mod tests {
         model.fit(&ds, &users);
         let emb = model.embed(&ds, &users[..4], Some(&[0]));
         assert_eq!(emb.shape(), (4, 8));
+        // The adapter routes through the serving-side Encoder; that must be
+        // invisible — bit-identical to the model's own embed_users.
+        let direct = model.inner().expect("fitted").embed_users(&ds, &users[..4], Some(&[0]));
+        for (a, b) in emb.as_slice().iter().zip(direct.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
         let scores = model.score_field(&ds, &users[..4], Some(&[0]), 1, &[0, 1, 2]);
         assert_eq!(scores.shape(), (4, 3));
         assert!(scores.is_finite());

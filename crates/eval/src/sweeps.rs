@@ -104,9 +104,22 @@ impl SweepEnv {
 
     /// Evaluates an already-trained raw [`Fvae`] (for the timed Fig. 6 curve).
     pub fn evaluate_raw(&self, model: &Fvae) -> f64 {
+        // One encoder + reusable buffers for the whole case loop, instead of
+        // re-allocating forward scratch inside every per-case embed call.
+        let enc = model.encoder();
+        let mut input = fvae_core::InputRows::default();
+        let mut scratch = fvae_core::EncoderScratch::default();
+        let mut z = fvae_tensor::Matrix::default();
         let mut auc_mean = Mean::new();
         for case in &self.cases {
-            let z = model.embed_users(&self.ds, &[case.user], Some(&self.channel_fields));
+            enc.embed_users_into(
+                &self.ds,
+                &[case.user],
+                Some(&self.channel_fields),
+                &mut input,
+                &mut scratch,
+                &mut z,
+            );
             let scores = model.field_logits_one(z.row(0), self.tag_field, &case.candidates);
             auc_mean.push(auc(&scores, &case.labels));
         }

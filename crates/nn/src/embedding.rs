@@ -224,6 +224,37 @@ impl EmbeddingBag {
         out
     }
 
+    /// [`EmbeddingBag::forward_batch_frozen`] writing into a caller-owned
+    /// output (reshaped in place, zero-filled). Taking the batch as parallel
+    /// `Vec` slices instead of row tuples lets a serving loop hand its
+    /// reusable nested input buffers straight in — no per-call row-tuple
+    /// vector, so the steady-state forward allocates nothing. The per-row
+    /// accumulation order is identical to the tuple-based kernel, keeping
+    /// the output bit-identical at every thread count.
+    pub fn forward_batch_frozen_into(&self, ids: &[Vec<u64>], vals: &[Vec<f32>], out: &mut Matrix) {
+        assert_eq!(ids.len(), vals.len(), "ids and values must be parallel");
+        let n = ids.len();
+        let dim = self.dim;
+        out.resize_zeroed(n, dim);
+        let pool = fvae_pool::global();
+        let n_shards = fvae_pool::balanced_shards(n, pool.parallelism());
+        let base = SendPtr::new(out.as_mut_slice().as_mut_ptr());
+        pool.run(n_shards, |s| {
+            for r in fvae_pool::shard_range(n, n_shards, s, 1) {
+                let out_row =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(r * dim), dim) };
+                for (&id, &v) in ids[r].iter().zip(vals[r].iter()) {
+                    if let Some(slot) = self.table.slot_of(id) {
+                        let emb = &self.weights[slot * dim..(slot + 1) * dim];
+                        for (o, &e) in out_row.iter_mut().zip(emb.iter()) {
+                            *o += v * e;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
     /// Backward pass: scatters `∂L/∂out` into per-slot gradient rows.
     ///
     /// `rows_slots`/`rows_vals` are the slot lists returned by
@@ -359,6 +390,38 @@ mod tests {
             assert!((o - w).abs() < 1e-6, "unknown id must contribute nothing");
         }
         assert_eq!(bag.vocab_len(), 1, "frozen forward must not grow the vocab");
+    }
+
+    #[test]
+    fn frozen_into_matches_tuple_kernel_bits() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bag = EmbeddingBag::new(4, 0.3);
+        let ids: Vec<Vec<u64>> =
+            (0..11).map(|r| (0..(r % 3 + 1)).map(|j| (r * 5 + j) as u64 % 7).collect()).collect();
+        let vals: Vec<Vec<f32>> = ids
+            .iter()
+            .map(|row| row.iter().map(|&id| 0.5 * id as f32 - 1.0).collect())
+            .collect();
+        // Seed the vocabulary with a subset of the IDs so some lookups miss.
+        let seen: Vec<u64> = (0..4u64).collect();
+        let ones = vec![1.0f32; seen.len()];
+        bag.forward_batch(&[(&seen, &ones)], &mut rng);
+
+        let tuples: Vec<(&[u64], &[f32])> =
+            ids.iter().zip(vals.iter()).map(|(i, v)| (i.as_slice(), v.as_slice())).collect();
+        let expect = bag.forward_batch_frozen(&tuples);
+        let mut out = Matrix::zeros(0, 0);
+        bag.forward_batch_frozen_into(&ids, &vals, &mut out);
+        assert_eq!(out.shape(), expect.shape());
+        for (a, b) in out.as_slice().iter().zip(expect.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Reuse with a smaller batch must fully overwrite stale rows.
+        bag.forward_batch_frozen_into(&ids[..3], &vals[..3], &mut out);
+        assert_eq!(out.shape(), (3, 4));
+        for (a, b) in out.as_slice().iter().zip(expect.as_slice()[..12].iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

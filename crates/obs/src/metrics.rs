@@ -82,6 +82,18 @@ impl Gauge {
         }
     }
 
+    /// Adds one (for up/down resource gauges such as queue depth).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1.0);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1.0);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Relaxed))

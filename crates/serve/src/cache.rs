@@ -1,0 +1,279 @@
+//! Fixed-capacity LRU cache for served embeddings.
+//!
+//! Keys are `(checkpoint id, request row hash)` — embeddings from a
+//! superseded checkpoint are never returned for a request against the new
+//! one, and stale entries age out through normal LRU pressure after a hot
+//! reload (no flush needed).
+//!
+//! The cache is built for a zero-allocation steady state: embedding values
+//! live in one slab of `capacity × dim` floats, recency is an intrusive
+//! doubly-linked list over slot indices, and the index map is pre-reserved
+//! at construction. Once warm, `get`/`insert` never allocate.
+
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a streaming hasher — the protocol-stable hash for request
+/// rows and checkpoint bytes (independent of Rust's randomized `DefaultHasher`).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs one `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs one `f32` as its IEEE bit pattern (so `-0.0` and `0.0` hash
+    /// differently, matching the bit-exactness contract of the encoder).
+    pub fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes a whole byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hashes an embed request's field rows (lengths, ids, and weight bit
+/// patterns) into a cache key.
+pub fn row_hash(fields: &[(Vec<u64>, Vec<f32>)]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(fields.len() as u64);
+    for (ids, vals) in fields {
+        h.write_u64(ids.len() as u64);
+        for &id in ids {
+            h.write_u64(id);
+        }
+        for &v in vals {
+            h.write_f32(v);
+        }
+    }
+    h.finish()
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Fixed-capacity LRU of `dim`-wide embeddings keyed by
+/// `(ckpt_id, row_hash)`. Capacity 0 disables the cache entirely.
+pub struct EmbedCache {
+    cap: usize,
+    dim: usize,
+    map: HashMap<(u64, u64), u32>,
+    /// Key stored in each slot (for eviction-time map removal).
+    keys: Vec<(u64, u64)>,
+    /// `cap × dim` value storage.
+    slab: Vec<f32>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl EmbedCache {
+    /// Pre-allocates every buffer the cache will ever use.
+    pub fn new(cap: usize, dim: usize) -> Self {
+        Self {
+            cap,
+            dim,
+            // Headroom over `cap` keeps the map below its load factor so
+            // inserts at full capacity never trigger a resize.
+            map: HashMap::with_capacity(cap * 2),
+            keys: vec![(0, 0); cap],
+            slab: vec![0.0; cap * dim],
+            prev: vec![NONE; cap],
+            next: vec![NONE; cap],
+            head: NONE,
+            tail: NONE,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no entries (always true at capacity 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity the cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NONE {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NONE {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.prev[slot as usize] = NONE;
+        self.next[slot as usize] = self.head;
+        if self.head != NONE {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up an embedding, refreshing its recency on a hit.
+    pub fn get(&mut self, ckpt_id: u64, key: u64) -> Option<&[f32]> {
+        let &slot = self.map.get(&(ckpt_id, key))?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        let start = slot as usize * self.dim;
+        Some(&self.slab[start..start + self.dim])
+    }
+
+    /// Inserts (or refreshes) an embedding, evicting the least-recently
+    /// used entry when full. `emb` must be exactly `dim` long.
+    pub fn insert(&mut self, ckpt_id: u64, key: u64, emb: &[f32]) {
+        if self.cap == 0 {
+            return;
+        }
+        assert_eq!(emb.len(), self.dim, "embedding width mismatch");
+        let full_key = (ckpt_id, key);
+        let slot = if let Some(&slot) = self.map.get(&full_key) {
+            if slot != self.head {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            slot
+        } else {
+            let slot = if self.len < self.cap {
+                let s = self.len as u32;
+                self.len += 1;
+                s
+            } else {
+                let s = self.tail;
+                self.unlink(s);
+                self.map.remove(&self.keys[s as usize]);
+                s
+            };
+            self.keys[slot as usize] = full_key;
+            self.map.insert(full_key, slot);
+            self.push_front(slot);
+            slot
+        };
+        let start = slot as usize * self.dim;
+        self.slab[start..start + self.dim].copy_from_slice(emb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_values() {
+        let mut c = EmbedCache::new(4, 3);
+        c.insert(1, 10, &[1.0, 2.0, 3.0]);
+        assert_eq!(c.get(1, 10), Some(&[1.0, 2.0, 3.0][..]));
+        assert_eq!(c.get(1, 11), None);
+        assert_eq!(c.get(2, 10), None, "different checkpoint, different entry");
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = EmbedCache::new(2, 1);
+        c.insert(0, 1, &[1.0]);
+        c.insert(0, 2, &[2.0]);
+        assert!(c.get(0, 1).is_some()); // refresh 1; 2 becomes LRU
+        c.insert(0, 3, &[3.0]);
+        assert!(c.get(0, 2).is_none(), "LRU entry evicted");
+        assert!(c.get(0, 1).is_some());
+        assert!(c.get(0, 3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_and_overwrites() {
+        let mut c = EmbedCache::new(2, 1);
+        c.insert(0, 1, &[1.0]);
+        c.insert(0, 2, &[2.0]);
+        c.insert(0, 1, &[9.0]); // overwrite + move to front; 2 is LRU
+        c.insert(0, 3, &[3.0]);
+        assert_eq!(c.get(0, 1), Some(&[9.0][..]));
+        assert!(c.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let mut c = EmbedCache::new(0, 4);
+        c.insert(0, 1, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(c.get(0, 1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn steady_state_does_not_rehash() {
+        // Churn far past capacity: the index map must never grow beyond
+        // its initial reservation (a rehash would allocate mid-serve).
+        let mut c = EmbedCache::new(8, 2);
+        let cap_before = c.map.capacity();
+        for i in 0..1000u64 {
+            c.insert(1, i, &[i as f32, 0.0]);
+        }
+        assert_eq!(c.map.capacity(), cap_before);
+        assert_eq!(c.len(), 8);
+        // The 8 newest entries are resident, oldest first evicted.
+        for i in 992..1000 {
+            assert_eq!(c.get(1, i), Some(&[i as f32, 0.0][..]));
+        }
+    }
+
+    #[test]
+    fn row_hash_is_sensitive_to_structure() {
+        let a = row_hash(&[(vec![1, 2], vec![0.5, 0.5])]);
+        let b = row_hash(&[(vec![1, 2], vec![0.5, 0.25])]);
+        let c = row_hash(&[(vec![2, 1], vec![0.5, 0.5])]);
+        let d = row_hash(&[(vec![1], vec![0.5]), (vec![2], vec![0.5])]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, row_hash(&[(vec![1, 2], vec![0.5, 0.5])]));
+    }
+}

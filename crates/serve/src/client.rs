@@ -1,0 +1,175 @@
+//! Blocking client for the `fvae-serve` protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time, matching each reply to its request id. It is deliberately simple
+//! — the serving-side concurrency comes from many connections, not from
+//! pipelining on one.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_frame, FieldRow, Message, ProtoError, RecvError};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that did not decode.
+    Proto(ProtoError),
+    /// The server closed the connection where a reply was expected.
+    Closed,
+    /// The server replied with a message that does not answer the request
+    /// (wrong kind or mismatched request id).
+    UnexpectedReply(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "connection closed mid-request"),
+            ClientError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<RecvError> for ClientError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Io(e) => ClientError::Io(e),
+            RecvError::Proto(e) => ClientError::Proto(e),
+        }
+    }
+}
+
+/// How the server answered an embed request. All three are *successful
+/// protocol exchanges* — `Overloaded` and `Error` are server decisions,
+/// not transport failures, so they are data rather than `Err`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EmbedOutcome {
+    /// The embedding, with the checkpoint that produced it.
+    Embedding {
+        /// Identity of the serving checkpoint.
+        ckpt_id: u64,
+        /// The `latent_dim` values of `μ`.
+        values: Vec<f32>,
+    },
+    /// The batch queue was full; retry later.
+    Overloaded,
+    /// The server rejected the request.
+    Error {
+        /// Machine-readable code (see [`crate::protocol::error_code`]).
+        code: u16,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Outcome of a reload request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReloadReport {
+    /// Whether a usable snapshot was found.
+    pub ok: bool,
+    /// Whether the serving model changed.
+    pub changed: bool,
+    /// Identity of the active checkpoint after the attempt.
+    pub ckpt_id: u64,
+    /// Path or error detail.
+    pub detail: String,
+}
+
+/// A connected serve client.
+pub struct Client {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    next_req: u64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, rbuf: Vec::new(), wbuf: Vec::new(), next_req: 1 })
+    }
+
+    fn recv(&mut self) -> Result<Message, ClientError> {
+        match read_frame(&mut self.stream, &mut self.rbuf)? {
+            Some(msg) => Ok(msg),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, msg, &mut self.wbuf)?;
+        Ok(())
+    }
+
+    /// Requests the embedding for one user's raw per-field rows (the
+    /// server applies the same L2 normalization as offline training).
+    pub fn embed(&mut self, fields: &[FieldRow]) -> Result<EmbedOutcome, ClientError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.send(&Message::EmbedRequest { req_id, fields: fields.to_vec() })?;
+        match self.recv()? {
+            Message::EmbedReply { req_id: r, ckpt_id, embedding } if r == req_id => {
+                Ok(EmbedOutcome::Embedding { ckpt_id, values: embedding })
+            }
+            Message::Overloaded { req_id: r } if r == req_id => Ok(EmbedOutcome::Overloaded),
+            Message::ErrorReply { req_id: r, code, msg } if r == req_id || r == 0 => {
+                Ok(EmbedOutcome::Error { code, msg })
+            }
+            _ => Err(ClientError::UnexpectedReply("embed")),
+        }
+    }
+
+    /// Round-trips a ping token; verifies stream alignment.
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        self.send(&Message::Ping { token })?;
+        match self.recv()? {
+            Message::Pong { token: t } if t == token => Ok(()),
+            _ => Err(ClientError::UnexpectedReply("ping")),
+        }
+    }
+
+    /// Fetches the server's Prometheus metrics text.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Message::MetricsRequest)?;
+        match self.recv()? {
+            Message::MetricsReply { text } => Ok(text),
+            _ => Err(ClientError::UnexpectedReply("metrics")),
+        }
+    }
+
+    /// Asks the server to reload the newest checkpoint.
+    pub fn reload(&mut self) -> Result<ReloadReport, ClientError> {
+        self.send(&Message::ReloadRequest)?;
+        match self.recv()? {
+            Message::ReloadReply { ok, changed, ckpt_id, detail } => {
+                Ok(ReloadReport { ok, changed, ckpt_id, detail })
+            }
+            _ => Err(ClientError::UnexpectedReply("reload")),
+        }
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Message::Shutdown)?;
+        match self.recv()? {
+            Message::ShutdownAck => Ok(()),
+            _ => Err(ClientError::UnexpectedReply("shutdown")),
+        }
+    }
+}

@@ -1,0 +1,734 @@
+//! The `fvae-serve` server: micro-batched online embedding inference.
+//!
+//! ## Architecture
+//!
+//! One **accept thread** hands each TCP connection to its own **connection
+//! thread** (blocking reads, framed protocol). Embed requests that miss the
+//! LRU cache become [`Pending`] cells on a **bounded queue**; a single
+//! **batch thread** coalesces up to `batch_size` of them (waiting at most
+//! `max_wait` for stragglers), runs one batched encoder forward on the
+//! shared [`fvae_pool`] workers, and fulfils every cell. When the queue is
+//! full the connection thread answers `Overloaded` immediately — the queue
+//! never grows without bound and every request gets exactly one reply.
+//!
+//! All allocation happens on connection threads (parsing, reply frames,
+//! pre-sized pending cells). The batch loop itself — drain, build input,
+//! forward, fulfil, cache — reuses its buffers and is allocation-free in
+//! steady state (verified by the soak test through the [`BatchProbe`]
+//! hook).
+//!
+//! ## Hot reload
+//!
+//! The serving model lives behind `RwLock<Arc<ModelState>>`. A reload
+//! decodes and validates the newest snapshot *off to the side* (on a
+//! [`fvae_pool::ThreadPool::submit_waitable`] task), then atomically swaps
+//! the `Arc` — in-flight batches keep the snapshot they started with, and
+//! no request is ever dropped. Checkpoint identity is the FNV-1a hash of
+//! the [`fvae_core::normalized_snapshot_bytes`], so re-exporting an
+//! identical model is recognised as a no-op and skipped. A reload that
+//! finds no usable snapshot (corrupt files, empty dir) fails loudly while
+//! the old model keeps serving.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fvae_core::{normalized_snapshot_bytes, Checkpointer, Encoder, EncoderScratch, InputRows, SnapshotError};
+use fvae_obs::{Counter, Gauge, Histogram, Registry};
+use fvae_tensor::Matrix;
+use parking_lot::RwLock;
+
+use crate::cache::{fnv64, row_hash, EmbedCache};
+use crate::protocol::{error_code, read_frame, write_frame, FieldRow, Message, RecvError};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Server configuration. [`ServeConfig::new`] fills in serving defaults;
+/// every knob is public for tests and the CLI.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Directory holding `.fvck` snapshots; the newest usable one is
+    /// served and re-scanned on reload.
+    pub checkpoint_dir: PathBuf,
+    /// Listen host (default `127.0.0.1`).
+    pub host: String,
+    /// Listen port; 0 binds an ephemeral port (see [`Server::addr`]).
+    pub port: u16,
+    /// Maximum requests coalesced into one encoder forward.
+    pub batch_size: usize,
+    /// How long a non-full batch waits for stragglers.
+    pub max_wait: Duration,
+    /// Bound on queued (admitted, unserved) requests; beyond it new
+    /// requests are answered `Overloaded`.
+    pub queue_capacity: usize,
+    /// LRU embedding cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// How long a connection thread waits for its batch result before
+    /// giving up with a timeout error.
+    pub reply_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// Defaults tuned for tiny models and tests: small batches, short
+    /// coalescing waits.
+    pub fn new(checkpoint_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            checkpoint_dir: checkpoint_dir.into(),
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            batch_size: 32,
+            max_wait: Duration::from_micros(500),
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            reply_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Errors starting or reloading a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(io::Error),
+    /// The checkpoint directory had no usable snapshot (or decoding
+    /// failed).
+    Snapshot(SnapshotError),
+    /// The checkpoint directory exists but holds no snapshot files at all.
+    NoCheckpoint(PathBuf),
+    /// A reload task failed; the previous model keeps serving.
+    Reload(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::NoCheckpoint(dir) => {
+                write!(f, "no checkpoint files in {}", dir.display())
+            }
+            ServeError::Reload(msg) => write!(f, "reload failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Handles into the server's metrics [`Registry`] (Prometheus-rendered via
+/// `MetricsRequest` or [`Server::metrics_text`]).
+struct ServeMetrics {
+    registry: Registry,
+    requests: Counter,
+    replies_ok: Counter,
+    overloaded: Counter,
+    errors: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    batches: Counter,
+    batch_size: Histogram,
+    latency_us: Histogram,
+    queue_depth: Gauge,
+    connections: Counter,
+    reloads: Counter,
+    reload_noops: Counter,
+    reload_errors: Counter,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            requests: registry.counter("fvae_serve_requests"),
+            replies_ok: registry.counter("fvae_serve_replies_ok"),
+            overloaded: registry.counter("fvae_serve_overloaded"),
+            errors: registry.counter("fvae_serve_errors"),
+            cache_hits: registry.counter("fvae_serve_cache_hits"),
+            cache_misses: registry.counter("fvae_serve_cache_misses"),
+            batches: registry.counter("fvae_serve_batches"),
+            batch_size: registry.histogram("fvae_serve_batch_size"),
+            latency_us: registry.histogram("fvae_serve_latency_us"),
+            queue_depth: registry.gauge("fvae_serve_queue_depth"),
+            connections: registry.counter("fvae_serve_connections"),
+            reloads: registry.counter("fvae_serve_reloads"),
+            reload_noops: registry.counter("fvae_serve_reload_noops"),
+            reload_errors: registry.counter("fvae_serve_reload_errors"),
+            registry,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------------
+
+/// The immutable serving snapshot: encoder weights plus the identity of
+/// the checkpoint they came from. Swapped atomically on reload.
+struct ModelState {
+    encoder: Encoder,
+    ckpt_id: u64,
+    path: PathBuf,
+}
+
+/// Where one pending request's reply lands.
+enum ReplyState {
+    Waiting,
+    Ready,
+}
+
+struct PendingSlot {
+    state: ReplyState,
+    ckpt_id: u64,
+    /// Pre-sized by the connection thread; the batch thread only copies
+    /// into it.
+    emb: Vec<f32>,
+}
+
+/// One admitted embed request parked on the batch queue.
+struct Pending {
+    row_hash: u64,
+    fields: Vec<FieldRow>,
+    slot: Mutex<PendingSlot>,
+    cv: Condvar,
+}
+
+/// Phase marker passed to a [`BatchProbe`]: once before the batch forward
+/// begins and once after every reply cell is fulfilled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchPhase {
+    /// About to build the batch input and run the encoder.
+    Start,
+    /// All replies for the batch are fulfilled and cached.
+    End,
+}
+
+/// Test hook running *on the batch thread* around each batch, receiving
+/// the batch size. The soak test uses it to bracket the loop with a
+/// counting allocator.
+pub type BatchProbe = Box<dyn FnMut(BatchPhase, usize) + Send>;
+
+struct Shared {
+    cfg: ServeConfig,
+    model: RwLock<Arc<ModelState>>,
+    queue: Mutex<VecDeque<Arc<Pending>>>,
+    work_cv: Condvar,
+    cache: Mutex<EmbedCache>,
+    metrics: ServeMetrics,
+    shutdown: AtomicBool,
+    /// Read-half clones of live connection sockets, for shutdown wakeups.
+    conns: Mutex<Vec<TcpStream>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes reloads (concurrent requests would race the swap).
+    reload_lock: Mutex<()>,
+    addr: SocketAddr,
+}
+
+/// Outcome of a successful reload.
+#[derive(Clone, Debug)]
+pub struct ReloadOutcome {
+    /// `false` when the newest snapshot was already being served.
+    pub changed: bool,
+    /// Identity (normalized-bytes hash) of the active checkpoint.
+    pub ckpt_id: u64,
+    /// File the active checkpoint was loaded from.
+    pub path: PathBuf,
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A running serve instance. Dropping it performs a full graceful
+/// shutdown: queued requests are drained and answered first.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    batch: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Loads the newest checkpoint and starts serving.
+    pub fn start(cfg: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_with_probe(cfg, None)
+    }
+
+    /// [`Server::start`] with a batch-thread probe installed (test hook).
+    pub fn start_with_probe(cfg: ServeConfig, probe: Option<BatchProbe>) -> Result<Self, ServeError> {
+        let state = load_model_state(&cfg.checkpoint_dir)?;
+        let dim = state.encoder.latent_dim();
+        let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
+        let addr = listener.local_addr()?;
+        let cache_capacity = cfg.cache_capacity;
+        let shared = Arc::new(Shared {
+            model: RwLock::new(Arc::new(state)),
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
+            work_cv: Condvar::new(),
+            cache: Mutex::new(EmbedCache::new(cache_capacity, dim)),
+            metrics: ServeMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+            reload_lock: Mutex::new(()),
+            addr,
+            cfg,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fvae-serve-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))?
+        };
+        let batch = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fvae-serve-batch".into())
+                .spawn(move || batch_loop(&shared, probe))?
+        };
+        Ok(Self { shared, accept: Some(accept), batch: Some(batch) })
+    }
+
+    /// The bound listen address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Identity of the checkpoint currently being served.
+    pub fn ckpt_id(&self) -> u64 {
+        self.shared.model.read().ckpt_id
+    }
+
+    /// Latent dimensionality of served embeddings.
+    pub fn latent_dim(&self) -> usize {
+        self.shared.model.read().encoder.latent_dim()
+    }
+
+    /// Field count requests must supply.
+    pub fn n_fields(&self) -> usize {
+        self.shared.model.read().encoder.n_fields()
+    }
+
+    /// Prometheus text of the server's metrics registry.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.registry.render()
+    }
+
+    /// Reloads the newest checkpoint (in-process equivalent of the
+    /// `ReloadRequest` frame).
+    pub fn reload(&self) -> Result<ReloadOutcome, ServeError> {
+        reload(&self.shared)
+    }
+
+    /// Whether shutdown has been signalled (by [`Server::shutdown`], drop,
+    /// or a client `Shutdown` frame).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Blocks until shutdown is signalled — the CLI's serving loop.
+    pub fn wait(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Graceful stop: refuse new work, drain the queue (every admitted
+    /// request still gets its reply), then join every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        signal_shutdown(&self.shared);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batch.take() {
+            let _ = h.join();
+        }
+        // With the batch thread drained, wake connection threads parked in
+        // blocking reads; their replies are already fulfilled.
+        for s in self.shared.conns.lock().expect("conns mutex").drain(..) {
+            let _ = s.shutdown(SockShutdown::Read);
+        }
+        let handles: Vec<_> = self.shared.conn_handles.lock().expect("handles mutex").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Flags shutdown (under the queue lock, so no request can slip past the
+/// admission check afterwards) and wakes the accept and batch threads.
+fn signal_shutdown(shared: &Shared) {
+    {
+        let _q = shared.queue.lock().expect("serve queue mutex");
+        shared.shutdown.store(true, Ordering::Release);
+        shared.work_cv.notify_all();
+    }
+    // Self-connect to pop the accept thread out of its blocking accept().
+    let _ = TcpStream::connect(shared.addr);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint loading / reload
+// ---------------------------------------------------------------------------
+
+fn load_model_state(dir: &Path) -> Result<ModelState, ServeError> {
+    let loaded = Checkpointer::load_latest(dir)
+        .map_err(ServeError::Snapshot)?
+        .ok_or_else(|| ServeError::NoCheckpoint(dir.to_path_buf()))?;
+    let bytes = std::fs::read(&loaded.path)?;
+    let normalized = normalized_snapshot_bytes(&bytes).map_err(ServeError::Snapshot)?;
+    let ckpt_id = fnv64(&normalized);
+    let (model, _resume) = loaded.snapshot.into_resume();
+    Ok(ModelState { encoder: Encoder::from(model), ckpt_id, path: loaded.path })
+}
+
+/// Loads, validates, and swaps in the newest snapshot. The decode runs as
+/// a waitable task on the global compute pool; the swap itself is a single
+/// `Arc` store, so in-flight batches finish on the model they started
+/// with.
+fn reload(shared: &Arc<Shared>) -> Result<ReloadOutcome, ServeError> {
+    let _serialize = shared.reload_lock.lock().expect("reload mutex");
+    let current_id = shared.model.read().ckpt_id;
+    let result: Arc<Mutex<Option<Result<ReloadOutcome, ServeError>>>> = Arc::new(Mutex::new(None));
+    let task_result = Arc::clone(&result);
+    let task_shared = Arc::clone(shared);
+    let handle = fvae_pool::global().submit_waitable(move || {
+        let outcome = (|| {
+            let state = load_model_state(&task_shared.cfg.checkpoint_dir)?;
+            if state.ckpt_id == current_id {
+                task_shared.metrics.reload_noops.inc();
+                return Ok(ReloadOutcome { changed: false, ckpt_id: current_id, path: state.path });
+            }
+            let out = ReloadOutcome { changed: true, ckpt_id: state.ckpt_id, path: state.path.clone() };
+            *task_shared.model.write() = Arc::new(state);
+            task_shared.metrics.reloads.inc();
+            Ok(out)
+        })();
+        *task_result.lock().expect("reload result mutex") = Some(outcome);
+    });
+    match handle.wait() {
+        fvae_pool::JobStatus::Done => {}
+        status => {
+            shared.metrics.reload_errors.inc();
+            return Err(ServeError::Reload(format!("reload task {status:?}")));
+        }
+    }
+    let outcome = result
+        .lock()
+        .expect("reload result mutex")
+        .take()
+        .unwrap_or_else(|| Err(ServeError::Reload("reload task returned nothing".into())));
+    if outcome.is_err() {
+        shared.metrics.reload_errors.inc();
+    }
+    outcome
+}
+
+// ---------------------------------------------------------------------------
+// Accept + connection threads
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return; // the shutdown self-connect, or a straggler: refuse
+        }
+        shared.metrics.connections.inc();
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns mutex").push(clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("fvae-serve-conn".into())
+            .spawn(move || connection_loop(&conn_shared, stream))
+        {
+            shared.conn_handles.lock().expect("handles mutex").push(handle);
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let mut rbuf: Vec<u8> = Vec::new();
+    let mut wbuf: Vec<u8> = Vec::new();
+    loop {
+        let msg = match read_frame(&mut stream, &mut rbuf) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => return, // client hung up cleanly
+            Err(RecvError::Io(_)) => return,
+            Err(RecvError::Proto(e)) => {
+                // Framing is lost; report once and drop the connection.
+                shared.metrics.errors.inc();
+                let reply = Message::ErrorReply {
+                    req_id: 0,
+                    code: error_code::PROTOCOL,
+                    msg: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &reply, &mut wbuf);
+                return;
+            }
+        };
+        let stop = handle_message(shared, &mut stream, &mut wbuf, msg);
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Handles one client message; returns `true` when the connection should
+/// close.
+fn handle_message(shared: &Arc<Shared>, stream: &mut TcpStream, wbuf: &mut Vec<u8>, msg: Message) -> bool {
+    match msg {
+        Message::EmbedRequest { req_id, fields } => {
+            let reply = serve_embed(shared, req_id, fields);
+            write_frame(stream, &reply, wbuf).is_err()
+        }
+        Message::Ping { token } => write_frame(stream, &Message::Pong { token }, wbuf).is_err(),
+        Message::MetricsRequest => {
+            let reply = Message::MetricsReply { text: shared.metrics.registry.render() };
+            write_frame(stream, &reply, wbuf).is_err()
+        }
+        Message::ReloadRequest => {
+            let reply = match reload(shared) {
+                Ok(out) => Message::ReloadReply {
+                    ok: true,
+                    changed: out.changed,
+                    ckpt_id: out.ckpt_id,
+                    detail: out.path.display().to_string(),
+                },
+                Err(e) => Message::ReloadReply {
+                    ok: false,
+                    changed: false,
+                    ckpt_id: shared.model.read().ckpt_id,
+                    detail: e.to_string(),
+                },
+            };
+            write_frame(stream, &reply, wbuf).is_err()
+        }
+        Message::Shutdown => {
+            let _ = write_frame(stream, &Message::ShutdownAck, wbuf);
+            let _ = stream.flush();
+            signal_shutdown(shared);
+            true
+        }
+        _ => {
+            // Server-bound streams should never carry reply kinds.
+            shared.metrics.errors.inc();
+            let reply = Message::ErrorReply {
+                req_id: 0,
+                code: error_code::PROTOCOL,
+                msg: "unexpected message kind for server".to_string(),
+            };
+            write_frame(stream, &reply, wbuf).is_err()
+        }
+    }
+}
+
+/// Full request path for one embed request: validate → cache probe →
+/// bounded enqueue → wait for the batch thread → reply. Exactly one reply
+/// per request, on every path.
+fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Message {
+    shared.metrics.requests.inc();
+    let started = Instant::now();
+    let (n_fields, dim, ckpt_id) = {
+        let model = shared.model.read();
+        (model.encoder.n_fields(), model.encoder.latent_dim(), model.ckpt_id)
+    };
+    if fields.len() != n_fields {
+        shared.metrics.errors.inc();
+        return Message::ErrorReply {
+            req_id,
+            code: error_code::BAD_REQUEST,
+            msg: format!("expected {n_fields} fields, got {}", fields.len()),
+        };
+    }
+    for (ids, vals) in &fields {
+        if ids.len() != vals.len() {
+            shared.metrics.errors.inc();
+            return Message::ErrorReply {
+                req_id,
+                code: error_code::BAD_REQUEST,
+                msg: "ids/weights length mismatch".to_string(),
+            };
+        }
+    }
+    let hash = row_hash(&fields);
+    if let Some(hit) = shared.cache.lock().expect("cache mutex").get(ckpt_id, hash) {
+        shared.metrics.cache_hits.inc();
+        shared.metrics.replies_ok.inc();
+        shared.metrics.latency_us.record(started.elapsed().as_micros() as u64);
+        return Message::EmbedReply { req_id, ckpt_id, embedding: hit.to_vec() };
+    }
+    shared.metrics.cache_misses.inc();
+
+    let pending = Arc::new(Pending {
+        row_hash: hash,
+        fields,
+        slot: Mutex::new(PendingSlot { state: ReplyState::Waiting, ckpt_id: 0, emb: vec![0.0; dim] }),
+        cv: Condvar::new(),
+    });
+    {
+        let mut q = shared.queue.lock().expect("serve queue mutex");
+        if shared.shutdown.load(Ordering::Acquire) {
+            shared.metrics.errors.inc();
+            return Message::ErrorReply {
+                req_id,
+                code: error_code::SHUTTING_DOWN,
+                msg: "server is shutting down".to_string(),
+            };
+        }
+        if q.len() >= shared.cfg.queue_capacity {
+            shared.metrics.overloaded.inc();
+            return Message::Overloaded { req_id };
+        }
+        q.push_back(Arc::clone(&pending));
+        shared.metrics.queue_depth.inc();
+        shared.work_cv.notify_one();
+    }
+
+    let deadline = Instant::now() + shared.cfg.reply_timeout;
+    let mut slot = pending.slot.lock().expect("pending mutex");
+    loop {
+        match slot.state {
+            ReplyState::Ready => break,
+            ReplyState::Waiting => {
+                let now = Instant::now();
+                if now >= deadline {
+                    shared.metrics.errors.inc();
+                    return Message::ErrorReply {
+                        req_id,
+                        code: error_code::TIMEOUT,
+                        msg: "timed out waiting for batch".to_string(),
+                    };
+                }
+                let (guard, _timeout) = pending
+                    .cv
+                    .wait_timeout(slot, deadline - now)
+                    .expect("pending mutex");
+                slot = guard;
+            }
+        }
+    }
+    shared.metrics.replies_ok.inc();
+    shared.metrics.latency_us.record(started.elapsed().as_micros() as u64);
+    Message::EmbedReply { req_id, ckpt_id: slot.ckpt_id, embedding: std::mem::take(&mut slot.emb) }
+}
+
+// ---------------------------------------------------------------------------
+// Batch thread
+// ---------------------------------------------------------------------------
+
+fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
+    let mut batch: Vec<Arc<Pending>> = Vec::with_capacity(shared.cfg.batch_size);
+    let mut input = InputRows::default();
+    let mut scratch = EncoderScratch::default();
+    let mut mu = Matrix::default();
+    loop {
+        // Wait for work (or shutdown with an empty queue, which ends the
+        // loop — anything still queued at shutdown is drained first).
+        {
+            let mut q = shared.queue.lock().expect("serve queue mutex");
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.work_cv.wait(q).expect("serve queue mutex");
+            }
+            // Coalesce: give stragglers up to `max_wait` to fill the batch
+            // (skipped during shutdown drain).
+            if q.len() < shared.cfg.batch_size && !shared.shutdown.load(Ordering::Acquire) {
+                let deadline = Instant::now() + shared.cfg.max_wait;
+                while q.len() < shared.cfg.batch_size && !shared.shutdown.load(Ordering::Acquire) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (guard, timeout) = shared
+                        .work_cv
+                        .wait_timeout(q, deadline - now)
+                        .expect("serve queue mutex");
+                    q = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let n = q.len().min(shared.cfg.batch_size);
+            batch.extend(q.drain(..n));
+        }
+        let n = batch.len();
+        shared.metrics.queue_depth.add(-(n as f64));
+
+        // Snapshot the model for the whole batch: a concurrent reload
+        // swaps the Arc for *later* batches only.
+        let model = Arc::clone(&shared.model.read());
+
+        if let Some(p) = probe.as_mut() {
+            p(BatchPhase::Start, n);
+        }
+        input.reset(model.encoder.n_fields());
+        for p in &batch {
+            input.push_row(|k| (p.fields[k].0.as_slice(), p.fields[k].1.as_slice()));
+        }
+        model.encoder.embed_into(&input, &mut scratch, &mut mu);
+        {
+            let mut cache = shared.cache.lock().expect("cache mutex");
+            for (i, p) in batch.iter().enumerate() {
+                let row = mu.row(i);
+                let mut slot = p.slot.lock().expect("pending mutex");
+                if slot.emb.len() == row.len() {
+                    slot.emb.copy_from_slice(row);
+                } else {
+                    // Only reachable when a reload changed latent_dim
+                    // between admission and fulfilment.
+                    slot.emb.clear();
+                    slot.emb.extend_from_slice(row);
+                }
+                slot.ckpt_id = model.ckpt_id;
+                slot.state = ReplyState::Ready;
+                p.cv.notify_all();
+                cache.insert(model.ckpt_id, p.row_hash, row);
+            }
+        }
+        if let Some(p) = probe.as_mut() {
+            p(BatchPhase::End, n);
+        }
+        shared.metrics.batches.inc();
+        shared.metrics.batch_size.record(n as u64);
+        batch.clear();
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared fixtures for the serve integration tests: a tiny deterministic
+//! dataset, a quickly-trained model, and raw wire-format rows.
+#![allow(dead_code)]
+
+use fvae_core::{Fvae, FvaeConfig};
+use fvae_data::{FieldSpec, MultiFieldDataset, TopicModelConfig};
+use fvae_serve::FieldRow;
+
+/// Two-field synthetic dataset, fully determined by `seed`.
+pub fn tiny_dataset(seed: u64) -> MultiFieldDataset {
+    TopicModelConfig {
+        n_users: 60,
+        n_topics: 3,
+        alpha: 0.2,
+        fields: vec![
+            FieldSpec::new("ch", 12, 3, 1.0),
+            FieldSpec::new("tag", 40, 5, 1.0),
+        ],
+        pair_prob: 0.0,
+        seed,
+    }
+    .generate()
+}
+
+/// Small FVAE trained `epochs` epochs on the full dataset.
+pub fn trained_model(ds: &MultiFieldDataset, epochs: usize) -> Fvae {
+    let mut cfg = FvaeConfig::for_dataset(ds);
+    cfg.latent_dim = 8;
+    cfg.enc_hidden = 16;
+    cfg.enc_extra_hidden = vec![12];
+    cfg.dec_hidden = vec![16];
+    cfg.batch_size = 16;
+    let mut model = Fvae::new(cfg);
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    model.train_epochs(ds, &users, epochs, |_, _| {});
+    model
+}
+
+/// One user's raw per-field rows exactly as a client would send them
+/// (unnormalized — the server applies the offline L2 normalization).
+pub fn raw_rows(ds: &MultiFieldDataset, user: usize, n_fields: usize) -> Vec<FieldRow> {
+    (0..n_fields)
+        .map(|k| {
+            let (ix, vs) = ds.user_field(user, k);
+            (ix.iter().map(|&i| u64::from(i)).collect(), vs.to_vec())
+        })
+        .collect()
+}

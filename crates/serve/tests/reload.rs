@@ -1,0 +1,205 @@
+//! Hot checkpoint reload under live traffic: the swap is atomic (every
+//! in-flight request is answered from a consistent snapshot — old or new,
+//! never a mix), post-swap requests reflect the new weights bit-for-bit,
+//! re-loading an identical snapshot is recognized as a no-op, and a
+//! directory with only corrupt snapshots fails the reload while the old
+//! model keeps serving.
+
+mod common;
+
+use common::{raw_rows, tiny_dataset, trained_model};
+use fvae_core::checkpoint::export_model_snapshot;
+use fvae_serve::{Client, EmbedOutcome, ServeConfig, Server};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_config(dir: &std::path::Path) -> ServeConfig {
+    let mut cfg = ServeConfig::new(dir);
+    cfg.batch_size = 4;
+    cfg.max_wait = Duration::from_millis(1);
+    cfg.cache_capacity = 0; // embeddings must reflect the live model
+    cfg
+}
+
+#[test]
+fn reload_swaps_atomically_under_live_traffic() {
+    let ds = tiny_dataset(31);
+    let model_a = trained_model(&ds, 1);
+    let model_b = trained_model(&ds, 3); // more steps → newer snapshot name
+    let dir = std::env::temp_dir().join(format!("fvae-serve-reload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model_a).expect("export A");
+
+    let users: Vec<usize> = (0..20).collect();
+    let offline_a = model_a.embed_users(&ds, &users, None);
+    let offline_b = model_b.embed_users(&ds, &users, None);
+    // The swap must be observable: A and B must actually disagree.
+    assert!(
+        offline_a
+            .as_slice()
+            .iter()
+            .zip(offline_b.as_slice())
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "fixture models are distinguishable"
+    );
+
+    let server = Server::start(test_config(&dir)).expect("start");
+    let id_a = server.ckpt_id();
+    let addr = server.addr();
+    let n_fields = server.n_fields();
+
+    // Background traffic across the swap. Every reply must be *exactly*
+    // model A's or model B's output for that user — a torn snapshot would
+    // produce a third value.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let stop = Arc::clone(&stop);
+        let rows: Vec<_> = users.iter().map(|&u| (u, raw_rows(&ds, u, n_fields))).collect();
+        let (exp_a, exp_b) = (offline_a.clone(), offline_b.clone());
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut served = 0u64;
+            let mut saw_b = false;
+            while !stop.load(Relaxed) || !saw_b {
+                for (u, fields) in &rows {
+                    match client.embed(fields).expect("reply") {
+                        EmbedOutcome::Embedding { values, .. } => {
+                            let bits: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+                            let a_bits: Vec<u32> = exp_a.row(*u).iter().map(|v| v.to_bits()).collect();
+                            let b_bits: Vec<u32> = exp_b.row(*u).iter().map(|v| v.to_bits()).collect();
+                            assert!(
+                                bits == a_bits || bits == b_bits,
+                                "user {u}: reply is neither model A nor model B"
+                            );
+                            saw_b |= bits == b_bits;
+                            served += 1;
+                        }
+                        other => panic!("in-flight request dropped: {other:?}"),
+                    }
+                }
+                if served > 50_000 {
+                    panic!("reload never became visible to traffic");
+                }
+            }
+            served
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(20)); // let A-traffic flow
+    export_model_snapshot(&dir, &model_b).expect("export B");
+    let outcome = server.reload().expect("reload");
+    assert!(outcome.changed, "new snapshot must swap in");
+    assert_ne!(outcome.ckpt_id, id_a);
+    assert_eq!(server.ckpt_id(), outcome.ckpt_id);
+
+    stop.store(true, Relaxed);
+    let served = traffic.join().expect("traffic thread clean");
+    assert!(served >= users.len() as u64, "traffic actually flowed");
+
+    // Steady state after the swap: every user now gets exactly B.
+    let mut client = Client::connect(addr).expect("connect");
+    for &u in &users {
+        match client.embed(&raw_rows(&ds, u, n_fields)).expect("embed") {
+            EmbedOutcome::Embedding { ckpt_id, values } => {
+                assert_eq!(ckpt_id, outcome.ckpt_id);
+                for (a, b) in values.iter().zip(offline_b.row(u)) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "user {u} must serve model B");
+                }
+            }
+            other => panic!("user {u}: {other:?}"),
+        }
+    }
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_snapshot_reload_is_a_noop() {
+    let ds = tiny_dataset(32);
+    let model = trained_model(&ds, 1);
+    let dir = std::env::temp_dir().join(format!("fvae-serve-noop-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model).expect("export");
+
+    let server = Server::start(test_config(&dir)).expect("start");
+    let id = server.ckpt_id();
+
+    // Nothing new on disk.
+    let outcome = server.reload().expect("reload");
+    assert!(!outcome.changed);
+    assert_eq!(outcome.ckpt_id, id);
+
+    // Re-export the same model: byte-identical file, same normalized
+    // hash — still a no-op even though the mtime changed.
+    export_model_snapshot(&dir, &model).expect("re-export");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let report = client.reload().expect("reload rpc");
+    assert!(report.ok);
+    assert!(!report.changed, "byte-identical snapshot must be skipped");
+    assert_eq!(report.ckpt_id, id);
+
+    let text = client.metrics().expect("metrics");
+    let noops: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("fvae_serve_reload_noops ").and_then(|v| v.trim().parse().ok()))
+        .expect("noop metric");
+    assert!(noops >= 2, "both reloads recognized as no-ops, metrics:\n{text}");
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshots_reject_reload_and_old_model_keeps_serving() {
+    let ds = tiny_dataset(33);
+    let model = trained_model(&ds, 1);
+    let dir = std::env::temp_dir().join(format!("fvae-serve-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model).expect("export");
+
+    let server = Server::start(test_config(&dir)).expect("start");
+    let id = server.ckpt_id();
+    let n_fields = server.n_fields();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let rows = raw_rows(&ds, 5, n_fields);
+    let before = match client.embed(&rows).expect("embed") {
+        EmbedOutcome::Embedding { values, .. } => values,
+        other => panic!("{other:?}"),
+    };
+
+    // Corrupt every snapshot on disk (flip a byte mid-file: CRC breaks).
+    for entry in std::fs::read_dir(&dir).expect("dir") {
+        let path = entry.expect("entry").path();
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("write corrupt");
+    }
+
+    assert!(server.reload().is_err(), "reload must reject a dir of corrupt snapshots");
+    let report = client.reload().expect("reload rpc");
+    assert!(!report.ok, "client-visible rejection");
+    assert_eq!(report.ckpt_id, id, "old checkpoint still active");
+
+    // The old model still serves, bit-for-bit.
+    match client.embed(&rows).expect("embed") {
+        EmbedOutcome::Embedding { ckpt_id, values } => {
+            assert_eq!(ckpt_id, id);
+            for (a, b) in values.iter().zip(&before) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    let text = client.metrics().expect("metrics");
+    let errs: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("fvae_serve_reload_errors ").and_then(|v| v.trim().parse().ok()))
+        .expect("reload error metric");
+    assert!(errs >= 2, "both failed reloads counted, metrics:\n{text}");
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
