@@ -688,6 +688,10 @@ pub struct LoadedSnapshot {
     pub snapshot: TrainSnapshot,
     /// Path it was loaded from.
     pub path: PathBuf,
+    /// The exact bytes `snapshot` was decoded from, so callers deriving a
+    /// checkpoint identity hash the same data that produced the weights
+    /// (a re-read could race a concurrent rewrite of the file).
+    pub raw: Vec<u8>,
     /// Newer snapshots that failed to load, newest first.
     pub skipped: Vec<(PathBuf, SnapshotError)>,
 }
@@ -801,10 +805,10 @@ impl Checkpointer {
         for (_, path) in files {
             let result = fs::read(&path)
                 .map_err(SnapshotError::from)
-                .and_then(|data| decode_snapshot(&data));
+                .and_then(|data| decode_snapshot(&data).map(|snapshot| (snapshot, data)));
             match result {
-                Ok(snapshot) => {
-                    return Ok(Some(LoadedSnapshot { snapshot, path, skipped }));
+                Ok((snapshot, raw)) => {
+                    return Ok(Some(LoadedSnapshot { snapshot, path, raw, skipped }));
                 }
                 Err(e) => skipped.push((path, e)),
             }

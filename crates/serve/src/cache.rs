@@ -169,12 +169,17 @@ impl EmbedCache {
     }
 
     /// Inserts (or refreshes) an embedding, evicting the least-recently
-    /// used entry when full. `emb` must be exactly `dim` long.
+    /// used entry when full. `emb` must be exactly `dim` long; a
+    /// mismatched width is dropped rather than cached (debug-asserted —
+    /// the batch thread must never die on a caching defect).
     pub fn insert(&mut self, ckpt_id: u64, key: u64, emb: &[f32]) {
         if self.cap == 0 {
             return;
         }
-        assert_eq!(emb.len(), self.dim, "embedding width mismatch");
+        debug_assert_eq!(emb.len(), self.dim, "embedding width mismatch");
+        if emb.len() != self.dim {
+            return;
+        }
         let full_key = (ckpt_id, key);
         let slot = if let Some(&slot) = self.map.get(&full_key) {
             if slot != self.head {

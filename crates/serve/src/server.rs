@@ -224,6 +224,17 @@ pub enum BatchPhase {
 /// counting allocator.
 pub type BatchProbe = Box<dyn FnMut(BatchPhase, usize) + Send>;
 
+/// One live (or recently finished) connection: the thread handle plus a
+/// read-half socket clone used to pop the thread out of a blocking read at
+/// shutdown. Finished entries are swept on every accept so short-lived
+/// connections don't accumulate fds and handles for the server's lifetime.
+struct ConnEntry {
+    /// `None` when `try_clone` failed; the thread still serves, it just
+    /// can't be woken early at shutdown.
+    stream: Option<TcpStream>,
+    handle: JoinHandle<()>,
+}
+
 struct Shared {
     cfg: ServeConfig,
     model: RwLock<Arc<ModelState>>,
@@ -232,9 +243,7 @@ struct Shared {
     cache: Mutex<EmbedCache>,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
-    /// Read-half clones of live connection sockets, for shutdown wakeups.
-    conns: Mutex<Vec<TcpStream>>,
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    conns: Mutex<Vec<ConnEntry>>,
     /// Serializes reloads (concurrent requests would race the swap).
     reload_lock: Mutex<()>,
     addr: SocketAddr,
@@ -284,7 +293,6 @@ impl Server {
             metrics: ServeMetrics::new(),
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
-            conn_handles: Mutex::new(Vec::new()),
             reload_lock: Mutex::new(()),
             addr,
             cfg,
@@ -361,12 +369,14 @@ impl Server {
         }
         // With the batch thread drained, wake connection threads parked in
         // blocking reads; their replies are already fulfilled.
-        for s in self.shared.conns.lock().expect("conns mutex").drain(..) {
-            let _ = s.shutdown(SockShutdown::Read);
+        let entries: Vec<ConnEntry> = self.shared.conns.lock().expect("conns mutex").drain(..).collect();
+        for e in &entries {
+            if let Some(s) = &e.stream {
+                let _ = s.shutdown(SockShutdown::Read);
+            }
         }
-        let handles: Vec<_> = self.shared.conn_handles.lock().expect("handles mutex").drain(..).collect();
-        for h in handles {
-            let _ = h.join();
+        for e in entries {
+            let _ = e.handle.join();
         }
     }
 }
@@ -397,8 +407,10 @@ fn load_model_state(dir: &Path) -> Result<ModelState, ServeError> {
     let loaded = Checkpointer::load_latest(dir)
         .map_err(ServeError::Snapshot)?
         .ok_or_else(|| ServeError::NoCheckpoint(dir.to_path_buf()))?;
-    let bytes = std::fs::read(&loaded.path)?;
-    let normalized = normalized_snapshot_bytes(&bytes).map_err(ServeError::Snapshot)?;
+    // Hash the same bytes the snapshot was decoded from — a fresh read of
+    // the file could race a rewrite and stamp the weights with a different
+    // checkpoint's identity (which keys the embedding cache).
+    let normalized = normalized_snapshot_bytes(&loaded.raw).map_err(ServeError::Snapshot)?;
     let ckpt_id = fnv64(&normalized);
     let (model, _resume) = loaded.snapshot.into_resume();
     Ok(ModelState { encoder: Encoder::from(model), ckpt_id, path: loaded.path })
@@ -408,9 +420,18 @@ fn load_model_state(dir: &Path) -> Result<ModelState, ServeError> {
 /// a waitable task on the global compute pool; the swap itself is a single
 /// `Arc` store, so in-flight batches finish on the model they started
 /// with.
+///
+/// A snapshot whose architecture (field count or latent dim) differs from
+/// the serving setup is rejected: the embedding cache slab, pre-sized
+/// reply cells, and admitted requests are all sized for the startup
+/// architecture, so swapping one in would panic the batch thread on its
+/// next batch and wedge the server. Such a model needs a fresh process.
 fn reload(shared: &Arc<Shared>) -> Result<ReloadOutcome, ServeError> {
     let _serialize = shared.reload_lock.lock().expect("reload mutex");
-    let current_id = shared.model.read().ckpt_id;
+    let (current_id, cur_fields, cur_dim) = {
+        let model = shared.model.read();
+        (model.ckpt_id, model.encoder.n_fields(), model.encoder.latent_dim())
+    };
     let result: Arc<Mutex<Option<Result<ReloadOutcome, ServeError>>>> = Arc::new(Mutex::new(None));
     let task_result = Arc::clone(&result);
     let task_shared = Arc::clone(shared);
@@ -420,6 +441,15 @@ fn reload(shared: &Arc<Shared>) -> Result<ReloadOutcome, ServeError> {
             if state.ckpt_id == current_id {
                 task_shared.metrics.reload_noops.inc();
                 return Ok(ReloadOutcome { changed: false, ckpt_id: current_id, path: state.path });
+            }
+            let (new_fields, new_dim) = (state.encoder.n_fields(), state.encoder.latent_dim());
+            if new_fields != cur_fields || new_dim != cur_dim {
+                return Err(ServeError::Reload(format!(
+                    "architecture mismatch: serving {cur_fields} fields × {cur_dim} latent, \
+                     snapshot {} has {new_fields} fields × {new_dim} latent; \
+                     restart the server to change architectures",
+                    state.path.display()
+                )));
             }
             let out = ReloadOutcome { changed: true, ckpt_id: state.ckpt_id, path: state.path.clone() };
             *task_shared.model.write() = Arc::new(state);
@@ -458,24 +488,49 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                // Back off: persistent accept errors (fd exhaustion,
+                // ENOBUFS) would otherwise busy-spin this thread at 100%.
+                std::thread::sleep(Duration::from_millis(20));
                 continue;
             }
         };
         if shared.shutdown.load(Ordering::Acquire) {
             return; // the shutdown self-connect, or a straggler: refuse
         }
+        sweep_finished_conns(shared);
         shared.metrics.connections.inc();
         let _ = stream.set_nodelay(true);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().expect("conns mutex").push(clone);
-        }
+        let clone = stream.try_clone().ok();
         let conn_shared = Arc::clone(shared);
         if let Ok(handle) = std::thread::Builder::new()
             .name("fvae-serve-conn".into())
             .spawn(move || connection_loop(&conn_shared, stream))
         {
-            shared.conn_handles.lock().expect("handles mutex").push(handle);
+            shared.conns.lock().expect("conns mutex").push(ConnEntry { stream: clone, handle });
         }
+    }
+}
+
+/// Reaps connections whose thread has exited: joins the handle and drops
+/// the socket clone (which otherwise keeps the fd open indefinitely). Runs
+/// on the accept thread before each new connection, so the entry list only
+/// ever grows with *live* connections.
+fn sweep_finished_conns(shared: &Shared) {
+    let mut finished = Vec::new();
+    {
+        let mut conns = shared.conns.lock().expect("conns mutex");
+        let mut i = 0;
+        while i < conns.len() {
+            if conns[i].handle.is_finished() {
+                finished.push(conns.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Join outside the lock; these threads have already exited.
+    for e in finished {
+        let _ = e.handle.join();
     }
 }
 
@@ -700,8 +755,12 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
         if let Some(p) = probe.as_mut() {
             p(BatchPhase::Start, n);
         }
+        // Reload rejects architecture changes, so every admitted request's
+        // field count matches this snapshot and every reply cell is exactly
+        // `latent_dim` wide — the indexing and copies below cannot trip.
         input.reset(model.encoder.n_fields());
         for p in &batch {
+            debug_assert_eq!(p.fields.len(), model.encoder.n_fields());
             input.push_row(|k| (p.fields[k].0.as_slice(), p.fields[k].1.as_slice()));
         }
         model.encoder.embed_into(&input, &mut scratch, &mut mu);
@@ -713,8 +772,10 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
                 if slot.emb.len() == row.len() {
                     slot.emb.copy_from_slice(row);
                 } else {
-                    // Only reachable when a reload changed latent_dim
-                    // between admission and fulfilment.
+                    // Unreachable while reload enforces a fixed latent_dim;
+                    // stay panic-free regardless — a dead batch thread
+                    // would wedge every future request.
+                    debug_assert!(false, "reply cell width mismatch");
                     slot.emb.clear();
                     slot.emb.extend_from_slice(row);
                 }

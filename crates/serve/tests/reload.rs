@@ -1,9 +1,10 @@
 //! Hot checkpoint reload under live traffic: the swap is atomic (every
 //! in-flight request is answered from a consistent snapshot — old or new,
 //! never a mix), post-swap requests reflect the new weights bit-for-bit,
-//! re-loading an identical snapshot is recognized as a no-op, and a
-//! directory with only corrupt snapshots fails the reload while the old
-//! model keeps serving.
+//! re-loading an identical snapshot is recognized as a no-op, a directory
+//! with only corrupt snapshots fails the reload while the old model keeps
+//! serving, and a snapshot with a different architecture is rejected (the
+//! cache slab and admitted requests are sized for the startup model).
 
 mod common;
 
@@ -199,6 +200,64 @@ fn corrupt_snapshots_reject_reload_and_old_model_keeps_serving() {
         .find_map(|l| l.strip_prefix("fvae_serve_reload_errors ").and_then(|v| v.trim().parse().ok()))
         .expect("reload error metric");
     assert!(errs >= 2, "both failed reloads counted, metrics:\n{text}");
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn architecture_changing_reload_is_rejected() {
+    let ds = tiny_dataset(34);
+    let model = trained_model(&ds, 1);
+    let dir = std::env::temp_dir().join(format!("fvae-serve-arch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model).expect("export");
+
+    let server = Server::start(test_config(&dir)).expect("start");
+    let id = server.ckpt_id();
+    let dim = server.latent_dim();
+    let n_fields = server.n_fields();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let rows = raw_rows(&ds, 7, n_fields);
+    let before = match client.embed(&rows).expect("embed") {
+        EmbedOutcome::Embedding { values, .. } => values,
+        other => panic!("{other:?}"),
+    };
+
+    // A *newer* snapshot (more training steps → later file name) with a
+    // different latent_dim. Swapping it in would break the cache slab and
+    // every pre-sized reply cell, so reload must refuse it.
+    let mut cfg = fvae_core::FvaeConfig::for_dataset(&ds);
+    cfg.latent_dim = 4;
+    cfg.enc_hidden = 16;
+    cfg.batch_size = 16;
+    let mut narrow = fvae_core::Fvae::new(cfg);
+    let users: Vec<usize> = (0..ds.n_users()).collect();
+    narrow.train_epochs(&ds, &users, 3, |_, _| {});
+    export_model_snapshot(&dir, &narrow).expect("export narrow");
+
+    let err = server.reload().expect_err("architecture change must be rejected");
+    assert!(
+        err.to_string().contains("architecture mismatch"),
+        "rejection names the cause: {err}"
+    );
+    let report = client.reload().expect("reload rpc");
+    assert!(!report.ok, "client-visible rejection");
+    assert_eq!(report.ckpt_id, id, "old checkpoint still active");
+    assert_eq!(server.ckpt_id(), id);
+    assert_eq!(server.latent_dim(), dim);
+
+    // The old model still serves, bit-for-bit — the batch thread survived.
+    match client.embed(&rows).expect("embed") {
+        EmbedOutcome::Embedding { ckpt_id, values } => {
+            assert_eq!(ckpt_id, id);
+            assert_eq!(values.len(), dim);
+            for (a, b) in values.iter().zip(&before) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        other => panic!("{other:?}"),
+    }
     drop(client);
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
