@@ -1,0 +1,118 @@
+//! Scalar-vs-dispatched SIMD micro-kernel benches (`simd_kernels` group).
+//!
+//! Pins the ISSUE-6 acceptance floor — the dispatched backend must beat the
+//! scalar reference ≥ 2× on dot/matvec at real layer widths on AVX2
+//! hardware — and tracks the int8 serving kernel alongside. Backends are
+//! swapped process-wide through `simd::force`, so each measurement runs
+//! the *same* caller code path with a different kernel set installed: the
+//! ratio isolates the kernel, not dispatch overhead (which every variant
+//! pays identically).
+//!
+//! Shapes are the workspace's dominant ones: 64/128 (SC-preset layer
+//! widths), 256 (batch rows), 1536 (the batched-softmax candidate width).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvae_tensor::{simd, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn fvec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+}
+
+fn backends() -> Vec<&'static simd::Kernels> {
+    let mut v = vec![simd::scalar()];
+    let best = simd::detected();
+    if !std::ptr::eq(best, simd::scalar()) {
+        v.push(best);
+    }
+    v
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(61);
+    let mut group = c.benchmark_group("simd_kernels/dot");
+    for n in [64usize, 128, 256, 1536] {
+        let a = fvec(n, &mut rng);
+        let b = fvec(n, &mut rng);
+        for k in backends() {
+            group.bench_with_input(BenchmarkId::new(k.name, n), &n, |bch, _| {
+                simd::force(k);
+                let dot = simd::active().dot;
+                bch.iter(|| black_box(dot(black_box(&a), black_box(&b))));
+            });
+        }
+    }
+    simd::force(simd::detected());
+    group.finish();
+}
+
+fn bench_dot_i8(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(62);
+    let mut group = c.benchmark_group("simd_kernels/dot_i8");
+    for n in [64usize, 256, 1536] {
+        let a: Vec<i8> = (0..n).map(|_| rng.random_range(-127i32..128) as i8).collect();
+        let b: Vec<i8> = (0..n).map(|_| rng.random_range(-127i32..128) as i8).collect();
+        for k in backends() {
+            group.bench_with_input(BenchmarkId::new(k.name, n), &n, |bch, _| {
+                simd::force(k);
+                let dot_i8 = simd::active().dot_i8;
+                bch.iter(|| black_box(dot_i8(black_box(&a), black_box(&b))));
+            });
+        }
+    }
+    simd::force(simd::detected());
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(63);
+    let mut group = c.benchmark_group("simd_kernels/matvec");
+    // (rows × cols): decoder-head row reduction and the SC encoder shape.
+    for (m, n) in [(256usize, 512usize), (128, 128)] {
+        let a = Matrix::from_fn(m, n, |_, _| rng.random_range(-1.0f32..1.0));
+        let v = fvec(n, &mut rng);
+        let mut out = Vec::with_capacity(m);
+        for k in backends() {
+            group.bench_with_input(BenchmarkId::new(k.name, format!("{m}x{n}")), &m, |bch, _| {
+                simd::force(k);
+                bch.iter(|| {
+                    a.matvec_into(black_box(&v), &mut out);
+                    black_box(out.last().copied())
+                });
+            });
+        }
+    }
+    simd::force(simd::detected());
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(64);
+    let mut group = c.benchmark_group("simd_kernels/gemm");
+    // The SC-preset encoder GEMM and the decoder-head GEMM.
+    for (m, k_dim, n) in [(256usize, 128usize, 64usize), (256, 64, 1536)] {
+        let a = Matrix::from_fn(m, k_dim, |_, _| rng.random_range(-1.0f32..1.0));
+        let b = Matrix::from_fn(k_dim, n, |_, _| rng.random_range(-1.0f32..1.0));
+        let mut out = Matrix::default();
+        for k in backends() {
+            group.bench_with_input(
+                BenchmarkId::new(k.name, format!("{m}x{k_dim}x{n}")),
+                &m,
+                |bch, _| {
+                    simd::force(k);
+                    bch.iter(|| {
+                        a.matmul_into(black_box(&b), &mut out);
+                        black_box(out.as_slice().last().copied())
+                    });
+                },
+            );
+        }
+    }
+    simd::force(simd::detected());
+    group.finish();
+}
+
+criterion_group!(simd_kernels, bench_dot, bench_dot_i8, bench_matvec, bench_gemm);
+criterion_main!(simd_kernels);

@@ -1,0 +1,172 @@
+//! Serving-encode throughput probe → `BENCH_serve_embed.json`.
+//!
+//! Measures the micro-batched embed loadpath `fvae-serve` runs per batch —
+//! `Encoder::embed_into` (f32) and `QuantizedEncoder::embed_into` (int8) —
+//! under each kernel backend, at a serving-sized encoder whose dense trunk
+//! spills L1/L2 (that is where int8's 4× smaller weight traffic pays; a
+//! cache-resident toy model would hide it). Reports users/s plus p50/p99
+//! per-batch latency, the int8-vs-f32 speedup, and the int8 accuracy floor
+//! (min embedding cosine vs the f32 path) so the perf trajectory and the
+//! parity gate travel together.
+//!
+//! Knobs: `FVAE_SE_BATCH` (default 32), `FVAE_SE_BATCHES` (timed batches,
+//! default 64), `FVAE_SE_HIDDEN` (default 1024), `FVAE_SE_JSON` (output
+//! path, default `BENCH_serve_embed.json`; empty string disables).
+
+use fvae_core::{Encoder, EncoderScratch, Fvae, FvaeConfig, InputRows, QuantizedEncoder, QuantizedEncoderScratch};
+use fvae_data::{FieldSpec, TopicModelConfig};
+use fvae_tensor::{ops::cosine_similarity, simd, Matrix};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One timed pass: embeds `inputs` repeatedly, returning (users/s, p50 ns,
+/// p99 ns) over per-batch wall times.
+fn run(mut embed: impl FnMut(&InputRows, &mut Matrix), inputs: &[InputRows], reps: usize) -> (f64, u64, u64) {
+    let mut mu = Matrix::default();
+    // Warm-up: fault in weights and scratch.
+    for input in inputs.iter().take(4) {
+        embed(input, &mut mu);
+    }
+    let mut samples = Vec::with_capacity(reps * inputs.len());
+    let mut users = 0usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for input in inputs {
+            let t = Instant::now();
+            embed(input, &mut mu);
+            samples.push(t.elapsed().as_nanos() as u64);
+            users += mu.rows();
+        }
+    }
+    let total = start.elapsed().as_secs_f64();
+    samples.sort_unstable();
+    let pct = |p: f64| samples[((samples.len() - 1) as f64 * p) as usize];
+    (users as f64 / total, pct(0.50), pct(0.99))
+}
+
+fn main() {
+    let batch = env_usize("FVAE_SE_BATCH", 32);
+    let n_batches = env_usize("FVAE_SE_BATCHES", 64);
+    let hidden = env_usize("FVAE_SE_HIDDEN", 1024);
+    let json_path =
+        std::env::var("FVAE_SE_JSON").unwrap_or_else(|_| "BENCH_serve_embed.json".to_string());
+
+    // Serving-sized encoder: the dense trunk (hidden×hidden + head) is the
+    // traffic that distinguishes f32 from int8.
+    let ds = TopicModelConfig {
+        n_users: (batch * n_batches).max(256),
+        n_topics: 8,
+        alpha: 0.15,
+        fields: vec![
+            FieldSpec::new("ch", 200, 4, 1.0),
+            FieldSpec::new("tag", 2000, 12, 1.0),
+        ],
+        pair_prob: 0.0,
+        seed: 0xE5BE,
+    }
+    .generate();
+    let mut cfg = FvaeConfig::for_dataset(&ds);
+    cfg.latent_dim = 64;
+    cfg.enc_hidden = hidden;
+    cfg.enc_extra_hidden = vec![hidden];
+    cfg.dec_hidden = vec![64];
+    cfg.batch_size = 64;
+    let mut model = Fvae::new(cfg);
+    // A few steps so the dynamic-hash embedding rows materialize — a frozen
+    // untrained model embeds every user to exactly zero, which the f32 GEMM
+    // zero-skip would then "serve" for free, making the comparison a lie.
+    let warm_users: Vec<usize> = (0..256).collect();
+    model.train_epochs(&ds, &warm_users, 1, |_, _| {});
+    let encoder: Encoder = model.encoder();
+    let quantized = QuantizedEncoder::from_encoder(&encoder);
+    eprintln!(
+        "[serve_embed] encoder {hidden}→{hidden}→{} ({} fields), batch {batch}, {n_batches} batches",
+        64,
+        encoder.n_fields()
+    );
+
+    // Pre-build the micro-batches once: the bench times encode, not gather.
+    let inputs: Vec<InputRows> = (0..n_batches)
+        .map(|b| {
+            let users: Vec<usize> = (b * batch..(b + 1) * batch).map(|u| u % ds.n_users()).collect();
+            let mut rows = InputRows::default();
+            rows.fill_from_dataset(&ds, &users, None, encoder.n_fields());
+            rows
+        })
+        .collect();
+
+    let mut fscratch = EncoderScratch::default();
+    let mut qscratch = QuantizedEncoderScratch::default();
+
+    simd::force(simd::scalar());
+    let (f32_scalar_ups, f32_scalar_p50, f32_scalar_p99) =
+        run(|i, mu| encoder.embed_into(i, &mut fscratch, mu), &inputs, 2);
+    eprintln!("[serve_embed] f32/scalar: {f32_scalar_ups:.0} users/s (p50 {f32_scalar_p50} ns)");
+
+    simd::force(simd::detected());
+    let backend = simd::active().name;
+    let (f32_simd_ups, f32_simd_p50, f32_simd_p99) =
+        run(|i, mu| encoder.embed_into(i, &mut fscratch, mu), &inputs, 2);
+    eprintln!("[serve_embed] f32/{backend}: {f32_simd_ups:.0} users/s (p50 {f32_simd_p50} ns)");
+
+    let (int8_ups, int8_p50, int8_p99) =
+        run(|i, mu| quantized.embed_into(i, &mut qscratch, mu), &inputs, 2);
+    eprintln!("[serve_embed] int8/{backend}: {int8_ups:.0} users/s (p50 {int8_p50} ns)");
+
+    // Accuracy floor on the first batch: min cosine int8-vs-f32.
+    let mut f32_mu = Matrix::default();
+    let mut q_mu = Matrix::default();
+    encoder.embed_into(&inputs[0], &mut fscratch, &mut f32_mu);
+    quantized.embed_into(&inputs[0], &mut qscratch, &mut q_mu);
+    let min_cos = (0..f32_mu.rows())
+        .map(|r| cosine_similarity(f32_mu.row(r), q_mu.row(r)) as f64)
+        .fold(f64::INFINITY, f64::min);
+    let speedup = int8_ups / f32_simd_ups;
+    eprintln!("[serve_embed] int8 speedup vs f32/{backend}: {speedup:.2}x, min cosine {min_cos:.6}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_embed\",\n  \"git_rev\": \"{}\",\n  \"simd_backend\": \"{}\",\n  \
+         \"enc_hidden\": {},\n  \"latent_dim\": 64,\n  \"batch\": {},\n  \"batches\": {},\n  \
+         \"f32_scalar\": {{ \"users_per_sec\": {:.1}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {} }},\n  \
+         \"f32_simd\": {{ \"users_per_sec\": {:.1}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {} }},\n  \
+         \"int8\": {{ \"users_per_sec\": {:.1}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {} }},\n  \
+         \"int8_speedup_vs_f32_simd\": {:.3},\n  \"int8_min_cosine_vs_f32\": {:.6}\n}}\n",
+        git_rev(),
+        backend,
+        hidden,
+        batch,
+        n_batches,
+        f32_scalar_ups,
+        f32_scalar_p50,
+        f32_scalar_p99,
+        f32_simd_ups,
+        f32_simd_p50,
+        f32_simd_p99,
+        int8_ups,
+        int8_p50,
+        int8_p99,
+        speedup,
+        min_cos
+    );
+    if json_path.is_empty() {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("[serve_embed] failed to write {json_path}: {e}");
+        std::process::exit(1);
+    } else {
+        eprintln!("[serve_embed] → {json_path}");
+    }
+}

@@ -1,23 +1,44 @@
-//! SC-preset training-throughput probe (users/second, batch 256 by default).
+//! SC-preset training-throughput probe (users/second, batch 256 by default)
+//! → `BENCH_train_sc.json`.
 //!
 //! A single number that moves when the training hot path gets faster —
-//! used for the before/after entries in EXPERIMENTS.md. Environment knobs:
-//! `FVAE_TP_USERS` (dataset size), `FVAE_TP_BATCH`, `FVAE_TP_STEPS`,
-//! `FVAE_TP_METRICS` (write the run's Prometheus snapshot — step and
-//! per-phase histograms — to this path; `-` for stdout).
+//! used for the before/after entries in EXPERIMENTS.md and committed as the
+//! machine-readable perf trajectory at the repo root. Each run measures the
+//! scalar backend and the detected SIMD backend (when different) through
+//! `simd::force`, so the JSON carries the scalar-vs-simd ratio alongside
+//! the absolute numbers.
+//!
+//! Environment knobs: `FVAE_TP_USERS` (dataset size), `FVAE_TP_BATCH`,
+//! `FVAE_TP_STEPS`, `FVAE_TP_JSON` (output path, default
+//! `BENCH_train_sc.json`; empty string → stdout only), `FVAE_TP_METRICS`
+//! (write the run's Prometheus snapshot — step and per-phase histograms —
+//! to this path; `-` for stdout).
 
 use fvae_data::TopicModelConfig;
 use fvae_eval::speed::fvae_throughput_observed;
 use fvae_obs::Registry;
+use fvae_tensor::simd;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn main() {
     let batch = env_usize("FVAE_TP_BATCH", 256);
     let steps = env_usize("FVAE_TP_STEPS", 20);
     let metrics_path = std::env::var("FVAE_TP_METRICS").ok();
+    let json_path =
+        std::env::var("FVAE_TP_JSON").unwrap_or_else(|_| "BENCH_train_sc.json".to_string());
     let mut cfg = TopicModelConfig::sc();
     cfg.n_users = env_usize("FVAE_TP_USERS", 2048).max(2 * batch);
     let ds = cfg.generate();
@@ -27,11 +48,62 @@ fn main() {
         ds.total_features()
     );
     let registry = metrics_path.as_ref().map(|_| Registry::new());
-    // Three repeats; report each so warm-up effects are visible.
-    for rep in 0..3 {
-        let ups = fvae_throughput_observed(&ds, batch, steps, registry.as_ref());
-        println!("rep {rep}: {ups:.0} users/s");
+
+    // Scalar first, then the detected backend when it differs. Three
+    // repeats per backend; report each so warm-up effects are visible,
+    // keep the best as the backend's headline number.
+    let mut backends = vec![simd::scalar()];
+    if !std::ptr::eq(simd::detected(), simd::scalar()) {
+        backends.push(simd::detected());
     }
+    let mut best = Vec::with_capacity(backends.len());
+    let mut reps_json = Vec::with_capacity(backends.len());
+    for &k in &backends {
+        simd::force(k);
+        let mut reps = Vec::with_capacity(3);
+        for rep in 0..3 {
+            let ups = fvae_throughput_observed(&ds, batch, steps, registry.as_ref());
+            println!("{} rep {rep}: {ups:.0} users/s", k.name);
+            reps.push(ups);
+        }
+        best.push(reps.iter().cloned().fold(0.0f64, f64::max));
+        let list = reps.iter().map(|r| format!("{r:.1}")).collect::<Vec<_>>().join(", ");
+        reps_json.push(format!(
+            "\"{}\": {{ \"users_per_sec\": [{list}], \"best\": {:.1} }}",
+            k.name,
+            best.last().unwrap()
+        ));
+    }
+    simd::force(simd::detected());
+    let ratio = if best.len() == 2 { best[1] / best[0] } else { 1.0 };
+    if best.len() == 2 {
+        eprintln!(
+            "[throughput] {} vs scalar: {ratio:.2}x ({:.0} vs {:.0} users/s)",
+            backends[1].name, best[1], best[0]
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"train_sc\",\n  \"git_rev\": \"{}\",\n  \"simd_backend\": \"{}\",\n  \
+         \"n_users\": {},\n  \"batch\": {},\n  \"steps\": {},\n  {},\n  \
+         \"simd_vs_scalar_ratio\": {:.3}\n}}\n",
+        git_rev(),
+        simd::detected().name,
+        ds.n_users(),
+        batch,
+        steps,
+        reps_json.join(",\n  "),
+        ratio
+    );
+    if json_path.is_empty() {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("[throughput] failed to write {json_path}: {e}");
+        std::process::exit(1);
+    } else {
+        eprintln!("[throughput] → {json_path}");
+    }
+
     if let (Some(path), Some(registry)) = (metrics_path, registry) {
         let text = registry.render();
         if path == "-" {

@@ -48,7 +48,7 @@ pub fn usage() -> String {
      \x20 similar   --store STORE --user ID [--k K]\n\
      \x20 serve     --checkpoint-dir DIR [--port P] [--host H] [--threads T]\n\
      \x20           [--batch-size N] [--max-wait-us U] [--queue-capacity Q]\n\
-     \x20           [--cache-capacity C] [--port-file F]\n\
+     \x20           [--cache-capacity C] [--port-file F] [--quant f32|int8]\n\
      \x20 embed-client --addr HOST:PORT [--rows SPEC] [--ping true]\n\
      \x20           [--metrics true] [--reload true] [--shutdown true]\n\
      \x20           (SPEC: fields split by '|', entries by ',', each ID:WEIGHT)\n\
@@ -381,7 +381,7 @@ fn similar(args: &Args) -> Result<String, String> {
 fn serve(args: &Args) -> Result<String, String> {
     args.expect_only(&[
         "checkpoint-dir", "host", "port", "threads", "batch-size", "max-wait-us",
-        "queue-capacity", "cache-capacity", "port-file",
+        "queue-capacity", "cache-capacity", "port-file", "quant",
     ])?;
     if let Some(raw) = args.optional("threads") {
         let threads: usize = raw
@@ -398,9 +398,18 @@ fn serve(args: &Args) -> Result<String, String> {
     cfg.max_wait = std::time::Duration::from_micros(args.get_or("max-wait-us", 500u64)?);
     cfg.queue_capacity = args.get_or("queue-capacity", cfg.queue_capacity)?;
     cfg.cache_capacity = args.get_or("cache-capacity", cfg.cache_capacity)?;
+    if let Some(raw) = args.optional("quant") {
+        cfg.quant = raw
+            .parse()
+            .map_err(|e| format!("flag --quant: {e}"))?;
+    }
     let mut server = fvae_serve::Server::start(cfg).map_err(|e| format!("cannot serve: {e}"))?;
     let addr = server.addr();
-    eprintln!("fvae-serve listening on {addr} (checkpoint {:#018x})", server.ckpt_id());
+    let mode = if server.quantized() { "int8" } else { "f32" };
+    eprintln!(
+        "fvae-serve listening on {addr} (checkpoint {:#018x}, {mode} encoder)",
+        server.ckpt_id()
+    );
     // The ephemeral-port handshake for scripts and CI: the actual address
     // lands in a file the caller can poll.
     if let Some(path) = args.optional("port-file") {

@@ -21,13 +21,13 @@ use crate::model::{Fvae, LOGVAR_CLAMP};
 /// Inference-only encoder: the parameters of the `q(z|x)` half of an
 /// [`Fvae`], detached from training state.
 pub struct Encoder {
-    n_fields: usize,
-    latent_dim: usize,
-    enc_hidden: usize,
-    bags: Vec<EmbeddingBag>,
-    enc_bias: Vec<f32>,
-    enc_extra: Option<Mlp>,
-    enc_head: Dense,
+    pub(crate) n_fields: usize,
+    pub(crate) latent_dim: usize,
+    pub(crate) enc_hidden: usize,
+    pub(crate) bags: Vec<EmbeddingBag>,
+    pub(crate) enc_bias: Vec<f32>,
+    pub(crate) enc_extra: Option<Mlp>,
+    pub(crate) enc_head: Dense,
 }
 
 /// Reusable forward buffers for [`Encoder::encode_into`]. All matrices are
@@ -47,10 +47,10 @@ pub struct EncoderScratch {
 /// batches (reshaped in place), mirroring the training-side `BatchInput`.
 #[derive(Default)]
 pub struct InputRows {
-    n_fields: usize,
-    rows: usize,
-    ids: Vec<Vec<Vec<u64>>>,
-    vals: Vec<Vec<Vec<f32>>>,
+    pub(crate) n_fields: usize,
+    pub(crate) rows: usize,
+    pub(crate) ids: Vec<Vec<Vec<u64>>>,
+    pub(crate) vals: Vec<Vec<Vec<f32>>>,
 }
 
 impl InputRows {

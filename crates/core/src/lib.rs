@@ -73,6 +73,7 @@ pub mod config;
 pub mod encoder;
 pub mod model;
 pub mod observe;
+pub mod quant;
 pub mod sampling;
 pub mod serialize;
 pub mod train;
@@ -86,6 +87,7 @@ pub use config::{FvaeConfig, SamplingConfig};
 pub use encoder::{Encoder, EncoderScratch, InputRows};
 pub use model::Fvae;
 pub use observe::{NullObserver, PhaseNs, StepCtx, TelemetrySink, TrainObserver};
+pub use quant::{QuantizedEncoder, QuantizedEncoderScratch};
 pub use sampling::SamplingStrategy;
 pub use train::{EpochStats, StepStats, TrainOutcome, TrainRun};
 pub use validate::{TrainHistory, TrainOptions};

@@ -24,6 +24,7 @@ pub mod dropout;
 pub mod embedding;
 pub mod mlp;
 pub mod optim;
+pub mod quant;
 pub mod serialize;
 pub mod sharded;
 pub mod softmax_out;
@@ -35,6 +36,7 @@ pub use dropout::Dropout;
 pub use embedding::{EmbeddingBag, RowGrads};
 pub use mlp::{Mlp, MlpGrads};
 pub use optim::{Adam, AdamState, GradClip, Sgd};
+pub use quant::{fast_tanh, quantize_symmetric, QuantScratch, QuantizedDense};
 pub use sharded::ShardedRowGrads;
 pub use softmax_out::{SampledSoftmaxOutput, SoftmaxBatch};
 pub use workspace::{Workspace, WorkspaceStats};

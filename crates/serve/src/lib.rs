@@ -48,4 +48,4 @@ pub use protocol::{
     decode_message, encode_frame, read_frame, write_frame, FieldRow, Message, ProtoError, RecvError,
     MAX_FIELDS, MAX_FRAME_LEN,
 };
-pub use server::{BatchPhase, BatchProbe, ReloadOutcome, ServeConfig, ServeError, Server};
+pub use server::{BatchPhase, BatchProbe, QuantMode, ReloadOutcome, ServeConfig, ServeError, Server};

@@ -39,7 +39,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fvae_core::{normalized_snapshot_bytes, Checkpointer, Encoder, EncoderScratch, InputRows, SnapshotError};
+use fvae_core::{
+    normalized_snapshot_bytes, Checkpointer, Encoder, EncoderScratch, InputRows, QuantizedEncoder,
+    QuantizedEncoderScratch, SnapshotError,
+};
 use fvae_obs::{Counter, Gauge, Histogram, Registry};
 use fvae_tensor::Matrix;
 use parking_lot::RwLock;
@@ -74,6 +77,31 @@ pub struct ServeConfig {
     /// How long a connection thread waits for its batch result before
     /// giving up with a timeout error.
     pub reply_timeout: Duration,
+    /// Numeric mode of the serving encoder (`--quant` on the CLI).
+    pub quant: QuantMode,
+}
+
+/// Numeric mode the encoder forward runs in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QuantMode {
+    /// Full-precision f32 forward (through the dispatched SIMD kernels).
+    #[default]
+    F32,
+    /// Int8 weights + dynamic int8 activations with exact i32 accumulation;
+    /// the snapshot's dense trunk is quantized at load (and reload) time.
+    Int8,
+}
+
+impl std::str::FromStr for QuantMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "none" | "off" => Ok(QuantMode::F32),
+            "int8" | "i8" => Ok(QuantMode::Int8),
+            other => Err(format!("unknown quant mode '{other}' (expected f32 or int8)")),
+        }
+    }
 }
 
 impl ServeConfig {
@@ -89,6 +117,7 @@ impl ServeConfig {
             queue_capacity: 1024,
             cache_capacity: 4096,
             reply_timeout: Duration::from_secs(30),
+            quant: QuantMode::F32,
         }
     }
 }
@@ -150,6 +179,11 @@ struct ServeMetrics {
     reloads: Counter,
     reload_noops: Counter,
     reload_errors: Counter,
+    /// 1 when the int8 quantized encoder is serving, 0 for f32.
+    quantized: Gauge,
+    /// Wall time of each batch's encoder forward (the compute core of the
+    /// serve path, excluding queueing and reply fan-out).
+    encode_ns: Histogram,
 }
 
 impl ServeMetrics {
@@ -170,6 +204,8 @@ impl ServeMetrics {
             reloads: registry.counter("fvae_serve_reloads"),
             reload_noops: registry.counter("fvae_serve_reload_noops"),
             reload_errors: registry.counter("fvae_serve_reload_errors"),
+            quantized: registry.gauge("fvae_serve_quantized"),
+            encode_ns: registry.histogram("fvae_serve_encode_ns"),
             registry,
         }
     }
@@ -183,6 +219,11 @@ impl ServeMetrics {
 /// the checkpoint they came from. Swapped atomically on reload.
 struct ModelState {
     encoder: Encoder,
+    /// Present iff the server runs in [`QuantMode::Int8`]: the snapshot's
+    /// dense trunk quantized at load time. The f32 encoder above stays the
+    /// source of truth for architecture queries (and untouched memory —
+    /// the quantized forward never reads its dense weights).
+    quant: Option<QuantizedEncoder>,
     ckpt_id: u64,
     path: PathBuf,
 }
@@ -280,7 +321,7 @@ impl Server {
 
     /// [`Server::start`] with a batch-thread probe installed (test hook).
     pub fn start_with_probe(cfg: ServeConfig, probe: Option<BatchProbe>) -> Result<Self, ServeError> {
-        let state = load_model_state(&cfg.checkpoint_dir)?;
+        let state = load_model_state(&cfg.checkpoint_dir, cfg.quant)?;
         let dim = state.encoder.latent_dim();
         let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
         let addr = listener.local_addr()?;
@@ -297,6 +338,10 @@ impl Server {
             addr,
             cfg,
         });
+        shared
+            .metrics
+            .quantized
+            .set(if shared.cfg.quant == QuantMode::Int8 { 1.0 } else { 0.0 });
 
         let accept = {
             let shared = Arc::clone(&shared);
@@ -331,6 +376,12 @@ impl Server {
     /// Field count requests must supply.
     pub fn n_fields(&self) -> usize {
         self.shared.model.read().encoder.n_fields()
+    }
+
+    /// Whether the int8 quantized encoder is serving (the `--quant int8`
+    /// mode; reload preserves it).
+    pub fn quantized(&self) -> bool {
+        self.shared.model.read().quant.is_some()
     }
 
     /// Prometheus text of the server's metrics registry.
@@ -403,7 +454,7 @@ fn signal_shutdown(shared: &Shared) {
 // Checkpoint loading / reload
 // ---------------------------------------------------------------------------
 
-fn load_model_state(dir: &Path) -> Result<ModelState, ServeError> {
+fn load_model_state(dir: &Path, quant: QuantMode) -> Result<ModelState, ServeError> {
     let loaded = Checkpointer::load_latest(dir)
         .map_err(ServeError::Snapshot)?
         .ok_or_else(|| ServeError::NoCheckpoint(dir.to_path_buf()))?;
@@ -413,7 +464,12 @@ fn load_model_state(dir: &Path) -> Result<ModelState, ServeError> {
     let normalized = normalized_snapshot_bytes(&loaded.raw).map_err(ServeError::Snapshot)?;
     let ckpt_id = fnv64(&normalized);
     let (model, _resume) = loaded.snapshot.into_resume();
-    Ok(ModelState { encoder: Encoder::from(model), ckpt_id, path: loaded.path })
+    let encoder = Encoder::from(model);
+    let quant = match quant {
+        QuantMode::F32 => None,
+        QuantMode::Int8 => Some(QuantizedEncoder::from_encoder(&encoder)),
+    };
+    Ok(ModelState { encoder, quant, ckpt_id, path: loaded.path })
 }
 
 /// Loads, validates, and swaps in the newest snapshot. The decode runs as
@@ -437,7 +493,9 @@ fn reload(shared: &Arc<Shared>) -> Result<ReloadOutcome, ServeError> {
     let task_shared = Arc::clone(shared);
     let handle = fvae_pool::global().submit_waitable(move || {
         let outcome = (|| {
-            let state = load_model_state(&task_shared.cfg.checkpoint_dir)?;
+            // Reload re-quantizes under the startup mode: the serving
+            // numeric contract never changes across a hot swap.
+            let state = load_model_state(&task_shared.cfg.checkpoint_dir, task_shared.cfg.quant)?;
             if state.ckpt_id == current_id {
                 task_shared.metrics.reload_noops.inc();
                 return Ok(ReloadOutcome { changed: false, ckpt_id: current_id, path: state.path });
@@ -708,6 +766,7 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
     let mut batch: Vec<Arc<Pending>> = Vec::with_capacity(shared.cfg.batch_size);
     let mut input = InputRows::default();
     let mut scratch = EncoderScratch::default();
+    let mut qscratch = QuantizedEncoderScratch::default();
     let mut mu = Matrix::default();
     loop {
         // Wait for work (or shutdown with an empty queue, which ends the
@@ -763,7 +822,12 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
             debug_assert_eq!(p.fields.len(), model.encoder.n_fields());
             input.push_row(|k| (p.fields[k].0.as_slice(), p.fields[k].1.as_slice()));
         }
-        model.encoder.embed_into(&input, &mut scratch, &mut mu);
+        let encode_start = Instant::now();
+        match &model.quant {
+            Some(q) => q.embed_into(&input, &mut qscratch, &mut mu),
+            None => model.encoder.embed_into(&input, &mut scratch, &mut mu),
+        }
+        shared.metrics.encode_ns.record_ns(encode_start.elapsed());
         {
             let mut cache = shared.cache.lock().expect("cache mutex");
             for (i, p) in batch.iter().enumerate() {

@@ -1,13 +1,17 @@
 //! Golden-embedding fixture: a tiny seeded checkpoint plus the exact
 //! embedding bytes it must serve, committed under `tests/fixtures/`.
 //!
-//! The served embedding for each fixture request must be **bit-identical**
-//! to the offline `Fvae::embed_users` output captured at fixture-generation
-//! time — at pool parallelism 1, 2, and 4 (the PR-4 determinism contract
-//! carried across the wire). Any float-order drift in the encoder, the
-//! input normalization, or the serve path shows up here as a hard diff.
+//! The fixtures were captured under the **scalar** kernel backend, so the
+//! comparison is dual-mode: when the active `fvae_tensor::simd` backend is
+//! scalar (`FVAE_SIMD=0`, or hardware without SIMD) the served embedding
+//! must match the golden bytes **bit-identically**; under a SIMD backend
+//! (whose FMA reassociation legitimately shifts f32 bits by a few ULP) it
+//! must match within a tight relative tolerance instead. In *both* modes
+//! the served bytes must be bit-identical across pool parallelism 1, 2,
+//! and 4 — the PR-4 determinism contract holds per backend.
 //!
-//! Regenerate (only after an *intentional* numeric change) with:
+//! Regenerate (only after an *intentional* numeric change, under
+//! `FVAE_SIMD=0`) with:
 //! `cargo test -p fvae-serve --test golden -- --ignored regenerate`
 
 mod common;
@@ -99,7 +103,13 @@ fn served_embeddings_match_golden_bytes_at_1_2_4_threads() {
     let requests = read_fixture_requests();
     let (rows, dim, expected) = read_fixture_expected();
     assert_eq!(requests.len(), rows, "one request per expected row");
+    // The goldens are scalar-backend captures: bit-exact under scalar
+    // dispatch, ULP-tolerant under a reassociating SIMD backend.
+    let scalar_active = fvae_tensor::simd::active().name == "scalar";
 
+    // Served values at parallelism 1 become the bit-reference the higher
+    // thread counts must reproduce exactly (per-backend determinism).
+    let mut reference: Vec<Vec<f32>> = Vec::new();
     for threads in [1usize, 2, 4] {
         fvae_pool::set_parallelism(threads);
         let mut cfg = ServeConfig::new(fixtures_dir());
@@ -114,11 +124,33 @@ fn served_embeddings_match_golden_bytes_at_1_2_4_threads() {
                 EmbedOutcome::Embedding { values, .. } => {
                     assert_eq!(values.len(), dim);
                     for (c, (a, b)) in values.iter().zip(&expected[r * dim..(r + 1) * dim]).enumerate() {
-                        assert_eq!(
-                            a.to_bits(),
-                            b.to_bits(),
-                            "row {r} col {c} at {threads} threads: served {a} vs golden {b}"
-                        );
+                        if scalar_active {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "row {r} col {c} at {threads} threads: served {a} vs golden {b}"
+                            );
+                        } else {
+                            let tol = 1e-4f32.max(b.abs() * 1e-4);
+                            assert!(
+                                (a - b).abs() <= tol,
+                                "row {r} col {c} at {threads} threads: served {a} vs golden {b} \
+                                 exceeds SIMD tolerance {tol}"
+                            );
+                        }
+                    }
+                    if threads == 1 {
+                        reference.push(values);
+                    } else {
+                        for (c, (a, b)) in values.iter().zip(&reference[r]).enumerate() {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "row {r} col {c}: {threads}-thread serve differs from 1-thread \
+                                 on backend {}",
+                                fvae_tensor::simd::active().name
+                            );
+                        }
                     }
                 }
                 other => panic!("row {r} at {threads} threads: {other:?}"),

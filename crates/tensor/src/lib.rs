@@ -7,6 +7,9 @@
 //!   multiplication variants needed by hand-written backpropagation
 //!   (`A·B`, `A·Bᵀ`, `Aᵀ·B`),
 //! * [`ops`] — vector kernels (dot, axpy, softmax, log-softmax, …),
+//! * [`simd`] — the runtime-dispatched micro-kernel vtable behind [`ops`]
+//!   and the GEMM tiles: scalar reference, AVX2 (x86_64, runtime-detected),
+//!   NEON (aarch64), plus the int8 serving dot; `FVAE_SIMD=0` pins scalar,
 //! * [`dist`] — random distributions implemented from scratch on top of the
 //!   `rand` core (Gaussian via Box–Muller, Gamma via Marsaglia–Tsang,
 //!   Dirichlet, Zipf) plus an alias table for O(1) discrete sampling.
@@ -19,5 +22,6 @@ pub mod dist;
 pub mod linalg;
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 
 pub use matrix::Matrix;

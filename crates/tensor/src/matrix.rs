@@ -315,6 +315,9 @@ impl Matrix {
         let (k, n) = (self.cols, other.cols);
         debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
         debug_assert_eq!(i0 % 2, 0, "shard start must preserve 2-row tile pairing");
+        // Hoist the dispatched kernels: one indirect-call target lookup per
+        // GEMM range, not per tile.
+        let ks = crate::simd::active();
         let mut i = i0;
         // 2-row output tiles: both rows consume the same B panel.
         while i + 2 <= i1 {
@@ -327,17 +330,10 @@ impl Matrix {
             let mut p = 0;
             // 4-wide k panels.
             while p + 4 <= k {
-                let (a00, a01, a02, a03) = (a0[p], a0[p + 1], a0[p + 2], a0[p + 3]);
-                let (a10, a11, a12, a13) = (a1[p], a1[p + 1], a1[p + 2], a1[p + 3]);
-                if a00 == 0.0
-                    && a01 == 0.0
-                    && a02 == 0.0
-                    && a03 == 0.0
-                    && a10 == 0.0
-                    && a11 == 0.0
-                    && a12 == 0.0
-                    && a13 == 0.0
-                {
+                let c = [a0[p], a0[p + 1], a0[p + 2], a0[p + 3], a1[p], a1[p + 1], a1[p + 2], a1[p + 3]];
+                // Zero-skip decisions stay outside the kernels so every
+                // backend (and every shard) takes identical fast paths.
+                if c == [0.0; 8] {
                     p += 4;
                     continue;
                 }
@@ -345,17 +341,7 @@ impl Matrix {
                 let b1 = &other.data[(p + 1) * n..(p + 2) * n];
                 let b2 = &other.data[(p + 2) * n..(p + 3) * n];
                 let b3 = &other.data[(p + 3) * n..(p + 4) * n];
-                for (((((o0, o1), &v0), &v1), &v2), &v3) in out0
-                    .iter_mut()
-                    .zip(out1.iter_mut())
-                    .zip(b0)
-                    .zip(b1)
-                    .zip(b2)
-                    .zip(b3)
-                {
-                    *o0 += a00 * v0 + a01 * v1 + a02 * v2 + a03 * v3;
-                    *o1 += a10 * v0 + a11 * v1 + a12 * v2 + a13 * v3;
-                }
+                (ks.fused2x4)(&c, b0, b1, b2, b3, out0, out1);
                 p += 4;
             }
             // k remainder: single B rows against the same output tile.
@@ -363,10 +349,7 @@ impl Matrix {
                 let (c0, c1) = (a0[p], a1[p]);
                 if c0 != 0.0 || c1 != 0.0 {
                     let b_row = &other.data[p * n..(p + 1) * n];
-                    for ((o0, o1), &b) in out0.iter_mut().zip(out1.iter_mut()).zip(b_row) {
-                        *o0 += c0 * b;
-                        *o1 += c1 * b;
-                    }
+                    (ks.fused2x1)(c0, c1, b_row, out0, out1);
                 }
                 p += 1;
             }
@@ -378,8 +361,8 @@ impl Matrix {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut p = 0;
             while p + 4 <= k {
-                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                let c = [a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]];
+                if c == [0.0; 4] {
                     p += 4;
                     continue;
                 }
@@ -387,20 +370,14 @@ impl Matrix {
                 let b1 = &other.data[(p + 1) * n..(p + 2) * n];
                 let b2 = &other.data[(p + 2) * n..(p + 3) * n];
                 let b3 = &other.data[(p + 3) * n..(p + 4) * n];
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
-                }
+                (ks.fused1x4)(&c, b0, b1, b2, b3, out_row);
                 p += 4;
             }
             while p < k {
                 let a = a_row[p];
                 if a != 0.0 {
                     let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+                    (ks.axpy)(a, b_row, out_row);
                 }
                 p += 1;
             }
@@ -463,11 +440,12 @@ impl Matrix {
     fn matmul_transb_range(&self, other: &Matrix, out_rows: &mut [f32], i0: usize, i1: usize) {
         let n = other.rows;
         debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
+        let dot = crate::simd::active().dot;
         for i in i0..i1 {
             let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
             for (j, o) in out_row.iter_mut().enumerate() {
-                *o = crate::ops::dot(a_row, other.row(j));
+                *o = dot(a_row, other.row(j));
             }
         }
     }
@@ -532,6 +510,7 @@ impl Matrix {
     fn matmul_transa_range(&self, other: &Matrix, out_rows: &mut [f32], i0: usize, i1: usize) {
         let n = other.cols;
         debug_assert_eq!(out_rows.len(), (i1 - i0) * n);
+        let ks = crate::simd::active();
         let mut p = 0;
         while p + 2 <= self.rows {
             let a0 = &self.data[p * self.cols..(p + 1) * self.cols];
@@ -544,9 +523,7 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
-                for ((o, &x0), &x1) in out_row.iter_mut().zip(b0).zip(b1) {
-                    *o += c0 * x0 + c1 * x1;
-                }
+                (ks.fused1x2)(c0, c1, b0, b1, out_row);
             }
             p += 2;
         }
@@ -559,9 +536,7 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out_rows[(i - i0) * n..(i + 1 - i0) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                (ks.axpy)(a, b_row, out_row);
             }
         }
     }
@@ -617,8 +592,9 @@ impl Matrix {
     /// exactly those elements.
     fn matvec_range(&self, v: &[f32], out: &mut [f32], i0: usize, i1: usize) {
         debug_assert_eq!(out.len(), i1 - i0);
+        let dot = crate::simd::active().dot;
         for i in i0..i1 {
-            out[i - i0] = crate::ops::dot(&self.data[i * self.cols..(i + 1) * self.cols], v);
+            out[i - i0] = dot(&self.data[i * self.cols..(i + 1) * self.cols], v);
         }
     }
 

@@ -5,48 +5,26 @@
 
 /// Dot product of two equal-length slices.
 ///
-/// Runs over `chunks_exact(8)` with eight independent partial sums: a naive
-/// `zip().map().sum()` serializes on one accumulator, so the loop-carried
-/// add latency (not multiply throughput) bounds it. Eight lanes break that
-/// dependency chain and let the compiler keep one packed accumulator
-/// register, turning the body into fused multiply-adds. The scalar tail
-/// (`len % 8`) is folded into the first lane.
+/// Routed through the [`crate::simd`] dispatch: the scalar reference runs
+/// `chunks_exact(8)` with eight independent partial sums (breaking the
+/// loop-carried add dependency), the AVX2/NEON backends use wider FMA
+/// accumulator trees. Callers that dot many rows against the same vector
+/// should hoist `(crate::simd::active().dot)` out of the loop.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let a_chunks = a.chunks_exact(8);
-    let b_chunks = b.chunks_exact(8);
-    let a_tail = a_chunks.remainder();
-    let b_tail = b_chunks.remainder();
-    for (ca, cb) in a_chunks.zip(b_chunks) {
-        for lane in 0..8 {
-            acc[lane] += ca[lane] * cb[lane];
-        }
-    }
-    for (&x, &y) in a_tail.iter().zip(b_tail.iter()) {
-        acc[0] += x * y;
-    }
-    // Pairwise reduction keeps the final adds independent too.
-    let s01 = acc[0] + acc[1];
-    let s23 = acc[2] + acc[3];
-    let s45 = acc[4] + acc[5];
-    let s67 = acc[6] + acc[7];
-    (s01 + s23) + (s45 + s67)
+    (crate::simd::active().dot)(a, b)
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`, routed through the [`crate::simd`] dispatch.
 ///
-/// Left as a plain element-wise loop on purpose: unlike [`dot`] there is no
-/// loop-carried dependency (each `y[i]` is independent), so the compiler
-/// already emits packed FMAs at full width — manual `chunks_exact`
-/// unrolling was benchmarked and does not move the number.
+/// There is no loop-carried dependency (each `y[i]` is independent), so the
+/// scalar reference is a plain loop the compiler already vectorizes; the
+/// SIMD backends mainly buy explicit FMA contraction.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    (crate::simd::active().axpy)(alpha, x, y)
 }
 
 /// `y *= alpha` in place. Element-wise with no dependency chain; see

@@ -1,0 +1,949 @@
+//! Arch-gated SIMD micro-kernels behind a runtime-dispatched vtable.
+//!
+//! Every dense hot-path primitive in the workspace — `dot`, `axpy`, the
+//! GEMM register tiles, and the int8 serving dot — funnels through a
+//! [`Kernels`] vtable selected **once per process**:
+//!
+//! * x86_64 with AVX2+FMA detected at runtime → [`struct@AVX2`] (8-lane fused
+//!   multiply-add, 32-lane accumulator tree for reductions),
+//! * aarch64 → [`struct@NEON`] (4-lane FMA; NEON is baseline on aarch64, no
+//!   runtime probe needed),
+//! * everything else, or `FVAE_SIMD=0` in the environment → [`struct@SCALAR`].
+//!
+//! ## Numeric contract
+//!
+//! [`struct@SCALAR`] is the *reference implementation*: its bodies are the exact
+//! loops the workspace shipped with before SIMD dispatch existed, so
+//! `FVAE_SIMD=0` reproduces historical checkpoints and golden fixtures
+//! bit-for-bit. The SIMD backends keep IEEE semantics per operation but
+//! **reassociate reductions** (wider accumulator trees, fused multiply-add),
+//! so f32 results may differ from scalar by a few ULP. What is guaranteed:
+//!
+//! * **Within one backend, results are fully deterministic** — the PR-4
+//!   thread-count invariance holds unchanged, because pool shards partition
+//!   *output elements* and every element is produced by exactly one kernel
+//!   call whose internal reduction order is fixed. Training at 1 or 64
+//!   threads on the same machine yields bit-identical checkpoints.
+//! * The backend (and with it the effective lane width: 32 for AVX2 dot,
+//!   8 for the scalar reference, 4/8 for NEON) is therefore **part of the
+//!   numeric configuration**, exactly like the thread count was before the
+//!   PR-4 fix: bit-compare checkpoints only across runs that used the same
+//!   backend. `FVAE_SIMD=0` pins the scalar reference when cross-machine
+//!   bit-reproducibility matters more than speed.
+//! * [`Kernels::dot_i8`] and [`Kernels::dot_i8x4`] are **integer-exact on
+//!   every backend**: i32 addition is associative, so the quantized serving
+//!   path produces bit-identical embeddings under scalar, AVX2, and NEON
+//!   alike.
+//!
+//! ## Dispatch
+//!
+//! [`active`] resolves the backend on first use (reading `FVAE_SIMD`) and
+//! caches it in an atomic; the steady-state cost is one `Acquire` load plus
+//! an indirect call, amortized by the callers over full rows/tiles.
+//! [`force`] overrides the selection process-wide — a bench/test hook for
+//! measuring scalar-vs-SIMD ratios in one process; flipping it mid-training
+//! forfeits the determinism contract for that run.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Signature of the [`Kernels::fused2x4`] GEMM register tile.
+pub type Fused2x4Fn = fn(&[f32; 8], &[f32], &[f32], &[f32], &[f32], &mut [f32], &mut [f32]);
+/// Signature of the [`Kernels::fused1x4`] GEMM m-remainder row.
+pub type Fused1x4Fn = fn(&[f32; 4], &[f32], &[f32], &[f32], &[f32], &mut [f32]);
+/// Signature of the [`Kernels::dot_i8x4`] shared-RHS quantized tile.
+pub type DotI8x4Fn = fn(&[i16], &[i16], &[i16], &[i16], &[i8]) -> [i32; 4];
+
+/// The dispatched micro-kernel set. All slice arguments of one call have
+/// equal lengths (checked by `debug_assert` in each backend); zero-length
+/// calls are valid no-ops (dot products return 0).
+pub struct Kernels {
+    /// Backend name: `"scalar"`, `"avx2"`, or `"neon"`.
+    pub name: &'static str,
+    /// Dot product `Σ a[i]·b[i]`.
+    pub dot: fn(&[f32], &[f32]) -> f32,
+    /// `y[i] += alpha · x[i]`.
+    pub axpy: fn(f32, &[f32], &mut [f32]),
+    /// GEMM 2×4 register tile: `out0 += c[0]b0 + c[1]b1 + c[2]b2 + c[3]b3`,
+    /// `out1 += c[4]b0 + c[5]b1 + c[6]b2 + c[7]b3` (element-wise over rows).
+    pub fused2x4: Fused2x4Fn,
+    /// GEMM k-remainder on a 2-row tile: `out0 += c0·b`, `out1 += c1·b`.
+    pub fused2x1: fn(f32, f32, &[f32], &mut [f32], &mut [f32]),
+    /// GEMM m-remainder row: `out += c[0]b0 + c[1]b1 + c[2]b2 + c[3]b3`.
+    pub fused1x4: Fused1x4Fn,
+    /// Rank-2 row update: `out += c0·b0 + c1·b1` (the `matmul_transa` tile).
+    pub fused1x2: fn(f32, f32, &[f32], &[f32], &mut [f32]),
+    /// Int8 dot with exact i32 accumulation: `Σ a[i]·b[i]` — the quantized
+    /// serving kernel. Callers must keep `len · 127² < i32::MAX`
+    /// (len < ~133k, far above any layer width here).
+    pub dot_i8: fn(&[i8], &[i8]) -> i32,
+    /// Four int8 dots against one shared right-hand side:
+    /// `[Σ x0·w, Σ x1·w, Σ x2·w, Σ x3·w]`. The quantized-GEMM tile. The
+    /// x rows arrive **pre-widened to i16** (values still in i8 range,
+    /// the caller widens each batch row once per layer): sign-extension is
+    /// shuffle-port-bound on x86, so hoisting it out of the weight loop —
+    /// where it would run 4× per chunk — is what lets the tile beat four
+    /// separate dot calls. The weight row stays i8 and is widened once per
+    /// chunk. Same `len · 127² < i32::MAX` bound as [`Kernels::dot_i8`].
+    pub dot_i8x4: DotI8x4Fn,
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+static ACTIVE: AtomicPtr<Kernels> = AtomicPtr::new(std::ptr::null_mut());
+
+/// The process-wide active kernel set (resolving it on first use).
+#[inline]
+pub fn active() -> &'static Kernels {
+    let p = ACTIVE.load(Ordering::Acquire);
+    if p.is_null() {
+        init()
+    } else {
+        // SAFETY: only ever stores `&'static Kernels` values.
+        unsafe { &*p }
+    }
+}
+
+#[cold]
+fn init() -> &'static Kernels {
+    let k = select();
+    ACTIVE.store(k as *const Kernels as *mut Kernels, Ordering::Release);
+    k
+}
+
+/// First-use selection: `FVAE_SIMD=0|off|scalar` pins the scalar reference;
+/// otherwise the best backend the hardware supports wins.
+fn select() -> &'static Kernels {
+    if let Ok(v) = std::env::var("FVAE_SIMD") {
+        let v = v.trim();
+        if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("scalar") {
+            return &SCALAR;
+        }
+    }
+    detected()
+}
+
+/// The backend runtime detection would pick, ignoring `FVAE_SIMD`.
+pub fn detected() -> &'static Kernels {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return &AVX2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return &NEON;
+    }
+    #[allow(unreachable_code)]
+    &SCALAR
+}
+
+/// The scalar reference backend (what `FVAE_SIMD=0` selects).
+pub fn scalar() -> &'static Kernels {
+    &SCALAR
+}
+
+/// Overrides the active backend process-wide. Bench/test hook: switching
+/// backends mid-run voids the run's bit-determinism (each backend is its
+/// own numeric configuration).
+pub fn force(k: &'static Kernels) {
+    ACTIVE.store(k as *const Kernels as *mut Kernels, Ordering::Release);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend
+// ---------------------------------------------------------------------------
+
+/// The scalar reference kernels — the exact pre-SIMD loop bodies.
+pub static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    dot: scalar_dot,
+    axpy: scalar_axpy,
+    fused2x4: scalar_fused2x4,
+    fused2x1: scalar_fused2x1,
+    fused1x4: scalar_fused1x4,
+    fused1x2: scalar_fused1x2,
+    dot_i8: scalar_dot_i8,
+    dot_i8x4: scalar_dot_i8x4,
+};
+
+/// Eight independent partial sums over `chunks_exact(8)`: a naive
+/// `zip().map().sum()` serializes on one accumulator, so the loop-carried
+/// add latency (not multiply throughput) bounds it. The scalar tail
+/// (`len % 8`) is folded into the first lane, and the final reduction is
+/// pairwise so its adds stay independent too. This exact lane structure and
+/// reduction order *is* the scalar numeric reference — do not reorder.
+pub fn scalar_dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let a_chunks = a.chunks_exact(8);
+    let b_chunks = b.chunks_exact(8);
+    let a_tail = a_chunks.remainder();
+    let b_tail = b_chunks.remainder();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        for lane in 0..8 {
+            acc[lane] += ca[lane] * cb[lane];
+        }
+    }
+    for (&x, &y) in a_tail.iter().zip(b_tail.iter()) {
+        acc[0] += x * y;
+    }
+    let s01 = acc[0] + acc[1];
+    let s23 = acc[2] + acc[3];
+    let s45 = acc[4] + acc[5];
+    let s67 = acc[6] + acc[7];
+    (s01 + s23) + (s45 + s67)
+}
+
+/// Plain element-wise loop: no loop-carried dependency, so the compiler
+/// already emits packed multiply-adds at the target's default width.
+pub fn scalar_axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+fn scalar_fused2x4(
+    c: &[f32; 8],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    out0: &mut [f32],
+    out1: &mut [f32],
+) {
+    debug_assert!([b0.len(), b1.len(), b2.len(), b3.len(), out1.len()].iter().all(|&l| l == out0.len()));
+    for (((((o0, o1), &v0), &v1), &v2), &v3) in
+        out0.iter_mut().zip(out1.iter_mut()).zip(b0).zip(b1).zip(b2).zip(b3)
+    {
+        *o0 += c[0] * v0 + c[1] * v1 + c[2] * v2 + c[3] * v3;
+        *o1 += c[4] * v0 + c[5] * v1 + c[6] * v2 + c[7] * v3;
+    }
+}
+
+fn scalar_fused2x1(c0: f32, c1: f32, b: &[f32], out0: &mut [f32], out1: &mut [f32]) {
+    debug_assert!(b.len() == out0.len() && b.len() == out1.len());
+    for ((o0, o1), &v) in out0.iter_mut().zip(out1.iter_mut()).zip(b) {
+        *o0 += c0 * v;
+        *o1 += c1 * v;
+    }
+}
+
+fn scalar_fused1x4(c: &[f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32], out: &mut [f32]) {
+    debug_assert!([b0.len(), b1.len(), b2.len(), b3.len()].iter().all(|&l| l == out.len()));
+    for ((((o, &v0), &v1), &v2), &v3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+        *o += c[0] * v0 + c[1] * v1 + c[2] * v2 + c[3] * v3;
+    }
+}
+
+fn scalar_fused1x2(c0: f32, c1: f32, b0: &[f32], b1: &[f32], out: &mut [f32]) {
+    debug_assert!(b0.len() == out.len() && b1.len() == out.len());
+    for ((o, &x0), &x1) in out.iter_mut().zip(b0).zip(b1) {
+        *o += c0 * x0 + c1 * x1;
+    }
+}
+
+/// i8×i8 dot with exact i32 accumulation (associative — every backend
+/// agrees bit-for-bit).
+pub fn scalar_dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// Four int8-range dots sharing one right-hand side (x rows pre-widened to
+/// i16 by the caller). Exact i32 accumulation, so the loop structure is
+/// immaterial to the result — four plain dots suffice as the reference.
+pub fn scalar_dot_i8x4(x0: &[i16], x1: &[i16], x2: &[i16], x3: &[i16], w: &[i8]) -> [i32; 4] {
+    fn one(x: &[i16], w: &[i8]) -> i32 {
+        debug_assert_eq!(x.len(), w.len());
+        let mut acc = 0i32;
+        for (&a, &b) in x.iter().zip(w.iter()) {
+            acc += i32::from(a) * i32::from(b);
+        }
+        acc
+    }
+    [one(x0, w), one(x1, w), one(x2, w), one(x3, w)]
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend (x86_64, runtime-detected)
+// ---------------------------------------------------------------------------
+
+/// AVX2+FMA kernels: 8-lane fused multiply-add, 4×8-lane accumulator tree
+/// for `dot`. Selected only when `is_x86_feature_detected!` confirms both
+/// features, so the `target_feature` contract always holds at the call.
+#[cfg(target_arch = "x86_64")]
+pub static AVX2: Kernels = Kernels {
+    name: "avx2",
+    dot: avx2_dot,
+    axpy: avx2_axpy,
+    fused2x4: avx2_fused2x4,
+    fused2x1: avx2_fused2x1,
+    fused1x4: avx2_fused1x4,
+    fused1x2: avx2_fused1x2,
+    dot_i8: avx2_dot_i8,
+    dot_i8x4: avx2_dot_i8x4,
+};
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! `unsafe` inner bodies carrying `#[target_feature]`. The safe
+    //! wrappers in the parent module are only reachable through
+    //! [`super::AVX2`], which [`super::detected`] installs strictly after
+    //! the runtime feature probe succeeds.
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum of an 8-lane register: cross-lane fold 8→4, then an
+    /// in-lane pairwise tree 4→2→1.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    /// Four independent 8-lane FMA chains (32-element stride) break the
+    /// loop-carried add dependency that bounds the scalar reference; the
+    /// remainder runs one 8-lane chain, then scalar.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 8)), _mm256_loadu_ps(bp.add(i + 8)), acc1);
+            acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 16)), _mm256_loadu_ps(bp.add(i + 16)), acc2);
+            acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i + 24)), _mm256_loadu_ps(bp.add(i + 24)), acc3);
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let sum = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut total = hsum256(sum);
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let va = _mm256_set1_ps(alpha);
+        let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let v0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            let v1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i + 8)), _mm256_loadu_ps(yp.add(i + 8)));
+            _mm256_storeu_ps(yp.add(i), v0);
+            _mm256_storeu_ps(yp.add(i + 8), v1);
+            i += 16;
+        }
+        while i + 8 <= n {
+            let v = _mm256_fmadd_ps(va, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            _mm256_storeu_ps(yp.add(i), v);
+            i += 8;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn fused2x4(
+        c: &[f32; 8],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        out0: &mut [f32],
+        out1: &mut [f32],
+    ) {
+        let n = out0.len();
+        debug_assert!([b0.len(), b1.len(), b2.len(), b3.len(), out1.len()].iter().all(|&l| l == n));
+        let vc: [__m256; 8] = [
+            _mm256_set1_ps(c[0]),
+            _mm256_set1_ps(c[1]),
+            _mm256_set1_ps(c[2]),
+            _mm256_set1_ps(c[3]),
+            _mm256_set1_ps(c[4]),
+            _mm256_set1_ps(c[5]),
+            _mm256_set1_ps(c[6]),
+            _mm256_set1_ps(c[7]),
+        ];
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let (q0, q1) = (out0.as_mut_ptr(), out1.as_mut_ptr());
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let vb0 = _mm256_loadu_ps(p0.add(j));
+            let vb1 = _mm256_loadu_ps(p1.add(j));
+            let vb2 = _mm256_loadu_ps(p2.add(j));
+            let vb3 = _mm256_loadu_ps(p3.add(j));
+            let mut o0 = _mm256_loadu_ps(q0.add(j));
+            let mut o1 = _mm256_loadu_ps(q1.add(j));
+            o0 = _mm256_fmadd_ps(vc[0], vb0, o0);
+            o1 = _mm256_fmadd_ps(vc[4], vb0, o1);
+            o0 = _mm256_fmadd_ps(vc[1], vb1, o0);
+            o1 = _mm256_fmadd_ps(vc[5], vb1, o1);
+            o0 = _mm256_fmadd_ps(vc[2], vb2, o0);
+            o1 = _mm256_fmadd_ps(vc[6], vb2, o1);
+            o0 = _mm256_fmadd_ps(vc[3], vb3, o0);
+            o1 = _mm256_fmadd_ps(vc[7], vb3, o1);
+            _mm256_storeu_ps(q0.add(j), o0);
+            _mm256_storeu_ps(q1.add(j), o1);
+            j += 8;
+        }
+        while j < n {
+            out0[j] += c[0] * b0[j] + c[1] * b1[j] + c[2] * b2[j] + c[3] * b3[j];
+            out1[j] += c[4] * b0[j] + c[5] * b1[j] + c[6] * b2[j] + c[7] * b3[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn fused2x1(c0: f32, c1: f32, b: &[f32], out0: &mut [f32], out1: &mut [f32]) {
+        let n = out0.len();
+        debug_assert!(b.len() == n && out1.len() == n);
+        let v0 = _mm256_set1_ps(c0);
+        let v1 = _mm256_set1_ps(c1);
+        let bp = b.as_ptr();
+        let (q0, q1) = (out0.as_mut_ptr(), out1.as_mut_ptr());
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let vb = _mm256_loadu_ps(bp.add(j));
+            _mm256_storeu_ps(q0.add(j), _mm256_fmadd_ps(v0, vb, _mm256_loadu_ps(q0.add(j))));
+            _mm256_storeu_ps(q1.add(j), _mm256_fmadd_ps(v1, vb, _mm256_loadu_ps(q1.add(j))));
+            j += 8;
+        }
+        while j < n {
+            out0[j] += c0 * b[j];
+            out1[j] += c1 * b[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn fused1x4(
+        c: &[f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        debug_assert!([b0.len(), b1.len(), b2.len(), b3.len()].iter().all(|&l| l == n));
+        let vc0 = _mm256_set1_ps(c[0]);
+        let vc1 = _mm256_set1_ps(c[1]);
+        let vc2 = _mm256_set1_ps(c[2]);
+        let vc3 = _mm256_set1_ps(c[3]);
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let q = out.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut o = _mm256_loadu_ps(q.add(j));
+            o = _mm256_fmadd_ps(vc0, _mm256_loadu_ps(p0.add(j)), o);
+            o = _mm256_fmadd_ps(vc1, _mm256_loadu_ps(p1.add(j)), o);
+            o = _mm256_fmadd_ps(vc2, _mm256_loadu_ps(p2.add(j)), o);
+            o = _mm256_fmadd_ps(vc3, _mm256_loadu_ps(p3.add(j)), o);
+            _mm256_storeu_ps(q.add(j), o);
+            j += 8;
+        }
+        while j < n {
+            out[j] += c[0] * b0[j] + c[1] * b1[j] + c[2] * b2[j] + c[3] * b3[j];
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn fused1x2(c0: f32, c1: f32, b0: &[f32], b1: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        debug_assert!(b0.len() == n && b1.len() == n);
+        let v0 = _mm256_set1_ps(c0);
+        let v1 = _mm256_set1_ps(c1);
+        let (p0, p1) = (b0.as_ptr(), b1.as_ptr());
+        let q = out.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let mut o = _mm256_loadu_ps(q.add(j));
+            o = _mm256_fmadd_ps(v0, _mm256_loadu_ps(p0.add(j)), o);
+            o = _mm256_fmadd_ps(v1, _mm256_loadu_ps(p1.add(j)), o);
+            _mm256_storeu_ps(q.add(j), o);
+            j += 8;
+        }
+        while j < n {
+            out[j] += c0 * b0[j] + c1 * b1[j];
+            j += 1;
+        }
+    }
+
+    /// 16 i8 lanes per step: sign-extend to i16, `madd` to 8×i32, add into
+    /// two independent i32 accumulators. Integer adds are associative, so
+    /// the result is bit-identical to the scalar reference.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_si256();
+        let mut acc1 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let va0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i).cast()));
+            let vb0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i).cast()));
+            let va1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i + 16).cast()));
+            let vb1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i + 16).cast()));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va0, vb0));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va1, vb1));
+            i += 32;
+        }
+        while i + 16 <= n {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i).cast()));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i).cast()));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, vb));
+            i += 16;
+        }
+        let acc = _mm256_add_epi32(acc0, acc1);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let lo = _mm256_castsi256_si128(acc);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01));
+        let mut total = _mm_cvtsi128_si32(s);
+        while i < n {
+            total += i32::from(a[i]) * i32::from(b[i]);
+            i += 1;
+        }
+        total
+    }
+
+    /// Shared-RHS 4-row int8 dot with pre-widened (i16) x rows: each
+    /// 16-lane chunk of `w` is loaded and sign-extended once — the only
+    /// shuffle-port op per chunk — then madd'ed against four straight i16
+    /// loads. Integer adds are associative, so the result is bit-identical
+    /// to the scalar reference.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_i8x4(x0: &[i16], x1: &[i16], x2: &[i16], x3: &[i16], w: &[i8]) -> [i32; 4] {
+        let n = w.len();
+        debug_assert!(x0.len() == n && x1.len() == n && x2.len() == n && x3.len() == n);
+        let (p0, p1, p2, p3, pw) = (x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr(), w.as_ptr());
+        let mut acc = [_mm256_setzero_si256(); 4];
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let vw = _mm256_cvtepi8_epi16(_mm_loadu_si128(pw.add(i).cast()));
+            for (r, p) in [p0, p1, p2, p3].into_iter().enumerate() {
+                let vx = _mm256_loadu_si256(p.add(i).cast());
+                acc[r] = _mm256_add_epi32(acc[r], _mm256_madd_epi16(vx, vw));
+            }
+            i += 16;
+        }
+        let mut out = [0i32; 4];
+        for (r, a) in acc.into_iter().enumerate() {
+            let hi = _mm256_extracti128_si256(a, 1);
+            let s = _mm_add_epi32(_mm256_castsi256_si128(a), hi);
+            let s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01));
+            out[r] = _mm_cvtsi128_si32(s);
+        }
+        let rows = [x0, x1, x2, x3];
+        while i < n {
+            for r in 0..4 {
+                out[r] += i32::from(rows[r][i]) * i32::from(w[i]);
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+// Safe wrappers: reachable only through `AVX2`, which is installed strictly
+// after the runtime feature probe succeeds.
+#[cfg(target_arch = "x86_64")]
+fn avx2_dot(a: &[f32], b: &[f32]) -> f32 {
+    unsafe { avx2::dot(a, b) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    unsafe { avx2::axpy(alpha, x, y) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_fused2x4(
+    c: &[f32; 8],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    out0: &mut [f32],
+    out1: &mut [f32],
+) {
+    unsafe { avx2::fused2x4(c, b0, b1, b2, b3, out0, out1) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_fused2x1(c0: f32, c1: f32, b: &[f32], out0: &mut [f32], out1: &mut [f32]) {
+    unsafe { avx2::fused2x1(c0, c1, b, out0, out1) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_fused1x4(c: &[f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32], out: &mut [f32]) {
+    unsafe { avx2::fused1x4(c, b0, b1, b2, b3, out) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_fused1x2(c0: f32, c1: f32, b0: &[f32], b1: &[f32], out: &mut [f32]) {
+    unsafe { avx2::fused1x2(c0, c1, b0, b1, out) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    unsafe { avx2::dot_i8(a, b) }
+}
+#[cfg(target_arch = "x86_64")]
+fn avx2_dot_i8x4(x0: &[i16], x1: &[i16], x2: &[i16], x3: &[i16], w: &[i8]) -> [i32; 4] {
+    unsafe { avx2::dot_i8x4(x0, x1, x2, x3, w) }
+}
+
+// ---------------------------------------------------------------------------
+// NEON backend (aarch64; baseline feature, no runtime probe)
+// ---------------------------------------------------------------------------
+
+/// NEON kernels: 4-lane FMA, two independent accumulator chains for `dot`.
+#[cfg(target_arch = "aarch64")]
+pub static NEON: Kernels = Kernels {
+    name: "neon",
+    dot: neon_dot,
+    axpy: neon_axpy,
+    fused2x4: neon_fused2x4,
+    fused2x1: neon_fused2x1,
+    fused1x4: neon_fused1x4,
+    fused1x2: neon_fused1x2,
+    dot_i8: neon_dot_i8,
+    dot_i8x4: neon_dot_i8x4,
+};
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON is part of the aarch64 baseline, so these need no runtime
+    //! probe; the `unsafe` blocks only assert slice-derived pointer
+    //! validity.
+    use core::arch::aarch64::*;
+
+    pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc0 = vdupq_n_f32(0.0);
+            let mut acc1 = vdupq_n_f32(0.0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                acc1 = vfmaq_f32(acc1, vld1q_f32(ap.add(i + 4)), vld1q_f32(bp.add(i + 4)));
+                i += 8;
+            }
+            if i + 4 <= n {
+                acc0 = vfmaq_f32(acc0, vld1q_f32(ap.add(i)), vld1q_f32(bp.add(i)));
+                i += 4;
+            }
+            let mut total = vaddvq_f32(vaddq_f32(acc0, acc1));
+            while i < n {
+                total += a[i] * b[i];
+                i += 1;
+            }
+            total
+        }
+    }
+
+    pub(super) fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let (xp, yp) = (x.as_ptr(), y.as_mut_ptr());
+        unsafe {
+            let va = vdupq_n_f32(alpha);
+            let mut i = 0usize;
+            while i + 4 <= n {
+                let v = vfmaq_f32(vld1q_f32(yp.add(i)), va, vld1q_f32(xp.add(i)));
+                vst1q_f32(yp.add(i), v);
+                i += 4;
+            }
+            while i < n {
+                y[i] += alpha * x[i];
+                i += 1;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn fused2x4(
+        c: &[f32; 8],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        out0: &mut [f32],
+        out1: &mut [f32],
+    ) {
+        let n = out0.len();
+        debug_assert!([b0.len(), b1.len(), b2.len(), b3.len(), out1.len()].iter().all(|&l| l == n));
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let (q0, q1) = (out0.as_mut_ptr(), out1.as_mut_ptr());
+        unsafe {
+            let mut j = 0usize;
+            while j + 4 <= n {
+                let vb0 = vld1q_f32(p0.add(j));
+                let vb1 = vld1q_f32(p1.add(j));
+                let vb2 = vld1q_f32(p2.add(j));
+                let vb3 = vld1q_f32(p3.add(j));
+                let mut o0 = vld1q_f32(q0.add(j));
+                let mut o1 = vld1q_f32(q1.add(j));
+                o0 = vfmaq_n_f32(o0, vb0, c[0]);
+                o1 = vfmaq_n_f32(o1, vb0, c[4]);
+                o0 = vfmaq_n_f32(o0, vb1, c[1]);
+                o1 = vfmaq_n_f32(o1, vb1, c[5]);
+                o0 = vfmaq_n_f32(o0, vb2, c[2]);
+                o1 = vfmaq_n_f32(o1, vb2, c[6]);
+                o0 = vfmaq_n_f32(o0, vb3, c[3]);
+                o1 = vfmaq_n_f32(o1, vb3, c[7]);
+                vst1q_f32(q0.add(j), o0);
+                vst1q_f32(q1.add(j), o1);
+                j += 4;
+            }
+            while j < n {
+                out0[j] += c[0] * b0[j] + c[1] * b1[j] + c[2] * b2[j] + c[3] * b3[j];
+                out1[j] += c[4] * b0[j] + c[5] * b1[j] + c[6] * b2[j] + c[7] * b3[j];
+                j += 1;
+            }
+        }
+    }
+
+    pub(super) fn fused2x1(c0: f32, c1: f32, b: &[f32], out0: &mut [f32], out1: &mut [f32]) {
+        let n = out0.len();
+        debug_assert!(b.len() == n && out1.len() == n);
+        let bp = b.as_ptr();
+        let (q0, q1) = (out0.as_mut_ptr(), out1.as_mut_ptr());
+        unsafe {
+            let mut j = 0usize;
+            while j + 4 <= n {
+                let vb = vld1q_f32(bp.add(j));
+                vst1q_f32(q0.add(j), vfmaq_n_f32(vld1q_f32(q0.add(j)), vb, c0));
+                vst1q_f32(q1.add(j), vfmaq_n_f32(vld1q_f32(q1.add(j)), vb, c1));
+                j += 4;
+            }
+            while j < n {
+                out0[j] += c0 * b[j];
+                out1[j] += c1 * b[j];
+                j += 1;
+            }
+        }
+    }
+
+    pub(super) fn fused1x4(
+        c: &[f32; 4],
+        b0: &[f32],
+        b1: &[f32],
+        b2: &[f32],
+        b3: &[f32],
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        debug_assert!([b0.len(), b1.len(), b2.len(), b3.len()].iter().all(|&l| l == n));
+        let (p0, p1, p2, p3) = (b0.as_ptr(), b1.as_ptr(), b2.as_ptr(), b3.as_ptr());
+        let q = out.as_mut_ptr();
+        unsafe {
+            let mut j = 0usize;
+            while j + 4 <= n {
+                let mut o = vld1q_f32(q.add(j));
+                o = vfmaq_n_f32(o, vld1q_f32(p0.add(j)), c[0]);
+                o = vfmaq_n_f32(o, vld1q_f32(p1.add(j)), c[1]);
+                o = vfmaq_n_f32(o, vld1q_f32(p2.add(j)), c[2]);
+                o = vfmaq_n_f32(o, vld1q_f32(p3.add(j)), c[3]);
+                vst1q_f32(q.add(j), o);
+                j += 4;
+            }
+            while j < n {
+                out[j] += c[0] * b0[j] + c[1] * b1[j] + c[2] * b2[j] + c[3] * b3[j];
+                j += 1;
+            }
+        }
+    }
+
+    pub(super) fn fused1x2(c0: f32, c1: f32, b0: &[f32], b1: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        debug_assert!(b0.len() == n && b1.len() == n);
+        let (p0, p1) = (b0.as_ptr(), b1.as_ptr());
+        let q = out.as_mut_ptr();
+        unsafe {
+            let mut j = 0usize;
+            while j + 4 <= n {
+                let mut o = vld1q_f32(q.add(j));
+                o = vfmaq_n_f32(o, vld1q_f32(p0.add(j)), c0);
+                o = vfmaq_n_f32(o, vld1q_f32(p1.add(j)), c1);
+                vst1q_f32(q.add(j), o);
+                j += 4;
+            }
+            while j < n {
+                out[j] += c0 * b0[j] + c1 * b1[j];
+                j += 1;
+            }
+        }
+    }
+
+    pub(super) fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        unsafe {
+            let mut acc = vdupq_n_s32(0);
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let prod = vmull_s8(vld1_s8(ap.add(i)), vld1_s8(bp.add(i)));
+                acc = vpadalq_s16(acc, prod);
+                i += 8;
+            }
+            let mut total = vaddvq_s32(acc);
+            while i < n {
+                total += i32::from(a[i]) * i32::from(b[i]);
+                i += 1;
+            }
+            total
+        }
+    }
+
+    /// Shared-RHS 4-row int8 dot with pre-widened (i16) x rows: one `w`
+    /// load + widen feeds all four multiply-accumulates per chunk. Exact
+    /// i32 accumulation.
+    pub(super) fn dot_i8x4(x0: &[i16], x1: &[i16], x2: &[i16], x3: &[i16], w: &[i8]) -> [i32; 4] {
+        let n = w.len();
+        debug_assert!(x0.len() == n && x1.len() == n && x2.len() == n && x3.len() == n);
+        let (p0, p1, p2, p3, pw) = (x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr(), w.as_ptr());
+        unsafe {
+            let mut acc = [vdupq_n_s32(0); 4];
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let vw = vmovl_s8(vld1_s8(pw.add(i)));
+                for (r, p) in [p0, p1, p2, p3].into_iter().enumerate() {
+                    let vx = vld1q_s16(p.add(i));
+                    acc[r] = vmlal_s16(acc[r], vget_low_s16(vx), vget_low_s16(vw));
+                    acc[r] = vmlal_high_s16(acc[r], vx, vw);
+                }
+                i += 8;
+            }
+            let mut out = [vaddvq_s32(acc[0]), vaddvq_s32(acc[1]), vaddvq_s32(acc[2]), vaddvq_s32(acc[3])];
+            let rows = [x0, x1, x2, x3];
+            while i < n {
+                for r in 0..4 {
+                    out[r] += i32::from(rows[r][i]) * i32::from(w[i]);
+                }
+                i += 1;
+            }
+            out
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn neon_dot(a: &[f32], b: &[f32]) -> f32 {
+    neon::dot(a, b)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    neon::axpy(alpha, x, y)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_fused2x4(
+    c: &[f32; 8],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    out0: &mut [f32],
+    out1: &mut [f32],
+) {
+    neon::fused2x4(c, b0, b1, b2, b3, out0, out1)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_fused2x1(c0: f32, c1: f32, b: &[f32], out0: &mut [f32], out1: &mut [f32]) {
+    neon::fused2x1(c0, c1, b, out0, out1)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_fused1x4(c: &[f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32], out: &mut [f32]) {
+    neon::fused1x4(c, b0, b1, b2, b3, out)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_fused1x2(c0: f32, c1: f32, b0: &[f32], b1: &[f32], out: &mut [f32]) {
+    neon::fused1x2(c0, c1, b0, b1, out)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    neon::dot_i8(a, b)
+}
+#[cfg(target_arch = "aarch64")]
+fn neon_dot_i8x4(x0: &[i16], x1: &[i16], x2: &[i16], x3: &[i16], w: &[i8]) -> [i32; 4] {
+    neon::dot_i8x4(x0, x1, x2, x3, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_backend_is_resolvable_and_stable() {
+        let first = active().name;
+        assert!(["scalar", "avx2", "neon"].contains(&first));
+        assert_eq!(active().name, first, "dispatch must be stable across calls");
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_on_every_backend() {
+        // Integer accumulation is associative: the detected backend must
+        // agree with the scalar reference bit-for-bit at every length,
+        // including lane-boundary straddles.
+        let a: Vec<i8> = (0..200).map(|i| ((i * 37 + 11) % 255 - 127) as i8).collect();
+        let b: Vec<i8> = (0..200).map(|i| ((i * 91 + 53) % 255 - 127) as i8).collect();
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 200] {
+            let want = scalar_dot_i8(&a[..len], &b[..len]);
+            let got = (detected().dot_i8)(&a[..len], &b[..len]);
+            assert_eq!(got, want, "len {len} on {}", detected().name);
+        }
+    }
+
+    #[test]
+    fn extreme_i8_values_do_not_overflow_lane_arithmetic() {
+        // (-127)·(-127)·len stays well inside i32 for any layer width; the
+        // i16 madd pairs peak at 2·127² = 32258 < i16::MAX pairwise sum in
+        // i32 — exercised here at the worst case.
+        let a = vec![-127i8; 4096];
+        let b = vec![-127i8; 4096];
+        let want = 4096 * 127 * 127;
+        assert_eq!(scalar_dot_i8(&a, &b), want);
+        assert_eq!((detected().dot_i8)(&a, &b), want);
+    }
+
+    #[test]
+    fn force_overrides_and_restores_dispatch() {
+        let original = active();
+        force(scalar());
+        assert_eq!(active().name, "scalar");
+        force(original);
+        assert_eq!(active().name, original.name);
+    }
+}

@@ -1,0 +1,40 @@
+//! Regression: `FVAE_SIMD=0` must pin the scalar reference backend.
+//!
+//! This lives in its own integration-test binary (its own process) so the
+//! environment variable can be set *before* the first kernel dispatch —
+//! selection is latched on first use and the other test binaries have
+//! already resolved it by the time their tests run.
+
+use fvae_tensor::simd;
+
+#[test]
+fn fvae_simd_zero_forces_the_scalar_backend() {
+    // Safe to set here: this binary has a single test, so nothing can have
+    // touched the dispatcher yet, and no other thread is reading the
+    // environment concurrently.
+    std::env::set_var("FVAE_SIMD", "0");
+    let k = simd::active();
+    assert_eq!(
+        k.name, "scalar",
+        "FVAE_SIMD=0 must select the scalar reference even on SIMD hardware"
+    );
+    // And the pinned backend must actually be the reference kernel set,
+    // not a differently-named alias.
+    assert!(std::ptr::eq(k, simd::scalar()));
+
+    // The escape hatch exists to reproduce historical bits: spot-check the
+    // reference dot against a long-hand evaluation.
+    let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.25 - 4.0).collect();
+    let b: Vec<f32> = (0..37).map(|i| 2.0 - i as f32 * 0.125).collect();
+    let mut want = [0.0f32; 8];
+    for (i, (&x, &y)) in a.iter().zip(&b).enumerate() {
+        if i < 32 {
+            want[i % 8] += x * y;
+        } else {
+            want[0] += x * y;
+        }
+    }
+    let folded = ((want[0] + want[1]) + (want[2] + want[3]))
+        + ((want[4] + want[5]) + (want[6] + want[7]));
+    assert_eq!((k.dot)(&a, &b).to_bits(), folded.to_bits());
+}
