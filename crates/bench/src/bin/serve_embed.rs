@@ -22,16 +22,6 @@ fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 /// One timed pass: embeds `inputs` repeatedly, returning (users/s, p50 ns,
 /// p99 ns) over per-batch wall times.
 fn run(mut embed: impl FnMut(&InputRows, &mut Matrix), inputs: &[InputRows], reps: usize) -> (f64, u64, u64) {
@@ -138,13 +128,15 @@ fn main() {
     eprintln!("[serve_embed] int8 speedup vs f32/{backend}: {speedup:.2}x, min cosine {min_cos:.6}");
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_embed\",\n  \"git_rev\": \"{}\",\n  \"simd_backend\": \"{}\",\n  \
+        "{{\n  \"bench\": \"serve_embed\",\n  \"git_rev\": \"{}\",\n  \"dirty\": {},\n  \
+         \"simd_backend\": \"{}\",\n  \
          \"enc_hidden\": {},\n  \"latent_dim\": 64,\n  \"batch\": {},\n  \"batches\": {},\n  \
          \"f32_scalar\": {{ \"users_per_sec\": {:.1}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {} }},\n  \
          \"f32_simd\": {{ \"users_per_sec\": {:.1}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {} }},\n  \
          \"int8\": {{ \"users_per_sec\": {:.1}, \"p50_batch_ns\": {}, \"p99_batch_ns\": {} }},\n  \
          \"int8_speedup_vs_f32_simd\": {:.3},\n  \"int8_min_cosine_vs_f32\": {:.6}\n}}\n",
-        git_rev(),
+        fvae_obs::provenance::git_rev(),
+        fvae_obs::provenance::git_dirty(),
         backend,
         hidden,
         batch,

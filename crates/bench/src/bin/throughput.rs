@@ -23,16 +23,6 @@ fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn main() {
     let batch = env_usize("FVAE_TP_BATCH", 256);
     let steps = env_usize("FVAE_TP_STEPS", 20);
@@ -84,10 +74,12 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"train_sc\",\n  \"git_rev\": \"{}\",\n  \"simd_backend\": \"{}\",\n  \
+        "{{\n  \"bench\": \"train_sc\",\n  \"git_rev\": \"{}\",\n  \"dirty\": {},\n  \
+         \"simd_backend\": \"{}\",\n  \
          \"n_users\": {},\n  \"batch\": {},\n  \"steps\": {},\n  {},\n  \
          \"simd_vs_scalar_ratio\": {:.3}\n}}\n",
-        git_rev(),
+        fvae_obs::provenance::git_rev(),
+        fvae_obs::provenance::git_dirty(),
         simd::detected().name,
         ds.n_users(),
         batch,

@@ -23,6 +23,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "similar" => similar(args),
         "serve" => serve(args),
         "embed-client" => embed_client(args),
+        "loadgen" => loadgen(args),
         "ckpt-diff" => ckpt_diff(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n\n{}", usage())),
@@ -51,7 +52,13 @@ pub fn usage() -> String {
      \x20           [--cache-capacity C] [--port-file F] [--quant f32|int8]\n\
      \x20 embed-client --addr HOST:PORT [--rows SPEC] [--ping true]\n\
      \x20           [--metrics true] [--reload true] [--shutdown true]\n\
+     \x20           [--info true] [--trace TRACE.json]\n\
      \x20           (SPEC: fields split by '|', entries by ',', each ID:WEIGHT)\n\
+     \x20 loadgen   --addr HOST:PORT [--qps Q] [--duration-ms MS] [--connections C]\n\
+     \x20           [--distinct-rows R] [--ids-per-field N] [--id-space S]\n\
+     \x20           [--seed SEED] [--json BENCH_serve_latency.json]\n\
+     \x20           (open-loop: latency is charged from the send *schedule*,\n\
+     \x20           so a stalled server cannot hide its own backlog)\n\
      \x20 ckpt-diff --a SNAP.fvck --b SNAP.fvck\n\
      \n\
      --threads (or FVAE_THREADS) sets the worker pool size; results are\n\
@@ -446,9 +453,10 @@ fn parse_rows(spec: &str) -> Result<Vec<fvae_serve::FieldRow>, String> {
 }
 
 /// One-shot client for a running `fvae serve` instance: embed a row spec,
-/// ping, fetch metrics, trigger a reload, or request shutdown.
+/// ping, fetch metrics/info, dump the trace ring, trigger a reload, or
+/// request shutdown.
 fn embed_client(args: &Args) -> Result<String, String> {
-    args.expect_only(&["addr", "rows", "ping", "metrics", "reload", "shutdown"])?;
+    args.expect_only(&["addr", "rows", "ping", "metrics", "reload", "shutdown", "info", "trace"])?;
     let addr = args.required("addr")?;
     let rows = args.optional("rows").map(parse_rows).transpose()?;
     let mut client = fvae_serve::Client::connect(addr)
@@ -487,12 +495,99 @@ fn embed_client(args: &Args) -> Result<String, String> {
     if args.get_or("metrics", false)? {
         out.push_str(&client.metrics().map_err(|e| format!("metrics failed: {e}"))?);
     }
+    if args.get_or("info", false)? {
+        let info = client.info().map_err(|e| format!("info failed: {e}"))?;
+        out.push_str(&format!(
+            "serving: {} fields -> {} dims (checkpoint {:#018x}, {} encoder)\n",
+            info.n_fields,
+            info.latent_dim,
+            info.ckpt_id,
+            if info.quantized { "int8" } else { "f32" }
+        ));
+    }
+    if let Some(path) = args.optional("trace") {
+        // Chrome `trace_event` JSON — open in chrome://tracing or Perfetto.
+        let json = client.trace_json().map_err(|e| format!("trace failed: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("trace: {path}\n"));
+    }
     if args.get_or("shutdown", false)? {
         client.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
         out.push_str("server shutting down\n");
     }
     if out.is_empty() {
-        return Err("nothing to do: pass --rows/--ping/--metrics/--reload/--shutdown".to_string());
+        return Err(
+            "nothing to do: pass --rows/--ping/--metrics/--info/--trace/--reload/--shutdown"
+                .to_string(),
+        );
+    }
+    Ok(out)
+}
+
+/// Serializes a loadgen report as the `BENCH_serve_latency.json` schema:
+/// quantiles plus the provenance needed to compare runs across commits.
+fn latency_report_json(report: &fvae_serve::LoadGenReport) -> String {
+    let summary = |o: &mut fvae_obs::JsonObj, s: &fvae_serve::LatencySummary| {
+        o.u64("count", s.count)
+            .u64("p50", s.p50)
+            .u64("p90", s.p90)
+            .u64("p99", s.p99)
+            .u64("p999", s.p999)
+            .u64("max", s.max)
+            .u64("mean", s.mean);
+    };
+    let mut obj = fvae_obs::JsonObj::new();
+    obj.str("bench", "serve_latency")
+        .str("git_rev", &fvae_obs::provenance::git_rev())
+        .bool("dirty", fvae_obs::provenance::git_dirty())
+        .f64("target_qps", report.target_qps)
+        .f64("achieved_qps", report.achieved_qps)
+        .f64("duration_s", report.elapsed.as_secs_f64())
+        .usize("connections", report.connections)
+        .u64("sent", report.sent)
+        .u64("ok", report.ok)
+        .u64("overloaded", report.overloaded)
+        .u64("errors", report.errors)
+        .obj("e2e_us", |o| summary(o, &report.e2e_us))
+        .obj("service_us", |o| summary(o, &report.service_us));
+    let mut json = obj.finish();
+    json.push('\n');
+    json
+}
+
+/// Open-loop tail-latency harness against a running `fvae serve` (see
+/// `fvae_serve::loadgen` for why open-loop and what the two latency
+/// columns mean).
+fn loadgen(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "addr", "qps", "duration-ms", "connections", "distinct-rows", "ids-per-field",
+        "id-space", "seed", "json",
+    ])?;
+    let raw_addr = args.required("addr")?;
+    let addr: std::net::SocketAddr = raw_addr
+        .parse()
+        .map_err(|_| format!("--addr '{raw_addr}' is not HOST:PORT"))?;
+    let mut cfg = fvae_serve::LoadGenConfig::new(addr);
+    cfg.target_qps = args.get_or("qps", cfg.target_qps)?;
+    if !(cfg.target_qps.is_finite() && cfg.target_qps > 0.0) {
+        return Err(format!("--qps must be a positive rate, got {}", cfg.target_qps));
+    }
+    cfg.duration = std::time::Duration::from_millis(args.get_or("duration-ms", 2000u64)?);
+    cfg.connections = args.get_or("connections", cfg.connections)?;
+    if cfg.connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    cfg.distinct_rows = args.get_or("distinct-rows", cfg.distinct_rows)?;
+    cfg.ids_per_field = args.get_or("ids-per-field", cfg.ids_per_field)?;
+    cfg.id_space = args.get_or("id-space", cfg.id_space)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    let report = fvae_serve::run_loadgen(&cfg).map_err(|e| format!("loadgen failed: {e}"))?;
+    let mut out = report.render();
+    out.push('\n');
+    if let Some(path) = args.optional("json") {
+        std::fs::write(path, latency_report_json(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("report: {path}\n"));
     }
     Ok(out)
 }
@@ -893,6 +988,97 @@ mod tests {
         assert!(err.contains("cannot serve"), "got: {err}");
         let err = run(&args("embed-client --addr x --rows 1:1.0|oops")).expect_err("bad spec");
         assert!(err.contains("ID:WEIGHT"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn loadgen_against_live_server_reports_and_emits_json() {
+        use fvae_obs::Value;
+        use std::time::{Duration, Instant};
+        let ds_path = tmp("lg_ds.bin");
+        let model_path = tmp("lg_model.bin");
+        let ckpt_dir = tmp("lg_ckpt");
+        let port_file = tmp("lg_port");
+        let json_path = tmp("lg_latency.json");
+        let trace_path = tmp("lg_trace.json");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let _ = std::fs::remove_file(&port_file);
+        run(&args(&format!(
+            "generate --preset sc-small --users 128 --seed 17 --out {ds_path}"
+        )))
+        .expect("generate");
+        run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 1 --batch 64 --latent 8 \
+             --quiet true --checkpoint-dir {ckpt_dir} --checkpoint-every 2"
+        )))
+        .expect("train");
+
+        let server = {
+            let line = format!(
+                "serve --checkpoint-dir {ckpt_dir} --port 0 --port-file {port_file} \
+                 --batch-size 8 --max-wait-us 300 --cache-capacity 0"
+            );
+            std::thread::spawn(move || run(&args(&line)))
+        };
+        let addr = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&port_file) {
+                    if text.trim().contains(':') {
+                        break text.trim().to_string();
+                    }
+                }
+                assert!(Instant::now() < deadline, "server never published its port");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+
+        // `--info` is how loadgen shapes rows; check the human rendering.
+        let out = run(&args(&format!("embed-client --addr {addr} --info true")))
+            .expect("info");
+        assert!(out.contains("4 fields -> 8 dims"), "got: {out}");
+
+        let out = run(&args(&format!(
+            "loadgen --addr {addr} --qps 150 --duration-ms 600 --connections 2 \
+             --distinct-rows 16 --json {json_path}"
+        )))
+        .expect("loadgen");
+        assert!(out.contains("target 150 qps"), "got: {out}");
+        assert!(out.contains("e2e"), "got: {out}");
+        assert!(out.contains(&format!("report: {json_path}")), "got: {out}");
+
+        // The emitted report parses and carries outcomes + provenance.
+        let text = std::fs::read_to_string(&json_path).expect("report written");
+        let doc = fvae_obs::parse(&text).expect("report is valid JSON");
+        assert_eq!(doc.get("bench").and_then(Value::as_str), Some("serve_latency"));
+        assert!(doc.get("git_rev").and_then(Value::as_str).is_some());
+        assert!(matches!(doc.get("dirty"), Some(Value::Bool(_))));
+        let sent = doc.get("sent").and_then(Value::as_u64).expect("sent");
+        assert_eq!(sent, 90, "150 qps x 0.6 s schedules 90 ticks");
+        let ok = doc.get("ok").and_then(Value::as_u64).expect("ok");
+        assert!(ok > 0, "server must serve some of the gentle load");
+        assert_eq!(doc.get("errors").and_then(Value::as_u64), Some(0));
+        let p50 = doc.get("e2e_us").and_then(|s| s.get("p50")).and_then(Value::as_u64);
+        assert!(p50.expect("e2e p50") > 0, "latency histogram populated");
+
+        // The loadgen traffic left a readable Chrome trace behind.
+        let out = run(&args(&format!("embed-client --addr {addr} --trace {trace_path}")))
+            .expect("trace");
+        assert!(out.contains("trace:"), "got: {out}");
+        let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+        let doc = fvae_obs::parse(&trace).expect("trace is valid JSON");
+        match doc.get("traceEvents") {
+            Some(Value::Arr(events)) => assert!(!events.is_empty(), "trace recorded"),
+            other => panic!("traceEvents missing: {other:?}"),
+        }
+
+        run(&args(&format!("embed-client --addr {addr} --shutdown true"))).expect("shutdown");
+        server.join().expect("server thread").expect("serve result");
+
+        let err = run(&args("loadgen --addr not-an-addr")).expect_err("bad addr");
+        assert!(err.contains("HOST:PORT"), "got: {err}");
+        let err = run(&args(&format!("loadgen --addr {addr} --qps -3"))).expect_err("bad qps");
+        assert!(err.contains("--qps"), "got: {err}");
         let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 

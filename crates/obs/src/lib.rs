@@ -39,10 +39,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod provenance;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use json::{parse, JsonObj, JsonlSink, Value};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::Registry;
 pub use span::Span;
+pub use trace::{TraceBuffer, TraceEvent};

@@ -1,11 +1,19 @@
 //! A named registry of metrics with Prometheus-text rendering.
 //!
 //! The registry is explicitly passed (no globals) and cheap to clone — all
-//! clones share the same metric map. Lookups (`counter`/`gauge`/`histogram`)
-//! take a short mutex and get-or-create; the returned handles record through
-//! lock-free atomics, so the lock is off the hot path as long as callers
-//! resolve their handles once (see [`crate::Span`] for the per-call
-//! convenience path, which still only locks for a map lookup).
+//! clones share the same metric map. Lookups (`counter`/`gauge`/`histogram`
+//! and their `_with` labeled variants) take a short mutex and
+//! get-or-create; the returned handles record through lock-free atomics,
+//! so the lock is off the hot path as long as callers resolve their
+//! handles once (see [`crate::Span`] for the per-call convenience path,
+//! which still only locks for a map lookup).
+//!
+//! Metrics group into **families**: one name, one kind, any number of
+//! label sets (`fvae_serve_stage_ns{stage="encode"}` and
+//! `{stage="decode"}` are two series of one histogram family). The render
+//! emits one `# TYPE` line per family, histogram series in cumulative
+//! `_bucket{le="…"}`/`_sum`/`_count` form, and escapes label values per
+//! the Prometheus text exposition rules (`\\`, `\"`, `\n`).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -30,10 +38,20 @@ impl Metric {
     }
 }
 
+/// Canonicalized label set: sorted by key, no duplicates.
+type Labels = Vec<(String, String)>;
+
+/// One metric family: every series shares the name and kind and differs
+/// only in labels. The unlabeled series is the empty label set.
+#[derive(Debug, Default)]
+struct Family {
+    series: BTreeMap<Labels, Metric>,
+}
+
 /// A shared, named collection of metrics.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
-    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+    metrics: Arc<Mutex<BTreeMap<String, Family>>>,
 }
 
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the Prometheus metric-name grammar.
@@ -46,6 +64,68 @@ fn valid_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// `[a-zA-Z_][a-zA-Z0-9_]*` — the (colon-free) label-name grammar.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Canonicalizes a label set: validates names, sorts by key, rejects
+/// duplicate keys and the reserved `le`.
+fn canonical_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|(k, v)| {
+            assert!(valid_label_name(k), "invalid label name '{k}'");
+            assert!(*k != "le", "label name 'le' is reserved for histogram buckets");
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    out.sort();
+    for pair in out.windows(2) {
+        assert!(pair[0].0 != pair[1].0, "duplicate label name '{}'", pair[0].0);
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `{k="v",…}` (with `extra` appended last), or `""` when both are
+/// empty.
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Self {
@@ -55,32 +135,51 @@ impl Registry {
     fn get_or_insert<T: Clone>(
         &self,
         name: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
         wrap: impl Fn(T) -> Metric,
         unwrap: impl Fn(&Metric) -> Option<&T>,
         fresh: impl FnOnce() -> T,
     ) -> T {
         assert!(valid_name(name), "invalid metric name '{name}'");
+        let labels = canonical_labels(labels);
         let mut map = self.metrics.lock().expect("registry lock");
-        match map.get(name) {
-            Some(metric) => unwrap(metric)
-                .unwrap_or_else(|| {
-                    panic!("metric '{name}' already registered as a {}", metric.kind())
-                })
-                .clone(),
-            None => {
-                let handle = fresh();
-                map.insert(name.to_string(), wrap(handle.clone()));
-                handle
+        // Fast path: resolving an existing series allocates nothing (for
+        // empty label sets even `labels` above is a no-alloc empty Vec), so
+        // by-name lookups stay legal inside alloc-audited loops.
+        if let Some(family) = map.get(name) {
+            if let Some(existing) = family.series.values().next() {
+                assert!(
+                    existing.kind() == kind,
+                    "metric '{name}' already registered as a {}",
+                    existing.kind()
+                );
+            }
+            if let Some(metric) = family.series.get(&labels) {
+                return unwrap(metric).expect("kind checked above").clone();
             }
         }
+        let handle = fresh();
+        map.entry(name.to_string())
+            .or_default()
+            .series
+            .insert(labels, wrap(handle.clone()));
+        handle
     }
 
-    /// The counter named `name`, creating it on first use.
+    /// The unlabeled counter named `name`, creating it on first use.
     ///
     /// Panics if `name` is invalid or already registered as another kind.
     pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter series `name{labels}`, creating it on first use.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         self.get_or_insert(
             name,
+            labels,
+            "counter",
             Metric::Counter,
             |m| match m {
                 Metric::Counter(c) => Some(c),
@@ -90,10 +189,17 @@ impl Registry {
         )
     }
 
-    /// The gauge named `name`, creating it on first use.
+    /// The unlabeled gauge named `name`, creating it on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge series `name{labels}`, creating it on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         self.get_or_insert(
             name,
+            labels,
+            "gauge",
             Metric::Gauge,
             |m| match m {
                 Metric::Gauge(g) => Some(g),
@@ -103,10 +209,17 @@ impl Registry {
         )
     }
 
-    /// The histogram named `name`, creating it on first use.
+    /// The unlabeled histogram named `name`, creating it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram series `name{labels}`, creating it on first use.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         self.get_or_insert(
             name,
+            labels,
+            "histogram",
             Metric::Histogram,
             |m| match m {
                 Metric::Histogram(h) => Some(h),
@@ -116,9 +229,9 @@ impl Registry {
         )
     }
 
-    /// Number of registered metrics.
+    /// Number of registered series (label sets count individually).
     pub fn len(&self) -> usize {
-        self.metrics.lock().expect("registry lock").len()
+        self.metrics.lock().expect("registry lock").values().map(|f| f.series.len()).sum()
     }
 
     /// Whether no metrics are registered.
@@ -126,34 +239,60 @@ impl Registry {
         self.len() == 0
     }
 
-    /// Renders every metric in Prometheus text exposition format (sorted by
-    /// name; histograms emit only their non-empty buckets plus `+Inf`).
+    /// Renders every metric in Prometheus text exposition format: families
+    /// sorted by name (one `# TYPE` each), series sorted by label set,
+    /// histograms in cumulative `_bucket{le="…"}`/`_sum`/`_count` form with
+    /// only their non-empty buckets plus `+Inf`.
     pub fn render(&self) -> String {
-        let snapshot: Vec<(String, Metric)> = {
+        let snapshot: Vec<(String, Vec<(Labels, Metric)>)> = {
             let map = self.metrics.lock().expect("registry lock");
-            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            map.iter()
+                .map(|(name, family)| {
+                    (
+                        name.clone(),
+                        family.series.iter().map(|(l, m)| (l.clone(), m.clone())).collect(),
+                    )
+                })
+                .collect()
         };
         let mut out = String::new();
-        for (name, metric) in snapshot {
-            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
-            match metric {
-                Metric::Counter(c) => {
-                    let _ = writeln!(out, "{name} {}", c.get());
-                }
-                Metric::Gauge(g) => {
-                    let _ = writeln!(out, "{name} {}", format_f64(g.get()));
-                }
-                Metric::Histogram(h) => {
-                    let count = h.count();
-                    for (le, cum) in h.cumulative_buckets() {
-                        if le == u64::MAX {
-                            continue; // folded into +Inf below
-                        }
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        for (name, series) in snapshot {
+            let Some((_, first)) = series.first() else { continue };
+            let _ = writeln!(out, "# TYPE {name} {}", first.kind());
+            for (labels, metric) in series {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", label_block(&labels, None), c.get());
                     }
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
-                    let _ = writeln!(out, "{name}_sum {}", h.sum());
-                    let _ = writeln!(out, "{name}_count {count}");
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{name}{} {}",
+                            label_block(&labels, None),
+                            format_f64(g.get())
+                        );
+                    }
+                    Metric::Histogram(h) => {
+                        let count = h.count();
+                        for (le, cum) in h.cumulative_buckets() {
+                            if le == u64::MAX {
+                                continue; // folded into +Inf below
+                            }
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                label_block(&labels, Some(("le", &le.to_string())))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {count}",
+                            label_block(&labels, Some(("le", "+Inf")))
+                        );
+                        let _ = writeln!(out, "{name}_sum{} {}", label_block(&labels, None), h.sum());
+                        let _ =
+                            writeln!(out, "{name}_count{} {count}", label_block(&labels, None));
+                    }
                 }
             }
         }
@@ -188,6 +327,42 @@ mod tests {
     }
 
     #[test]
+    fn labeled_series_are_distinct_but_share_a_family() {
+        let reg = Registry::new();
+        let enc = reg.histogram_with("fvae_stage_ns", &[("stage", "encode")]);
+        let dec = reg.histogram_with("fvae_stage_ns", &[("stage", "decode")]);
+        let enc_again = reg.histogram_with("fvae_stage_ns", &[("stage", "encode")]);
+        enc.record(10);
+        enc_again.record(20);
+        dec.record(30);
+        assert_eq!(enc.count(), 2, "same labels resolve to the same series");
+        assert_eq!(dec.count(), 1);
+        assert_eq!(reg.len(), 2);
+        let text = reg.render();
+        assert_eq!(text.matches("# TYPE fvae_stage_ns histogram").count(), 1);
+        assert!(text.contains("fvae_stage_ns_count{stage=\"encode\"} 2"));
+        assert!(text.contains("fvae_stage_ns_count{stage=\"decode\"} 1"));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let reg = Registry::new();
+        let a = reg.counter_with("fvae_multi", &[("b", "2"), ("a", "1")]);
+        let b = reg.counter_with("fvae_multi", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "label order must not split the series");
+        assert!(reg.render().contains("fvae_multi{a=\"1\",b=\"2\"} 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter_with("fvae_esc", &[("path", "a\\b\"c\nd")]).inc();
+        assert!(reg.render().contains("fvae_esc{path=\"a\\\\b\\\"c\\nd\"} 1"));
+    }
+
+    #[test]
     #[should_panic(expected = "already registered")]
     fn kind_mismatch_panics() {
         let reg = Registry::new();
@@ -196,9 +371,35 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_across_label_sets_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter_with("fvae_test_total", &[("a", "1")]);
+        let _ = reg.histogram_with("fvae_test_total", &[("a", "2")]);
+    }
+
+    #[test]
     #[should_panic(expected = "invalid metric name")]
     fn invalid_names_panic() {
         let _ = Registry::new().counter("0bad name");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn invalid_label_names_panic() {
+        let _ = Registry::new().counter_with("fvae_ok", &[("0bad", "x")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn le_label_is_reserved() {
+        let _ = Registry::new().histogram_with("fvae_h", &[("le", "5")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label name")]
+    fn duplicate_label_names_panic() {
+        let _ = Registry::new().counter_with("fvae_ok", &[("a", "1"), ("a", "2")]);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-use fvae_obs::{Registry, Span};
+use fvae_obs::{Registry, Span, TraceBuffer};
 
 struct CountingAlloc;
 
@@ -57,10 +57,15 @@ fn recording_metrics_is_allocation_free() {
     let counter = registry.counter("fvae_test_steps_total");
     let gauge = registry.gauge("fvae_test_beta");
     let hist = registry.histogram("fvae_test_step_ns");
+    let labeled = registry.histogram_with("fvae_test_stage_ns", &[("stage", "encode")]);
+    static STAGES: &[&str] = &["decode", "encode"];
+    let trace = TraceBuffer::new(64, STAGES);
     // Warm everything once (first Instant::now may lazily init clocks).
     counter.inc();
     gauge.set(1.0);
     hist.record(1);
+    labeled.record(1);
+    trace.record(trace.next_trace_id(), 0, trace.now_ns(), 1);
     drop(Span::on(&hist));
     drop(Span::enter(&registry, "fvae_test_step_ns"));
 
@@ -72,6 +77,10 @@ fn recording_metrics_is_allocation_free() {
         gauge.set(i as f64);
         gauge.add(0.5);
         hist.record(i * 977);
+        labeled.record(i);
+        // Tracing enabled on the hot path: id + timestamp + ring write,
+        // including past the wraparound point (64-slot ring, 10k writes).
+        trace.record(trace.next_trace_id(), (i % 2) as usize, trace.now_ns(), i);
         let span = Span::on(&hist);
         let _ = span.elapsed_ns();
         drop(span);
@@ -88,4 +97,6 @@ fn recording_metrics_is_allocation_free() {
     );
     assert_eq!(counter.get(), 4 * 10_000 + 1);
     assert_eq!(hist.count(), 3 * 10_000 + 3);
+    assert_eq!(labeled.count(), 10_000 + 1);
+    assert_eq!(trace.recorded(), 10_000 + 1);
 }

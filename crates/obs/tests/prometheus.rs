@@ -24,6 +24,53 @@ fn is_name(s: &str) -> bool {
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// Parses a label-set body (`k="v",k2="v2"`) with full escape handling:
+/// values may contain `\\`, `\"`, and `\n`, plus literal commas and `=`.
+/// Naive `split(',')` would mis-parse exactly the values the renderer is
+/// required to escape, so this walks chars with a quote-state machine.
+fn parse_labels(body: &str, n: usize) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Label name up to '='.
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        if key.is_empty() && labels.is_empty() && chars.peek().is_none() {
+            break; // empty label set body
+        }
+        assert!(is_name(&key), "line {n}: bad label name '{key}'");
+        assert_eq!(chars.next(), Some('='), "line {n}: label without '='");
+        assert_eq!(chars.next(), Some('"'), "line {n}: unquoted label value");
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => val.push('\\'),
+                    Some('"') => val.push('"'),
+                    Some('n') => val.push('\n'),
+                    other => panic!("line {n}: bad escape {other:?}"),
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => panic!("line {n}: unterminated label value"),
+            }
+        }
+        labels.push((key, val));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => panic!("line {n}: expected ',' between labels, got '{c}'"),
+        }
+    }
+    labels
+}
+
 /// Parses Prometheus text exposition, panicking with a line-numbered message
 /// on any syntax violation.
 fn parse_exposition(text: &str) -> Exposition {
@@ -65,19 +112,7 @@ fn parse_exposition(text: &str) -> Exposition {
                 let body = rest
                     .strip_suffix('}')
                     .unwrap_or_else(|| panic!("line {n}: unterminated label set"));
-                let mut labels = Vec::new();
-                for pair in body.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair
-                        .split_once('=')
-                        .unwrap_or_else(|| panic!("line {n}: label without '='"));
-                    assert!(is_name(k), "line {n}: bad label name '{k}'");
-                    let v = v
-                        .strip_prefix('"')
-                        .and_then(|v| v.strip_suffix('"'))
-                        .unwrap_or_else(|| panic!("line {n}: unquoted label value"));
-                    labels.push((k.to_string(), v.to_string()));
-                }
-                (name.to_string(), labels)
+                (name.to_string(), parse_labels(body, n))
             }
         };
         assert!(is_name(&name), "line {n}: bad sample name '{name}'");
@@ -91,12 +126,37 @@ impl Exposition {
         self.samples.iter().find(|(s, _, _)| s == name).map(|&(_, _, v)| v)
     }
 
-    /// Checks histogram invariants for the histogram declared as `name`.
+    fn labeled_value_of(&self, name: &str, series: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|(s, labels, _)| {
+                s == name
+                    && labels.len() == series.len()
+                    && series.iter().all(|(k, v)| labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .map(|&(_, _, v)| v)
+    }
+
+    /// Checks histogram invariants for the unlabeled series of `name`.
     fn check_histogram(&self, name: &str) {
+        self.check_histogram_series(name, &[]);
+    }
+
+    /// Checks histogram invariants for the series of `name` whose non-`le`
+    /// labels are exactly `series`.
+    fn check_histogram_series(&self, name: &str, series: &[(&str, &str)]) {
         let buckets: Vec<(&str, f64)> = self
             .samples
             .iter()
-            .filter(|(s, _, _)| s == &format!("{name}_bucket"))
+            .filter(|(s, labels, _)| {
+                s == &format!("{name}_bucket") && {
+                    let rest: Vec<_> = labels.iter().filter(|(k, _)| k != "le").collect();
+                    rest.len() == series.len()
+                        && series
+                            .iter()
+                            .all(|(k, v)| rest.iter().any(|(lk, lv)| lk == k && lv == v))
+                }
+            })
             .map(|(_, labels, v)| {
                 let le = labels
                     .iter()
@@ -106,7 +166,7 @@ impl Exposition {
                 (le, *v)
             })
             .collect();
-        assert!(!buckets.is_empty(), "{name}: histogram with no buckets");
+        assert!(!buckets.is_empty(), "{name}{series:?}: histogram with no buckets");
         let mut prev_le = f64::NEG_INFINITY;
         let mut prev_cum = 0.0;
         for &(le, cum) in &buckets {
@@ -117,8 +177,9 @@ impl Exposition {
             prev_cum = cum;
         }
         assert_eq!(buckets.last().expect("non-empty").0, "+Inf", "{name}: missing +Inf");
-        let count = self.value_of(&format!("{name}_count")).expect("histogram _count");
-        let _sum = self.value_of(&format!("{name}_sum")).expect("histogram _sum");
+        let count =
+            self.labeled_value_of(&format!("{name}_count"), series).expect("histogram _count");
+        let _sum = self.labeled_value_of(&format!("{name}_sum"), series).expect("histogram _sum");
         assert_eq!(buckets.last().expect("non-empty").1, count, "{name}: +Inf != _count");
     }
 }
@@ -144,6 +205,50 @@ fn rendered_registry_is_valid_exposition() {
     assert_eq!(exp.value_of("fvae_core_elbo"), Some(-57.25));
     exp.check_histogram("fvae_core_step_ns");
     assert_eq!(exp.value_of("fvae_core_step_ns_count"), Some(7.0));
+}
+
+#[test]
+fn labeled_histogram_family_renders_per_series_cumulative_form() {
+    let registry = Registry::new();
+    for (stage, samples) in
+        [("decode", vec![100u64, 900]), ("encode", vec![5_000, 5_000, 80_000]), ("reply", vec![50])]
+    {
+        let h = registry.histogram_with("fvae_serve_stage_ns", &[("stage", stage)]);
+        for v in samples {
+            h.record(v);
+        }
+    }
+    registry.gauge_with("fvae_serve_queue_depth", &[("shard", "0")]).set(3.0);
+    let text = registry.render();
+    let exp = parse_exposition(&text);
+
+    // One TYPE line for the whole family, each series valid on its own.
+    assert_eq!(text.matches("# TYPE fvae_serve_stage_ns histogram").count(), 1);
+    exp.check_histogram_series("fvae_serve_stage_ns", &[("stage", "decode")]);
+    exp.check_histogram_series("fvae_serve_stage_ns", &[("stage", "encode")]);
+    exp.check_histogram_series("fvae_serve_stage_ns", &[("stage", "reply")]);
+    assert_eq!(
+        exp.labeled_value_of("fvae_serve_stage_ns_count", &[("stage", "encode")]),
+        Some(3.0)
+    );
+    assert_eq!(
+        exp.labeled_value_of("fvae_serve_stage_ns_sum", &[("stage", "encode")]),
+        Some(90_000.0)
+    );
+    assert_eq!(exp.labeled_value_of("fvae_serve_queue_depth", &[("shard", "0")]), Some(3.0));
+}
+
+#[test]
+fn label_values_round_trip_through_escaping() {
+    let registry = Registry::new();
+    let hostile = "back\\slash \"quoted\"\nnewline, eq=sign, {brace}";
+    registry.counter_with("fvae_esc_total", &[("src", hostile)]).add(5);
+    let h = registry.histogram_with("fvae_esc_ns", &[("src", hostile)]);
+    h.record(7);
+    let exp = parse_exposition(&registry.render());
+    // The escape-aware parser must recover the original value exactly.
+    assert_eq!(exp.labeled_value_of("fvae_esc_total", &[("src", hostile)]), Some(5.0));
+    exp.check_histogram_series("fvae_esc_ns", &[("src", hostile)]);
 }
 
 #[test]

@@ -89,6 +89,20 @@ pub struct ReloadReport {
     pub detail: String,
 }
 
+/// The serving contract, as reported by [`Client::info`]. Loadgen uses it
+/// to shape valid requests without out-of-band model knowledge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Field count embed requests must supply.
+    pub n_fields: usize,
+    /// Dimensionality of replied embeddings.
+    pub latent_dim: usize,
+    /// Identity of the active checkpoint.
+    pub ckpt_id: u64,
+    /// Whether the int8 quantized encoder is serving.
+    pub quantized: bool,
+}
+
 /// A connected serve client.
 pub struct Client {
     stream: TcpStream,
@@ -161,6 +175,29 @@ impl Client {
                 Ok(ReloadReport { ok, changed, ckpt_id, detail })
             }
             _ => Err(ClientError::UnexpectedReply("reload")),
+        }
+    }
+
+    /// Fetches the server's trace ring as Chrome `trace_event` JSON.
+    pub fn trace_json(&mut self) -> Result<String, ClientError> {
+        self.send(&Message::TraceRequest)?;
+        match self.recv()? {
+            Message::TraceReply { json } => Ok(json),
+            _ => Err(ClientError::UnexpectedReply("trace")),
+        }
+    }
+
+    /// Fetches the serving contract (field count, latent dim, checkpoint).
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        self.send(&Message::InfoRequest)?;
+        match self.recv()? {
+            Message::InfoReply { n_fields, latent_dim, ckpt_id, quantized } => Ok(ServerInfo {
+                n_fields: n_fields as usize,
+                latent_dim: latent_dim as usize,
+                ckpt_id,
+                quantized,
+            }),
+            _ => Err(ClientError::UnexpectedReply("info")),
         }
     }
 

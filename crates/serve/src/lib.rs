@@ -39,13 +39,17 @@
 
 pub mod cache;
 pub mod client;
+pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{fnv64, row_hash, EmbedCache};
-pub use client::{Client, ClientError, EmbedOutcome, ReloadReport};
+pub use client::{Client, ClientError, EmbedOutcome, ReloadReport, ServerInfo};
+pub use loadgen::{run_loadgen, LatencySummary, LoadGenConfig, LoadGenReport};
 pub use protocol::{
-    decode_message, encode_frame, read_frame, write_frame, FieldRow, Message, ProtoError, RecvError,
-    MAX_FIELDS, MAX_FRAME_LEN,
+    decode_message, encode_frame, read_frame, read_payload, write_frame, FieldRow, Message,
+    ProtoError, RecvError, MAX_FIELDS, MAX_FRAME_LEN,
 };
-pub use server::{BatchPhase, BatchProbe, QuantMode, ReloadOutcome, ServeConfig, ServeError, Server};
+pub use server::{
+    BatchPhase, BatchProbe, QuantMode, ReloadOutcome, ServeConfig, ServeError, Server, TRACE_STAGES,
+};

@@ -1,0 +1,358 @@
+//! `fvae loadgen` — an open-loop traffic generator for the serve path.
+//!
+//! ## Why open-loop
+//!
+//! A closed-loop client (send, wait, send again) measures a different
+//! system than the one production sees: when the server stalls, a closed
+//! loop *stops sending*, so the stall suppresses exactly the samples that
+//! would have shown it — the classic **coordinated omission** trap. This
+//! generator instead fixes a send *schedule* up front (tick `i` fires at
+//! `start + i/QPS`, independent of the server) and measures every request
+//! from its **scheduled** time, not its actual send time. A request that
+//! couldn't even be sent on time because the previous one was stuck counts
+//! the backlog it suffered.
+//!
+//! Two latencies are recorded per request:
+//!
+//! * **e2e** — reply time minus *scheduled* send time: what an arrival at
+//!   that instant would have experienced (coordinated-omission-safe; the
+//!   headline number).
+//! * **service** — reply time minus *actual* send time: the server's own
+//!   contribution, useful for separating server latency from schedule
+//!   backlog.
+//!
+//! The tick schedule is striped across `connections` worker threads
+//! (thread `t` owns ticks `i ≡ t mod connections`), each with its own TCP
+//! connection, so one slow reply only delays that thread's future ticks —
+//! and those delays are still charged to the affected ticks via their
+//! scheduled times. All outcomes (ok, overloaded, error) record an e2e
+//! sample: shedding is an answer too, and its latency matters.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fvae_obs::{Histogram, HistogramSnapshot};
+
+use crate::client::{Client, EmbedOutcome};
+use crate::protocol::FieldRow;
+
+/// Configuration for one loadgen run.
+#[derive(Clone, Debug)]
+pub struct LoadGenConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Target offered load, requests per second (the open-loop schedule).
+    pub target_qps: f64,
+    /// How long to offer it.
+    pub duration: Duration,
+    /// Worker threads / TCP connections the schedule is striped over.
+    pub connections: usize,
+    /// Distinct request rows cycled through (tick `i` sends row
+    /// `i % distinct_rows`). More rows defeat the server's reply cache;
+    /// fewer exercise it.
+    pub distinct_rows: usize,
+    /// Feature ids per field row.
+    pub ids_per_field: usize,
+    /// Feature ids are drawn from `0..id_space` per field.
+    pub id_space: u64,
+    /// Seed for the deterministic row mix.
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    /// Defaults: 200 QPS for 2 s over 4 connections, 64 distinct rows of
+    /// 8 ids from a 10k id space.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            target_qps: 200.0,
+            duration: Duration::from_secs(2),
+            connections: 4,
+            distinct_rows: 64,
+            ids_per_field: 8,
+            id_space: 10_000,
+            seed: 0x10ad_9e4e,
+        }
+    }
+}
+
+/// Quantile summary of one latency distribution, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Mean (sum/count), 0 if empty.
+    pub mean: u64,
+}
+
+impl From<HistogramSnapshot> for LatencySummary {
+    fn from(s: HistogramSnapshot) -> Self {
+        Self {
+            count: s.count,
+            p50: s.p50,
+            p90: s.p90,
+            p99: s.p99,
+            p999: s.p999,
+            max: s.max,
+            mean: s.sum.checked_div(s.count).unwrap_or(0),
+        }
+    }
+}
+
+/// Outcome of a loadgen run.
+#[derive(Clone, Debug)]
+pub struct LoadGenReport {
+    /// The offered schedule.
+    pub target_qps: f64,
+    /// `sent / elapsed` — how much of the schedule was actually offered.
+    pub achieved_qps: f64,
+    /// Wall time from first scheduled tick to last reply.
+    pub elapsed: Duration,
+    /// Connections the schedule was striped over.
+    pub connections: usize,
+    /// Requests sent (every tick sends; none are skipped).
+    pub sent: u64,
+    /// Embedding replies.
+    pub ok: u64,
+    /// `Overloaded` sheds.
+    pub overloaded: u64,
+    /// Error replies plus transport failures.
+    pub errors: u64,
+    /// Latency from *scheduled* send time (coordinated-omission-safe),
+    /// all outcomes.
+    pub e2e_us: LatencySummary,
+    /// Latency from actual send time, successful embeds only.
+    pub service_us: LatencySummary,
+}
+
+impl LoadGenReport {
+    /// The human-readable report `fvae loadgen` prints.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: target {:.0} qps, achieved {:.1} qps over {:.2}s on {} connections\n\
+             outcomes: sent {} | ok {} | overloaded {} | errors {}\n\
+             e2e      (us, from scheduled send): p50 {} p90 {} p99 {} p999 {} max {}\n\
+             service  (us, ok replies only):     p50 {} p90 {} p99 {} p999 {} max {}",
+            self.target_qps,
+            self.achieved_qps,
+            self.elapsed.as_secs_f64(),
+            self.connections,
+            self.sent,
+            self.ok,
+            self.overloaded,
+            self.errors,
+            self.e2e_us.p50,
+            self.e2e_us.p90,
+            self.e2e_us.p99,
+            self.e2e_us.p999,
+            self.e2e_us.max,
+            self.service_us.p50,
+            self.service_us.p90,
+            self.service_us.p99,
+            self.service_us.p999,
+            self.service_us.max,
+        )
+    }
+}
+
+/// splitmix64 — the deterministic id/weight source for the row mix.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds the deterministic request row mix: `distinct_rows` rows of
+/// `n_fields` field rows, each with `ids_per_field` unique-ish ids and
+/// weights in `(0, 1]`.
+pub fn build_rows(cfg: &LoadGenConfig, n_fields: usize) -> Vec<Vec<FieldRow>> {
+    (0..cfg.distinct_rows.max(1))
+        .map(|r| {
+            let mut state = cfg.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            (0..n_fields)
+                .map(|_| {
+                    let ids: Vec<u64> = (0..cfg.ids_per_field)
+                        .map(|_| splitmix64(&mut state) % cfg.id_space.max(1))
+                        .collect();
+                    let vals: Vec<f32> = (0..cfg.ids_per_field)
+                        .map(|_| {
+                            (splitmix64(&mut state) % 1000) as f32 / 1000.0 + 0.001
+                        })
+                        .collect();
+                    (ids, vals)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sleeps until `deadline` with a short final spin: `thread::sleep` alone
+/// overshoots by scheduler quanta, which would silently under-offer load.
+fn wait_until(start: Instant, deadline: Duration) {
+    loop {
+        let now = start.elapsed();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > Duration::from_micros(300) {
+            thread::sleep(left - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs one open-loop load generation pass against a live server and
+/// returns the latency report. Connects `cfg.connections` clients, fixes
+/// the full tick schedule up front (`ceil(qps × duration)` ticks), and
+/// charges every request from its scheduled time.
+pub fn run_loadgen(cfg: &LoadGenConfig) -> std::io::Result<LoadGenReport> {
+    let connections = cfg.connections.max(1);
+    let qps = if cfg.target_qps.is_finite() && cfg.target_qps > 0.0 { cfg.target_qps } else { 1.0 };
+    let total_ticks = ((qps * cfg.duration.as_secs_f64()).ceil() as u64).max(1);
+    let interval_ns = (1e9 / qps) as u64;
+
+    // Shape the row mix to the serving model.
+    let n_fields = {
+        let mut probe = Client::connect(cfg.addr)?;
+        probe
+            .info()
+            .map_err(|e| std::io::Error::other(format!("info request failed: {e}")))?
+            .n_fields
+    };
+    let rows = Arc::new(build_rows(cfg, n_fields));
+
+    let e2e = Histogram::new();
+    let service = Histogram::new();
+    let ok = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+
+    // Connect everything before starting the clock — connection setup is
+    // not part of the offered load.
+    let clients: Vec<Client> = (0..connections)
+        .map(|_| Client::connect(cfg.addr))
+        .collect::<std::io::Result<_>>()?;
+
+    let start = Instant::now();
+    let workers: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut client)| {
+            let rows = Arc::clone(&rows);
+            let e2e = e2e.clone();
+            let service = service.clone();
+            let ok = Arc::clone(&ok);
+            let overloaded = Arc::clone(&overloaded);
+            let errors = Arc::clone(&errors);
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                let mut sent = 0u64;
+                let mut tick = t as u64;
+                while tick < total_ticks {
+                    let scheduled = Duration::from_nanos(tick.saturating_mul(interval_ns));
+                    wait_until(start, scheduled);
+                    let row = &rows[(tick as usize) % rows.len()];
+                    let send_at = start.elapsed();
+                    let outcome = client.embed(row);
+                    let done = start.elapsed();
+                    sent += 1;
+                    // Charge from the *scheduled* time: a late send (the
+                    // previous reply blocked this thread) counts its
+                    // backlog instead of omitting it.
+                    e2e.record(done.saturating_sub(scheduled).as_micros() as u64);
+                    match outcome {
+                        Ok(EmbedOutcome::Embedding { .. }) => {
+                            service.record(done.saturating_sub(send_at).as_micros() as u64);
+                            ok.fetch_add(1, Relaxed);
+                        }
+                        Ok(EmbedOutcome::Overloaded) => {
+                            overloaded.fetch_add(1, Relaxed);
+                        }
+                        Ok(EmbedOutcome::Error { .. }) => {
+                            errors.fetch_add(1, Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Relaxed);
+                            // The connection is gone; reconnect so the
+                            // remaining schedule is still offered.
+                            if let Ok(c) = Client::connect(cfg.addr) {
+                                client = c;
+                            }
+                        }
+                    }
+                    tick += connections as u64;
+                }
+                sent
+            })
+        })
+        .collect();
+
+    let mut sent = 0u64;
+    for w in workers {
+        sent += w.join().expect("loadgen worker panicked");
+    }
+    let elapsed = start.elapsed();
+
+    Ok(LoadGenReport {
+        target_qps: qps,
+        achieved_qps: sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed,
+        connections,
+        sent,
+        ok: ok.load(Relaxed),
+        overloaded: overloaded.load(Relaxed),
+        errors: errors.load(Relaxed),
+        e2e_us: e2e.snapshot().into(),
+        service_us: service.snapshot().into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_mix_is_deterministic_and_shaped() {
+        let cfg = LoadGenConfig::new("127.0.0.1:1".parse().expect("addr"));
+        let a = build_rows(&cfg, 3);
+        let b = build_rows(&cfg, 3);
+        assert_eq!(a.len(), cfg.distinct_rows);
+        assert_eq!(a, b, "same seed, same rows");
+        for row in &a {
+            assert_eq!(row.len(), 3);
+            for (ids, vals) in row {
+                assert_eq!(ids.len(), cfg.ids_per_field);
+                assert_eq!(vals.len(), cfg.ids_per_field);
+                assert!(ids.iter().all(|&id| id < cfg.id_space));
+                assert!(vals.iter().all(|&v| v > 0.0 && v <= 1.001));
+            }
+        }
+        let mut seeded = cfg.clone();
+        seeded.seed ^= 1;
+        assert_ne!(build_rows(&seeded, 3), a, "seed changes the mix");
+    }
+
+    #[test]
+    fn summary_mean_handles_empty() {
+        let s: LatencySummary = Histogram::new().snapshot().into();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0);
+    }
+}

@@ -53,6 +53,10 @@ const KIND_RELOAD_REQUEST: u8 = 0x09;
 const KIND_RELOAD_REPLY: u8 = 0x0a;
 const KIND_SHUTDOWN: u8 = 0x0b;
 const KIND_SHUTDOWN_ACK: u8 = 0x0c;
+const KIND_TRACE_REQUEST: u8 = 0x0d;
+const KIND_TRACE_REPLY: u8 = 0x0e;
+const KIND_INFO_REQUEST: u8 = 0x0f;
+const KIND_INFO_REPLY: u8 = 0x10;
 
 /// Everything that can travel over a serve connection, in both directions.
 #[derive(Clone, Debug, PartialEq)]
@@ -124,6 +128,31 @@ pub enum Message {
     Shutdown,
     /// Acknowledgement that shutdown has begun.
     ShutdownAck,
+    /// Ask the server to export its trace ring as Chrome `trace_event`
+    /// JSON (a snapshot of the most recent spans; the ring is not
+    /// cleared).
+    TraceRequest,
+    /// The exported trace.
+    TraceReply {
+        /// Chrome `trace_event` JSON — loadable in `chrome://tracing` /
+        /// Perfetto.
+        json: String,
+    },
+    /// Ask the server to describe the model it is serving (so clients —
+    /// `fvae loadgen` in particular — can shape valid requests without
+    /// out-of-band knowledge).
+    InfoRequest,
+    /// The serving contract.
+    InfoReply {
+        /// Field count embed requests must supply.
+        n_fields: u32,
+        /// Dimensionality of replied embeddings.
+        latent_dim: u32,
+        /// Identity of the active checkpoint.
+        ckpt_id: u64,
+        /// Whether the int8 quantized encoder is serving.
+        quantized: bool,
+    },
 }
 
 /// Typed decode/encode failure. Carrying no payload bytes, it is cheap to
@@ -335,6 +364,20 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
         }
         KIND_SHUTDOWN => Message::Shutdown,
         KIND_SHUTDOWN_ACK => Message::ShutdownAck,
+        KIND_TRACE_REQUEST => Message::TraceRequest,
+        KIND_TRACE_REPLY => Message::TraceReply { json: rd.string("trace json")? },
+        KIND_INFO_REQUEST => Message::InfoRequest,
+        KIND_INFO_REPLY => {
+            let n_fields = rd.u32("field count")?;
+            let latent_dim = rd.u32("latent dim")?;
+            let ckpt_id = rd.u64("checkpoint id")?;
+            let quantized = match rd.u8("quantized flag")? {
+                0 => false,
+                1 => true,
+                _ => return Err(ProtoError::Malformed("quantized flag")),
+            };
+            Message::InfoReply { n_fields, latent_dim, ckpt_id, quantized }
+        }
         other => return Err(ProtoError::UnknownKind(other)),
     };
     if rd.remaining() != 0 {
@@ -426,6 +469,19 @@ pub fn encode_frame(msg: &Message, out: &mut Vec<u8>) -> Result<(), ProtoError> 
         }
         Message::Shutdown => out.push(KIND_SHUTDOWN),
         Message::ShutdownAck => out.push(KIND_SHUTDOWN_ACK),
+        Message::TraceRequest => out.push(KIND_TRACE_REQUEST),
+        Message::TraceReply { json } => {
+            out.push(KIND_TRACE_REPLY);
+            put_string(out, json)?;
+        }
+        Message::InfoRequest => out.push(KIND_INFO_REQUEST),
+        Message::InfoReply { n_fields, latent_dim, ckpt_id, quantized } => {
+            out.push(KIND_INFO_REPLY);
+            out.extend_from_slice(&n_fields.to_le_bytes());
+            out.extend_from_slice(&latent_dim.to_le_bytes());
+            out.extend_from_slice(&ckpt_id.to_le_bytes());
+            out.push(u8::from(*quantized));
+        }
     }
     let payload_len = out.len() - 4;
     if payload_len > MAX_FRAME_LEN {
@@ -440,13 +496,17 @@ pub fn encode_frame(msg: &Message, out: &mut Vec<u8>) -> Result<(), ProtoError> 
 // Framed transport
 // ---------------------------------------------------------------------------
 
-/// Reads one complete frame, assembling it across as many partial `read()`
-/// calls as the transport takes. Returns `Ok(None)` on a clean end of
-/// stream (EOF exactly on a frame boundary); EOF anywhere inside a frame is
-/// [`ProtoError::Truncated`]. `scratch` is the reusable body buffer; it
-/// only ever grows to the largest accepted frame, and never past
-/// [`MAX_FRAME_LEN`].
-pub fn read_frame(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<Message>, RecvError> {
+/// Reads one complete frame *payload* (kind byte + body) into `scratch`,
+/// assembling it across as many partial `read()` calls as the transport
+/// takes, and returns the payload length. Returns `Ok(None)` on a clean
+/// end of stream (EOF exactly on a frame boundary); EOF anywhere inside a
+/// frame is [`ProtoError::Truncated`]. `scratch` only ever grows to the
+/// largest accepted frame, never past [`MAX_FRAME_LEN`].
+///
+/// Split out from [`read_frame`] so a caller can time [`decode_message`]
+/// separately from the network wait — the serve path records the decode as
+/// its own trace stage.
+pub fn read_payload(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<usize>, RecvError> {
     let mut prefix = [0u8; 4];
     let mut filled = 0usize;
     while filled < 4 {
@@ -476,7 +536,16 @@ pub fn read_frame(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<Mes
         }
         return Err(e.into());
     }
-    Ok(Some(decode_message(&scratch[..len])?))
+    Ok(Some(len))
+}
+
+/// Reads and decodes one complete frame ([`read_payload`] +
+/// [`decode_message`]).
+pub fn read_frame(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Option<Message>, RecvError> {
+    match read_payload(r, scratch)? {
+        None => Ok(None),
+        Some(len) => Ok(Some(decode_message(&scratch[..len])?)),
+    }
 }
 
 /// Encodes `msg` into `scratch` and writes the whole frame.
@@ -518,6 +587,10 @@ mod tests {
             Message::ReloadReply { ok: true, changed: false, ckpt_id: 5, detail: "no-op".into() },
             Message::Shutdown,
             Message::ShutdownAck,
+            Message::TraceRequest,
+            Message::TraceReply { json: "{\"traceEvents\":[]}".into() },
+            Message::InfoRequest,
+            Message::InfoReply { n_fields: 2, latent_dim: 8, ckpt_id: 0xbeef, quantized: true },
         ];
         for msg in &msgs {
             assert_eq!(&roundtrip(msg), msg);

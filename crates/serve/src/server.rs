@@ -43,12 +43,31 @@ use fvae_core::{
     normalized_snapshot_bytes, Checkpointer, Encoder, EncoderScratch, InputRows, QuantizedEncoder,
     QuantizedEncoderScratch, SnapshotError,
 };
-use fvae_obs::{Counter, Gauge, Histogram, Registry};
+use fvae_obs::{Counter, Gauge, Histogram, Registry, TraceBuffer, TraceEvent};
 use fvae_tensor::Matrix;
 use parking_lot::RwLock;
 
 use crate::cache::{fnv64, row_hash, EmbedCache};
-use crate::protocol::{error_code, read_frame, write_frame, FieldRow, Message, RecvError};
+use crate::protocol::{
+    decode_message, error_code, read_payload, write_frame, FieldRow, Message, RecvError,
+};
+
+// ---------------------------------------------------------------------------
+// Trace stages
+// ---------------------------------------------------------------------------
+
+/// The serve pipeline's trace stages, in request order. Every embed request
+/// carries one trace id through all six; the same names label the
+/// `fvae_serve_stage_ns{stage=...}` histograms.
+pub static TRACE_STAGES: &[&str] =
+    &["decode", "admission", "queue_wait", "batch_form", "encode", "reply_write"];
+
+const ST_DECODE: usize = 0;
+const ST_ADMISSION: usize = 1;
+const ST_QUEUE_WAIT: usize = 2;
+const ST_BATCH_FORM: usize = 3;
+const ST_ENCODE: usize = 4;
+const ST_REPLY_WRITE: usize = 5;
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -79,6 +98,10 @@ pub struct ServeConfig {
     pub reply_timeout: Duration,
     /// Numeric mode of the serving encoder (`--quant` on the CLI).
     pub quant: QuantMode,
+    /// Slots in the trace ring buffer (rounded up to a power of two).
+    /// Six events per traced request, newest-wins; 4096 slots ≈ the last
+    /// ~680 requests.
+    pub trace_capacity: usize,
 }
 
 /// Numeric mode the encoder forward runs in.
@@ -118,6 +141,7 @@ impl ServeConfig {
             cache_capacity: 4096,
             reply_timeout: Duration::from_secs(30),
             quant: QuantMode::F32,
+            trace_capacity: 4096,
         }
     }
 }
@@ -184,6 +208,10 @@ struct ServeMetrics {
     /// Wall time of each batch's encoder forward (the compute core of the
     /// serve path, excluding queueing and reply fan-out).
     encode_ns: Histogram,
+    /// Per-stage wall time, one labeled series per [`TRACE_STAGES`] entry
+    /// (`fvae_serve_stage_ns{stage=...}`). decode/admission/queue_wait/
+    /// reply_write record per request; batch_form/encode once per batch.
+    stage_ns: [Histogram; TRACE_STAGES.len()],
 }
 
 impl ServeMetrics {
@@ -206,6 +234,9 @@ impl ServeMetrics {
             reload_errors: registry.counter("fvae_serve_reload_errors"),
             quantized: registry.gauge("fvae_serve_quantized"),
             encode_ns: registry.histogram("fvae_serve_encode_ns"),
+            stage_ns: std::array::from_fn(|i| {
+                registry.histogram_with("fvae_serve_stage_ns", &[("stage", TRACE_STAGES[i])])
+            }),
             registry,
         }
     }
@@ -246,6 +277,11 @@ struct PendingSlot {
 struct Pending {
     row_hash: u64,
     fields: Vec<FieldRow>,
+    /// Request identity in the trace ring; the batch thread records the
+    /// queue_wait/batch_form/encode spans under it.
+    trace_id: u64,
+    /// Trace-clock timestamp of admission — the queue_wait span's start.
+    enqueued_ns: u64,
     slot: Mutex<PendingSlot>,
     cv: Condvar,
 }
@@ -278,6 +314,8 @@ struct ConnEntry {
 
 struct Shared {
     cfg: ServeConfig,
+    /// Request-span ring; also the clock and id source for tracing.
+    trace: TraceBuffer,
     model: RwLock<Arc<ModelState>>,
     queue: Mutex<VecDeque<Arc<Pending>>>,
     work_cv: Condvar,
@@ -327,6 +365,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let cache_capacity = cfg.cache_capacity;
         let shared = Arc::new(Shared {
+            trace: TraceBuffer::new(cfg.trace_capacity, TRACE_STAGES),
             model: RwLock::new(Arc::new(state)),
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
             work_cv: Condvar::new(),
@@ -387,6 +426,17 @@ impl Server {
     /// Prometheus text of the server's metrics registry.
     pub fn metrics_text(&self) -> String {
         self.shared.metrics.registry.render()
+    }
+
+    /// Chrome `trace_event` JSON of the most recent request spans
+    /// (in-process equivalent of the `TraceRequest` frame).
+    pub fn trace_json(&self) -> String {
+        self.shared.trace.chrome_trace_json()
+    }
+
+    /// Snapshot of the resident trace events, sorted by start time.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.trace.events()
     }
 
     /// Reloads the newest checkpoint (in-process equivalent of the
@@ -595,39 +645,85 @@ fn sweep_finished_conns(shared: &Shared) {
 fn connection_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     let mut rbuf: Vec<u8> = Vec::new();
     let mut wbuf: Vec<u8> = Vec::new();
+    let trace = &shared.trace;
     loop {
-        let msg = match read_frame(&mut stream, &mut rbuf) {
-            Ok(Some(msg)) => msg,
+        // The network wait is not a pipeline stage; the decode span starts
+        // only once the payload is fully assembled in memory.
+        let len = match read_payload(&mut stream, &mut rbuf) {
+            Ok(Some(len)) => len,
             Ok(None) => return, // client hung up cleanly
             Err(RecvError::Io(_)) => return,
             Err(RecvError::Proto(e)) => {
-                // Framing is lost; report once and drop the connection.
-                shared.metrics.errors.inc();
-                let reply = Message::ErrorReply {
-                    req_id: 0,
-                    code: error_code::PROTOCOL,
-                    msg: e.to_string(),
-                };
-                let _ = write_frame(&mut stream, &reply, &mut wbuf);
-                return;
+                return proto_error(shared, &mut stream, &mut wbuf, e);
             }
         };
-        let stop = handle_message(shared, &mut stream, &mut wbuf, msg);
-        if stop {
-            return;
+        let decode_start = trace.now_ns();
+        let msg = match decode_message(&rbuf[..len]) {
+            Ok(msg) => msg,
+            Err(e) => return proto_error(shared, &mut stream, &mut wbuf, e),
+        };
+        match msg {
+            Message::EmbedRequest { req_id, fields } => {
+                // The traced path: one id from decode to reply write.
+                let trace_id = trace.next_trace_id();
+                let decode_dur = trace.now_ns().saturating_sub(decode_start);
+                trace.record(trace_id, ST_DECODE, decode_start, decode_dur);
+                shared.metrics.stage_ns[ST_DECODE].record(decode_dur);
+                let reply = serve_embed(shared, trace_id, req_id, fields);
+                let write_start = trace.now_ns();
+                let res = write_frame(&mut stream, &reply, &mut wbuf);
+                let write_dur = trace.now_ns().saturating_sub(write_start);
+                trace.record(trace_id, ST_REPLY_WRITE, write_start, write_dur);
+                shared.metrics.stage_ns[ST_REPLY_WRITE].record(write_dur);
+                if res.is_err() {
+                    return;
+                }
+            }
+            msg => {
+                if handle_message(shared, &mut stream, &mut wbuf, msg) {
+                    return;
+                }
+            }
         }
     }
 }
 
-/// Handles one client message; returns `true` when the connection should
-/// close.
+/// Reports an unparseable frame once and drops the connection (framing is
+/// lost beyond recovery).
+fn proto_error(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    wbuf: &mut Vec<u8>,
+    e: crate::protocol::ProtoError,
+) {
+    shared.metrics.errors.inc();
+    let reply =
+        Message::ErrorReply { req_id: 0, code: error_code::PROTOCOL, msg: e.to_string() };
+    let _ = write_frame(stream, &reply, wbuf);
+}
+
+/// Handles one non-embed client message; returns `true` when the
+/// connection should close. (`EmbedRequest` is handled inline by
+/// [`connection_loop`], which owns the trace-id plumbing.)
 fn handle_message(shared: &Arc<Shared>, stream: &mut TcpStream, wbuf: &mut Vec<u8>, msg: Message) -> bool {
     match msg {
-        Message::EmbedRequest { req_id, fields } => {
-            let reply = serve_embed(shared, req_id, fields);
+        Message::Ping { token } => write_frame(stream, &Message::Pong { token }, wbuf).is_err(),
+        Message::TraceRequest => {
+            let reply = Message::TraceReply { json: shared.trace.chrome_trace_json() };
             write_frame(stream, &reply, wbuf).is_err()
         }
-        Message::Ping { token } => write_frame(stream, &Message::Pong { token }, wbuf).is_err(),
+        Message::InfoRequest => {
+            let reply = {
+                let model = shared.model.read();
+                Message::InfoReply {
+                    n_fields: model.encoder.n_fields() as u32,
+                    latent_dim: model.encoder.latent_dim() as u32,
+                    ckpt_id: model.ckpt_id,
+                    quantized: model.quant.is_some(),
+                }
+            };
+            write_frame(stream, &reply, wbuf).is_err()
+        }
         Message::MetricsRequest => {
             let reply = Message::MetricsReply { text: shared.metrics.registry.render() };
             write_frame(stream, &reply, wbuf).is_err()
@@ -671,15 +767,26 @@ fn handle_message(shared: &Arc<Shared>, stream: &mut TcpStream, wbuf: &mut Vec<u
 /// Full request path for one embed request: validate → cache probe →
 /// bounded enqueue → wait for the batch thread → reply. Exactly one reply
 /// per request, on every path.
-fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Message {
+///
+/// The admission span covers validation, the cache probe, and the bounded
+/// enqueue — everything up to the request either parking on the queue or
+/// resolving terminally (cache hit, error, overload).
+fn serve_embed(shared: &Arc<Shared>, trace_id: u64, req_id: u64, fields: Vec<FieldRow>) -> Message {
     shared.metrics.requests.inc();
     let started = Instant::now();
+    let adm_start = shared.trace.now_ns();
+    let end_admission = || {
+        let dur = shared.trace.now_ns().saturating_sub(adm_start);
+        shared.trace.record(trace_id, ST_ADMISSION, adm_start, dur);
+        shared.metrics.stage_ns[ST_ADMISSION].record(dur);
+    };
     let (n_fields, dim, ckpt_id) = {
         let model = shared.model.read();
         (model.encoder.n_fields(), model.encoder.latent_dim(), model.ckpt_id)
     };
     if fields.len() != n_fields {
         shared.metrics.errors.inc();
+        end_admission();
         return Message::ErrorReply {
             req_id,
             code: error_code::BAD_REQUEST,
@@ -689,6 +796,7 @@ fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Mess
     for (ids, vals) in &fields {
         if ids.len() != vals.len() {
             shared.metrics.errors.inc();
+            end_admission();
             return Message::ErrorReply {
                 req_id,
                 code: error_code::BAD_REQUEST,
@@ -701,6 +809,7 @@ fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Mess
         shared.metrics.cache_hits.inc();
         shared.metrics.replies_ok.inc();
         shared.metrics.latency_us.record(started.elapsed().as_micros() as u64);
+        end_admission();
         return Message::EmbedReply { req_id, ckpt_id, embedding: hit.to_vec() };
     }
     shared.metrics.cache_misses.inc();
@@ -708,6 +817,10 @@ fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Mess
     let pending = Arc::new(Pending {
         row_hash: hash,
         fields,
+        trace_id,
+        // Queue wait starts here; the few hundred ns of lock acquisition
+        // below are queueing delay too.
+        enqueued_ns: shared.trace.now_ns(),
         slot: Mutex::new(PendingSlot { state: ReplyState::Waiting, ckpt_id: 0, emb: vec![0.0; dim] }),
         cv: Condvar::new(),
     });
@@ -715,6 +828,7 @@ fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Mess
         let mut q = shared.queue.lock().expect("serve queue mutex");
         if shared.shutdown.load(Ordering::Acquire) {
             shared.metrics.errors.inc();
+            end_admission();
             return Message::ErrorReply {
                 req_id,
                 code: error_code::SHUTTING_DOWN,
@@ -723,11 +837,14 @@ fn serve_embed(shared: &Arc<Shared>, req_id: u64, fields: Vec<FieldRow>) -> Mess
         }
         if q.len() >= shared.cfg.queue_capacity {
             shared.metrics.overloaded.inc();
+            end_admission();
             return Message::Overloaded { req_id };
         }
         q.push_back(Arc::clone(&pending));
         shared.metrics.queue_depth.inc();
         shared.work_cv.notify_one();
+        drop(q);
+        end_admission();
     }
 
     let deadline = Instant::now() + shared.cfg.reply_timeout;
@@ -806,6 +923,14 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
         }
         let n = batch.len();
         shared.metrics.queue_depth.add(-(n as f64));
+        // Batch formation starts the moment the drain completes; each
+        // member's queue wait ends here too.
+        let formed_start = shared.trace.now_ns();
+        for p in &batch {
+            let wait = formed_start.saturating_sub(p.enqueued_ns);
+            shared.trace.record(p.trace_id, ST_QUEUE_WAIT, p.enqueued_ns, wait);
+            shared.metrics.stage_ns[ST_QUEUE_WAIT].record(wait);
+        }
 
         // Snapshot the model for the whole batch: a concurrent reload
         // swaps the Arc for *later* batches only.
@@ -822,12 +947,23 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
             debug_assert_eq!(p.fields.len(), model.encoder.n_fields());
             input.push_row(|k| (p.fields[k].0.as_slice(), p.fields[k].1.as_slice()));
         }
-        let encode_start = Instant::now();
+        let encode_start = shared.trace.now_ns();
         match &model.quant {
             Some(q) => q.embed_into(&input, &mut qscratch, &mut mu),
             None => model.encoder.embed_into(&input, &mut scratch, &mut mu),
         }
-        shared.metrics.encode_ns.record_ns(encode_start.elapsed());
+        let encode_dur = shared.trace.now_ns().saturating_sub(encode_start);
+        let form_dur = encode_start.saturating_sub(formed_start);
+        // Shared batch stages land in every member's trace lane (each
+        // request's timeline stays complete) but in the stage histograms
+        // only once per batch — they happened once.
+        for p in &batch {
+            shared.trace.record(p.trace_id, ST_BATCH_FORM, formed_start, form_dur);
+            shared.trace.record(p.trace_id, ST_ENCODE, encode_start, encode_dur);
+        }
+        shared.metrics.stage_ns[ST_BATCH_FORM].record(form_dur);
+        shared.metrics.stage_ns[ST_ENCODE].record(encode_dur);
+        shared.metrics.encode_ns.record(encode_dur);
         {
             let mut cache = shared.cache.lock().expect("cache mutex");
             for (i, p) in batch.iter().enumerate() {

@@ -1,0 +1,153 @@
+//! Overload behaviour under open-loop load: when the offered rate exceeds
+//! what the server can absorb, the server must degrade by **shedding**
+//! (`Overloaded` replies) — never by letting the queue (and therefore
+//! served latency) grow without bound. The proof is three loadgen runs:
+//!
+//! 1. **Calibrate** — a closed loop measures roughly what the server
+//!    sustains through this configuration.
+//! 2. **Baseline** — a gentle open-loop run records the unloaded service
+//!    p99.
+//! 3. **Overload** — 4× the calibrated rate, striped over enough
+//!    connections to actually offer it. Every scheduled tick must still
+//!    get an answer, some of them must be sheds, and the service p99 of
+//!    the requests that *were* served must stay within 3× of the unloaded
+//!    p99 — bounded queueing is the entire point of admission control.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+mod common;
+
+use common::{tiny_dataset, trained_model};
+use fvae_core::checkpoint::export_model_snapshot;
+use fvae_serve::{
+    run_loadgen, Client, EmbedOutcome, LoadGenConfig, ServeConfig, Server,
+};
+
+#[test]
+fn overload_sheds_instead_of_queueing_unboundedly() {
+    let ds = tiny_dataset(55);
+    let model = trained_model(&ds, 1);
+    let dir = std::env::temp_dir().join(format!("fvae-serve-overload-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model).expect("export");
+
+    // A deliberately small admission window: queue_capacity bounds how
+    // much latency a served request can ever absorb, and makes shedding
+    // reachable by a test-sized burst of concurrent connections.
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.batch_size = 8;
+    cfg.queue_capacity = 8;
+    cfg.max_wait = Duration::from_millis(2);
+    cfg.cache_capacity = 0; // every request pays the full pipeline
+    cfg.reply_timeout = Duration::from_secs(20);
+    let server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+    let n_fields = server.n_fields();
+
+    // --- 1. Calibrate: closed-loop sustainable throughput. ----------------
+    // Four clients hammering back-to-back measure what the server actually
+    // drains through this batch/queue configuration.
+    let calibrated_qps = {
+        let stop = Arc::new(AtomicBool::new(false));
+        let rows = fvae_serve::loadgen::build_rows(&LoadGenConfig::new(addr), n_fields);
+        let rows = Arc::new(rows);
+        let begin = Instant::now();
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let stop = Arc::clone(&stop);
+                let rows = Arc::clone(&rows);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut served = 0u64;
+                    let mut i = t;
+                    while !stop.load(Relaxed) {
+                        if let EmbedOutcome::Embedding { .. } =
+                            client.embed(&rows[i % rows.len()]).expect("reply")
+                        {
+                            served += 1;
+                        }
+                        i += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(400));
+        stop.store(true, Relaxed);
+        let served: u64 = workers.into_iter().map(|w| w.join().expect("join")).sum();
+        served as f64 / begin.elapsed().as_secs_f64()
+    };
+    // Clamp so CI boxes of wildly different speed still produce a run of
+    // sane length; 4× the cap is still far beyond the admission window.
+    let sustainable = calibrated_qps.clamp(500.0, 20_000.0);
+
+    // --- 2. Baseline: unloaded open-loop service p99. ---------------------
+    let mut base_cfg = LoadGenConfig::new(addr);
+    base_cfg.target_qps = 100.0;
+    base_cfg.duration = Duration::from_millis(800);
+    base_cfg.connections = 2;
+    let baseline = run_loadgen(&base_cfg).expect("baseline run");
+    assert_eq!(baseline.errors, 0, "unloaded run must not error");
+    assert!(baseline.ok > 0, "unloaded run must serve");
+    let unloaded_p99 = baseline.service_us.p99.max(1);
+
+    // --- 3. Overload: 4× sustainable. -------------------------------------
+    let mut over_cfg = LoadGenConfig::new(addr);
+    over_cfg.target_qps = 4.0 * sustainable;
+    over_cfg.duration = Duration::from_millis(1200);
+    over_cfg.connections = 16; // enough concurrency to actually offer it
+    over_cfg.seed ^= 0xff;
+    let over = run_loadgen(&over_cfg).expect("overload run");
+
+    let expected_ticks = (over_cfg.target_qps * over_cfg.duration.as_secs_f64()).ceil() as u64;
+    assert_eq!(over.sent, expected_ticks, "every scheduled tick is sent");
+    assert_eq!(
+        over.ok + over.overloaded + over.errors,
+        over.sent,
+        "every request gets exactly one answer"
+    );
+    assert_eq!(over.errors, 0, "overload degrades by shedding, not by erroring");
+    assert!(over.ok > 0, "the server keeps serving under overload");
+    assert!(
+        over.overloaded > 0,
+        "4x sustainable load ({:.0} qps offered) must shed; report:\n{}",
+        over_cfg.target_qps,
+        over.render()
+    );
+
+    // Bounded-queue latency contract: the requests that were admitted were
+    // served promptly — queue_capacity caps their wait, so overload must
+    // not inflate served latency past 3× the unloaded p99.
+    assert!(
+        over.service_us.p99 <= 3 * unloaded_p99,
+        "served p99 under overload ({} us) exceeds 3x unloaded p99 ({} us)\nbaseline:\n{}\noverload:\n{}",
+        over.service_us.p99,
+        unloaded_p99,
+        baseline.render(),
+        over.render()
+    );
+
+    // The queue never grew past its bound (the gauge tracks live depth and
+    // is monotonically sampled by the render; capacity is the hard cap).
+    let mut client = Client::connect(addr).expect("connect");
+    let text = client.metrics().expect("metrics");
+    let depth: i64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("fvae_serve_queue_depth ").and_then(|r| r.trim().parse().ok()))
+        .expect("queue depth gauge rendered");
+    assert!(
+        (0..=8).contains(&depth),
+        "queue depth {depth} escaped its capacity bound"
+    );
+    let sheds: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("fvae_serve_overloaded ").and_then(|r| r.trim().parse().ok()))
+        .expect("overloaded counter rendered");
+    assert_eq!(sheds, over.overloaded, "server-side shed count matches the client view");
+
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,7 +3,10 @@
 //! rejected request gets **exactly one** reply (`Ok` or `Overloaded`),
 //! nothing panics, and the batch loop performs **zero steady-state heap
 //! allocations** (counted by a thread-opt-in allocator bracketed around
-//! each batch via the server's probe hook).
+//! each batch via the server's probe hook). Tracing is always on — the
+//! batch thread records batch_form/encode span events into the trace ring
+//! and the per-stage histograms *inside* the measured window — so this is
+//! also the proof that tracing adds no allocations to the hot path.
 //!
 //! This file holds one test: the global allocator hook and the global
 //! thread-pool warm-up make co-resident tests interfere.
@@ -168,6 +171,12 @@ fn soak_overload_exact_replies_and_zero_batch_allocs() {
     assert_eq!(metric("fvae_serve_replies_ok "), total_ok);
     assert_eq!(metric("fvae_serve_overloaded "), total_over);
     assert_eq!(metric("fvae_serve_errors "), 0);
+    // The always-on tracing the alloc audit just covered actually traced.
+    assert!(!server.trace_events().is_empty(), "trace ring recorded the soak");
+    assert!(
+        text.contains("fvae_serve_stage_ns_bucket{stage=\"encode\""),
+        "per-stage histograms rendered"
+    );
 
     drop(client);
     drop(server);
