@@ -22,6 +22,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "evaluate" => evaluate(args),
         "similar" => similar(args),
         "serve" => serve(args),
+        "router" => router(args),
         "embed-client" => embed_client(args),
         "loadgen" => loadgen(args),
         "ckpt-diff" => ckpt_diff(args),
@@ -50,6 +51,12 @@ pub fn usage() -> String {
      \x20 serve     --checkpoint-dir DIR [--port P] [--host H] [--threads T]\n\
      \x20           [--batch-size N] [--max-wait-us U] [--queue-capacity Q]\n\
      \x20           [--cache-capacity C] [--port-file F] [--quant f32|int8]\n\
+     \x20 router    --shards A:P1,B:P2,... | --shards-file F [--port P] [--host H]\n\
+     \x20           [--port-file F] [--replicas R] [--pool N] [--max-attempts N]\n\
+     \x20           [--fail-threshold N] [--probe-interval-ms MS]\n\
+     \x20           [--rpc-timeout-ms MS] [--connect-timeout-ms MS] [--pool-wait-ms MS]\n\
+     \x20           (consistent-hash routing over a shard fleet; reload through\n\
+     \x20           the router commits all shards or rolls every one back)\n\
      \x20 embed-client --addr HOST:PORT [--rows SPEC] [--ping true]\n\
      \x20           [--metrics true] [--reload true] [--shutdown true]\n\
      \x20           [--info true] [--trace TRACE.json]\n\
@@ -57,6 +64,7 @@ pub fn usage() -> String {
      \x20 loadgen   --addr HOST:PORT [--qps Q] [--duration-ms MS] [--connections C]\n\
      \x20           [--distinct-rows R] [--ids-per-field N] [--id-space S]\n\
      \x20           [--seed SEED] [--json BENCH_serve_latency.json]\n\
+     \x20           [--bench NAME] [--shards N]\n\
      \x20           (open-loop: latency is charged from the send *schedule*,\n\
      \x20           so a stalled server cannot hide its own backlog)\n\
      \x20 ckpt-diff --a SNAP.fvck --b SNAP.fvck\n\
@@ -433,6 +441,69 @@ fn serve(args: &Args) -> Result<String, String> {
     Ok(format!("shut down after {served} embed requests on {addr}\n"))
 }
 
+/// Routing tier over a fleet of `fvae serve` shards: consistent-hash
+/// request distribution, health-gated failover, and coordinated (all-or-
+/// nothing) fleet reloads. Speaks the same protocol as `serve`, so
+/// `embed-client` and `loadgen` target it unchanged.
+fn router(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "shards", "shards-file", "host", "port", "port-file", "replicas", "pool",
+        "max-attempts", "fail-threshold", "probe-interval-ms", "rpc-timeout-ms",
+        "connect-timeout-ms", "pool-wait-ms",
+    ])?;
+    let shards: Vec<String> = if let Some(list) = args.optional("shards") {
+        list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    } else if let Some(path) = args.optional("shards-file") {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?
+            .lines()
+            .map(|l| l.trim().to_string())
+            .filter(|l| !l.is_empty())
+            .collect()
+    } else {
+        return Err("pass --shards HOST:PORT,... or --shards-file F".to_string());
+    };
+    if shards.is_empty() {
+        return Err("no shard addresses given".to_string());
+    }
+    let mut cfg = fvae_serve::RouterConfig::new(shards);
+    // With a shards file the addresses stay live: line i is re-read before
+    // each upstream connect, so a restarted shard can re-join on a new port.
+    cfg.shards_file = args.optional("shards-file").map(Into::into);
+    cfg.host = args.optional("host").unwrap_or("127.0.0.1").to_string();
+    cfg.port = args.get_or("port", 0u16)?;
+    cfg.replicas = args.get_or("replicas", cfg.replicas)?;
+    cfg.pool_size = args.get_or("pool", cfg.pool_size)?;
+    cfg.max_attempts = args.get_or("max-attempts", cfg.max_attempts)?;
+    cfg.fail_threshold = args.get_or("fail-threshold", cfg.fail_threshold)?;
+    cfg.probe_interval =
+        std::time::Duration::from_millis(args.get_or("probe-interval-ms", 500u64)?);
+    cfg.rpc_timeout = std::time::Duration::from_millis(args.get_or("rpc-timeout-ms", 5000u64)?);
+    cfg.connect_timeout =
+        std::time::Duration::from_millis(args.get_or("connect-timeout-ms", 2000u64)?);
+    cfg.pool_wait = std::time::Duration::from_millis(args.get_or("pool-wait-ms", 250u64)?);
+    let n_shards = cfg.shards.len();
+    let mut router = fvae_serve::Router::start(cfg).map_err(|e| format!("cannot route: {e}"))?;
+    let addr = router.addr();
+    let fleet = router.fleet_info();
+    eprintln!(
+        "fvae-router listening on {addr} ({n_shards} shards, fleet checkpoint {:#018x})",
+        fleet.ckpt_id
+    );
+    if let Some(path) = args.optional("port-file") {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    router.wait();
+    router.shutdown();
+    let metrics = router.metrics_text();
+    let routed = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("fvae_router_requests ").map(str::trim))
+        .unwrap_or("0")
+        .to_string();
+    Ok(format!("shut down after {routed} routed requests on {addr}\n"))
+}
+
 /// Parses an embed-client row spec: fields split by `|`, entries by `,`,
 /// each entry `ID:WEIGHT`. An empty field segment is an empty row.
 fn parse_rows(spec: &str) -> Result<Vec<fvae_serve::FieldRow>, String> {
@@ -526,7 +597,13 @@ fn embed_client(args: &Args) -> Result<String, String> {
 
 /// Serializes a loadgen report as the `BENCH_serve_latency.json` schema:
 /// quantiles plus the provenance needed to compare runs across commits.
-fn latency_report_json(report: &fvae_serve::LoadGenReport) -> String {
+/// `bench` names the scenario (`serve_latency`, `router_latency`, ...);
+/// `shards` records the fleet size when the target was a router.
+fn latency_report_json(
+    report: &fvae_serve::LoadGenReport,
+    bench: &str,
+    shards: Option<usize>,
+) -> String {
     let summary = |o: &mut fvae_obs::JsonObj, s: &fvae_serve::LatencySummary| {
         o.u64("count", s.count)
             .u64("p50", s.p50)
@@ -537,10 +614,13 @@ fn latency_report_json(report: &fvae_serve::LoadGenReport) -> String {
             .u64("mean", s.mean);
     };
     let mut obj = fvae_obs::JsonObj::new();
-    obj.str("bench", "serve_latency")
+    obj.str("bench", bench)
         .str("git_rev", &fvae_obs::provenance::git_rev())
-        .bool("dirty", fvae_obs::provenance::git_dirty())
-        .f64("target_qps", report.target_qps)
+        .bool("dirty", fvae_obs::provenance::git_dirty());
+    if let Some(n) = shards {
+        obj.usize("shards", n);
+    }
+    obj.f64("target_qps", report.target_qps)
         .f64("achieved_qps", report.achieved_qps)
         .f64("duration_s", report.elapsed.as_secs_f64())
         .usize("connections", report.connections)
@@ -561,7 +641,7 @@ fn latency_report_json(report: &fvae_serve::LoadGenReport) -> String {
 fn loadgen(args: &Args) -> Result<String, String> {
     args.expect_only(&[
         "addr", "qps", "duration-ms", "connections", "distinct-rows", "ids-per-field",
-        "id-space", "seed", "json",
+        "id-space", "seed", "json", "bench", "shards",
     ])?;
     let raw_addr = args.required("addr")?;
     let addr: std::net::SocketAddr = raw_addr
@@ -581,11 +661,19 @@ fn loadgen(args: &Args) -> Result<String, String> {
     cfg.ids_per_field = args.get_or("ids-per-field", cfg.ids_per_field)?;
     cfg.id_space = args.get_or("id-space", cfg.id_space)?;
     cfg.seed = args.get_or("seed", cfg.seed)?;
+    let bench = args.optional("bench").unwrap_or("serve_latency").to_string();
+    let shards = args
+        .optional("shards")
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| format!("flag --shards: expected a count, got '{raw}'"))
+        })
+        .transpose()?;
     let report = fvae_serve::run_loadgen(&cfg).map_err(|e| format!("loadgen failed: {e}"))?;
     let mut out = report.render();
     out.push('\n');
     if let Some(path) = args.optional("json") {
-        std::fs::write(path, latency_report_json(&report))
+        std::fs::write(path, latency_report_json(&report, &bench, shards))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         out.push_str(&format!("report: {path}\n"));
     }
@@ -1079,6 +1167,102 @@ mod tests {
         assert!(err.contains("HOST:PORT"), "got: {err}");
         let err = run(&args(&format!("loadgen --addr {addr} --qps -3"))).expect_err("bad qps");
         assert!(err.contains("--qps"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
+    #[test]
+    fn router_round_trip_over_a_live_two_shard_fleet() {
+        use std::time::{Duration, Instant};
+        let ds_path = tmp("rt_ds.bin");
+        let model_path = tmp("rt_model.bin");
+        let ckpt_dir = tmp("rt_ckpt");
+        let shards_file = tmp("rt_shards");
+        let router_port_file = tmp("rt_router_port");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let _ = std::fs::remove_file(&router_port_file);
+        run(&args(&format!(
+            "generate --preset sc-small --users 128 --seed 23 --out {ds_path}"
+        )))
+        .expect("generate");
+        run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 1 --batch 64 --latent 8 \
+             --quiet true --checkpoint-dir {ckpt_dir} --checkpoint-every 2"
+        )))
+        .expect("train");
+
+        let wait_for_addr = |port_file: &str| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(port_file) {
+                    if text.trim().contains(':') {
+                        break text.trim().to_string();
+                    }
+                }
+                assert!(Instant::now() < deadline, "no address in {port_file}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+
+        // Two shards over the same checkpoint dir, then the router on top.
+        let mut shards = Vec::new();
+        let mut shard_addrs = Vec::new();
+        for i in 0..2 {
+            let port_file = tmp(&format!("rt_shard_port{i}"));
+            let _ = std::fs::remove_file(&port_file);
+            let line = format!(
+                "serve --checkpoint-dir {ckpt_dir} --port 0 --port-file {port_file} \
+                 --batch-size 4 --max-wait-us 500 --cache-capacity 0"
+            );
+            shards.push(std::thread::spawn(move || run(&args(&line))));
+            shard_addrs.push(wait_for_addr(&port_file));
+        }
+        std::fs::write(&shards_file, format!("{}\n", shard_addrs.join("\n")))
+            .expect("shards file");
+        let router = {
+            let line = format!(
+                "router --shards-file {shards_file} --port 0 --port-file {router_port_file}"
+            );
+            std::thread::spawn(move || run(&args(&line)))
+        };
+        let addr = wait_for_addr(&router_port_file);
+
+        // The router speaks the serve protocol, so embed-client works as-is.
+        let out = run(&args(&format!("embed-client --addr {addr} --ping true"))).expect("ping");
+        assert!(out.contains("pong"));
+        let spec = "1:1.0,2:0.5|3:1.0|4:2.0|5:1.5"; // 4 fields, like sc-small
+        let out = run(&args(&format!("embed-client --addr {addr} --rows {spec}")))
+            .expect("embed via router");
+        assert!(out.contains("checkpoint 0x"), "got: {out}");
+        let again = run(&args(&format!("embed-client --addr {addr} --rows {spec}")))
+            .expect("embed again");
+        assert_eq!(out, again, "routing must not change the served bytes");
+        let out = run(&args(&format!("embed-client --addr {addr} --info true"))).expect("info");
+        assert!(out.contains("4 fields -> 8 dims"), "got: {out}");
+        let out = run(&args(&format!("embed-client --addr {addr} --metrics true")))
+            .expect("metrics");
+        assert!(out.contains("fvae_router_requests"), "got: {out}");
+        assert!(out.contains("fvae_router_unhealthy_shards 0"), "got: {out}");
+
+        // A coordinated reload with nothing new on disk is a fleet-wide no-op.
+        let out = run(&args(&format!("embed-client --addr {addr} --reload true")))
+            .expect("reload");
+        assert!(out.contains("no-op"), "got: {out}");
+
+        let out = run(&args(&format!("embed-client --addr {addr} --shutdown true")))
+            .expect("shutdown");
+        assert!(out.contains("shutting down"));
+        let out = router.join().expect("router thread").expect("router result");
+        assert!(out.contains("routed requests"), "got: {out}");
+        for (shard, addr) in shards.into_iter().zip(&shard_addrs) {
+            run(&args(&format!("embed-client --addr {addr} --shutdown true")))
+                .expect("shard shutdown");
+            shard.join().expect("shard thread").expect("serve result");
+        }
+
+        let err = run(&args("router --port 0")).expect_err("no shards");
+        assert!(err.contains("--shards"), "got: {err}");
+        let err = run(&args("router --shards 127.0.0.1:1")).expect_err("dead shard");
+        assert!(err.contains("cannot route"), "got: {err}");
         let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 

@@ -825,6 +825,20 @@ impl Checkpointer {
             m.load_skipped.add(n as u64);
         }
     }
+
+    /// Snapshot files in `dir`, newest (highest global step) first. The
+    /// public listing behind targeted reloads: a serving tier that must
+    /// roll back to a *specific* checkpoint scans these until it finds the
+    /// one whose normalized bytes hash to the requested identity. Returns
+    /// an empty list when the directory is absent.
+    pub fn list_snapshot_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut files = Self::list(dir)?;
+        files.reverse();
+        Ok(files.into_iter().map(|(_, path)| path).collect())
+    }
 }
 
 /// Builds fresh (zero-moment) optimizer state for encoding a snapshot at a

@@ -80,8 +80,8 @@ pub mod train;
 pub mod validate;
 
 pub use checkpoint::{
-    export_model_snapshot, normalized_snapshot_bytes, Checkpointer, LoadedSnapshot, ResumePoint,
-    SnapshotError, TrainProgress, TrainSnapshot,
+    decode_snapshot, export_model_snapshot, normalized_snapshot_bytes, Checkpointer,
+    LoadedSnapshot, ResumePoint, SnapshotError, TrainProgress, TrainSnapshot,
 };
 pub use config::{FvaeConfig, SamplingConfig};
 pub use encoder::{Encoder, EncoderScratch, InputRows};

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{read_frame, write_frame, FieldRow, Message, ProtoError, RecvError};
 
@@ -119,6 +120,32 @@ impl Client {
         Ok(Self { stream, rbuf: Vec::new(), wbuf: Vec::new(), next_req: 1 })
     }
 
+    /// [`Client::connect`] with a bound on how long connection
+    /// establishment may block — the router's dial path, where a dead
+    /// shard must fail fast rather than stall the request. Tries each
+    /// resolved address until one connects within `timeout`.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let mut last_err = None;
+        for sock_addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock_addr, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(Self { stream, rbuf: Vec::new(), wbuf: Vec::new(), next_req: 1 });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to")))
+    }
+
+    /// Bounds how long any single reply read may block (`None` restores
+    /// blocking reads). With a timeout set, a stalled server surfaces as
+    /// `ClientError::Io(WouldBlock | TimedOut)` instead of a hang.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
     fn recv(&mut self) -> Result<Message, ClientError> {
         match read_frame(&mut self.stream, &mut self.rbuf)? {
             Some(msg) => Ok(msg),
@@ -175,6 +202,18 @@ impl Client {
                 Ok(ReloadReport { ok, changed, ckpt_id, detail })
             }
             _ => Err(ClientError::UnexpectedReply("reload")),
+        }
+    }
+
+    /// Asks the server to activate the snapshot with this exact identity
+    /// (the router's rollback primitive; see `Message::ReloadToRequest`).
+    pub fn reload_to(&mut self, ckpt_id: u64) -> Result<ReloadReport, ClientError> {
+        self.send(&Message::ReloadToRequest { ckpt_id })?;
+        match self.recv()? {
+            Message::ReloadReply { ok, changed, ckpt_id, detail } => {
+                Ok(ReloadReport { ok, changed, ckpt_id, detail })
+            }
+            _ => Err(ClientError::UnexpectedReply("reload_to")),
         }
     }
 

@@ -41,6 +41,7 @@ pub mod cache;
 pub mod client;
 pub mod loadgen;
 pub mod protocol;
+pub mod router;
 pub mod server;
 
 pub use cache::{fnv64, row_hash, EmbedCache};
@@ -49,6 +50,9 @@ pub use loadgen::{run_loadgen, LatencySummary, LoadGenConfig, LoadGenReport};
 pub use protocol::{
     decode_message, encode_frame, read_frame, read_payload, write_frame, FieldRow, Message,
     ProtoError, RecvError, MAX_FIELDS, MAX_FRAME_LEN,
+};
+pub use router::{
+    FleetInfo, FleetReloadOutcome, Router, RouterConfig, RouterError, ROUTER_TRACE_STAGES,
 };
 pub use server::{
     BatchPhase, BatchProbe, QuantMode, ReloadOutcome, ServeConfig, ServeError, Server, TRACE_STAGES,

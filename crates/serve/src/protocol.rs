@@ -39,6 +39,10 @@ pub mod error_code {
     pub const TIMEOUT: u16 = 4;
     /// Checkpoint reload failed (detail in the message text).
     pub const RELOAD: u16 = 5;
+    /// The server (or, behind a router, every shard) could not service the
+    /// request: connection-thread spawn failed, or no healthy shard was
+    /// reachable after failover. Retryable.
+    pub const UNAVAILABLE: u16 = 6;
 }
 
 const KIND_EMBED_REQUEST: u8 = 0x01;
@@ -57,6 +61,7 @@ const KIND_TRACE_REQUEST: u8 = 0x0d;
 const KIND_TRACE_REPLY: u8 = 0x0e;
 const KIND_INFO_REQUEST: u8 = 0x0f;
 const KIND_INFO_REPLY: u8 = 0x10;
+const KIND_RELOAD_TO_REQUEST: u8 = 0x11;
 
 /// Everything that can travel over a serve connection, in both directions.
 #[derive(Clone, Debug, PartialEq)]
@@ -111,6 +116,15 @@ pub enum Message {
     },
     /// Ask the server to reload the newest checkpoint from its directory.
     ReloadRequest,
+    /// Ask the server to load the snapshot with this exact identity
+    /// (normalized-bytes hash) from its checkpoint directory — the commit /
+    /// rollback primitive of the router's coordinated reload. A no-op when
+    /// already serving it; an error (old model keeps serving) when no
+    /// snapshot in the directory has that identity.
+    ReloadToRequest {
+        /// Identity of the snapshot to activate.
+        ckpt_id: u64,
+    },
     /// Outcome of a reload.
     ReloadReply {
         /// Whether a usable snapshot was found (old model keeps serving
@@ -362,6 +376,9 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
                 detail,
             }
         }
+        KIND_RELOAD_TO_REQUEST => {
+            Message::ReloadToRequest { ckpt_id: rd.u64("target checkpoint id")? }
+        }
         KIND_SHUTDOWN => Message::Shutdown,
         KIND_SHUTDOWN_ACK => Message::ShutdownAck,
         KIND_TRACE_REQUEST => Message::TraceRequest,
@@ -466,6 +483,10 @@ pub fn encode_frame(msg: &Message, out: &mut Vec<u8>) -> Result<(), ProtoError> 
             out.push(u8::from(*ok) | (u8::from(*changed) << 1));
             out.extend_from_slice(&ckpt_id.to_le_bytes());
             put_string(out, detail)?;
+        }
+        Message::ReloadToRequest { ckpt_id } => {
+            out.push(KIND_RELOAD_TO_REQUEST);
+            out.extend_from_slice(&ckpt_id.to_le_bytes());
         }
         Message::Shutdown => out.push(KIND_SHUTDOWN),
         Message::ShutdownAck => out.push(KIND_SHUTDOWN_ACK),
@@ -584,6 +605,7 @@ mod tests {
             Message::MetricsRequest,
             Message::MetricsReply { text: "# HELP x\nx 1\n".into() },
             Message::ReloadRequest,
+            Message::ReloadToRequest { ckpt_id: 0x0123_4567_89ab_cdef },
             Message::ReloadReply { ok: true, changed: false, ckpt_id: 5, detail: "no-op".into() },
             Message::Shutdown,
             Message::ShutdownAck,

@@ -34,14 +34,14 @@ use std::fmt;
 use std::io::{self, Write};
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fvae_core::{
-    normalized_snapshot_bytes, Checkpointer, Encoder, EncoderScratch, InputRows, QuantizedEncoder,
-    QuantizedEncoderScratch, SnapshotError,
+    decode_snapshot, normalized_snapshot_bytes, Checkpointer, Encoder, EncoderScratch, InputRows,
+    QuantizedEncoder, QuantizedEncoderScratch, SnapshotError,
 };
 use fvae_obs::{Counter, Gauge, Histogram, Registry, TraceBuffer, TraceEvent};
 use fvae_tensor::Matrix;
@@ -68,6 +68,10 @@ const ST_QUEUE_WAIT: usize = 2;
 const ST_BATCH_FORM: usize = 3;
 const ST_ENCODE: usize = 4;
 const ST_REPLY_WRITE: usize = 5;
+
+/// How often the otherwise-blocked batch thread wakes to reap finished
+/// connection threads (see [`sweep_finished_conns`]).
+const IDLE_SWEEP_TICK: Duration = Duration::from_millis(200);
 
 // ---------------------------------------------------------------------------
 // Configuration
@@ -102,6 +106,12 @@ pub struct ServeConfig {
     /// Six events per traced request, newest-wins; 4096 slots ≈ the last
     /// ~680 requests.
     pub trace_capacity: usize,
+    /// Test-only fault injector: while non-zero, each accepted connection
+    /// decrements it and behaves as if spawning the connection thread
+    /// failed (exercising the error-frame + accounting path, which real
+    /// spawn failures only hit under fd/thread exhaustion).
+    #[doc(hidden)]
+    pub fail_conn_spawns: Arc<AtomicU32>,
 }
 
 /// Numeric mode the encoder forward runs in.
@@ -142,6 +152,7 @@ impl ServeConfig {
             reply_timeout: Duration::from_secs(30),
             quant: QuantMode::F32,
             trace_capacity: 4096,
+            fail_conn_spawns: Arc::new(AtomicU32::new(0)),
         }
     }
 }
@@ -200,6 +211,9 @@ struct ServeMetrics {
     latency_us: Histogram,
     queue_depth: Gauge,
     connections: Counter,
+    /// Accepted connections the server could not serve (connection-thread
+    /// spawn failure); each got a best-effort `UNAVAILABLE` error frame.
+    accept_errors: Counter,
     reloads: Counter,
     reload_noops: Counter,
     reload_errors: Counter,
@@ -229,6 +243,7 @@ impl ServeMetrics {
             latency_us: registry.histogram("fvae_serve_latency_us"),
             queue_depth: registry.gauge("fvae_serve_queue_depth"),
             connections: registry.counter("fvae_serve_connections"),
+            accept_errors: registry.counter("fvae_serve_accept_errors"),
             reloads: registry.counter("fvae_serve_reloads"),
             reload_noops: registry.counter("fvae_serve_reload_noops"),
             reload_errors: registry.counter("fvae_serve_reload_errors"),
@@ -303,8 +318,9 @@ pub type BatchProbe = Box<dyn FnMut(BatchPhase, usize) + Send>;
 
 /// One live (or recently finished) connection: the thread handle plus a
 /// read-half socket clone used to pop the thread out of a blocking read at
-/// shutdown. Finished entries are swept on every accept so short-lived
-/// connections don't accumulate fds and handles for the server's lifetime.
+/// shutdown. Finished entries are swept on every accept *and* on the batch
+/// thread's idle tick, so short-lived connections don't accumulate fds and
+/// handles — even when no new connection ever arrives to trigger a sweep.
 struct ConnEntry {
     /// `None` when `try_clone` failed; the thread still serves, it just
     /// can't be woken early at shutdown.
@@ -445,6 +461,21 @@ impl Server {
         reload(&self.shared)
     }
 
+    /// Activates the snapshot with this exact identity (in-process
+    /// equivalent of the `ReloadToRequest` frame); a no-op when already
+    /// serving it, an error (old model keeps serving) when no snapshot in
+    /// the checkpoint directory matches.
+    pub fn reload_to(&self, ckpt_id: u64) -> Result<ReloadOutcome, ServeError> {
+        reload_to(&self.shared, ckpt_id)
+    }
+
+    /// Number of connection entries currently held (live threads plus
+    /// finished ones not yet swept). The idle-sweep regression test
+    /// watches this drain to zero without any new connection arriving.
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().expect("conns mutex").len()
+    }
+
     /// Whether shutdown has been signalled (by [`Server::shutdown`], drop,
     /// or a client `Shutdown` frame).
     pub fn shutdown_requested(&self) -> bool {
@@ -497,7 +528,24 @@ fn signal_shutdown(shared: &Shared) {
         shared.work_cv.notify_all();
     }
     // Self-connect to pop the accept thread out of its blocking accept().
-    let _ = TcpStream::connect(shared.addr);
+    // The bound address may be a wildcard (`0.0.0.0` / `[::]` for a
+    // multi-host fleet), which is not a reliable *connect* target on every
+    // platform — dial the matching loopback instead.
+    let _ = TcpStream::connect(loopback_connect_addr(shared.addr));
+}
+
+/// The address a local client should dial to reach a socket bound at
+/// `addr`: wildcard binds resolve to the matching loopback, anything else
+/// passes through unchanged.
+pub(crate) fn loopback_connect_addr(addr: SocketAddr) -> SocketAddr {
+    let mut out = addr;
+    if addr.ip().is_unspecified() {
+        out.set_ip(match addr {
+            SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -522,6 +570,37 @@ fn load_model_state(dir: &Path, quant: QuantMode) -> Result<ModelState, ServeErr
     Ok(ModelState { encoder, quant, ckpt_id, path: loaded.path })
 }
 
+/// Loads the snapshot in `dir` whose normalized-bytes identity equals
+/// `target` — the server half of a router rollback, which must re-activate
+/// a *specific* checkpoint rather than whatever is newest. Unreadable or
+/// corrupt files are skipped (they can't be the target); a directory with
+/// no matching snapshot is an error.
+fn load_model_state_with_id(
+    dir: &Path,
+    quant: QuantMode,
+    target: u64,
+) -> Result<ModelState, ServeError> {
+    for path in Checkpointer::list_snapshot_files(dir)? {
+        let Ok(raw) = std::fs::read(&path) else { continue };
+        let Ok(normalized) = normalized_snapshot_bytes(&raw) else { continue };
+        if fnv64(&normalized) != target {
+            continue;
+        }
+        let snapshot = decode_snapshot(&raw).map_err(ServeError::Snapshot)?;
+        let (model, _resume) = snapshot.into_resume();
+        let encoder = Encoder::from(model);
+        let quant = match quant {
+            QuantMode::F32 => None,
+            QuantMode::Int8 => Some(QuantizedEncoder::from_encoder(&encoder)),
+        };
+        return Ok(ModelState { encoder, quant, ckpt_id: target, path });
+    }
+    Err(ServeError::Reload(format!(
+        "no snapshot in {} has identity {target:#018x}",
+        dir.display()
+    )))
+}
+
 /// Loads, validates, and swaps in the newest snapshot. The decode runs as
 /// a waitable task on the global compute pool; the swap itself is a single
 /// `Arc` store, so in-flight batches finish on the model they started
@@ -533,11 +612,33 @@ fn load_model_state(dir: &Path, quant: QuantMode) -> Result<ModelState, ServeErr
 /// architecture, so swapping one in would panic the batch thread on its
 /// next batch and wedge the server. Such a model needs a fresh process.
 fn reload(shared: &Arc<Shared>) -> Result<ReloadOutcome, ServeError> {
+    reload_inner(shared, None)
+}
+
+/// [`reload`] pinned to a specific checkpoint identity instead of "newest
+/// usable": activates the snapshot whose normalized-bytes hash is
+/// `target`, a no-op when it is already serving. The router's coordinated
+/// reload uses this to roll every shard back to the old checkpoint when
+/// any shard's forward reload fails.
+fn reload_to(shared: &Arc<Shared>, target: u64) -> Result<ReloadOutcome, ServeError> {
+    reload_inner(shared, Some(target))
+}
+
+fn reload_inner(shared: &Arc<Shared>, target: Option<u64>) -> Result<ReloadOutcome, ServeError> {
     let _serialize = shared.reload_lock.lock().expect("reload mutex");
     let (current_id, cur_fields, cur_dim) = {
         let model = shared.model.read();
         (model.ckpt_id, model.encoder.n_fields(), model.encoder.latent_dim())
     };
+    if let Some(t) = target {
+        // Targeted no-op resolves without touching the filesystem — the
+        // identity is already known to match.
+        if t == current_id {
+            shared.metrics.reload_noops.inc();
+            let path = shared.model.read().path.clone();
+            return Ok(ReloadOutcome { changed: false, ckpt_id: current_id, path });
+        }
+    }
     let result: Arc<Mutex<Option<Result<ReloadOutcome, ServeError>>>> = Arc::new(Mutex::new(None));
     let task_result = Arc::clone(&result);
     let task_shared = Arc::clone(shared);
@@ -545,7 +646,14 @@ fn reload(shared: &Arc<Shared>) -> Result<ReloadOutcome, ServeError> {
         let outcome = (|| {
             // Reload re-quantizes under the startup mode: the serving
             // numeric contract never changes across a hot swap.
-            let state = load_model_state(&task_shared.cfg.checkpoint_dir, task_shared.cfg.quant)?;
+            let state = match target {
+                None => load_model_state(&task_shared.cfg.checkpoint_dir, task_shared.cfg.quant)?,
+                Some(t) => load_model_state_with_id(
+                    &task_shared.cfg.checkpoint_dir,
+                    task_shared.cfg.quant,
+                    t,
+                )?,
+            };
             if state.ckpt_id == current_id {
                 task_shared.metrics.reload_noops.inc();
                 return Ok(ReloadOutcome { changed: false, ckpt_id: current_id, path: state.path });
@@ -606,23 +714,56 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
             return; // the shutdown self-connect, or a straggler: refuse
         }
         sweep_finished_conns(shared);
-        shared.metrics.connections.inc();
         let _ = stream.set_nodelay(true);
         let clone = stream.try_clone().ok();
-        let conn_shared = Arc::clone(shared);
-        if let Ok(handle) = std::thread::Builder::new()
-            .name("fvae-serve-conn".into())
-            .spawn(move || connection_loop(&conn_shared, stream))
-        {
-            shared.conns.lock().expect("conns mutex").push(ConnEntry { stream: clone, handle });
+        // Test injector: pretend the spawn below failed (the real failure
+        // needs fd/thread exhaustion, which a test can't provoke safely).
+        let inject_fail = shared
+            .cfg
+            .fail_conn_spawns
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok();
+        let spawned: io::Result<JoinHandle<()>> = if inject_fail {
+            Err(io::Error::other("injected connection-thread spawn failure"))
+        } else {
+            let conn_shared = Arc::clone(shared);
+            std::thread::Builder::new()
+                .name("fvae-serve-conn".into())
+                .spawn(move || connection_loop(&conn_shared, stream))
+        };
+        match spawned {
+            Ok(handle) => {
+                // Count the connection only once it is actually being
+                // served — a failed spawn used to inc() first and leave
+                // the gauge lying about a connection that never existed.
+                shared.metrics.connections.inc();
+                shared.conns.lock().expect("conns mutex").push(ConnEntry { stream: clone, handle });
+            }
+            Err(e) => {
+                // The stream itself was consumed by the failed spawn (or
+                // never handed off); tell the client why on the clone
+                // instead of silently resetting, then drop both halves.
+                shared.metrics.accept_errors.inc();
+                if let Some(mut s) = clone {
+                    let mut wbuf = Vec::new();
+                    let reply = Message::ErrorReply {
+                        req_id: 0,
+                        code: error_code::UNAVAILABLE,
+                        msg: format!("server cannot service this connection: {e}"),
+                    };
+                    let _ = write_frame(&mut s, &reply, &mut wbuf);
+                    let _ = s.flush();
+                }
+            }
         }
     }
 }
 
 /// Reaps connections whose thread has exited: joins the handle and drops
 /// the socket clone (which otherwise keeps the fd open indefinitely). Runs
-/// on the accept thread before each new connection, so the entry list only
-/// ever grows with *live* connections.
+/// on the accept thread before each new connection and on the batch
+/// thread's idle tick, so the entry list drains even while no client is
+/// connecting.
 fn sweep_finished_conns(shared: &Shared) {
     let mut finished = Vec::new();
     {
@@ -730,6 +871,23 @@ fn handle_message(shared: &Arc<Shared>, stream: &mut TcpStream, wbuf: &mut Vec<u
         }
         Message::ReloadRequest => {
             let reply = match reload(shared) {
+                Ok(out) => Message::ReloadReply {
+                    ok: true,
+                    changed: out.changed,
+                    ckpt_id: out.ckpt_id,
+                    detail: out.path.display().to_string(),
+                },
+                Err(e) => Message::ReloadReply {
+                    ok: false,
+                    changed: false,
+                    ckpt_id: shared.model.read().ckpt_id,
+                    detail: e.to_string(),
+                },
+            };
+            write_frame(stream, &reply, wbuf).is_err()
+        }
+        Message::ReloadToRequest { ckpt_id } => {
+            let reply = match reload_to(shared, ckpt_id) {
                 Ok(out) => Message::ReloadReply {
                     ok: true,
                     changed: out.changed,
@@ -897,7 +1055,22 @@ fn batch_loop(shared: &Arc<Shared>, mut probe: Option<BatchProbe>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                q = shared.work_cv.wait(q).expect("serve queue mutex");
+                // Bounded wait so the idle server still ticks: each timeout
+                // sweeps finished connection threads (joining handles,
+                // dropping socket-clone fds). Sweeping only on the accept
+                // path let an idle server hold a burst's worth of dead fds
+                // indefinitely after the clients disconnected.
+                let (guard, timeout) = shared
+                    .work_cv
+                    .wait_timeout(q, IDLE_SWEEP_TICK)
+                    .expect("serve queue mutex");
+                q = guard;
+                if timeout.timed_out() && q.is_empty() && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    drop(q);
+                    sweep_finished_conns(shared);
+                    q = shared.queue.lock().expect("serve queue mutex");
+                }
             }
             // Coalesce: give stragglers up to `max_wait` to fill the batch
             // (skipped during shutdown drain).

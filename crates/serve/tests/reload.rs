@@ -205,6 +205,144 @@ fn corrupt_snapshots_reject_reload_and_old_model_keeps_serving() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reads one counter value out of a Prometheus text dump.
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|l| {
+        l.strip_prefix(name).and_then(|v| v.trim().parse::<f64>().ok()).map(|v| v as u64)
+    })
+}
+
+#[test]
+fn concurrent_reload_storm_serializes_with_exact_accounting() {
+    let ds = tiny_dataset(36);
+    let model_a = trained_model(&ds, 1);
+    let model_b = trained_model(&ds, 2);
+    let model_c = trained_model(&ds, 3);
+    let dir = std::env::temp_dir().join(format!("fvae-serve-storm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model_a).expect("export A");
+
+    let server = Server::start(test_config(&dir)).expect("start");
+    let addr = server.addr();
+    let id_a = server.ckpt_id();
+
+    // N concurrent ReloadRequests against one new snapshot: the reload
+    // lock must serialize them into exactly one swap; everyone else
+    // observes the already-current snapshot as a no-op.
+    const STORM: usize = 8;
+    let storm = |expect_id_change_from: u64| -> (u64, u64) {
+        let workers: Vec<_> = (0..STORM)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let report = client.reload().expect("reload rpc");
+                    assert!(report.ok, "storm reload must succeed: {}", report.detail);
+                    assert_ne!(
+                        report.ckpt_id, expect_id_change_from,
+                        "every reply reports the new checkpoint"
+                    );
+                    (report.changed as u64, report.ckpt_id)
+                })
+            })
+            .collect();
+        let results: Vec<(u64, u64)> = workers.into_iter().map(|w| w.join().expect("worker")).collect();
+        let changed: u64 = results.iter().map(|(c, _)| c).sum();
+        assert!(
+            results.windows(2).all(|w| w[0].1 == w[1].1),
+            "all replies agree on the active checkpoint"
+        );
+        (changed, results[0].1)
+    };
+
+    export_model_snapshot(&dir, &model_b).expect("export B");
+    let (changed, id_b) = storm(id_a);
+    assert_eq!(changed, 1, "exactly one storm request performed the swap");
+    assert_eq!(server.ckpt_id(), id_b);
+
+    export_model_snapshot(&dir, &model_c).expect("export C");
+    let (changed, id_c) = storm(id_b);
+    assert_eq!(changed, 1, "second distinct snapshot swaps exactly once");
+    assert_eq!(server.ckpt_id(), id_c);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let text = client.metrics().expect("metrics");
+    assert_eq!(
+        metric_value(&text, "fvae_serve_reloads "),
+        Some(2),
+        "one swap per distinct snapshot:\n{text}"
+    );
+    assert_eq!(
+        metric_value(&text, "fvae_serve_reload_noops "),
+        Some(2 * (STORM as u64 - 1)),
+        "every other storm request was a no-op:\n{text}"
+    );
+    assert_eq!(metric_value(&text, "fvae_serve_reload_errors "), Some(0));
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn targeted_reload_rolls_back_to_an_exact_checkpoint() {
+    let ds = tiny_dataset(37);
+    let model_a = trained_model(&ds, 1);
+    let model_b = trained_model(&ds, 2);
+    let dir = std::env::temp_dir().join(format!("fvae-serve-target-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_model_snapshot(&dir, &model_a).expect("export A");
+
+    let server = Server::start(test_config(&dir)).expect("start");
+    let id_a = server.ckpt_id();
+    let n_fields = server.n_fields();
+    let users: Vec<usize> = (0..10).collect();
+    let offline_a = model_a.embed_users(&ds, &users, None);
+
+    // Forward to B the ordinary way, then roll back to A *by identity* —
+    // even though A is no longer the newest snapshot on disk.
+    export_model_snapshot(&dir, &model_b).expect("export B");
+    let forward = server.reload().expect("reload");
+    assert!(forward.changed);
+    let id_b = forward.ckpt_id;
+    assert_ne!(id_b, id_a);
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let report = client.reload_to(id_a).expect("reload_to rpc");
+    assert!(report.ok, "rollback target exists: {}", report.detail);
+    assert!(report.changed);
+    assert_eq!(report.ckpt_id, id_a);
+    assert_eq!(server.ckpt_id(), id_a);
+
+    // The rolled-back model serves bit-for-bit A.
+    for &u in &users {
+        match client.embed(&raw_rows(&ds, u, n_fields)).expect("embed") {
+            EmbedOutcome::Embedding { ckpt_id, values } => {
+                assert_eq!(ckpt_id, id_a);
+                for (x, y) in values.iter().zip(offline_a.row(u)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "user {u} serves model A again");
+                }
+            }
+            other => panic!("user {u}: {other:?}"),
+        }
+    }
+
+    // Targeting the active checkpoint is a filesystem-free no-op.
+    let report = client.reload_to(id_a).expect("reload_to rpc");
+    assert!(report.ok && !report.changed);
+    assert_eq!(report.ckpt_id, id_a);
+
+    // Targeting an identity no snapshot has fails loudly; the old model
+    // keeps serving.
+    let bogus = id_a ^ 0xdead_beef;
+    let report = client.reload_to(bogus).expect("reload_to rpc");
+    assert!(!report.ok, "unknown identity must be refused");
+    assert!(report.detail.contains("no snapshot"), "cause is named: {}", report.detail);
+    assert_eq!(report.ckpt_id, id_a, "still serving the pre-request checkpoint");
+    assert_eq!(server.ckpt_id(), id_a);
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn architecture_changing_reload_is_rejected() {
     let ds = tiny_dataset(34);
