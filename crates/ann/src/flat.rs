@@ -1,0 +1,148 @@
+//! Exhaustive reference index.
+//!
+//! [`FlatIndex`] scans every vector per query — exact by construction, and
+//! therefore the ground truth every approximate index in this crate is
+//! judged against. It is also the right index below a few thousand points,
+//! where a coarse quantizer costs more than it saves; `LookalikeSystem`
+//! uses it under that threshold to keep small-catalogue recall exact.
+
+use crate::{canonicalize, finish_top_k, AnnIndex, Neighbor, SearchStats};
+
+/// Exhaustive exact index: id-sorted vectors in one contiguous row-major
+/// buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlatIndex {
+    dim: usize,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Builds from parallel `(ids, vectors)` slices (`data` is row-major,
+    /// `ids.len() * dim` long). Input order is irrelevant: vectors are
+    /// id-sorted internally so the index — and its serialized form — is
+    /// canonical. Rejects `dim == 0`, duplicate ids, and length mismatches.
+    pub fn build(dim: usize, ids: &[u64], data: &[f32]) -> Result<Self, String> {
+        let (ids, data) = canonicalize(dim, ids, data)?;
+        Ok(Self { dim, ids, data })
+    }
+
+    /// Reassembles an index from already-canonical parts (id-sorted, unique);
+    /// the deserialization entry point. Validates the same invariants as
+    /// [`FlatIndex::build`] plus sortedness.
+    pub(crate) fn from_canonical_parts(
+        dim: usize,
+        ids: Vec<u64>,
+        data: Vec<f32>,
+    ) -> Result<Self, String> {
+        if dim == 0 {
+            return Err("embedding dim must be positive".into());
+        }
+        if ids.len().checked_mul(dim) != Some(data.len()) {
+            return Err("data length is not ids x dim".into());
+        }
+        for w in ids.windows(2) {
+            if w[0] >= w[1] {
+                return Err("ids not strictly increasing".into());
+            }
+        }
+        Ok(Self { dim, ids, data })
+    }
+
+    /// Indexed ids, ascending.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Row-major vector storage (`len() * dim()` floats, id order).
+    pub fn vectors(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The vector stored for row `row` (id order).
+    pub fn vector(&self, row: usize) -> &[f32] {
+        &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+}
+
+impl AnnIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn search_with_stats(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        if k == 0 || self.ids.is_empty() {
+            return Vec::new();
+        }
+        stats.distance_evals += self.ids.len();
+        // Scalar kernel on purpose: exactness and bit-stability across SIMD
+        // backends matter more than scan speed on the reference path.
+        let mut candidates: Vec<(f32, u64)> = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(row, &id)| {
+                (fvae_tensor::ops::squared_distance(query, self.vector(row)), id)
+            })
+            .collect();
+        finish_top_k(&mut candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> FlatIndex {
+        // ids 0..8 at x = id on a line; distances from a query are unambiguous.
+        let ids: Vec<u64> = (0..8).collect();
+        let data: Vec<f32> = (0..8).flat_map(|i| [i as f32, 0.0]).collect();
+        FlatIndex::build(2, &ids, &data).expect("build")
+    }
+
+    #[test]
+    fn exact_top_k_on_a_line() {
+        let idx = grid();
+        let got = idx.search(&[2.2, 0.0], 3);
+        assert_eq!(got.iter().map(|n| n.id).collect::<Vec<_>>(), vec![2, 3, 1]);
+        assert!(got[0].score > got[1].score);
+    }
+
+    #[test]
+    fn ties_break_by_ascending_id() {
+        // Query equidistant from ids 3 and 4.
+        let idx = grid();
+        let got = idx.search(&[3.5, 0.0], 2);
+        assert_eq!(got.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(got[0].score, got[1].score);
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_all() {
+        let idx = grid();
+        assert_eq!(idx.search(&[0.0, 0.0], 100).len(), 8);
+        assert!(idx.search(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn stats_count_full_scan() {
+        let idx = grid();
+        let mut stats = SearchStats::default();
+        idx.search_with_stats(&[0.0, 0.0], 1, &mut stats);
+        assert_eq!(stats.distance_evals, 8);
+        assert_eq!(stats.code_evals, 0);
+        assert_eq!(stats.lists_probed, 0);
+    }
+
+    #[test]
+    fn build_order_does_not_matter() {
+        let a = FlatIndex::build(1, &[3, 1, 2], &[3.0, 1.0, 2.0]).expect("a");
+        let b = FlatIndex::build(1, &[1, 2, 3], &[1.0, 2.0, 3.0]).expect("b");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,394 @@
+//! IVF-PQ: inverted-file index with product-quantized residuals and exact
+//! re-rank.
+//!
+//! The structure follows the inverted multi-index blueprint (PAPERS.md):
+//!
+//! 1. **Coarse quantizer** — seeded k-means over the corpus yields `nlist`
+//!    centroids; each vector joins the inverted list of its nearest one.
+//! 2. **Product quantizer** — each vector's *residual* (vector − its list
+//!    centroid) is split into `m` sub-vectors, each encoded as the index of
+//!    its nearest entry in a per-subspace codebook (`ks` entries, one byte
+//!    per subspace). Codebooks are trained once, globally, on all residuals.
+//! 3. **Exact re-rank** — queries score probed lists with an asymmetric
+//!    distance table (ADC: `m · ks` lookups per list), keep the `rerank`
+//!    best approximate candidates, and re-score those with exact distances
+//!    against the original vectors, which are retained per list.
+//!
+//! A query therefore costs `nlist + rerank` full distance evaluations plus
+//! cheap table arithmetic, versus `n` for a flat scan — the accounting the
+//! parity harness enforces (recall@10 ≥ 0.95 under ≤ 20 % of flat's
+//! distances on the committed fixture).
+//!
+//! Build determinism is inherited from [`crate::kmeans`]; everything after
+//! clustering is serial in id order.
+
+use crate::kmeans::kmeans;
+use crate::{canonicalize, cmp_dist_id, finish_top_k, AnnIndex, Neighbor, SearchStats};
+
+/// Build/search configuration for [`IvfIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IvfConfig {
+    /// Coarse-quantizer list count (clamped to the corpus size).
+    pub nlist: usize,
+    /// PQ subspace count; must divide `dim`.
+    pub pq_m: usize,
+    /// PQ codebook size per subspace, at most 256 (codes are one byte).
+    pub pq_ks: usize,
+    /// Candidates kept from the ADC pass for exact re-ranking (floored at
+    /// the search-time `k`).
+    pub rerank: usize,
+    /// Lists probed per query when callers use the plain [`AnnIndex`]
+    /// search; explicit-`nprobe` entry points override it.
+    pub default_nprobe: usize,
+    /// Lloyd iterations for both quantizers.
+    pub train_iters: usize,
+    /// Seed for every stochastic choice in the build.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self {
+            nlist: 64,
+            pq_m: 4,
+            pq_ks: 16,
+            rerank: 128,
+            default_nprobe: 8,
+            train_iters: 10,
+            seed: 0x5eed_a11c,
+        }
+    }
+}
+
+/// One inverted list: ids, PQ codes, and the original vectors (for exact
+/// re-rank), all in ascending-id order.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct InvertedList {
+    pub ids: Vec<u64>,
+    /// `ids.len() * m` bytes, row-major.
+    pub codes: Vec<u8>,
+    /// `ids.len() * dim` floats, row-major.
+    pub vectors: Vec<f32>,
+}
+
+/// IVF index with product-quantized residuals and exact re-rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IvfIndex {
+    pub(crate) dim: usize,
+    pub(crate) config: IvfConfig,
+    /// Effective list count after clamping (`centroids.len() / dim`).
+    pub(crate) nlist: usize,
+    /// Coarse centroids, `nlist * dim` floats.
+    pub(crate) centroids: Vec<f32>,
+    /// PQ codebooks, `pq_m * pq_ks * (dim / pq_m)` floats: subspace-major,
+    /// then code, then sub-dimension.
+    pub(crate) codebooks: Vec<f32>,
+    /// Effective codebook size after clamping to the corpus size.
+    pub(crate) ks: usize,
+    pub(crate) lists: Vec<InvertedList>,
+    /// Total indexed vectors (sum of list lengths).
+    pub(crate) n: usize,
+}
+
+impl IvfIndex {
+    /// Builds the index from parallel `(ids, vectors)` slices (row-major
+    /// `data`, `ids.len() * dim` floats). Input order is irrelevant — the
+    /// build canonicalizes to ascending-id order first, so the serialized
+    /// index is a pure function of the *set* of points and the config.
+    pub fn build(dim: usize, ids: &[u64], data: &[f32], config: IvfConfig) -> Result<Self, String> {
+        let (ids, data) = canonicalize(dim, ids, data)?;
+        let n = ids.len();
+        if n == 0 {
+            return Err("cannot build an IVF index over an empty corpus".into());
+        }
+        if config.pq_m == 0 || !dim.is_multiple_of(config.pq_m) {
+            return Err(format!("pq_m {} must divide dim {dim}", config.pq_m));
+        }
+        if config.pq_ks == 0 || config.pq_ks > 256 {
+            return Err(format!("pq_ks {} must be in 1..=256", config.pq_ks));
+        }
+        if config.nlist == 0 {
+            return Err("nlist must be positive".into());
+        }
+        let sub = dim / config.pq_m;
+
+        // 1. Coarse quantizer over the full vectors.
+        let coarse = kmeans(&data, n, dim, config.nlist, config.train_iters, config.seed);
+        let nlist = coarse.k;
+
+        // 2. Residuals in id order, then one PQ codebook per subspace,
+        //    trained globally on all residual sub-vectors.
+        let mut residuals = vec![0.0f32; n * dim];
+        for i in 0..n {
+            let c = coarse.assignments[i] as usize;
+            for d in 0..dim {
+                residuals[i * dim + d] = data[i * dim + d] - coarse.centroids[c * dim + d];
+            }
+        }
+        let ks = config.pq_ks.min(n);
+        let mut codebooks = vec![0.0f32; config.pq_m * ks * sub];
+        let mut codes = vec![0u8; n * config.pq_m];
+        let mut subspace = vec![0.0f32; n * sub];
+        for s in 0..config.pq_m {
+            for i in 0..n {
+                subspace[i * sub..(i + 1) * sub]
+                    .copy_from_slice(&residuals[i * dim + s * sub..i * dim + (s + 1) * sub]);
+            }
+            // Independent seed stream per subspace.
+            let km = kmeans(
+                &subspace,
+                n,
+                sub,
+                ks,
+                config.train_iters,
+                config.seed ^ (0xC0DE_B00C + s as u64),
+            );
+            codebooks[s * ks * sub..(s + 1) * ks * sub].copy_from_slice(&km.centroids);
+            for i in 0..n {
+                codes[i * config.pq_m + s] = km.assignments[i] as u8;
+            }
+        }
+
+        // 3. Inverted lists, ascending id within each list (points are
+        //    already id-sorted, so a stable sweep preserves that).
+        let mut lists: Vec<InvertedList> = (0..nlist)
+            .map(|_| InvertedList { ids: Vec::new(), codes: Vec::new(), vectors: Vec::new() })
+            .collect();
+        for i in 0..n {
+            let list = &mut lists[coarse.assignments[i] as usize];
+            list.ids.push(ids[i]);
+            list.codes.extend_from_slice(&codes[i * config.pq_m..(i + 1) * config.pq_m]);
+            list.vectors.extend_from_slice(&data[i * dim..(i + 1) * dim]);
+        }
+
+        Ok(Self { dim, config, nlist, centroids: coarse.centroids, codebooks, ks, lists, n })
+    }
+
+    /// Effective list count.
+    pub fn nlist(&self) -> usize {
+        self.nlist
+    }
+
+    /// The build/search configuration.
+    pub fn config(&self) -> &IvfConfig {
+        &self.config
+    }
+
+    /// Top-`k` search probing exactly `nprobe` lists (clamped to `nlist`).
+    ///
+    /// Cost accounting in `stats`: `nlist` coarse distances + one exact
+    /// distance per re-ranked candidate land in `distance_evals`;
+    /// ADC table construction and per-candidate code scoring land in
+    /// `code_evals`.
+    pub fn search_nprobe(
+        &self,
+        query: &[f32],
+        k: usize,
+        nprobe: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        if k == 0 || self.n == 0 {
+            return Vec::new();
+        }
+        let nprobe = nprobe.clamp(1, self.nlist);
+        let m = self.config.pq_m;
+        let sub = self.dim / m;
+
+        // Coarse scan: distance to every list centroid, probe the nearest.
+        stats.distance_evals += self.nlist;
+        let mut coarse: Vec<(f32, u64)> = (0..self.nlist)
+            .map(|c| {
+                let d = fvae_tensor::ops::squared_distance(
+                    query,
+                    &self.centroids[c * self.dim..(c + 1) * self.dim],
+                );
+                (d, c as u64)
+            })
+            .collect();
+        if coarse.len() > nprobe {
+            coarse.select_nth_unstable_by(nprobe - 1, |a, b| cmp_dist_id(*a, *b));
+            coarse.truncate(nprobe);
+        }
+        coarse.sort_unstable_by(|a, b| cmp_dist_id(*a, *b));
+
+        // ADC pass over the probed lists. The lookup table depends on the
+        // query's residual against *this* list's centroid, so it is rebuilt
+        // per list: m·ks entries each costing a sub-dim distance.
+        let mut lut = vec![0.0f32; m * self.ks];
+        let mut residual = vec![0.0f32; self.dim];
+        // (approx_dist, id, list, row): enough to find the vector again for
+        // the exact pass without a corpus-wide id map.
+        let mut candidates: Vec<(f32, u64, u32, u32)> = Vec::new();
+        for &(_, c) in &coarse {
+            let c = c as usize;
+            let list = &self.lists[c];
+            stats.lists_probed += 1;
+            if list.ids.is_empty() {
+                continue;
+            }
+            for d in 0..self.dim {
+                residual[d] = query[d] - self.centroids[c * self.dim + d];
+            }
+            for s in 0..m {
+                let q_sub = &residual[s * sub..(s + 1) * sub];
+                for code in 0..self.ks {
+                    let entry =
+                        &self.codebooks[(s * self.ks + code) * sub..(s * self.ks + code + 1) * sub];
+                    lut[s * self.ks + code] = fvae_tensor::ops::squared_distance(q_sub, entry);
+                }
+            }
+            stats.code_evals += m * self.ks;
+            for row in 0..list.ids.len() {
+                let mut approx = 0.0f32;
+                for s in 0..m {
+                    approx += lut[s * self.ks + list.codes[row * m + s] as usize];
+                }
+                candidates.push((approx, list.ids[row], c as u32, row as u32));
+            }
+            stats.code_evals += list.ids.len();
+        }
+
+        // Keep the best `rerank` approximate candidates (ties by id), then
+        // score those exactly against the stored vectors.
+        let keep = self.config.rerank.max(k).min(candidates.len());
+        if candidates.len() > keep {
+            candidates
+                .select_nth_unstable_by(keep - 1, |a, b| cmp_dist_id((a.0, a.1), (b.0, b.1)));
+            candidates.truncate(keep);
+        }
+        stats.distance_evals += candidates.len();
+        let mut exact: Vec<(f32, u64)> = candidates
+            .iter()
+            .map(|&(_, id, c, row)| {
+                let list = &self.lists[c as usize];
+                let v = &list.vectors[row as usize * self.dim..(row as usize + 1) * self.dim];
+                (fvae_tensor::ops::squared_distance(query, v), id)
+            })
+            .collect();
+        finish_top_k(&mut exact, k)
+    }
+}
+
+impl AnnIndex for IvfIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn search_with_stats(&self, query: &[f32], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.search_nprobe(query, k, self.config.default_nprobe, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::synth_clustered;
+    use crate::FlatIndex;
+
+    fn small_config() -> IvfConfig {
+        IvfConfig { nlist: 8, rerank: 32, default_nprobe: 4, ..IvfConfig::default() }
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        let data = vec![0.0f32; 16];
+        assert!(IvfIndex::build(4, &[1, 2, 3, 4], &data, IvfConfig { pq_m: 3, ..small_config() })
+            .is_err());
+        assert!(IvfIndex::build(4, &[1, 2, 3, 4], &data, IvfConfig { pq_ks: 0, ..small_config() })
+            .is_err());
+        assert!(IvfIndex::build(4, &[1, 2, 3, 4], &data, IvfConfig { nlist: 0, ..small_config() })
+            .is_err());
+        assert!(IvfIndex::build(4, &[], &[], small_config()).is_err());
+        assert!(IvfIndex::build(4, &[1, 1], &[0.0; 8], small_config()).is_err());
+    }
+
+    #[test]
+    fn full_probe_with_full_rerank_is_exact() {
+        // nprobe = nlist and rerank >= n degenerate to exhaustive search, so
+        // results must equal the flat reference bit-for-bit.
+        let (ids, data) = synth_clustered(300, 8, 6, 11);
+        let flat = FlatIndex::build(8, &ids, &data).expect("flat");
+        let ivf = IvfIndex::build(
+            8,
+            &ids,
+            &data,
+            IvfConfig { nlist: 6, rerank: 300, ..IvfConfig::default() },
+        )
+        .expect("ivf");
+        let mut stats = SearchStats::default();
+        for q in 0..20 {
+            let query = &data[q * 8..(q + 1) * 8];
+            let exact = flat.search(query, 10);
+            let approx = ivf.search_nprobe(query, 10, ivf.nlist(), &mut stats);
+            assert_eq!(exact, approx, "query {q}");
+        }
+    }
+
+    #[test]
+    fn query_on_an_indexed_point_finds_it_first() {
+        let (ids, data) = synth_clustered(500, 16, 10, 3);
+        let ivf = IvfIndex::build(16, &ids, &data, IvfConfig::default()).expect("ivf");
+        for q in [0usize, 123, 499] {
+            let query = &data[q * 16..(q + 1) * 16];
+            let got = ivf.search(query, 1);
+            assert_eq!(got[0].id, ids[q]);
+            assert_eq!(got[0].score, 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_accounting_scales_with_nprobe() {
+        let (ids, data) = synth_clustered(400, 8, 8, 5);
+        let ivf = IvfIndex::build(8, &ids, &data, small_config()).expect("ivf");
+        let query = &data[..8];
+        let mut s1 = SearchStats::default();
+        let mut s8 = SearchStats::default();
+        ivf.search_nprobe(query, 10, 1, &mut s1);
+        ivf.search_nprobe(query, 10, 8, &mut s8);
+        assert_eq!(s1.lists_probed, 1);
+        assert_eq!(s8.lists_probed, 8);
+        assert!(s1.code_evals < s8.code_evals);
+        // Coarse scan + re-rank, never a full scan.
+        assert!(s8.distance_evals <= ivf.nlist() + small_config().rerank.max(10));
+    }
+
+    #[test]
+    fn search_is_deterministic_across_calls() {
+        let (ids, data) = synth_clustered(300, 8, 6, 2);
+        let ivf = IvfIndex::build(8, &ids, &data, small_config()).expect("ivf");
+        let query = &data[40 * 8..41 * 8];
+        let a = ivf.search(query, 10);
+        let b = ivf.search(query, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_is_invariant_to_input_order() {
+        let (ids, data) = synth_clustered(200, 8, 4, 7);
+        let forward = IvfIndex::build(8, &ids, &data, small_config()).expect("fwd");
+        let rev_ids: Vec<u64> = ids.iter().rev().copied().collect();
+        let rev_data: Vec<f32> = (0..ids.len())
+            .rev()
+            .flat_map(|i| data[i * 8..(i + 1) * 8].to_vec())
+            .collect();
+        let reversed = IvfIndex::build(8, &rev_ids, &rev_data, small_config()).expect("rev");
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn tiny_corpus_smaller_than_nlist() {
+        let ids = [10u64, 20, 30];
+        let data = [0.0f32, 0.0, 5.0, 5.0, 9.0, 9.0];
+        let ivf =
+            IvfIndex::build(2, &ids, &data, IvfConfig { pq_m: 2, ..IvfConfig::default() })
+                .expect("ivf");
+        assert_eq!(ivf.nlist(), 3); // clamped to n
+        let got = ivf.search_nprobe(&[5.1, 5.0], 2, ivf.nlist(), &mut SearchStats::default());
+        assert_eq!(got[0].id, 20);
+    }
+}

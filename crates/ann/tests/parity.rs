@@ -1,0 +1,122 @@
+//! Recall@k parity on the committed fixture — the acceptance gate of the
+//! ANN tentpole, run over exactly the harness code the `fvae ann` CLI and
+//! the CI smoke use.
+//!
+//! The fixture is a deterministic Gaussian-mixture corpus in the embedding-
+//! store byte layout, committed under `tests/fixtures/` and pinned by a
+//! regeneration test: `synth_clustered` uses only integer and IEEE f32
+//! arithmetic, so the bytes reproduce on any platform.
+
+use std::path::PathBuf;
+
+use fvae_ann::io::{read_embeddings, write_embeddings};
+use fvae_ann::{recall_parity, synth_clustered, AnnIndex, FlatIndex, IvfConfig, IvfIndex};
+
+/// Fixture shape: 2000 points, 16 dims, 32 clusters, fixed seed.
+const FIXTURE_N: usize = 2000;
+const FIXTURE_DIM: usize = 16;
+const FIXTURE_CLUSTERS: usize = 32;
+const FIXTURE_SEED: u64 = 2022;
+const FIXTURE_NAME: &str = "embeddings-2000x16.bin";
+
+/// The gate the CI smoke enforces: recall@10 ≥ 0.95 while evaluating at most
+/// 20 % of the corpus's distances per query.
+const K: usize = 10;
+const MIN_RECALL: f64 = 0.95;
+const MAX_DIST_FRAC: f64 = 0.20;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(FIXTURE_NAME)
+}
+
+fn fixture_bytes() -> Vec<u8> {
+    let (ids, data) = synth_clustered(FIXTURE_N, FIXTURE_DIM, FIXTURE_CLUSTERS, FIXTURE_SEED);
+    write_embeddings(FIXTURE_DIM, &ids, &data).to_vec()
+}
+
+/// The index configuration the parity gate is proven under; the CLI default
+/// mirrors it.
+fn gate_config() -> IvfConfig {
+    IvfConfig { nlist: 64, rerank: 128, default_nprobe: 8, ..IvfConfig::default() }
+}
+
+/// One-time fixture generation (committed output; ignored in normal runs).
+#[test]
+#[ignore = "regenerates the committed fixture"]
+fn regenerate() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+    std::fs::write(&path, fixture_bytes()).expect("write fixture");
+}
+
+#[test]
+fn committed_fixture_matches_generator_bytes() {
+    let committed = std::fs::read(fixture_path()).expect("committed fixture");
+    assert_eq!(committed, fixture_bytes(), "fixture drifted from its generator");
+}
+
+#[test]
+fn recall_at_10_meets_budget_on_committed_fixture() {
+    let file = read_embeddings(&std::fs::read(fixture_path()).expect("fixture")[..])
+        .expect("decode fixture");
+    let flat = FlatIndex::build(file.dim, &file.ids, &file.data).expect("flat");
+    let ivf = IvfIndex::build(file.dim, &file.ids, &file.data, gate_config()).expect("ivf");
+
+    // 200 held-in queries (corpus rows): standard recall protocol — the
+    // index must at minimum retrieve each point's own neighbourhood.
+    let queries = &file.data[..200 * file.dim];
+    let nprobes = [1usize, 2, 4, 8, 16];
+    let curve = recall_parity(&flat, &ivf, queries, K, &nprobes);
+
+    // The gate: some sweep point must clear recall ≥ 0.95 inside the ≤ 20 %
+    // distance budget.
+    let passing = curve
+        .iter()
+        .find(|p| p.recall_at_k >= MIN_RECALL && p.distance_frac <= MAX_DIST_FRAC);
+    assert!(
+        passing.is_some(),
+        "no nprobe met recall ≥ {MIN_RECALL} within {MAX_DIST_FRAC} of flat cost: {curve:#?}"
+    );
+
+    // The *default* configuration must itself be a passing point, so every
+    // call site using plain `search` inherits the proven operating point.
+    let default_point = curve
+        .iter()
+        .find(|p| p.nprobe == gate_config().default_nprobe)
+        .expect("default nprobe swept");
+    assert!(
+        default_point.recall_at_k >= MIN_RECALL && default_point.distance_frac <= MAX_DIST_FRAC,
+        "default nprobe is not a passing operating point: {default_point:?}"
+    );
+
+    // Cost accounting must be an actual budget, not vacuous: every swept
+    // point stays below a flat scan, and recall at full probe ~ exhaustive.
+    for p in &curve {
+        assert!(p.distance_frac < 1.0, "IVF costed like a flat scan: {p:?}");
+        assert!(p.mean_distance_evals >= ivf.nlist() as f64);
+    }
+}
+
+#[test]
+fn flat_and_full_probe_ivf_agree_exactly_on_fixture_head() {
+    let file = read_embeddings(&std::fs::read(fixture_path()).expect("fixture")[..])
+        .expect("decode fixture");
+    let head = 300usize;
+    let ids = &file.ids[..head];
+    let data = &file.data[..head * file.dim];
+    let flat = FlatIndex::build(file.dim, ids, data).expect("flat");
+    let ivf = IvfIndex::build(
+        file.dim,
+        ids,
+        data,
+        IvfConfig { nlist: 8, rerank: head, ..IvfConfig::default() },
+    )
+    .expect("ivf");
+    for q in 0..30 {
+        let query = &data[q * file.dim..(q + 1) * file.dim];
+        let exact = flat.search(query, K);
+        let approx =
+            ivf.search_nprobe(query, K, ivf.nlist(), &mut fvae_ann::SearchStats::default());
+        assert_eq!(exact, approx, "query {q}");
+    }
+}

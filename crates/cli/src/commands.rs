@@ -21,6 +21,7 @@ pub fn run(args: &Args) -> Result<String, String> {
         "embed" => embed(args),
         "evaluate" => evaluate(args),
         "similar" => similar(args),
+        "ann" => ann(args),
         "serve" => serve(args),
         "router" => router(args),
         "embed-client" => embed_client(args),
@@ -48,9 +49,16 @@ pub fn usage() -> String {
      \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
      \x20 evaluate  --data DS --model MODEL [--seed S]\n\
      \x20 similar   --store STORE --user ID [--k K]\n\
+     \x20 ann       --store STORE | --synth N [--dim D] [--clusters C] [--seed S]\n\
+     \x20           [--k K] [--queries Q] [--nprobes 1,2,4,...] [--out-index IDX]\n\
+     \x20           [--json BENCH_ann.json]\n\
+     \x20           (recall@k parity harness: sweeps nprobe, judging the IVF-PQ\n\
+     \x20           index against the exhaustive flat scan on the same corpus)\n\
      \x20 serve     --checkpoint-dir DIR [--port P] [--host H] [--threads T]\n\
      \x20           [--batch-size N] [--max-wait-us U] [--queue-capacity Q]\n\
      \x20           [--cache-capacity C] [--port-file F] [--quant f32|int8]\n\
+     \x20           [--embeddings STORE]  (also serve nearest-neighbour RPCs\n\
+     \x20           over this embedding store; reload re-reads the file)\n\
      \x20 router    --shards A:P1,B:P2,... | --shards-file F [--port P] [--host H]\n\
      \x20           [--port-file F] [--replicas R] [--pool N] [--max-attempts N]\n\
      \x20           [--fail-threshold N] [--probe-interval-ms MS]\n\
@@ -60,6 +68,8 @@ pub fn usage() -> String {
      \x20 embed-client --addr HOST:PORT [--rows SPEC] [--ping true]\n\
      \x20           [--metrics true] [--reload true] [--shutdown true]\n\
      \x20           [--info true] [--trace TRACE.json]\n\
+     \x20           [--nearest V1,V2,...] [--k K]  (top-k users nearest the\n\
+     \x20           given query vector, from the server's embedding store)\n\
      \x20           (SPEC: fields split by '|', entries by ',', each ID:WEIGHT)\n\
      \x20 loadgen   --addr HOST:PORT [--qps Q] [--duration-ms MS] [--connections C]\n\
      \x20           [--distinct-rows R] [--ids-per-field N] [--id-space S]\n\
@@ -391,12 +401,172 @@ fn similar(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// What a parity sweep ran over: the corpus, its shape, and the sweep's
+/// query plan — the identifying half of a `BENCH_ann.json` report.
+struct AnnRun<'a> {
+    source: &'a str,
+    dim: usize,
+    n: usize,
+    k: usize,
+    n_queries: usize,
+}
+
+/// Serializes a parity sweep as the `BENCH_ann.json` schema: the recall/
+/// cost curve plus the provenance needed to compare runs across commits.
+fn ann_report_json(
+    run: &AnnRun,
+    config: &fvae_ann::IvfConfig,
+    flat: &fvae_ann::harness::LatencySummary,
+    curve: &[fvae_ann::ParityPoint],
+) -> String {
+    let points: Vec<String> = curve
+        .iter()
+        .map(|p| {
+            let mut o = fvae_obs::JsonObj::new();
+            o.usize("nprobe", p.nprobe)
+                .f64("recall_at_k", p.recall_at_k)
+                .f64("mean_distance_evals", p.mean_distance_evals)
+                .f64("distance_frac", p.distance_frac)
+                .f64("mean_code_evals", p.mean_code_evals)
+                .f64("p50_us", p.p50_us)
+                .f64("p99_us", p.p99_us);
+            o.finish()
+        })
+        .collect();
+    let mut obj = fvae_obs::JsonObj::new();
+    obj.str("bench", "ann_recall")
+        .str("git_rev", &fvae_obs::provenance::git_rev())
+        .bool("dirty", fvae_obs::provenance::git_dirty())
+        .str("source", run.source)
+        .usize("n", run.n)
+        .usize("dim", run.dim)
+        .usize("k", run.k)
+        .usize("queries", run.n_queries)
+        .usize("nlist", config.nlist)
+        .usize("pq_m", config.pq_m)
+        .usize("rerank", config.rerank)
+        .usize("default_nprobe", config.default_nprobe)
+        .obj("flat", |o| {
+            o.f64("p50_us", flat.p50_us)
+                .f64("p99_us", flat.p99_us)
+                .f64("mean_distance_evals", flat.mean_distance_evals);
+        })
+        .raw_arr("curve", &points);
+    let mut json = obj.finish();
+    json.push('\n');
+    json
+}
+
+/// Recall@k parity harness (`fvae_ann::recall_parity` as a command): builds
+/// the exhaustive flat reference and the adaptive IVF-PQ index over the
+/// same corpus, sweeps `nprobe`, and reports recall@k against the exact
+/// ground truth next to the distance budget each point spent. The IVF index
+/// is always built here — even below the `auto_build` flat threshold —
+/// because measuring it against the flat scan is the command's whole point.
+fn ann(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "store", "synth", "dim", "clusters", "seed", "k", "queries", "nprobes", "out-index",
+        "json",
+    ])?;
+    let (source, dim, ids, data) = match (args.optional("store"), args.optional("synth")) {
+        (Some(path), None) => {
+            let raw = std::fs::read(path).map_err(|e| format!("cannot read store {path}: {e}"))?;
+            let file = fvae_ann::io::read_embeddings(&raw[..])
+                .map_err(|e| format!("cannot decode store {path}: {e}"))?;
+            (path.to_string(), file.dim, file.ids, file.data)
+        }
+        (None, Some(_)) => {
+            let n: usize = args.get_or("synth", 0usize)?;
+            let dim: usize = args.get_or("dim", 16usize)?;
+            let clusters: usize = args.get_or("clusters", 32usize)?;
+            let seed: u64 = args.get_or("seed", 42u64)?;
+            if n == 0 || dim == 0 || clusters == 0 {
+                return Err("--synth/--dim/--clusters must be positive".to_string());
+            }
+            let (ids, data) = fvae_ann::synth_clustered(n, dim, clusters, seed);
+            let source = format!("synth(n={n}, dim={dim}, clusters={clusters}, seed={seed})");
+            (source, dim, ids, data)
+        }
+        _ => return Err("pass exactly one of --store STORE or --synth N".to_string()),
+    };
+    let n = ids.len();
+    let k: usize = args.get_or("k", 10usize)?;
+    if k == 0 || k > n {
+        return Err(format!("--k must be in 1..={n} for this corpus"));
+    }
+    let n_queries: usize = args.get_or("queries", 100usize)?.min(n);
+    if n_queries == 0 {
+        return Err("--queries must be positive".to_string());
+    }
+    let queries = &data[..n_queries * dim];
+
+    let flat = fvae_ann::FlatIndex::build(dim, &ids, &data).map_err(|e| format!("flat build: {e}"))?;
+    let config = fvae_ann::adaptive_ivf_config(n, dim);
+    let ivf = fvae_ann::IvfIndex::build(dim, &ids, &data, config)
+        .map_err(|e| format!("ivf build: {e}"))?;
+
+    let nprobes = match args.get_usize_list("nprobes")? {
+        Some(list) => {
+            let mut list = list;
+            list.retain(|&p| p >= 1 && p <= config.nlist);
+            if list.is_empty() {
+                return Err(format!("--nprobes has no entry in 1..={}", config.nlist));
+            }
+            list
+        }
+        None => {
+            let mut list =
+                vec![1, 2, 4, config.default_nprobe, config.nlist / 2, config.nlist];
+            list.retain(|&p| p >= 1 && p <= config.nlist);
+            list.sort_unstable();
+            list.dedup();
+            list
+        }
+    };
+
+    let flat_lat = fvae_ann::harness::measure_latency(&flat, queries, k);
+    let curve = fvae_ann::recall_parity(&flat, &ivf, queries, k, &nprobes);
+
+    let mut out = format!(
+        "ann parity over {source}\n\
+         corpus: {n} vectors of dim {dim}; {n_queries} queries, k = {k}\n\
+         ivf: nlist {} pq_m {} rerank {} (default nprobe {})\n\
+         flat scan: p50 {:.1}us p99 {:.1}us ({:.0} distance evals/query)\n\
+         nprobe  recall@{k:<3} dist-evals  frac    p50us    p99us\n",
+        config.nlist,
+        config.pq_m,
+        config.rerank,
+        config.default_nprobe,
+        flat_lat.p50_us,
+        flat_lat.p99_us,
+        flat_lat.mean_distance_evals,
+    );
+    for p in &curve {
+        out.push_str(&format!(
+            "{:>6}  {:<10.4} {:<11.1} {:<7.3} {:<8.1} {:<8.1}\n",
+            p.nprobe, p.recall_at_k, p.mean_distance_evals, p.distance_frac, p.p50_us, p.p99_us
+        ));
+    }
+    if let Some(path) = args.optional("json") {
+        let run = AnnRun { source: &source, dim, n, k, n_queries };
+        let json = ann_report_json(&run, &config, &flat_lat, &curve);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("report: {path}\n"));
+    }
+    if let Some(path) = args.optional("out-index") {
+        let encoded = fvae_ann::encode_index(&fvae_ann::AnyIndex::Ivf(ivf));
+        std::fs::write(path, &encoded).map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!("index: {path} ({} bytes)\n", encoded.len()));
+    }
+    Ok(out)
+}
+
 /// Serves online embeddings from the newest checkpoint in a directory,
 /// blocking until a client sends a `Shutdown` frame.
 fn serve(args: &Args) -> Result<String, String> {
     args.expect_only(&[
         "checkpoint-dir", "host", "port", "threads", "batch-size", "max-wait-us",
-        "queue-capacity", "cache-capacity", "port-file", "quant",
+        "queue-capacity", "cache-capacity", "port-file", "quant", "embeddings",
     ])?;
     if let Some(raw) = args.optional("threads") {
         let threads: usize = raw
@@ -418,6 +588,7 @@ fn serve(args: &Args) -> Result<String, String> {
             .parse()
             .map_err(|e| format!("flag --quant: {e}"))?;
     }
+    cfg.embeddings = args.optional("embeddings").map(Into::into);
     let mut server = fvae_serve::Server::start(cfg).map_err(|e| format!("cannot serve: {e}"))?;
     let addr = server.addr();
     let mode = if server.quantized() { "int8" } else { "f32" };
@@ -527,9 +698,23 @@ fn parse_rows(spec: &str) -> Result<Vec<fvae_serve::FieldRow>, String> {
 /// ping, fetch metrics/info, dump the trace ring, trigger a reload, or
 /// request shutdown.
 fn embed_client(args: &Args) -> Result<String, String> {
-    args.expect_only(&["addr", "rows", "ping", "metrics", "reload", "shutdown", "info", "trace"])?;
+    args.expect_only(&[
+        "addr", "rows", "ping", "metrics", "reload", "shutdown", "info", "trace", "nearest", "k",
+    ])?;
     let addr = args.required("addr")?;
     let rows = args.optional("rows").map(parse_rows).transpose()?;
+    let nearest_query: Option<Vec<f32>> = args
+        .optional("nearest")
+        .map(|spec| {
+            spec.split(',')
+                .map(|tok| {
+                    tok.trim()
+                        .parse::<f32>()
+                        .map_err(|_| format!("--nearest: bad component '{tok}'"))
+                })
+                .collect()
+        })
+        .transpose()?;
     let mut client = fvae_serve::Client::connect(addr)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let mut out = String::new();
@@ -547,6 +732,20 @@ fn embed_client(args: &Args) -> Result<String, String> {
             }
             fvae_serve::EmbedOutcome::Overloaded => out.push_str("overloaded (retry)\n"),
             fvae_serve::EmbedOutcome::Error { code, msg } => {
+                return Err(format!("server rejected the request ({code}): {msg}"))
+            }
+        }
+    }
+    if let Some(query) = nearest_query {
+        let k: u32 = args.get_or("k", 10u32)?;
+        match client.nearest(&query, k).map_err(|e| format!("nearest failed: {e}"))? {
+            fvae_serve::NearestOutcome::Neighbors { index_id, neighbors } => {
+                out.push_str(&format!("index {index_id:#018x}\n"));
+                for (id, score) in neighbors {
+                    out.push_str(&format!("  user {id:<8} distance² {:.4}\n", -score));
+                }
+            }
+            fvae_serve::NearestOutcome::Error { code, msg } => {
                 return Err(format!("server rejected the request ({code}): {msg}"))
             }
         }
@@ -588,7 +787,7 @@ fn embed_client(args: &Args) -> Result<String, String> {
     }
     if out.is_empty() {
         return Err(
-            "nothing to do: pass --rows/--ping/--metrics/--info/--trace/--reload/--shutdown"
+            "nothing to do: pass --rows/--nearest/--ping/--metrics/--info/--trace/--reload/--shutdown"
                 .to_string(),
         );
     }
@@ -999,6 +1198,136 @@ mod tests {
         scored.sort_by(|a, b| fvae_tensor::ops::nan_last_desc(a.0, b.0));
         let want: Vec<u64> = scored.iter().take(5).map(|&(_, u)| u).collect();
         assert_eq!(got, want, "top-k neighbors changed by the encoder routing");
+    }
+
+    #[test]
+    fn ann_harness_sweeps_and_emits_report() {
+        use fvae_ann::AnnIndex as _;
+        use fvae_obs::Value;
+        let json_path = tmp("ann_bench.json");
+        let index_path = tmp("ann_index.bin");
+
+        // Synthetic corpus: deterministic, no training required.
+        let out = run(&args(&format!(
+            "ann --synth 1500 --dim 16 --clusters 12 --seed 3 --k 10 --queries 60 \
+             --json {json_path} --out-index {index_path}"
+        )))
+        .expect("ann");
+        assert!(out.contains("1500 vectors of dim 16"), "got: {out}");
+        assert!(out.contains("recall@10"), "got: {out}");
+
+        let text = std::fs::read_to_string(&json_path).expect("report written");
+        let doc = fvae_obs::parse(&text).expect("report is valid JSON");
+        assert_eq!(doc.get("bench").and_then(Value::as_str), Some("ann_recall"));
+        assert!(doc.get("git_rev").and_then(Value::as_str).is_some());
+        assert_eq!(doc.get("n").and_then(Value::as_u64), Some(1500));
+        let curve = match doc.get("curve") {
+            Some(Value::Arr(points)) if !points.is_empty() => points,
+            other => panic!("curve missing: {other:?}"),
+        };
+        // The last (widest) sweep point probes every list: recall must be
+        // exact there, and every point must undercut the flat scan.
+        let last = curve.last().expect("points");
+        assert_eq!(last.get("recall_at_k").and_then(Value::as_f64), Some(1.0));
+        for p in curve {
+            let frac = p.get("distance_frac").and_then(Value::as_f64).expect("frac");
+            assert!(frac < 1.0, "a sweep point cost as much as the flat scan");
+        }
+
+        // The emitted index decodes and answers (exact at full probe width).
+        let raw = std::fs::read(&index_path).expect("index written");
+        let index = fvae_ann::decode_index(&raw[..]).expect("index decodes");
+        assert_eq!(index.len(), 1500);
+
+        // A store file from `fvae embed`'s format works as input too.
+        let store_path = tmp("ann_store.bin");
+        let (ids, data) = fvae_ann::synth_clustered(500, 8, 6, 7);
+        std::fs::write(&store_path, fvae_ann::io::write_embeddings(8, &ids, &data))
+            .expect("store");
+        let out = run(&args(&format!("ann --store {store_path} --k 5 --queries 20")))
+            .expect("ann over store");
+        assert!(out.contains("500 vectors of dim 8"), "got: {out}");
+
+        let err = run(&args("ann --k 10")).expect_err("no corpus");
+        assert!(err.contains("--store") && err.contains("--synth"), "got: {err}");
+        let err = run(&args("ann --synth 100 --k 101")).expect_err("k too big");
+        assert!(err.contains("--k"), "got: {err}");
+        let err = run(&args("ann --synth 100 --nprobes 0")).expect_err("bad nprobes");
+        assert!(err.contains("--nprobes"), "got: {err}");
+    }
+
+    #[test]
+    fn serve_with_embeddings_answers_nearest_over_tcp() {
+        use std::time::{Duration, Instant};
+        let ds_path = tmp("nn_ds.bin");
+        let model_path = tmp("nn_model.bin");
+        let ckpt_dir = tmp("nn_ckpt");
+        let store_path = tmp("nn_store.bin");
+        let port_file = tmp("nn_port");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let _ = std::fs::remove_file(&port_file);
+        run(&args(&format!(
+            "generate --preset sc-small --users 128 --seed 31 --out {ds_path}"
+        )))
+        .expect("generate");
+        run(&args(&format!(
+            "train --data {ds_path} --out {model_path} --epochs 1 --batch 64 --latent 8 \
+             --quiet true --checkpoint-dir {ckpt_dir} --checkpoint-every 2"
+        )))
+        .expect("train");
+        // The store `serve --embeddings` loads is the one `embed` writes.
+        run(&args(&format!(
+            "embed --data {ds_path} --model {model_path} --out {store_path}"
+        )))
+        .expect("embed");
+
+        let server = {
+            let line = format!(
+                "serve --checkpoint-dir {ckpt_dir} --port 0 --port-file {port_file} \
+                 --batch-size 4 --max-wait-us 500 --embeddings {store_path}"
+            );
+            std::thread::spawn(move || run(&args(&line)))
+        };
+        let addr = {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&port_file) {
+                    if text.trim().contains(':') {
+                        break text.trim().to_string();
+                    }
+                }
+                assert!(Instant::now() < deadline, "server never published its port");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+
+        // Query with user 3's own embedding: its nearest neighbour is itself
+        // at distance 0.
+        let bytes = std::fs::read(&store_path).expect("store bytes");
+        let store = EmbeddingStore::from_bytes(Bytes::from(bytes)).expect("store");
+        let query: Vec<String> =
+            store.get(3).expect("user 3").iter().map(|v| format!("{v}")).collect();
+        let out = run(&args(&format!(
+            "embed-client --addr {addr} --nearest {} --k 5",
+            query.join(",")
+        )))
+        .expect("nearest");
+        assert!(out.contains("index 0x"), "got: {out}");
+        let first = out.lines().nth(1).expect("first neighbour");
+        assert!(first.contains("user 3"), "self not nearest: {out}");
+        assert!(first.contains("distance² 0.0000"), "got: {out}");
+        assert_eq!(out.lines().count(), 6, "k=5 neighbours plus header: {out}");
+
+        let err = run(&args(&format!("embed-client --addr {addr} --nearest 1.0 --k 5")))
+            .expect_err("dim mismatch");
+        assert!(err.contains("does not match store dim"), "got: {err}");
+        let err = run(&args(&format!("embed-client --addr {addr} --nearest 1.0,x")))
+            .expect_err("bad spec");
+        assert!(err.contains("bad component"), "got: {err}");
+
+        run(&args(&format!("embed-client --addr {addr} --shutdown true"))).expect("shutdown");
+        server.join().expect("server thread").expect("serve result");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     #[test]

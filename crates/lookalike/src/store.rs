@@ -116,16 +116,25 @@ impl EmbeddingStore {
             return Err(DecodeError::Truncated);
         }
         let dim = buf.get_u64_le() as usize;
-        let n = buf.get_u64_le() as usize;
-        let store = EmbeddingStore::new(dim.max(1));
+        // Validate *before* constructing: `EmbeddingStore::new` asserts a
+        // positive dim, and hostile input must surface as a typed error,
+        // not a panic (or a silently clamped dim-1 store).
         if dim == 0 {
             return Err(DecodeError::Invalid("zero embedding dim".into()));
         }
+        let n = buf.get_u64_le() as usize;
+        let store = EmbeddingStore::new(dim);
         for _ in 0..n {
             if buf.remaining() < 8 + dim * 4 {
                 return Err(DecodeError::Truncated);
             }
             let user = buf.get_u64_le();
+            // `to_bytes` never writes a user twice; a duplicate here means
+            // a corrupt or hand-forged file, and silently keeping the last
+            // occurrence would mask it (and break the declared count).
+            if store.contains(user) {
+                return Err(DecodeError::Invalid(format!("duplicate user id {user}")));
+            }
             let mut e = Vec::with_capacity(dim);
             for _ in 0..dim {
                 e.push(buf.get_f32_le());
@@ -192,6 +201,58 @@ mod tests {
             EmbeddingStore::from_bytes(cut),
             Err(DecodeError::Truncated)
         ));
+    }
+
+    #[test]
+    fn zero_dim_is_rejected_without_panicking() {
+        // A forged header with dim = 0 must be a typed decode error; the
+        // old path constructed the store (with dim clamped to 1) first,
+        // which turned hostile input into an assert in `new`.
+        let mut buf = BytesMut::new();
+        put_header(&mut buf);
+        buf.put_u64_le(0); // dim
+        buf.put_u64_le(3); // entries
+        match EmbeddingStore::from_bytes(buf.freeze()) {
+            Err(DecodeError::Invalid(msg)) => assert_eq!(msg, "zero embedding dim"),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("zero-dim store accepted"),
+        }
+    }
+
+    #[test]
+    fn duplicate_user_ids_are_rejected() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf);
+        buf.put_u64_le(2); // dim
+        buf.put_u64_le(2); // entries
+        for _ in 0..2 {
+            buf.put_u64_le(7);
+            buf.put_f32_le(1.0);
+            buf.put_f32_le(2.0);
+        }
+        match EmbeddingStore::from_bytes(buf.freeze()) {
+            Err(DecodeError::Invalid(msg)) => assert_eq!(msg, "duplicate user id 7"),
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("duplicate user ids accepted"),
+        }
+    }
+
+    #[test]
+    fn byte_layout_locked_to_fvae_ann_io() {
+        // `fvae_ann::io` re-implements this file format over flat slices
+        // (the `nearest` RPC reads embedding files without the lock
+        // shards); the two implementations must stay byte-identical.
+        let store = EmbeddingStore::new(3);
+        for u in [4u64, 9, 11, 30] {
+            store.put(u, vec![u as f32, 0.5, -(u as f32)]);
+        }
+        let via_store = store.to_bytes();
+        let ids = [4u64, 9, 11, 30];
+        let data: Vec<f32> = ids.iter().flat_map(|&u| [u as f32, 0.5, -(u as f32)]).collect();
+        let via_ann = fvae_ann::io::write_embeddings(3, &ids, &data);
+        assert_eq!(via_store.as_ref(), via_ann.as_ref(), "embedding file formats diverged");
+        let file = fvae_ann::io::read_embeddings(via_store).expect("ann reads store bytes");
+        assert_eq!(file.ids, ids);
     }
 
     #[test]

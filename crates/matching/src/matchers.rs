@@ -1,5 +1,6 @@
 //! Matching strategies: each turns a user query into scored item candidates.
 
+use fvae_ann::AnnIndex;
 use fvae_core::Fvae;
 use fvae_data::MultiFieldDataset;
 use fvae_sparse::FastHashMap;
@@ -138,6 +139,55 @@ impl Matcher for EmbeddingMatcher<'_> {
     }
 }
 
+/// ANN-backed matching: recalls items whose embeddings are nearest the
+/// query's latent, through an `fvae-ann` index instead of an exhaustive
+/// scan. The item tower is whatever the caller supplies — typically pooled
+/// tag embeddings or a frozen co-trained item matrix — so this matcher stays
+/// decoupled from the decoder, unlike [`EmbeddingMatcher`].
+pub struct AnnMatcher {
+    index: fvae_ann::AnyIndex,
+}
+
+impl AnnMatcher {
+    /// Indexes `(item id, embedding)` pairs. Below the flat threshold scale
+    /// an exhaustive index is the honest choice; callers at catalogue scale
+    /// pass `ivf = true` to force the IVF path regardless of size.
+    ///
+    /// Returns an error on inconsistent input (duplicate ids, dim mismatch,
+    /// empty catalogue with `ivf`).
+    pub fn new(dim: usize, items: &[(u32, Vec<f32>)], ivf: bool) -> Result<Self, String> {
+        let ids: Vec<u64> = items.iter().map(|&(id, _)| id as u64).collect();
+        let mut data = Vec::with_capacity(items.len() * dim);
+        for (_, e) in items {
+            if e.len() != dim {
+                return Err(format!("item embedding has dim {}, wanted {dim}", e.len()));
+            }
+            data.extend_from_slice(e);
+        }
+        let index = if ivf {
+            let config = fvae_ann::adaptive_ivf_config(items.len(), dim);
+            fvae_ann::AnyIndex::Ivf(fvae_ann::IvfIndex::build(dim, &ids, &data, config)?)
+        } else {
+            fvae_ann::auto_build(dim, &ids, &data)?
+        };
+        Ok(Self { index })
+    }
+}
+
+impl Matcher for AnnMatcher {
+    fn name(&self) -> &'static str {
+        "ann-match"
+    }
+
+    fn recall(&self, query: &UserQuery, k: usize) -> Vec<(u32, f32)> {
+        self.index
+            .search(&query.embedding, k)
+            .into_iter()
+            .map(|n| (n.id as u32, n.score))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +235,45 @@ mod tests {
         let matcher = TagMatcher::new(&catalog);
         assert_eq!(matcher.recall(&query(&[(2, 1.0)]), 1).len(), 1);
         assert!(matcher.recall(&query(&[(9, 1.0)]), 5).is_empty());
+    }
+
+    #[test]
+    fn ann_matcher_recalls_nearest_items() {
+        let items: Vec<(u32, Vec<f32>)> =
+            (0..20).map(|i| (100 + i, vec![i as f32, 0.0])).collect();
+        let matcher = AnnMatcher::new(2, &items, false).expect("build");
+        assert_eq!(matcher.name(), "ann-match");
+        let q = UserQuery { user: 0, embedding: vec![3.1, 0.0], predicted_tags: vec![] };
+        let out = matcher.recall(&q, 3);
+        assert_eq!(out.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![103, 104, 102]);
+        assert!(out[0].1 > out[1].1, "scores are -L2, best first");
+    }
+
+    #[test]
+    fn ann_matcher_ivf_agrees_with_flat_on_top_hit() {
+        let (ids, data) = fvae_ann::synth_clustered(600, 8, 10, 3);
+        let items: Vec<(u32, Vec<f32>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(row, &u)| (u as u32, data[row * 8..(row + 1) * 8].to_vec()))
+            .collect();
+        let flat = AnnMatcher::new(8, &items, false).expect("flat");
+        let ivf = AnnMatcher::new(8, &items, true).expect("ivf");
+        for probe in [0usize, 99, 599] {
+            let q = UserQuery {
+                user: 0,
+                embedding: items[probe].1.clone(),
+                predicted_tags: vec![],
+            };
+            assert_eq!(flat.recall(&q, 1)[0].0, items[probe].0);
+            assert_eq!(ivf.recall(&q, 1)[0].0, items[probe].0);
+        }
+    }
+
+    #[test]
+    fn ann_matcher_rejects_bad_input() {
+        assert!(AnnMatcher::new(2, &[(1, vec![0.0; 3])], false).is_err());
+        assert!(AnnMatcher::new(2, &[(1, vec![0.0; 2]), (1, vec![1.0; 2])], false).is_err());
     }
 
     #[test]

@@ -105,6 +105,23 @@ impl JsonObj {
         self
     }
 
+    /// Adds an array field of pre-rendered JSON values — each element must
+    /// itself be valid JSON text (e.g. [`JsonObj::finish`] output or a bare
+    /// number). This keeps the builder allocation-light for report curves
+    /// without growing a full value model.
+    pub fn raw_arr(&mut self, k: &str, elements: &[String]) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('[');
+        for (i, e) in elements.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(e);
+        }
+        buf.push(']');
+        self
+    }
+
     /// Closes the object and returns the JSON text (single line, no spaces).
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -405,6 +422,29 @@ mod tests {
             o.finish(),
             r#"{"type":"step","epoch":0,"elbo":-12.5,"ok":true,"nan":null,"phase_ns":{"fwd":120,"bwd":340}}"#
         );
+    }
+
+    #[test]
+    fn writer_emits_raw_arrays_that_parse_back() {
+        let points: Vec<String> = (0..2)
+            .map(|i| {
+                let mut p = JsonObj::new();
+                p.u64("nprobe", 1 << i).f64("recall", 0.5 + 0.25 * i as f64);
+                p.finish()
+            })
+            .collect();
+        let mut o = JsonObj::new();
+        o.str("bench", "ann").raw_arr("curve", &points).raw_arr("empty", &[]);
+        let line = o.finish();
+        let v = parse(&line).expect("valid");
+        match v.get("curve") {
+            Some(Value::Arr(items)) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[1].get("nprobe").and_then(Value::as_u64), Some(2));
+            }
+            other => panic!("curve missing: {other:?}"),
+        }
+        assert!(matches!(v.get("empty"), Some(Value::Arr(a)) if a.is_empty()));
     }
 
     #[test]

@@ -77,6 +77,26 @@ pub enum EmbedOutcome {
     },
 }
 
+/// How the server answered a nearest-neighbour request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NearestOutcome {
+    /// The top-k neighbours, best first, ties by ascending user id.
+    Neighbors {
+        /// Identity of the embedding-store index that answered (hash of
+        /// the store file bytes).
+        index_id: u64,
+        /// `(user id, score)` pairs; score is −‖query − embedding‖².
+        neighbors: Vec<(u64, f32)>,
+    },
+    /// The server rejected the request (no store loaded, dim mismatch…).
+    Error {
+        /// Machine-readable code (see [`crate::protocol::error_code`]).
+        code: u16,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
 /// Outcome of a reload request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReloadReport {
@@ -173,6 +193,26 @@ impl Client {
                 Ok(EmbedOutcome::Error { code, msg })
             }
             _ => Err(ClientError::UnexpectedReply("embed")),
+        }
+    }
+
+    /// Requests the top-`k` stored users nearest `query` (ANN retrieval
+    /// over the server's embedding store).
+    pub fn nearest(&mut self, query: &[f32], k: u32) -> Result<NearestOutcome, ClientError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.send(&Message::NearestRequest { req_id, k, query: query.to_vec() })?;
+        match self.recv()? {
+            Message::NearestReply { req_id: r, index_id, ids, scores } if r == req_id => {
+                Ok(NearestOutcome::Neighbors {
+                    index_id,
+                    neighbors: ids.into_iter().zip(scores).collect(),
+                })
+            }
+            Message::ErrorReply { req_id: r, code, msg } if r == req_id || r == 0 => {
+                Ok(NearestOutcome::Error { code, msg })
+            }
+            _ => Err(ClientError::UnexpectedReply("nearest")),
         }
     }
 

@@ -45,7 +45,7 @@ pub mod router;
 pub mod server;
 
 pub use cache::{fnv64, row_hash, EmbedCache};
-pub use client::{Client, ClientError, EmbedOutcome, ReloadReport, ServerInfo};
+pub use client::{Client, ClientError, EmbedOutcome, NearestOutcome, ReloadReport, ServerInfo};
 pub use loadgen::{run_loadgen, LatencySummary, LoadGenConfig, LoadGenReport};
 pub use protocol::{
     decode_message, encode_frame, read_frame, read_payload, write_frame, FieldRow, Message,

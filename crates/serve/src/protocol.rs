@@ -23,6 +23,12 @@ pub const MAX_FRAME_LEN: usize = 1 << 24;
 /// Hard cap on the field count of one embed request.
 pub const MAX_FIELDS: usize = 1024;
 
+/// Hard cap on the `k` of one nearest-neighbour request.
+pub const MAX_NEAREST_K: usize = 1024;
+
+/// Hard cap on the query dimensionality of one nearest-neighbour request.
+pub const MAX_NEAREST_DIM: usize = 4096;
+
 /// One sparse field row: parallel feature ids and weights.
 pub type FieldRow = (Vec<u64>, Vec<f32>);
 
@@ -62,6 +68,8 @@ const KIND_TRACE_REPLY: u8 = 0x0e;
 const KIND_INFO_REQUEST: u8 = 0x0f;
 const KIND_INFO_REPLY: u8 = 0x10;
 const KIND_RELOAD_TO_REQUEST: u8 = 0x11;
+const KIND_NEAREST_REQUEST: u8 = 0x12;
+const KIND_NEAREST_REPLY: u8 = 0x13;
 
 /// Everything that can travel over a serve connection, in both directions.
 #[derive(Clone, Debug, PartialEq)]
@@ -151,6 +159,31 @@ pub enum Message {
         /// Chrome `trace_event` JSON — loadable in `chrome://tracing` /
         /// Perfetto.
         json: String,
+    },
+    /// Client → server: the top-`k` users nearest a query embedding, from
+    /// the ANN index over the server's loaded embedding store.
+    NearestRequest {
+        /// Client-chosen correlation id, echoed in the reply.
+        req_id: u64,
+        /// How many neighbours to return (capped at [`MAX_NEAREST_K`]).
+        k: u32,
+        /// The query embedding; must match the store's dimensionality.
+        query: Vec<f32>,
+    },
+    /// Server → client: the neighbours for `req_id`, best first, ties by
+    /// ascending user id.
+    NearestReply {
+        /// Echo of the request id.
+        req_id: u64,
+        /// Identity of the index that answered (hash of the embedding-store
+        /// bytes it was built from) — the reload-atomicity witness: every
+        /// id/score in this reply came from the *one* index with this
+        /// identity.
+        index_id: u64,
+        /// Neighbour user ids, best first.
+        ids: Vec<u64>,
+        /// Parallel scores (−‖query − embedding‖², higher is closer).
+        scores: Vec<f32>,
     },
     /// Ask the server to describe the model it is serving (so clients —
     /// `fvae loadgen` in particular — can shape valid requests without
@@ -379,6 +412,35 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, ProtoError> {
         KIND_RELOAD_TO_REQUEST => {
             Message::ReloadToRequest { ckpt_id: rd.u64("target checkpoint id")? }
         }
+        KIND_NEAREST_REQUEST => {
+            let req_id = rd.u64("request id")?;
+            let k = rd.u32("neighbour count")?;
+            if k as usize > MAX_NEAREST_K {
+                return Err(ProtoError::Malformed("k over limit"));
+            }
+            let dim = rd.u32("query dim")? as usize;
+            if dim > MAX_NEAREST_DIM {
+                return Err(ProtoError::Malformed("query dim over limit"));
+            }
+            let query = rd.f32s(dim, "query embedding")?;
+            Message::NearestRequest { req_id, k, query }
+        }
+        KIND_NEAREST_REPLY => {
+            let req_id = rd.u64("request id")?;
+            let index_id = rd.u64("index id")?;
+            let n = rd.u32("neighbour count")? as usize;
+            if n > MAX_NEAREST_K {
+                return Err(ProtoError::Malformed("neighbour count over limit"));
+            }
+            // One combined check so neither vector is reserved unless both
+            // fit in the remaining body.
+            if rd.remaining() < n.saturating_mul(12) {
+                return Err(ProtoError::Truncated { context: "neighbour rows" });
+            }
+            let ids = rd.u64s(n, "neighbour ids")?;
+            let scores = rd.f32s(n, "neighbour scores")?;
+            Message::NearestReply { req_id, index_id, ids, scores }
+        }
         KIND_SHUTDOWN => Message::Shutdown,
         KIND_SHUTDOWN_ACK => Message::ShutdownAck,
         KIND_TRACE_REQUEST => Message::TraceRequest,
@@ -487,6 +549,41 @@ pub fn encode_frame(msg: &Message, out: &mut Vec<u8>) -> Result<(), ProtoError> 
         Message::ReloadToRequest { ckpt_id } => {
             out.push(KIND_RELOAD_TO_REQUEST);
             out.extend_from_slice(&ckpt_id.to_le_bytes());
+        }
+        Message::NearestRequest { req_id, k, query } => {
+            out.push(KIND_NEAREST_REQUEST);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            if *k as usize > MAX_NEAREST_K {
+                return Err(ProtoError::Malformed("k over limit"));
+            }
+            out.extend_from_slice(&k.to_le_bytes());
+            if query.len() > MAX_NEAREST_DIM {
+                return Err(ProtoError::Malformed("query dim over limit"));
+            }
+            let dim = u32::try_from(query.len()).expect("fits: capped at MAX_NEAREST_DIM");
+            out.extend_from_slice(&dim.to_le_bytes());
+            for v in query {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Message::NearestReply { req_id, index_id, ids, scores } => {
+            out.push(KIND_NEAREST_REPLY);
+            out.extend_from_slice(&req_id.to_le_bytes());
+            out.extend_from_slice(&index_id.to_le_bytes());
+            if ids.len() != scores.len() {
+                return Err(ProtoError::Malformed("ids/scores length mismatch"));
+            }
+            if ids.len() > MAX_NEAREST_K {
+                return Err(ProtoError::Malformed("neighbour count over limit"));
+            }
+            let n = u32::try_from(ids.len()).expect("fits: capped at MAX_NEAREST_K");
+            out.extend_from_slice(&n.to_le_bytes());
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            for s in scores {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
         }
         Message::Shutdown => out.push(KIND_SHUTDOWN),
         Message::ShutdownAck => out.push(KIND_SHUTDOWN_ACK),
@@ -613,6 +710,14 @@ mod tests {
             Message::TraceReply { json: "{\"traceEvents\":[]}".into() },
             Message::InfoRequest,
             Message::InfoReply { n_fields: 2, latent_dim: 8, ckpt_id: 0xbeef, quantized: true },
+            Message::NearestRequest { req_id: 11, k: 10, query: vec![0.25, -1.5, f32::MAX] },
+            Message::NearestRequest { req_id: 12, k: 0, query: vec![] },
+            Message::NearestReply {
+                req_id: 11,
+                index_id: 0xfeed_f00d,
+                ids: vec![3, 9, u64::MAX],
+                scores: vec![-0.0, -1.25, f32::NEG_INFINITY],
+            },
         ];
         for msg in &msgs {
             assert_eq!(&roundtrip(msg), msg);
@@ -653,6 +758,55 @@ mod tests {
         assert_eq!(
             decode_message(&body),
             Err(ProtoError::Truncated { context: "field row" })
+        );
+    }
+
+    #[test]
+    fn hostile_nearest_counts_rejected_before_allocating() {
+        // A nearest reply declaring u32::MAX neighbours inside a tiny frame
+        // must fail on the k cap (or the combined remaining check), never by
+        // reserving gigabytes.
+        let mut body = vec![KIND_NEAREST_REPLY];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_message(&body),
+            Err(ProtoError::Malformed("neighbour count over limit"))
+        );
+        // Same for a request's query dim.
+        let mut body = vec![KIND_NEAREST_REQUEST];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_message(&body),
+            Err(ProtoError::Malformed("query dim over limit"))
+        );
+    }
+
+    #[test]
+    fn nearest_encode_enforces_caps_and_pairing() {
+        let mut buf = Vec::new();
+        let msg = Message::NearestReply { req_id: 1, index_id: 2, ids: vec![1], scores: vec![] };
+        assert_eq!(
+            encode_frame(&msg, &mut buf),
+            Err(ProtoError::Malformed("ids/scores length mismatch"))
+        );
+        let msg = Message::NearestRequest {
+            req_id: 1,
+            k: (MAX_NEAREST_K + 1) as u32,
+            query: vec![0.0],
+        };
+        assert_eq!(encode_frame(&msg, &mut buf), Err(ProtoError::Malformed("k over limit")));
+        let msg = Message::NearestRequest {
+            req_id: 1,
+            k: 1,
+            query: vec![0.0; MAX_NEAREST_DIM + 1],
+        };
+        assert_eq!(
+            encode_frame(&msg, &mut buf),
+            Err(ProtoError::Malformed("query dim over limit"))
         );
     }
 

@@ -853,6 +853,21 @@ fn connection_loop(shared: &Arc<RouterShared>, mut stream: TcpStream) {
                     return;
                 }
             }
+            Message::NearestRequest { req_id, k, query } => {
+                let trace_id = trace.next_trace_id();
+                let decode_dur = trace.now_ns().saturating_sub(decode_start);
+                trace.record(trace_id, RT_DECODE, decode_start, decode_dur);
+                shared.metrics.stage_ns[RT_DECODE].record(decode_dur);
+                let reply = route_nearest(shared, trace_id, req_id, k, query, &mut candidates);
+                let write_start = trace.now_ns();
+                let res = write_frame(&mut stream, &reply, &mut wbuf);
+                let write_dur = trace.now_ns().saturating_sub(write_start);
+                trace.record(trace_id, RT_REPLY_WRITE, write_start, write_dur);
+                shared.metrics.stage_ns[RT_REPLY_WRITE].record(write_dur);
+                if res.is_err() {
+                    return;
+                }
+            }
             Message::Ping { token } => {
                 if write_frame(&mut stream, &Message::Pong { token }, &mut wbuf).is_err() {
                     return;
@@ -931,6 +946,16 @@ fn connection_loop(shared: &Arc<RouterShared>, mut stream: TcpStream) {
 // Routing
 // ---------------------------------------------------------------------------
 
+/// True when `reply` is the success kind answering `request` (matching
+/// request id) — the one reply kind the router forwards downstream as-is.
+fn reply_answers(request: &Message, reply: &Message, req_id: u64) -> bool {
+    match (request, reply) {
+        (Message::EmbedRequest { .. }, Message::EmbedReply { req_id: r, .. }) => *r == req_id,
+        (Message::NearestRequest { .. }, Message::NearestReply { req_id: r, .. }) => *r == req_id,
+        _ => false,
+    }
+}
+
 /// Routes one embed request: hash → ring preference order → first healthy
 /// shard that answers, failing over on shard errors. Exactly one reply on
 /// every path.
@@ -957,10 +982,52 @@ fn route_embed(
         };
     }
     let hash = row_hash(&fields);
-    ring_candidates(&shared.ring, shared.shards.len(), hash, candidates);
     // Built once and reused verbatim across failover attempts — the reply
     // must carry the downstream client's request id either way.
     let msg = Message::EmbedRequest { req_id, fields };
+    forward_with_failover(shared, trace_id, req_id, started, route_start, hash, msg, candidates)
+}
+
+/// Routes one nearest-neighbour request. Every shard indexes the full
+/// embedding store, so the ring hash (over the query bits and `k`) only
+/// picks a stable preference order; any shard can answer, and failover
+/// walks the same ring as embed requests.
+fn route_nearest(
+    shared: &Arc<RouterShared>,
+    trace_id: u64,
+    req_id: u64,
+    k: u32,
+    query: Vec<f32>,
+    candidates: &mut Vec<u32>,
+) -> Message {
+    shared.metrics.requests.inc();
+    let started = Instant::now();
+    let route_start = shared.trace.now_ns();
+    let mut key = Vec::with_capacity(4 + query.len() * 4);
+    key.extend_from_slice(&k.to_le_bytes());
+    for v in &query {
+        key.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let hash = crate::cache::fnv64(&key);
+    let msg = Message::NearestRequest { req_id, k, query };
+    forward_with_failover(shared, trace_id, req_id, started, route_start, hash, msg, candidates)
+}
+
+/// The shared forwarding loop: ring preference order from `hash`, first
+/// healthy shard whose reply answers `msg` wins, shard-side errors charge
+/// health and fail over. Exactly one reply on every path.
+#[allow(clippy::too_many_arguments)]
+fn forward_with_failover(
+    shared: &Arc<RouterShared>,
+    trace_id: u64,
+    req_id: u64,
+    started: Instant,
+    route_start: u64,
+    hash: u64,
+    msg: Message,
+    candidates: &mut Vec<u32>,
+) -> Message {
+    ring_candidates(&shared.ring, shared.shards.len(), hash, candidates);
     let route_dur = shared.trace.now_ns().saturating_sub(route_start);
     shared.trace.record(trace_id, RT_ROUTE, route_start, route_dur);
     shared.metrics.stage_ns[RT_ROUTE].record(route_dur);
@@ -1009,12 +1076,12 @@ fn route_embed(
         shared.metrics.stage_ns[RT_SHARD_RPC].record(rpc_dur);
         shard.rpc_ns.record(rpc_dur);
         match result {
-            Ok(Message::EmbedReply { req_id: r, ckpt_id, embedding }) if r == req_id => {
+            Ok(reply) if reply_answers(&msg, &reply, req_id) => {
                 shard.checkin(conn);
                 shard.record_ok(&shared.metrics);
                 shared.metrics.replies_ok.inc();
                 shared.metrics.latency_us.record(started.elapsed().as_micros() as u64);
-                return Message::EmbedReply { req_id, ckpt_id, embedding };
+                return reply;
             }
             Ok(Message::Overloaded { req_id: r }) if r == req_id => {
                 // The shard is alive and answering — shed, don't sideline.

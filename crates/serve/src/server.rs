@@ -106,6 +106,11 @@ pub struct ServeConfig {
     /// Six events per traced request, newest-wins; 4096 slots ≈ the last
     /// ~680 requests.
     pub trace_capacity: usize,
+    /// Optional embedding-store file (the `EmbeddingStore::to_bytes`
+    /// format); when set, the server builds an ANN index over it at start
+    /// and answers `NearestRequest` frames. Each reload re-reads the file
+    /// and swaps in a fresh index iff its bytes changed.
+    pub embeddings: Option<PathBuf>,
     /// Test-only fault injector: while non-zero, each accepted connection
     /// decrements it and behaves as if spawning the connection thread
     /// failed (exercising the error-frame + accounting path, which real
@@ -152,6 +157,7 @@ impl ServeConfig {
             reply_timeout: Duration::from_secs(30),
             quant: QuantMode::F32,
             trace_capacity: 4096,
+            embeddings: None,
             fail_conn_spawns: Arc::new(AtomicU32::new(0)),
         }
     }
@@ -217,6 +223,10 @@ struct ServeMetrics {
     reloads: Counter,
     reload_noops: Counter,
     reload_errors: Counter,
+    nearest_requests: Counter,
+    nearest_errors: Counter,
+    /// Embedding-store index swaps on reload (unchanged bytes don't count).
+    nearest_reloads: Counter,
     /// 1 when the int8 quantized encoder is serving, 0 for f32.
     quantized: Gauge,
     /// Wall time of each batch's encoder forward (the compute core of the
@@ -247,6 +257,9 @@ impl ServeMetrics {
             reloads: registry.counter("fvae_serve_reloads"),
             reload_noops: registry.counter("fvae_serve_reload_noops"),
             reload_errors: registry.counter("fvae_serve_reload_errors"),
+            nearest_requests: registry.counter("fvae_serve_nearest_requests"),
+            nearest_errors: registry.counter("fvae_serve_nearest_errors"),
+            nearest_reloads: registry.counter("fvae_serve_nearest_reloads"),
             quantized: registry.gauge("fvae_serve_quantized"),
             encode_ns: registry.histogram("fvae_serve_encode_ns"),
             stage_ns: std::array::from_fn(|i| {
@@ -272,6 +285,55 @@ struct ModelState {
     quant: Option<QuantizedEncoder>,
     ckpt_id: u64,
     path: PathBuf,
+}
+
+/// The immutable nearest-neighbour snapshot: an ANN index over the
+/// embedding store file, plus the identity of the bytes it was built from.
+/// Swapped atomically on reload — a search runs entirely against one
+/// `Arc`'d state, so a concurrent swap can never produce a torn top-k.
+struct NearestState {
+    index: fvae_ann::AnyIndex,
+    /// FNV-1a hash of the embedding-store file bytes; stamped into every
+    /// `NearestReply` so clients (and the reload-atomicity test) can tell
+    /// exactly which index answered.
+    index_id: u64,
+}
+
+/// Decodes embedding-store bytes and builds the serving index
+/// ([`fvae_ann::auto_build`]: flat below threshold, IVF-PQ above).
+fn build_nearest_index(path: &Path, raw: &[u8]) -> Result<fvae_ann::AnyIndex, ServeError> {
+    let file = fvae_ann::io::read_embeddings(raw)
+        .map_err(|e| ServeError::Reload(format!("embedding store {}: {e}", path.display())))?;
+    fvae_ann::auto_build(file.dim, &file.ids, &file.data)
+        .map_err(|e| ServeError::Reload(format!("embedding store {}: {e}", path.display())))
+}
+
+/// Reads the embedding-store file and builds the serving index.
+fn load_nearest_state(path: &Path) -> Result<NearestState, ServeError> {
+    let raw = std::fs::read(path)?;
+    let index_id = fnv64(&raw);
+    let index = build_nearest_index(path, &raw)?;
+    Ok(NearestState { index, index_id })
+}
+
+/// Re-reads the embedding-store file (when one is configured) and swaps in
+/// a freshly built index iff the file bytes changed — the `nearest` half of
+/// a reload. The swap is a single `Arc` store: queries in flight finish on
+/// the index they started with, and no query ever sees a mix. On error the
+/// old index keeps serving.
+fn refresh_nearest(shared: &Shared) -> Result<(), ServeError> {
+    let Some(path) = &shared.cfg.embeddings else {
+        return Ok(());
+    };
+    let raw = std::fs::read(path)?;
+    let index_id = fnv64(&raw);
+    if shared.nearest.read().as_ref().map(|s| s.index_id) == Some(index_id) {
+        return Ok(()); // byte-identical store: keep the built index
+    }
+    let index = build_nearest_index(path, &raw)?;
+    *shared.nearest.write() = Some(Arc::new(NearestState { index, index_id }));
+    shared.metrics.nearest_reloads.inc();
+    Ok(())
 }
 
 /// Where one pending request's reply lands.
@@ -333,6 +395,8 @@ struct Shared {
     /// Request-span ring; also the clock and id source for tracing.
     trace: TraceBuffer,
     model: RwLock<Arc<ModelState>>,
+    /// `None` when the server was started without `--embeddings`.
+    nearest: RwLock<Option<Arc<NearestState>>>,
     queue: Mutex<VecDeque<Arc<Pending>>>,
     work_cv: Condvar,
     cache: Mutex<EmbedCache>,
@@ -376,6 +440,10 @@ impl Server {
     /// [`Server::start`] with a batch-thread probe installed (test hook).
     pub fn start_with_probe(cfg: ServeConfig, probe: Option<BatchProbe>) -> Result<Self, ServeError> {
         let state = load_model_state(&cfg.checkpoint_dir, cfg.quant)?;
+        let nearest = match &cfg.embeddings {
+            None => None,
+            Some(path) => Some(Arc::new(load_nearest_state(path)?)),
+        };
         let dim = state.encoder.latent_dim();
         let listener = TcpListener::bind((cfg.host.as_str(), cfg.port))?;
         let addr = listener.local_addr()?;
@@ -383,6 +451,7 @@ impl Server {
         let shared = Arc::new(Shared {
             trace: TraceBuffer::new(cfg.trace_capacity, TRACE_STAGES),
             model: RwLock::new(Arc::new(state)),
+            nearest: RwLock::new(nearest),
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
             work_cv: Condvar::new(),
             cache: Mutex::new(EmbedCache::new(cache_capacity, dim)),
@@ -437,6 +506,21 @@ impl Server {
     /// mode; reload preserves it).
     pub fn quantized(&self) -> bool {
         self.shared.model.read().quant.is_some()
+    }
+
+    /// Identity of the embedding-store index currently answering
+    /// `NearestRequest` frames (`None` without `--embeddings`).
+    pub fn nearest_index_id(&self) -> Option<u64> {
+        self.shared.nearest.read().as_ref().map(|s| s.index_id)
+    }
+
+    /// In-process nearest-neighbour query against the same index the
+    /// `NearestRequest` frame is answered from, or `None` when no embedding
+    /// store is loaded. The RPC path must be bit-identical to this.
+    pub fn nearest(&self, query: &[f32], k: usize) -> Option<Vec<(u64, f32)>> {
+        use fvae_ann::AnnIndex as _;
+        let state = Arc::clone(self.shared.nearest.read().as_ref()?);
+        Some(state.index.search(query, k).into_iter().map(|n| (n.id, n.score)).collect())
     }
 
     /// Prometheus text of the server's metrics registry.
@@ -626,6 +710,13 @@ fn reload_to(shared: &Arc<Shared>, target: u64) -> Result<ReloadOutcome, ServeEr
 
 fn reload_inner(shared: &Arc<Shared>, target: Option<u64>) -> Result<ReloadOutcome, ServeError> {
     let _serialize = shared.reload_lock.lock().expect("reload mutex");
+    // The embedding-store half first: it has its own no-op detection, and a
+    // failure here (store file unreadable/corrupt) fails the reload while
+    // both the old model and the old index keep serving.
+    if let Err(e) = refresh_nearest(shared) {
+        shared.metrics.reload_errors.inc();
+        return Err(e);
+    }
     let (current_id, cur_fields, cur_dim) = {
         let model = shared.model.read();
         (model.ckpt_id, model.encoder.n_fields(), model.encoder.latent_dim())
@@ -900,6 +991,47 @@ fn handle_message(shared: &Arc<Shared>, stream: &mut TcpStream, wbuf: &mut Vec<u
                     ckpt_id: shared.model.read().ckpt_id,
                     detail: e.to_string(),
                 },
+            };
+            write_frame(stream, &reply, wbuf).is_err()
+        }
+        Message::NearestRequest { req_id, k, query } => {
+            shared.metrics.nearest_requests.inc();
+            // Clone the Arc under the read lock, search outside it: the
+            // whole query runs against one index snapshot, and a reload
+            // swapping mid-search affects later queries only.
+            let state = shared.nearest.read().as_ref().map(Arc::clone);
+            let reply = match state {
+                None => {
+                    shared.metrics.nearest_errors.inc();
+                    Message::ErrorReply {
+                        req_id,
+                        code: error_code::UNAVAILABLE,
+                        msg: "no embedding store loaded (start with --embeddings)".to_string(),
+                    }
+                }
+                Some(state) => {
+                    use fvae_ann::AnnIndex as _;
+                    if query.len() != state.index.dim() {
+                        shared.metrics.nearest_errors.inc();
+                        Message::ErrorReply {
+                            req_id,
+                            code: error_code::BAD_REQUEST,
+                            msg: format!(
+                                "query dim {} does not match store dim {}",
+                                query.len(),
+                                state.index.dim()
+                            ),
+                        }
+                    } else {
+                        let neighbors = state.index.search(&query, k as usize);
+                        Message::NearestReply {
+                            req_id,
+                            index_id: state.index_id,
+                            ids: neighbors.iter().map(|n| n.id).collect(),
+                            scores: neighbors.iter().map(|n| n.score).collect(),
+                        }
+                    }
+                }
             };
             write_frame(stream, &reply, wbuf).is_err()
         }

@@ -1,0 +1,257 @@
+//! End-to-end tests for the `nearest` RPC: the wire answer is
+//! bit-identical to querying the ANN index directly, the router forwards
+//! nearest requests with exactly one reply per request (including across
+//! shard failure), and a reload swaps the embedding-store index atomically
+//! — every reply is entirely from the old index or entirely from the new
+//! one, never a torn mix.
+
+mod common;
+
+use common::{tiny_dataset, trained_model};
+use fvae_ann::AnnIndex as _;
+use fvae_core::checkpoint::export_model_snapshot;
+use fvae_serve::protocol::error_code;
+use fvae_serve::{
+    fnv64, Client, NearestOutcome, Router, RouterConfig, ServeConfig, Server,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIM: usize = 8;
+const K: u32 = 10;
+
+/// A fresh temp dir per test (process id + name keeps parallel tests
+/// apart).
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fvae-nearest-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Exports a checkpoint and writes an embedding-store file from `seed`;
+/// returns the serve config pointing at both.
+fn store_and_config(dir: &Path, seed: u64) -> (ServeConfig, Vec<u64>, Vec<f32>) {
+    let ds = tiny_dataset(7);
+    let model = trained_model(&ds, 1);
+    export_model_snapshot(dir, &model).expect("export");
+    let (ids, data) = fvae_ann::synth_clustered(300, DIM, 8, seed);
+    let store_path = dir.join("embeddings.bin");
+    std::fs::write(&store_path, fvae_ann::io::write_embeddings(DIM, &ids, &data)).expect("write");
+    let mut cfg = ServeConfig::new(dir);
+    cfg.embeddings = Some(store_path);
+    (cfg, ids, data)
+}
+
+/// The reference answer: the same index construction the server uses,
+/// applied directly to the store file bytes.
+fn direct_answers(dir: &Path, queries: &[Vec<f32>]) -> (u64, Vec<Vec<(u64, f32)>>) {
+    let raw = std::fs::read(dir.join("embeddings.bin")).expect("read store");
+    let index_id = fnv64(&raw);
+    let file = fvae_ann::io::read_embeddings(&raw[..]).expect("decode store");
+    let index = fvae_ann::auto_build(file.dim, &file.ids, &file.data).expect("build");
+    let answers = queries
+        .iter()
+        .map(|q| index.search(q, K as usize).into_iter().map(|n| (n.id, n.score)).collect())
+        .collect();
+    (index_id, answers)
+}
+
+fn queries_from(data: &[f32], n: usize) -> Vec<Vec<f32>> {
+    (0..n).map(|q| data[q * DIM..(q + 1) * DIM].to_vec()).collect()
+}
+
+#[test]
+fn nearest_rpc_is_bit_identical_to_direct_query() {
+    let dir = temp_dir("direct");
+    let (cfg, _ids, data) = store_and_config(&dir, 11);
+    let queries = queries_from(&data, 25);
+    let (index_id, want) = direct_answers(&dir, &queries);
+
+    let mut server = Server::start(cfg).expect("start");
+    assert_eq!(server.nearest_index_id(), Some(index_id));
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (q, want) in queries.iter().zip(&want) {
+        // The wire answer…
+        match client.nearest(q, K).expect("nearest") {
+            NearestOutcome::Neighbors { index_id: got_id, neighbors } => {
+                assert_eq!(got_id, index_id);
+                assert_eq!(neighbors.len(), want.len());
+                for ((gi, gs), (wi, ws)) in neighbors.iter().zip(want) {
+                    assert_eq!(gi, wi);
+                    assert_eq!(gs.to_bits(), ws.to_bits(), "score not bit-identical");
+                }
+            }
+            other => panic!("nearest rejected: {other:?}"),
+        }
+        // …and the in-process path agree with the direct build exactly.
+        let inproc = server.nearest(q, K as usize).expect("index loaded");
+        assert_eq!(&inproc, want);
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nearest_error_paths_and_stream_alignment() {
+    let dir = temp_dir("errors");
+    let (cfg, _ids, data) = store_and_config(&dir, 13);
+    let mut server = Server::start(cfg).expect("start");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Wrong dimensionality is a BAD_REQUEST, not a dropped connection.
+    match client.nearest(&[1.0, 2.0], K).expect("reply") {
+        NearestOutcome::Error { code, .. } => assert_eq!(code, error_code::BAD_REQUEST),
+        other => panic!("dim mismatch accepted: {other:?}"),
+    }
+    // k = 0 is a valid (empty) query.
+    match client.nearest(&data[..DIM], 0).expect("reply") {
+        NearestOutcome::Neighbors { neighbors, .. } => assert!(neighbors.is_empty()),
+        other => panic!("k=0 rejected: {other:?}"),
+    }
+    // The stream stays aligned after both.
+    client.ping(99).expect("ping after nearest errors");
+    server.shutdown();
+
+    // A server started *without* an embedding store refuses with
+    // UNAVAILABLE.
+    let dir2 = temp_dir("errors-nostore");
+    let ds = tiny_dataset(7);
+    let model = trained_model(&ds, 1);
+    export_model_snapshot(&dir2, &model).expect("export");
+    let mut bare = Server::start(ServeConfig::new(&dir2)).expect("start");
+    assert_eq!(bare.nearest_index_id(), None);
+    let mut client = Client::connect(bare.addr()).expect("connect");
+    match client.nearest(&[0.0; DIM], K).expect("reply") {
+        NearestOutcome::Error { code, .. } => assert_eq!(code, error_code::UNAVAILABLE),
+        other => panic!("store-less server answered: {other:?}"),
+    }
+    bare.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn router_forwards_nearest_with_exactly_one_reply_and_failover() {
+    let dir = temp_dir("router");
+    let (cfg, _ids, data) = store_and_config(&dir, 17);
+    let queries = queries_from(&data, 10);
+    let (index_id, want) = direct_answers(&dir, &queries);
+
+    // Two shards over the same checkpoint dir and store file.
+    let mut shard_a = Server::start(cfg.clone()).expect("shard a");
+    let mut shard_b = Server::start(cfg).expect("shard b");
+    let router = Router::start(RouterConfig::new(vec![
+        shard_a.addr().to_string(),
+        shard_b.addr().to_string(),
+    ]))
+    .expect("router");
+
+    let mut client = Client::connect(router.addr()).expect("connect");
+    let check_all = |client: &mut Client| {
+        for (q, want) in queries.iter().zip(&want) {
+            match client.nearest(q, K).expect("nearest via router") {
+                NearestOutcome::Neighbors { index_id: got_id, neighbors } => {
+                    assert_eq!(got_id, index_id);
+                    for ((gi, gs), (wi, ws)) in neighbors.iter().zip(want) {
+                        assert_eq!(gi, wi);
+                        assert_eq!(gs.to_bits(), ws.to_bits());
+                    }
+                }
+                other => panic!("router nearest failed: {other:?}"),
+            }
+            // Exactly one reply per request: a duplicate or dropped frame
+            // would desynchronize the stream and fail this ping.
+            client.ping(7).expect("stream aligned");
+        }
+    };
+    check_all(&mut client);
+
+    // Kill one shard; every query must still get exactly one correct
+    // reply through failover.
+    shard_b.shutdown();
+    check_all(&mut client);
+
+    drop(router);
+    shard_a.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_swaps_nearest_index_atomically_under_live_traffic() {
+    let dir = temp_dir("reload");
+    let (cfg, _ids, data_v1) = store_and_config(&dir, 23);
+    let queries = Arc::new(queries_from(&data_v1, 8));
+    let (id_v1, want_v1) = direct_answers(&dir, &queries);
+
+    let mut server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+
+    // Background traffic across the swap: every reply must match the v1
+    // index's answer or the v2 index's answer for that query *in full* —
+    // a torn top-k (some neighbours scored against old vectors, some
+    // against new) would match neither.
+    let stop = Arc::new(AtomicBool::new(false));
+    let saw_v2 = Arc::new(AtomicBool::new(false));
+    // v2: same ids, different vectors (a different cluster draw).
+    let (ids2, data_v2) = fvae_ann::synth_clustered(300, DIM, 8, 29);
+    let v2_bytes = fvae_ann::io::write_embeddings(DIM, &ids2, &data_v2).to_vec();
+    let id_v2 = fnv64(&v2_bytes);
+    assert_ne!(id_v1, id_v2);
+    let index_v2 = fvae_ann::auto_build(DIM, &ids2, &data_v2).expect("build v2");
+    let want_v2: Vec<Vec<(u64, f32)>> = queries
+        .iter()
+        .map(|q| index_v2.search(q, K as usize).into_iter().map(|n| (n.id, n.score)).collect())
+        .collect();
+
+    let traffic = {
+        let (stop, saw_v2) = (Arc::clone(&stop), Arc::clone(&saw_v2));
+        let queries = Arc::clone(&queries);
+        let (want_v1, want_v2) = (want_v1.clone(), want_v2.clone());
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            while !stop.load(Relaxed) || !saw_v2.load(Relaxed) {
+                for (qi, q) in queries.iter().enumerate() {
+                    match client.nearest(q, K).expect("nearest") {
+                        NearestOutcome::Neighbors { index_id, neighbors } => {
+                            let want = if index_id == id_v1 {
+                                &want_v1[qi]
+                            } else {
+                                assert_eq!(index_id, id_v2, "reply from an unknown index");
+                                saw_v2.store(true, Relaxed);
+                                &want_v2[qi]
+                            };
+                            assert_eq!(
+                                &neighbors, want,
+                                "query {qi}: top-k is neither wholly v1 nor wholly v2"
+                            );
+                        }
+                        other => panic!("nearest failed mid-reload: {other:?}"),
+                    }
+                }
+            }
+        })
+    };
+
+    // Let v1 serve a little, then swap the store file and reload.
+    std::thread::sleep(Duration::from_millis(30));
+    std::fs::write(dir.join("embeddings.bin"), &v2_bytes).expect("write v2");
+    let outcome = server.reload().expect("reload");
+    // The model itself did not change — the reload is a checkpoint no-op —
+    // but the nearest index must have swapped.
+    assert!(!outcome.changed);
+    assert_eq!(server.nearest_index_id(), Some(id_v2));
+
+    stop.store(true, Relaxed);
+    traffic.join().expect("traffic thread");
+    assert!(saw_v2.load(Relaxed), "swap was never observed");
+
+    // A second reload with unchanged bytes is a no-op for the index too.
+    let before = server.nearest_index_id();
+    server.reload().expect("reload 2");
+    assert_eq!(server.nearest_index_id(), before);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

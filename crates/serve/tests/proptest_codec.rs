@@ -13,7 +13,7 @@ use std::io::{self, Cursor, Read};
 /// Builds one message from drawn raw material; `kind` selects the variant.
 fn build_message(kind: usize, a: u64, b: u64, payload: &[u64], text_len: usize) -> Message {
     let text: String = "abcdefghijklmnopqrstuvwxyz".chars().cycle().take(text_len).collect();
-    match kind % 12 {
+    match kind % 14 {
         0 => Message::EmbedRequest {
             req_id: a,
             fields: payload
@@ -43,6 +43,17 @@ fn build_message(kind: usize, a: u64, b: u64, payload: &[u64], text_len: usize) 
             detail: text,
         },
         10 => Message::Shutdown,
+        11 => Message::NearestRequest {
+            req_id: a,
+            k: (b % 1025) as u32,
+            query: payload.iter().map(|&v| (v as f32) * 0.25 - 3.0).collect(),
+        },
+        12 => Message::NearestReply {
+            req_id: a,
+            index_id: b,
+            ids: payload.to_vec(),
+            scores: payload.iter().map(|&v| f32::from_bits((v as u32) | 1)).collect(),
+        },
         _ => Message::ShutdownAck,
     }
 }
@@ -61,7 +72,7 @@ proptest! {
     /// comparison, so NaN-bit embeddings roundtrip too).
     #[test]
     fn roundtrip_all_kinds(
-        kind in 0usize..12,
+        kind in 0usize..14,
         ids in (0u64..u64::MAX, 0u64..u64::MAX),
         payload in proptest::collection::vec(0u64..1_000_000, 0..32),
         text_len in 0usize..64,
@@ -79,7 +90,7 @@ proptest! {
     /// empty prefix, a clean EOF) — never a panic, never a success.
     #[test]
     fn truncation_never_panics_never_succeeds(
-        kind in 0usize..12,
+        kind in 0usize..14,
         ids in (0u64..1000, 0u64..1000),
         payload in proptest::collection::vec(0u64..1000, 0..16),
         text_len in 0usize..32,
@@ -187,7 +198,7 @@ proptest! {
     #[test]
     fn frames_reassemble_at_any_chunk_size(
         chunk in 1usize..16,
-        kinds in proptest::collection::vec(0u64..12, 1..6),
+        kinds in proptest::collection::vec(0u64..14, 1..6),
         payload in proptest::collection::vec(0u64..10_000, 0..12),
     ) {
         let msgs: Vec<Message> = kinds

@@ -116,7 +116,7 @@ pub fn put_f32_slice(buf: &mut BytesMut, data: &[f32]) {
 pub fn get_f32_vec(buf: &mut impl Buf) -> Result<Vec<f32>, DecodeError> {
     need(buf, 8)?;
     let len = buf.get_u64_le() as usize;
-    need(buf, len * 4)?;
+    need(buf, len.saturating_mul(4))?;
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(buf.get_f32_le());
@@ -137,7 +137,7 @@ pub fn put_u64_slice(buf: &mut BytesMut, data: &[u64]) {
 pub fn get_u64_vec(buf: &mut impl Buf) -> Result<Vec<u64>, DecodeError> {
     need(buf, 8)?;
     let len = buf.get_u64_le() as usize;
-    need(buf, len * 8)?;
+    need(buf, len.saturating_mul(8))?;
     let mut out = Vec::with_capacity(len);
     for _ in 0..len {
         out.push(buf.get_u64_le());
@@ -197,11 +197,11 @@ pub fn decode_csr_payload(buf: &mut impl Buf) -> Result<CsrMatrix, DecodeError> 
     need(buf, 16)?;
     let n_cols = buf.get_u64_le() as usize;
     let indptr_len = buf.get_u64_le() as usize;
-    need(buf, indptr_len * 8)?;
+    need(buf, indptr_len.saturating_mul(8))?;
     let indptr: Vec<usize> = (0..indptr_len).map(|_| buf.get_u64_le() as usize).collect();
     need(buf, 8)?;
     let nnz = buf.get_u64_le() as usize;
-    need(buf, nnz * 4)?;
+    need(buf, nnz.saturating_mul(4))?;
     let indices: Vec<u32> = (0..nnz).map(|_| buf.get_u32_le()).collect();
     let values = get_f32_vec(buf)?;
     let m = CsrMatrix::from_raw_parts_checked(n_cols, indptr, indices, values)
