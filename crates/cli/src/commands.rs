@@ -21,6 +21,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "embed" => embed(args),
         "evaluate" => evaluate(args),
         "similar" => similar(args),
+        "stream-gen" => stream_gen(args),
+        "publish" => publish(args),
         "ann" => ann(args),
         "serve" => serve(args),
         "router" => router(args),
@@ -49,6 +51,20 @@ pub fn usage() -> String {
      \x20 embed     --data DS --model MODEL --out STORE [--fields 0,1,2]\n\
      \x20 evaluate  --data DS --model MODEL [--seed S]\n\
      \x20 similar   --store STORE --user ID [--k K]\n\
+     \x20 stream-gen --preset sc|sc-small|kd|qb --out LOG [--users N] [--seed S]\n\
+     \x20           [--repeats R] [--user-base B] [--append true] [--data-out DS]\n\
+     \x20           (writes a synthetic event log; --append continues an\n\
+     \x20           existing log — e.g. a drifted phase with a new --seed and\n\
+     \x20           a disjoint --user-base; --data-out saves the matching\n\
+     \x20           dataset for schema + evaluation)\n\
+     \x20 publish   --log LOG --dir CKPT_DIR --data DS [--init-model MODEL]\n\
+     \x20           [--push A:P1,A:P2,...] [--every STEPS] [--keep N] [--batch B]\n\
+     \x20           [--max-steps N] [--poll-ms MS] [--idle-exit-ms MS]\n\
+     \x20           [--out-model MODEL] [--threads T]\n\
+     \x20           (tails LOG, trains continuously, snapshots every STEPS\n\
+     \x20           optimizer steps into CKPT_DIR, and pushes reloads to each\n\
+     \x20           serve/router address; resumes from the newest snapshot's\n\
+     \x20           saved log offset)\n\
      \x20 ann       --store STORE | --synth N [--dim D] [--clusters C] [--seed S]\n\
      \x20           [--k K] [--queries Q] [--nprobes 1,2,4,...] [--out-index IDX]\n\
      \x20           [--json BENCH_ann.json]\n\
@@ -368,6 +384,114 @@ fn evaluate(args: &Args) -> Result<String, String> {
         auc_mean.mean(),
         map_mean.mean(),
         ndcg_mean.mean()
+    ))
+}
+
+
+/// Writes (or extends) a synthetic event log: the look-alike generator's
+/// users flattened into per-user event sessions, `--repeats` passes with a
+/// reshuffled user order per pass. A second invocation with `--append
+/// true`, a new `--seed`, and a disjoint `--user-base` is the drift phase
+/// of the soak scenario.
+fn stream_gen(args: &Args) -> Result<String, String> {
+    args.expect_only(&["preset", "out", "users", "seed", "repeats", "user-base", "append", "data-out"])?;
+    let preset = args.optional("preset").unwrap_or("sc-small");
+    let mut cfg = match preset {
+        "sc" => TopicModelConfig::sc(),
+        "sc-small" => TopicModelConfig::sc_small(),
+        "kd" => TopicModelConfig::kd(),
+        "qb" => TopicModelConfig::qb(),
+        other => return Err(format!("unknown preset '{other}' (sc|sc-small|kd|qb)")),
+    };
+    cfg.n_users = args.get_or("users", cfg.n_users)?;
+    cfg.seed = args.get_or("seed", cfg.seed)?;
+    let out = args.required("out")?;
+    let repeats: usize = args.get_or("repeats", 1usize)?;
+    let user_base: u64 = args.get_or("user-base", 0u64)?;
+    let append: bool = args.get_or("append", false)?;
+    let ds = cfg.generate();
+    if let Some(path) = args.optional("data-out") {
+        ds.save(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let events = fvae_data::dataset_to_events(&ds, user_base, repeats, cfg.seed ^ 0x5eed);
+    let mut writer = if append {
+        fvae_data::EventLogWriter::open_append(out)
+    } else {
+        fvae_data::EventLogWriter::create(out)
+    }
+    .map_err(|e| format!("cannot open log {out}: {e}"))?;
+    writer.append(&events).map_err(|e| format!("cannot append to {out}: {e}"))?;
+    writer.sync().map_err(|e| format!("cannot sync {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} events ({} users x {repeats} passes, user base {user_base}) to {out} (offset {})\n",
+        events.len(),
+        ds.n_users(),
+        writer.offset()
+    ))
+}
+
+/// The continuous train→serve loop: tails an event log, trains on sealed
+/// windows, snapshots every `--every` steps, and pushes reloads to a live
+/// fleet. Restarting the command resumes from the newest snapshot's saved
+/// log offset, bit-identically to never having stopped.
+fn publish(args: &Args) -> Result<String, String> {
+    args.expect_only(&[
+        "log", "dir", "data", "init-model", "push", "every", "keep", "batch", "max-steps",
+        "poll-ms", "idle-exit-ms", "out-model", "threads",
+    ])?;
+    if let Some(raw) = args.optional("threads") {
+        let threads: usize = raw
+            .parse()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| format!("flag --threads: expected a positive count, got '{raw}'"))?;
+        fvae_pool::set_parallelism(threads);
+    }
+    let ds = load_dataset(args.required("data")?)?;
+    let names = ds.field_names().to_vec();
+    let vocabs: Vec<usize> = (0..ds.n_fields()).map(|k| ds.field_vocab(k)).collect();
+    let init_model = match args.optional("init-model") {
+        Some(path) => load_model(path)?,
+        None => Fvae::new(FvaeConfig::for_dataset(&ds)),
+    };
+    let mut cfg = fvae_serve::PublishConfig::new(args.required("log")?, args.required("dir")?);
+    if let Some(raw) = args.optional("push") {
+        cfg.push = raw.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+    }
+    cfg.snapshot_every = args.get_or("every", cfg.snapshot_every)?;
+    cfg.keep_last = args.get_or("keep", cfg.keep_last)?;
+    cfg.batch_users = args.get_or("batch", cfg.batch_users)?;
+    cfg.poll = std::time::Duration::from_millis(args.get_or("poll-ms", 10u64)?);
+    if let Some(raw) = args.optional("idle-exit-ms") {
+        let ms: u64 = raw.parse().map_err(|_| format!("flag --idle-exit-ms: bad value '{raw}'"))?;
+        cfg.idle_exit = Some(std::time::Duration::from_millis(ms));
+    }
+    let max_steps = match args.optional("max-steps") {
+        Some(raw) => {
+            Some(raw.parse::<u64>().map_err(|_| format!("flag --max-steps: bad value '{raw}'"))?)
+        }
+        None => None,
+    };
+    let registry = fvae_obs::Registry::new();
+    let mut publisher =
+        fvae_serve::Publisher::new(cfg, names, vocabs, Some(init_model))
+            .map_err(|e| format!("cannot start publisher: {e}"))?
+            .with_registry(&registry);
+    let report = publisher.run(max_steps).map_err(|e| format!("publish failed: {e}"))?;
+    if let Some(path) = args.optional("out-model") {
+        let model = publisher.into_model();
+        std::fs::write(path, model.to_bytes())
+            .map_err(|e| format!("cannot write model {path}: {e}"))?;
+    }
+    Ok(format!(
+        "published: {} steps over {} events, {} snapshots, {} pushes committed \
+         ({} failures), log offset {}\n",
+        report.steps,
+        report.events,
+        report.snapshots,
+        report.pushes_committed,
+        report.push_failures,
+        report.log_offset
     ))
 }
 

@@ -1,0 +1,146 @@
+//! Streaming CLI end-to-end: `stream-gen` → `publish` through real process
+//! invocations, including the kill-and-resume guarantee — SIGKILL the
+//! publisher mid-stream, restart it, and the final checkpoint must be
+//! **byte-identical** to a run that was never interrupted.
+
+use std::process::Command;
+use std::time::Duration;
+
+fn fvae(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fvae"))
+        .args(args)
+        .output()
+        .expect("spawn fvae binary")
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// `(file name, bytes)` of the newest checkpoint in `dir`.
+fn latest_ckpt(dir: &std::path::Path) -> (String, Vec<u8>) {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read ckpt dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf-8"))
+        .filter(|n| n.ends_with(".fvck"))
+        .collect();
+    names.sort();
+    let name = names.pop().expect("no checkpoint written");
+    let bytes = std::fs::read(dir.join(&name)).expect("read ckpt");
+    (name, bytes)
+}
+
+#[test]
+fn stream_gen_publish_and_resume() {
+    let dir = tmp_dir("fvae_cli_stream");
+    let log = dir.join("events.fvlg").to_string_lossy().into_owned();
+    let ds = dir.join("ds.bin").to_string_lossy().into_owned();
+    let ckpt = dir.join("ckpt").to_string_lossy().into_owned();
+    let model = dir.join("model.bin").to_string_lossy().into_owned();
+
+    let out = fvae(&[
+        "stream-gen", "--preset", "sc-small", "--users", "120", "--seed", "5", "--repeats", "2",
+        "--out", &log, "--data-out", &ds,
+    ]);
+    assert!(out.status.success(), "stream-gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("120 users x 2 passes"), "unexpected report: {stdout}");
+
+    // Train a capped number of steps, then resume for the rest of the log.
+    let out = fvae(&[
+        "publish", "--log", &log, "--dir", &ckpt, "--data", &ds, "--every", "2", "--batch",
+        "24", "--max-steps", "3",
+    ]);
+    assert!(out.status.success(), "publish failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("published: 3 steps"), "unexpected report: {stdout}");
+    let (first_name, _) = latest_ckpt(std::path::Path::new(&ckpt));
+
+    let out = fvae(&[
+        "publish", "--log", &log, "--dir", &ckpt, "--data", &ds, "--every", "2", "--batch",
+        "24", "--idle-exit-ms", "200", "--out-model", &model,
+    ]);
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    let (final_name, _) = latest_ckpt(std::path::Path::new(&ckpt));
+    assert!(final_name > first_name, "resume must advance past {first_name}, got {final_name}");
+    assert!(std::fs::metadata(&model).is_ok_and(|m| m.len() > 0), "--out-model must be written");
+
+    // Appending a drifted phase extends, not truncates, the log.
+    let len_before = std::fs::metadata(&log).expect("log").len();
+    let out = fvae(&[
+        "stream-gen", "--preset", "sc-small", "--users", "60", "--seed", "77", "--user-base",
+        "1000000", "--append", "true", "--out", &log,
+    ]);
+    assert!(out.status.success(), "append failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::metadata(&log).expect("log").len() > len_before);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_mid_stream_resumes_byte_identical() {
+    let dir = tmp_dir("fvae_cli_sigkill");
+    let log = dir.join("events.fvlg").to_string_lossy().into_owned();
+    let ds = dir.join("ds.bin").to_string_lossy().into_owned();
+    let ref_dir = dir.join("ref").to_string_lossy().into_owned();
+    let cut_dir = dir.join("cut").to_string_lossy().into_owned();
+
+    let out = fvae(&[
+        "stream-gen", "--preset", "sc-small", "--users", "300", "--seed", "9", "--repeats", "3",
+        "--out", &log, "--data-out", &ds,
+    ]);
+    assert!(out.status.success(), "stream-gen failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let publish_args = |ckpt_dir: &str| {
+        vec![
+            "publish".to_string(),
+            "--log".into(), log.clone(),
+            "--dir".into(), ckpt_dir.to_string(),
+            "--data".into(), ds.clone(),
+            "--every".into(), "3".into(),
+            "--batch".into(), "24".into(),
+            "--idle-exit-ms".into(), "250".into(),
+        ]
+    };
+
+    // Uninterrupted reference run.
+    let out = Command::new(env!("CARGO_BIN_EXE_fvae"))
+        .args(publish_args(&ref_dir))
+        .output()
+        .expect("spawn reference publish");
+    assert!(out.status.success(), "reference run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let (ref_name, ref_bytes) = latest_ckpt(std::path::Path::new(&ref_dir));
+
+    // Interrupted run: SIGKILL the publisher mid-stream — no flush, no
+    // graceful shutdown, whatever was in memory is gone.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fvae"))
+        .args(publish_args(&cut_dir))
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn doomed publish");
+    std::thread::sleep(Duration::from_millis(700));
+    child.kill().expect("SIGKILL the publisher");
+    let status = child.wait().expect("reap");
+    // If the run beat the kill, the resume below is a no-op and the test
+    // still checks determinism; the sleep is tuned so it normally doesn't.
+    let _ = status;
+
+    // Resume from (latest snapshot, saved log offset) and finish.
+    let out = Command::new(env!("CARGO_BIN_EXE_fvae"))
+        .args(publish_args(&cut_dir))
+        .output()
+        .expect("spawn resumed publish");
+    assert!(out.status.success(), "resumed run failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let (cut_name, cut_bytes) = latest_ckpt(std::path::Path::new(&cut_dir));
+    assert_eq!(cut_name, ref_name, "resumed run must end at the same global step");
+    assert_eq!(
+        cut_bytes, ref_bytes,
+        "final checkpoint after SIGKILL + resume must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,6 +54,7 @@ const SEC_OPTIM: u8 = 2;
 const SEC_RNG: u8 = 3;
 const SEC_PROGRESS: u8 = 4;
 const SEC_EARLY_STOP: u8 = 5;
+const SEC_STREAM: u8 = 6;
 
 /// Errors of the snapshot write/load paths.
 #[derive(Debug)]
@@ -147,7 +148,7 @@ pub struct TrainProgress {
 }
 
 impl TrainProgress {
-    fn fresh() -> Self {
+    pub(crate) fn fresh() -> Self {
         Self {
             epoch: 0,
             step_in_epoch: 0,
@@ -159,6 +160,26 @@ impl TrainProgress {
             beta: 0.0,
         }
     }
+}
+
+/// Where a *streaming* training run stands in the event log. Snapshots from
+/// the streaming trainer carry this in a `SEC_STREAM` section (older readers
+/// skip unknown tags); batch-mode snapshots simply omit it.
+///
+/// `log_offset` is the resume cursor: the byte offset *before* the first
+/// event of the window that was open when the snapshot was taken, so a
+/// resumed reader replays exactly the events the interrupted run had
+/// buffered but not yet trained on. Because batches are a pure function of
+/// consumed log bytes, resuming from this offset reproduces the
+/// uninterrupted run bit-for-bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamProgress {
+    /// Event-log byte offset to resume tailing from.
+    pub log_offset: u64,
+    /// Events consumed into sealed (trained-on) windows so far.
+    pub events: u64,
+    /// Windows sealed and trained on so far.
+    pub batches: u64,
 }
 
 /// Adam moment buffers for every parameter group, detached from the scratch
@@ -223,6 +244,7 @@ pub struct TrainSnapshot {
     pub(crate) rng_state: [u64; 4],
     pub(crate) progress: TrainProgress,
     pub(crate) early_stop: Option<EarlyStopState>,
+    pub(crate) stream: Option<StreamProgress>,
 }
 
 /// Everything a resumed run needs besides the model itself; obtained from
@@ -244,6 +266,12 @@ impl TrainSnapshot {
     /// True when the snapshot was written by the early-stopping trainer.
     pub fn is_early_stopping(&self) -> bool {
         self.early_stop.is_some()
+    }
+
+    /// Event-log position, when the snapshot came from the streaming
+    /// trainer ([`crate::StreamTrainer`]).
+    pub fn stream_progress(&self) -> Option<StreamProgress> {
+        self.stream
     }
 
     /// Splits into the restored model and the resume state for the trainer.
@@ -455,6 +483,21 @@ fn get_early_stop(buf: &mut impl Buf) -> Result<EarlyStopState, DecodeError> {
     Ok(EarlyStopState { best, strikes, stopped_early, epochs, validations })
 }
 
+fn put_stream(buf: &mut BytesMut, sp: &StreamProgress) {
+    buf.put_u64_le(sp.log_offset);
+    buf.put_u64_le(sp.events);
+    buf.put_u64_le(sp.batches);
+}
+
+fn get_stream(buf: &mut impl Buf) -> Result<StreamProgress, DecodeError> {
+    need(buf, 24)?;
+    Ok(StreamProgress {
+        log_offset: buf.get_u64_le(),
+        events: buf.get_u64_le(),
+        batches: buf.get_u64_le(),
+    })
+}
+
 /// Encodes a complete snapshot (framing + section table + CRC).
 pub(crate) fn encode_snapshot(
     model: &Fvae,
@@ -462,6 +505,18 @@ pub(crate) fn encode_snapshot(
     rng_state: [u64; 4],
     progress: &TrainProgress,
     early_stop: Option<&EarlyStopState>,
+) -> Bytes {
+    encode_snapshot_with_stream(model, opt, rng_state, progress, early_stop, None)
+}
+
+/// [`encode_snapshot`] plus the streaming trainer's `SEC_STREAM` section.
+pub(crate) fn encode_snapshot_with_stream(
+    model: &Fvae,
+    opt: &OptStates,
+    rng_state: [u64; 4],
+    progress: &TrainProgress,
+    early_stop: Option<&EarlyStopState>,
+    stream: Option<StreamProgress>,
 ) -> Bytes {
     let model_bytes = model.to_bytes();
     let mut optim = BytesMut::new();
@@ -484,6 +539,11 @@ pub(crate) fn encode_snapshot(
     ];
     if early_stop.is_some() {
         sections.push((SEC_EARLY_STOP, es_buf.as_ref()));
+    }
+    let mut stream_buf = BytesMut::new();
+    if let Some(sp) = &stream {
+        put_stream(&mut stream_buf, sp);
+        sections.push((SEC_STREAM, stream_buf.as_ref()));
     }
 
     let payload: usize = sections.iter().map(|(_, p)| p.len()).sum();
@@ -576,7 +636,12 @@ pub fn decode_snapshot(data: &[u8]) -> Result<TrainSnapshot, SnapshotError> {
         Err(SnapshotError::MissingSection(_)) => None,
         Err(e) => return Err(e),
     };
-    Ok(TrainSnapshot { model, opt, rng_state, progress, early_stop })
+    let stream = match find(SEC_STREAM) {
+        Ok(mut p) => Some(get_stream(&mut p)?),
+        Err(SnapshotError::MissingSection(_)) => None,
+        Err(e) => return Err(e),
+    };
+    Ok(TrainSnapshot { model, opt, rng_state, progress, early_stop, stream })
 }
 
 /// Snapshot bytes with wall-clock telemetry zeroed, for byte comparison of
@@ -743,8 +808,21 @@ impl Checkpointer {
         progress: &TrainProgress,
         early_stop: Option<&EarlyStopState>,
     ) -> Result<PathBuf, SnapshotError> {
+        self.save_with_stream(model, opt, rng_state, progress, early_stop, None)
+    }
+
+    /// [`Checkpointer::save`] carrying the streaming trainer's log cursor.
+    pub(crate) fn save_with_stream(
+        &self,
+        model: &Fvae,
+        opt: &OptStates,
+        rng_state: [u64; 4],
+        progress: &TrainProgress,
+        early_stop: Option<&EarlyStopState>,
+        stream: Option<StreamProgress>,
+    ) -> Result<PathBuf, SnapshotError> {
         let span = self.metrics.as_ref().map(|m| fvae_obs::Span::on(&m.write_ns));
-        let bytes = encode_snapshot(model, opt, rng_state, progress, early_stop);
+        let bytes = encode_snapshot_with_stream(model, opt, rng_state, progress, early_stop, stream);
         let name = format!("ckpt-{:016}.{SNAPSHOT_EXT}", progress.global_step);
         let path = write_atomic(&self.dir, &name, bytes.as_ref())?;
         self.prune()?;

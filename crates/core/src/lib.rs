@@ -76,12 +76,13 @@ pub mod observe;
 pub mod quant;
 pub mod sampling;
 pub mod serialize;
+pub mod stream;
 pub mod train;
 pub mod validate;
 
 pub use checkpoint::{
     decode_snapshot, export_model_snapshot, normalized_snapshot_bytes, Checkpointer,
-    LoadedSnapshot, ResumePoint, SnapshotError, TrainProgress, TrainSnapshot,
+    LoadedSnapshot, ResumePoint, SnapshotError, StreamProgress, TrainProgress, TrainSnapshot,
 };
 pub use config::{FvaeConfig, SamplingConfig};
 pub use encoder::{Encoder, EncoderScratch, InputRows};
@@ -89,5 +90,6 @@ pub use model::Fvae;
 pub use observe::{NullObserver, PhaseNs, StepCtx, TelemetrySink, TrainObserver};
 pub use quant::{QuantizedEncoder, QuantizedEncoderScratch};
 pub use sampling::SamplingStrategy;
+pub use stream::StreamTrainer;
 pub use train::{EpochStats, StepStats, TrainOutcome, TrainRun};
 pub use validate::{TrainHistory, TrainOptions};

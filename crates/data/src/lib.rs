@@ -14,14 +14,21 @@
 //!   fold-in protocol of §V-B2 (channels in, tags out, 1:1 sampled
 //!   negatives),
 //! * [`ba`] — Barabási–Albert preferential-attachment workloads for the
-//!   scalability experiment (Fig. 9).
+//!   scalability experiment (Fig. 9),
+//! * [`events`] — the append-only event-log ingest format plus the tailing
+//!   reader and window batcher behind streaming (continuous) training.
 
 pub mod ba;
 pub mod dataset;
+pub mod events;
 pub mod io;
 pub mod split;
 pub mod synth;
 
 pub use dataset::{DatasetStats, MultiFieldDataset};
+pub use events::{
+    dataset_to_events, Event, EventDecoder, EventLogError, EventLogReader, EventLogWriter,
+    StreamBatcher,
+};
 pub use split::{tag_prediction_cases, SplitIndices, TagEvalCase};
 pub use synth::{FieldSpec, TopicModelConfig};

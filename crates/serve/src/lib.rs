@@ -41,12 +41,14 @@ pub mod cache;
 pub mod client;
 pub mod loadgen;
 pub mod protocol;
+pub mod publish;
 pub mod router;
 pub mod server;
 
 pub use cache::{fnv64, row_hash, EmbedCache};
 pub use client::{Client, ClientError, EmbedOutcome, NearestOutcome, ReloadReport, ServerInfo};
 pub use loadgen::{run_loadgen, LatencySummary, LoadGenConfig, LoadGenReport};
+pub use publish::{PublishConfig, PublishError, PublishReport, Publisher};
 pub use protocol::{
     decode_message, encode_frame, read_frame, read_payload, write_frame, FieldRow, Message,
     ProtoError, RecvError, MAX_FIELDS, MAX_FRAME_LEN,

@@ -1,0 +1,90 @@
+//! Dyntable growth under concurrent read load — the admission pattern
+//! streaming training leans on.
+//!
+//! The trainer owns the mutable table and admits never-seen ids; readers
+//! (serving snapshots, parity checks) work from published clones. The
+//! contract under that pattern:
+//!
+//! * **Prefix stability** — admission is append-only: once an id has a
+//!   slot, every later publication maps it to the *same* slot, so a reader
+//!   on any snapshot generation agrees with every other generation on all
+//!   ids both can see. No torn or migrated slots, ever.
+//! * **Density** — slots stay `0..len` with ids in admission order, so
+//!   embedding rows can be indexed by slot directly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+
+use fvae_sparse::DynamicHashTable;
+
+#[test]
+fn concurrent_readers_see_stable_slots_while_growing() {
+    const TOTAL_IDS: u64 = 4_000;
+    const PUBLISH_EVERY: u64 = 64;
+    const READERS: usize = 4;
+
+    // Grower publishes immutable snapshots; readers grab the latest.
+    let published: Arc<RwLock<Arc<DynamicHashTable>>> =
+        Arc::new(RwLock::new(Arc::new(DynamicHashTable::new())));
+    let admitted = Arc::new(AtomicU64::new(0)); // ids 0..admitted are published
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for r in 0..READERS {
+        let published = Arc::clone(&published);
+        let admitted = Arc::clone(&admitted);
+        let done = Arc::clone(&done);
+        handles.push(thread::spawn(move || {
+            // First slot each reader witnessed per id, across generations.
+            let mut seen: Vec<Option<usize>> = vec![None; TOTAL_IDS as usize];
+            let mut lookups = 0u64;
+            while !done.load(Ordering::Acquire) || lookups == 0 {
+                let floor = admitted.load(Ordering::Acquire);
+                let snap = Arc::clone(&published.read().expect("publish lock").clone());
+                for id in 0..floor {
+                    // `floor` was read before the snapshot, so the snapshot
+                    // must already contain every id below it.
+                    let slot = snap
+                        .slot_of(id)
+                        .unwrap_or_else(|| panic!("reader {r}: published id {id} missing"));
+                    match seen[id as usize] {
+                        None => seen[id as usize] = Some(slot),
+                        Some(prev) => assert_eq!(
+                            prev, slot,
+                            "reader {r}: id {id} moved from slot {prev} to {slot}"
+                        ),
+                    }
+                    lookups += 1;
+                }
+            }
+            lookups
+        }));
+    }
+
+    let mut table = DynamicHashTable::new();
+    for id in 0..TOTAL_IDS {
+        let slot = table.slot_or_insert(id, |_| {});
+        assert_eq!(slot, id as usize, "admission order assigns dense slots");
+        if (id + 1).is_multiple_of(PUBLISH_EVERY) {
+            *published.write().expect("publish lock") = Arc::new(table.clone());
+            admitted.store(id + 1, Ordering::Release);
+        }
+    }
+    *published.write().expect("publish lock") = Arc::new(table.clone());
+    admitted.store(TOTAL_IDS, Ordering::Release);
+    done.store(true, Ordering::Release);
+
+    let mut total_lookups = 0u64;
+    for h in handles {
+        total_lookups += h.join().expect("reader panicked = torn slot or lost id");
+    }
+    assert!(total_lookups >= TOTAL_IDS, "readers must have observed real load");
+
+    // Density + admission order on the final table.
+    assert_eq!(table.len(), TOTAL_IDS as usize);
+    for (id, slot) in table.iter() {
+        assert_eq!(table.id_of(slot), id);
+        assert_eq!(table.slot_of(id), Some(slot));
+    }
+}
